@@ -1,0 +1,28 @@
+# Convenience targets — everything is plain pytest underneath.
+
+.PHONY: install test bench examples artifacts fuzz clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+# regenerate every paper artifact into results/
+artifacts: bench
+	@ls -1 results/
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example"; python $$example > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+fuzz:
+	HYPOTHESIS_PROFILE=thorough pytest tests/core tests/rle -q
+
+clean:
+	rm -rf results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

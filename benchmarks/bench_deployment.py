@@ -1,0 +1,76 @@
+"""A6 — deployment sizing: scheduling image rows onto multiple arrays.
+
+"On-line automatic inspection of PCBs requires acquisition and
+processing of gigabytes of binary image data in a matter of seconds" —
+i.e. more than one array.  This bench measures makespan/utilization vs.
+array count for the three scheduling policies on a defective synthetic
+board, plus the per-row iteration *distribution* (the tail a pipelined
+deployment must budget for).
+
+Outputs: ``results/deployment.csv``, ``results/deployment.txt``.
+"""
+
+import pytest
+
+from repro.analysis.distributions import summarize_distribution
+from repro.analysis.report import format_table, to_csv
+from repro.core.scheduler import row_costs, scaling_curve, schedule
+from repro.workloads.pcb import PCBLayout, generate_inspection_case
+
+from conftest import write_artifact
+
+ARRAY_COUNTS = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    reference, scanned, _ = generate_inspection_case(
+        PCBLayout(height=256, width=256), n_defects=6, seed=77
+    )
+    return row_costs(reference, scanned, overhead=2)
+
+
+def test_deployment_regenerate(benchmark, jobs, results_dir):
+    benchmark(lambda: schedule(jobs, 8, "lpt"))
+
+    rows = []
+    for policy in ("block", "round_robin", "lpt"):
+        curve = scaling_curve(jobs, ARRAY_COUNTS, policy)
+        for p in ARRAY_COUNTS:
+            result = curve[p]
+            rows.append(
+                {
+                    "policy": policy,
+                    "arrays": p,
+                    "makespan": result.makespan,
+                    "utilization": result.utilization,
+                    "speedup": result.speedup_over_single(),
+                }
+            )
+    columns = ["policy", "arrays", "makespan", "utilization", "speedup"]
+    to_csv(rows, results_dir / "deployment.csv", columns=columns)
+
+    dist = summarize_distribution([float(j.cost) for j in jobs])
+    rendered = format_table(
+        rows,
+        columns=columns,
+        title="A6 — row scheduling across arrays (256x256 board, 6 defects)",
+    )
+    rendered += (
+        f"\n\nper-row cost distribution: mean {dist.mean:.2f} "
+        f"[{dist.ci_low:.2f}, {dist.ci_high:.2f}], p50 {dist.p50:.0f}, "
+        f"p90 {dist.p90:.0f}, p99 {dist.p99:.0f}, max {dist.max:.0f}, "
+        f"tail ratio {dist.tail_ratio_99:.2f}"
+    )
+    write_artifact(results_dir, "deployment.txt", rendered)
+
+    # sanity of the published claims about the policies
+    by = {(r["policy"], r["arrays"]): r for r in rows}
+    for p in ARRAY_COUNTS:
+        assert by[("lpt", p)]["makespan"] <= by[("block", p)]["makespan"]
+        assert by[("lpt", p)]["makespan"] <= by[("round_robin", p)]["makespan"]
+    # speedup grows with arrays until the longest row dominates
+    lpt_spans = [by[("lpt", p)]["makespan"] for p in ARRAY_COUNTS]
+    assert lpt_spans == sorted(lpt_spans, reverse=True)
+    longest = max(j.cost for j in jobs)
+    assert lpt_spans[-1] >= longest

@@ -1,0 +1,79 @@
+"""A3 — engine throughput: reference cell machine vs. NumPy engine vs.
+software baselines.
+
+Not a paper artifact per se, but the measurement that justifies using
+the vectorized engine for the big sweeps (identical results, far faster
+simulation) and quantifies the software cost of simulating the hardware
+at all — the sequential merge is the "no special hardware" comparison.
+
+Outputs: pytest-benchmark's comparison table, plus
+``results/engines.txt`` with the per-engine iteration counts (identical
+by construction — asserted here).
+"""
+
+import pytest
+
+from repro.core.machine import SystolicXorMachine
+from repro.core.sequential import sequential_xor
+from repro.core.vectorized import VectorizedXorEngine
+from repro.rle.ops import xor_rows
+from repro.workloads.suite import get_row_workload
+
+from conftest import write_artifact
+
+WORKLOAD = "paper-figure5-5pct"
+
+
+@pytest.fixture(scope="module")
+def rows():
+    a, b, _mask = get_row_workload(WORKLOAD).make()
+    return a, b
+
+
+def test_bench_reference_machine(benchmark, rows):
+    a, b = rows
+    machine = SystolicXorMachine()
+    result = benchmark(lambda: machine.diff(a, b))
+    assert result.result.same_pixels(xor_rows(a, b))
+
+
+def test_bench_vectorized_engine(benchmark, rows):
+    a, b = rows
+    engine = VectorizedXorEngine(collect_stats=False)
+    result = benchmark(lambda: engine.diff(a, b))
+    assert result.result.same_pixels(xor_rows(a, b))
+
+
+def test_bench_sequential_merge(benchmark, rows):
+    a, b = rows
+    result = benchmark(lambda: sequential_xor(a, b))
+    assert result.result.same_pixels(xor_rows(a, b))
+
+
+def test_bench_rle_xor_op(benchmark, rows):
+    a, b = rows
+    benchmark(lambda: xor_rows(a, b))
+
+
+def test_engines_agree_and_report(benchmark, rows, results_dir):
+    a, b = rows
+    ref = SystolicXorMachine().diff(a, b)
+    vec = benchmark.pedantic(
+        lambda: VectorizedXorEngine().diff(a, b), rounds=5, iterations=1
+    )
+    seq = sequential_xor(a, b)
+    assert vec.result == ref.result
+    assert vec.iterations == ref.iterations
+    assert seq.result.same_pixels(ref.result)
+    write_artifact(
+        results_dir,
+        "engines.txt",
+        "\n".join(
+            [
+                f"workload: {WORKLOAD} (k1={ref.k1}, k2={ref.k2})",
+                f"systolic iterations (both engines): {ref.iterations}",
+                f"sequential merge iterations: {seq.iterations}",
+                f"raw output runs (k3): {ref.k3}",
+            ]
+        ),
+    )

@@ -1,0 +1,79 @@
+"""A4 — the motivating application end-to-end: PCB inspection.
+
+"Most PCB inspection systems use a reference based approach which
+requires comparison of the board image against the original CAD design."
+
+The bench runs the full inspection pipeline (register → systolic diff →
+blob extraction → classification) on synthetic boards, measuring defect
+recall and — the paper's point — how few systolic iterations a whole
+board costs when reference and scan are highly similar, versus the
+sequential merge's run-count-proportional cost.
+
+Outputs: ``results/pcb.txt``.
+"""
+
+import pytest
+
+from repro.core.pipeline import diff_images
+from repro.inspection.pipeline import InspectionSystem
+from repro.workloads.pcb import PCBLayout, generate_inspection_case
+
+from conftest import write_artifact
+
+LAYOUT = PCBLayout(height=256, width=256)
+N_BOARDS = 8
+N_DEFECTS = 4
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return [
+        generate_inspection_case(LAYOUT, n_defects=N_DEFECTS, seed=100 + i)
+        for i in range(N_BOARDS)
+    ]
+
+
+def test_bench_inspection_end_to_end(benchmark, cases, results_dir):
+    reference, scanned, _truth = cases[0]
+    system = InspectionSystem(reference)
+    report = benchmark(lambda: system.inspect(scanned))
+    assert not report.passed
+
+    # ---- recall + iteration accounting over all boards ------------- #
+    found = 0
+    injected = 0
+    total_systolic = 0
+    total_sequential = 0
+    rows_total = 0
+    for reference, scanned, truth in cases:
+        system = InspectionSystem(reference)
+        report = system.inspect(scanned)
+        injected += len(truth)
+        for defect in truth:
+            cy, cx = defect.center
+            if any(
+                abs(b.centroid[0] - cy) <= 4 and abs(b.centroid[1] - cx) <= 4
+                for b in report.defects
+            ):
+                found += 1
+        total_systolic += report.total_systolic_iterations
+        seq = diff_images(reference, scanned, engine="sequential")
+        total_sequential += seq.total_iterations
+        rows_total += reference.height
+
+    recall = found / injected
+    lines = [
+        f"boards: {N_BOARDS} x {LAYOUT.height}x{LAYOUT.width}, "
+        f"{N_DEFECTS} injected defects each",
+        f"defect recall (centroid within 4 px): {recall:.2f}",
+        f"systolic iterations, all rows, all boards: {total_systolic}",
+        f"sequential merge iterations, same work:    {total_sequential}",
+        f"mean systolic iterations/row: {total_systolic / rows_total:.2f}",
+        f"mean sequential iterations/row: {total_sequential / rows_total:.2f}",
+        f"systolic advantage: {total_sequential / max(total_systolic, 1):.1f}x",
+    ]
+    write_artifact(results_dir, "pcb.txt", "\n".join(lines))
+
+    # the regime claim: similar images => systolic wins big
+    assert recall >= 0.85
+    assert total_systolic * 3 < total_sequential

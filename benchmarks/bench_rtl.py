@@ -1,0 +1,77 @@
+"""A7 — hardware cost: RTL netlist evaluation and the area budget.
+
+Times the netlist-driven cell against the behavioural cell (the cost of
+gate-level fidelity in simulation) and writes the cell's gate budget and
+array-level area table — the numbers a fabrication-era design review
+would start from.
+
+Outputs: ``results/rtl.txt`` (+ the generated Verilog at
+``results/systolic_xor_cell.v``).
+"""
+
+from repro.core.xor_cell import XorCell
+from repro.systolic.rtl import RTLCell
+from repro.systolic.verilog import emit_cell_module
+
+from conftest import write_artifact
+
+STATES = [
+    (((3, 6), (10, 12))),
+    (((3, 6), (5, 12))),
+    (((0, -1), (5, 12))),
+    (((5, 12), (5, 12))),
+    (((0, -1), (0, -1))),
+]
+
+
+def _run_rtl():
+    cell = RTLCell()
+    for snap in STATES:
+        cell.load_snapshot(snap)
+        cell.phase1()
+        cell.phase2()
+    return cell.snapshot()
+
+
+def _run_behavioural():
+    cell = XorCell(0)
+    for snap in STATES:
+        cell.restore(snap)
+        cell.step1_normalize()
+        cell.step2_xor()
+    return cell.snapshot()
+
+
+def test_bench_rtl_cell(benchmark):
+    result = benchmark(_run_rtl)
+    assert result == _run_behavioural()
+
+
+def test_bench_behavioural_cell(benchmark):
+    benchmark(_run_behavioural)
+
+
+def test_rtl_artifacts(benchmark, results_dir):
+    benchmark.pedantic(RTLCell.area_estimate, rounds=5, iterations=10)
+    est = RTLCell.area_estimate()
+
+    lines = ["XOR cell gate budget (NAND2-equivalents, 16-bit coordinates):"]
+    for key, value in est.items():
+        lines.append(f"  {key:<14} {value:>6}")
+    lines.append("")
+    lines.append("array-level area (cells = k1 + k2 + 1):")
+    for runs_per_image in (64, 256, 1024):
+        n_cells = 2 * runs_per_image + 1
+        lines.append(
+            f"  {runs_per_image:>5} runs/image -> {n_cells:>5} cells "
+            f"-> {n_cells * est['total_gates']:>9} gates"
+        )
+    write_artifact(results_dir, "rtl.txt", "\n".join(lines))
+
+    verilog = emit_cell_module()
+    (results_dir / "systolic_xor_cell.v").write_text(verilog, encoding="utf-8")
+    assert "endmodule" in verilog
+
+    # the whole array at the paper's largest Table 1 size fits in a
+    # late-90s ASIC budget (a few hundred k gates)
+    assert 2 * 64 * est["total_gates"] < 1_000_000

@@ -1,0 +1,71 @@
+"""Table 1 — systolic vs. sequential iterations over image sizes 128–2048.
+
+Regenerates both row groups of the paper's Table 1 ("the errors are kept
+at approximately 3.5 % of the image" and "the number of errors is fixed
+at 6 runs each of size 4 pixels") and asserts the published shape claims
+while the benchmark fixture times the sweep.
+
+Outputs: ``results/table1.csv``, ``results/table1.txt``.
+"""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate
+from repro.analysis.experiments import table1_sweep, table1_trial
+from repro.analysis.models import linear_fit
+from repro.analysis.report import format_table, to_csv
+
+from conftest import write_artifact
+
+REPETITIONS = 30
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    records = table1_sweep(repetitions=REPETITIONS)
+    return aggregate(
+        records,
+        ["errors", "width"],
+        ["systolic_iterations", "sequential_iterations"],
+    )
+
+
+def test_table1_regenerate(benchmark, table1_rows, results_dir):
+    """Times one full Table 1 measurement point; writes the table."""
+    benchmark.pedantic(
+        lambda: table1_trial({"width": 2048, "error_fraction": 0.035}, seed=0),
+        rounds=10,
+        iterations=1,
+    )
+
+    columns = ["errors", "width", "systolic_iterations", "sequential_iterations", "n"]
+    rendered = format_table(
+        table1_rows,
+        columns=columns,
+        title=f"Table 1 — average iterations vs image size ({REPETITIONS} reps/point)",
+    )
+    to_csv(table1_rows, results_dir / "table1.csv", columns=columns)
+    write_artifact(results_dir, "table1.txt", rendered)
+
+    # ---- the paper's shape claims ---------------------------------- #
+    def series(errors, metric):
+        pts = sorted(
+            (r["width"], r[metric]) for r in table1_rows if r["errors"] == errors
+        )
+        return [p[0] for p in pts], [p[1] for p in pts]
+
+    # sequential grows linearly with size in both regimes
+    for errors in ("3.5%", "6 runs"):
+        xs, ys = series(errors, "sequential_iterations")
+        fit = linear_fit(xs, ys)
+        assert fit.slope > 0 and fit.r_squared > 0.97, (errors, fit)
+
+    # systolic with 3.5% errors grows linearly too
+    xs, ys = series("3.5%", "systolic_iterations")
+    assert ys[-1] > 3 * ys[0]
+
+    # systolic with 6 fixed error runs is flat: "averages just over 5
+    # iterations regardless of how large the image gets"
+    xs, ys = series("6 runs", "systolic_iterations")
+    assert max(ys) - min(ys) < 2.5
+    assert 4.0 < sum(ys) / len(ys) < 9.0

@@ -1,0 +1,71 @@
+"""A5 — analytic model vs. measurement (Figure 5's left region).
+
+The derived formula ``E[ΔK] = 1 − 2·p_t`` per error run (see
+:mod:`repro.analysis.theory`) predicts the systolic iteration count with
+no fitted constants.  This bench sweeps the low-error regime and prints
+predicted-vs-measured side by side.
+
+Outputs: ``results/theory.csv``, ``results/theory.txt``.
+"""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate
+from repro.analysis.experiments import figure5_sweep
+from repro.analysis.report import format_table, to_csv
+from repro.analysis.theory import predicted_iterations
+from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+from conftest import write_artifact
+
+FRACTIONS = (0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.10)
+WIDTH = 10_000
+REPETITIONS = 10
+
+
+@pytest.fixture(scope="module")
+def theory_rows():
+    records = figure5_sweep(fractions=FRACTIONS, width=WIDTH, repetitions=REPETITIONS)
+    rows = aggregate(records, ["error_fraction"], ["iterations", "run_difference"])
+    base = BaseRowSpec(width=WIDTH, density=0.30)
+    for r in rows:
+        f = float(r["error_fraction"])
+        r["predicted"] = predicted_iterations(base, ErrorSpec(fraction=f), f)
+        r["rel_error"] = abs(r["predicted"] - r["iterations"]) / max(
+            r["iterations"], 1.0
+        )
+    return rows
+
+
+def test_theory_regenerate(benchmark, theory_rows, results_dir):
+    base = BaseRowSpec(width=WIDTH, density=0.30)
+    benchmark.pedantic(
+        lambda: predicted_iterations(base, ErrorSpec(fraction=0.05), 0.05),
+        rounds=50,
+        iterations=10,
+    )
+    columns = [
+        "error_fraction",
+        "iterations",
+        "run_difference",
+        "predicted",
+        "rel_error",
+        "n",
+    ]
+    to_csv(theory_rows, results_dir / "theory.csv", columns=columns)
+    write_artifact(
+        results_dir,
+        "theory.txt",
+        format_table(
+            theory_rows,
+            columns=columns,
+            precision=3,
+            title=(
+                "A5 — analytic E|k1-k2| model vs measured iterations "
+                f"({WIDTH} px, {REPETITIONS} reps/point, no fitted constants)"
+            ),
+        ),
+    )
+    # the zero-parameter model lands within 20% at every low-error point
+    for r in theory_rows:
+        assert r["rel_error"] < 0.20, r

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates its paper artifact (table rows / figure series)
+into ``results/`` as CSV + rendered text, so EXPERIMENTS.md numbers are
+reproducible byte-for-byte from ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Save a rendered table/plot next to its CSV."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""A scaled-down Figure 5 you can run in seconds.
+
+Sweeps the error percentage on 4 000-pixel rows and plots the paper's
+three series — average systolic iterations, the run-count difference
+|k1−k2|, and k3 (runs in the produced XOR) — in the terminal.  The full
+10 000-pixel version is ``python -m repro figure5`` or
+``pytest benchmarks/bench_figure5.py --benchmark-only``.
+
+Run:  python examples/figure5_mini.py
+"""
+
+from repro.analysis.aggregate import aggregate
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.experiments import figure5_sweep
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    fractions = (0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.60, 0.80)
+    records = figure5_sweep(fractions=fractions, width=4000, repetitions=5)
+    rows = aggregate(
+        records, ["error_fraction"], ["iterations", "run_difference", "k3"]
+    )
+
+    print(
+        format_table(
+            rows,
+            columns=["error_fraction", "iterations", "run_difference", "k3", "n"],
+            title="Figure 5 (mini): 4000 px rows, 30% density, 5 reps/point",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            {
+                "iterations": [(r["error_fraction"], r["iterations"]) for r in rows],
+                "|k1-k2|": [(r["error_fraction"], r["run_difference"]) for r in rows],
+                "k3": [(r["error_fraction"], r["k3"]) for r in rows],
+            },
+            title="iterations vs fraction of differing pixels",
+            xlabel="fraction of pixels differing",
+        )
+    )
+    print()
+    print("note the knee: up to ~30% error the iterations ride |k1-k2|;")
+    print("beyond it they bend up toward the k3 (runs-in-XOR) curve.")
+
+
+if __name__ == "__main__":
+    main()

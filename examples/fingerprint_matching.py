@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fingerprint matching in the compressed domain.
+
+Generates synthetic ridge patterns, takes second impressions (displaced,
+pressure-varied, noisy) and impostor prints, and ranks them by the
+best-aligned XOR score — the fingerprint-analysis application from the
+paper's introduction, with iteration counts showing why genuine pairs
+are cheap for the systolic array.
+
+Run:  python examples/fingerprint_matching.py
+"""
+
+from repro.inspection.reference import ReferenceComparator
+from repro.workloads.fingerprint import (
+    generate_fingerprint,
+    generate_pair,
+    match_score,
+)
+
+
+def main() -> None:
+    print("synthetic fingerprint (crop):")
+    fp = generate_fingerprint(seed=11)
+    from repro.rle.ops2d import crop_image
+
+    print(crop_image(fp, 60, 34, 28, 60).to_ascii(on="▓", off=" "))
+    print(f"\n{fp.shape[0]}x{fp.shape[1]}, {fp.total_runs} runs, "
+          f"density {fp.density():.2f}")
+    print()
+
+    print("pair   kind      score   systolic iters at best alignment")
+    for seed in range(4):
+        for same in (True, False):
+            a, b = generate_pair(same_finger=same, seed=seed * 2 + (0 if same else 1))
+            score = match_score(a, b)
+            # diff at the registered alignment, as the matcher does
+            report = ReferenceComparator(a, max_offset=2).compare(b)
+            iters = report.diff_result.total_iterations
+            kind = "genuine " if same else "impostor"
+            print(f"  {seed}    {kind}  {score:.3f}   {iters:>6}")
+
+    print()
+    print("after registration, genuine pairs agree almost everywhere —")
+    print("high score, few systolic iterations; impostor ridges stay")
+    print("uncorrelated at every alignment, so both the XOR pixel count")
+    print("and the iteration count stay high.  Match/non-match separation")
+    print("falls out of the difference operation itself.")
+
+
+if __name__ == "__main__":
+    main()

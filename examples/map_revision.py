@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Map revision differencing — the map-analysis application.
+
+Draws a synthetic street map, produces a revision (one road removed, two
+connectors added), diffs the revisions in the RLE domain and reports the
+changed strokes as connected components, with the systolic iteration
+accounting that shows revision-diffing sits in the algorithm's sweet
+spot.
+
+Run:  python examples/map_revision.py
+"""
+
+from repro.core.pipeline import diff_images
+from repro.rle.components import label_components
+from repro.rle.geometry import bounding_box
+from repro.rle.metrics import error_fraction
+from repro.rle.morphology import dilate_image
+from repro.workloads.maps import generate_map, revise_map
+
+
+def main() -> None:
+    height = width = 192
+    original, segments = generate_map(height, width, seed=5)
+    revised, _ = revise_map(height, width, segments, additions=2, removals=1, seed=6)
+
+    print(f"map {height}x{width}: {len(segments)} strokes, "
+          f"{original.total_runs} runs, density {original.density():.2f}")
+    print(f"revision similarity: {1 - error_fraction(original, revised):.4f}")
+    print()
+
+    diff = diff_images(original, revised, engine="vectorized")
+    print(f"differing pixels: {diff.difference_pixels}")
+    print(f"systolic iterations over all {height} rows: {diff.total_iterations}")
+    print(f"worst row: {diff.max_iterations} iterations")
+    print()
+
+    # group the changed pixels into strokes
+    grouped = dilate_image(diff.image, 1, 1)
+    changes = [c for c in label_components(grouped) if c.area >= 6]
+    print(f"{len(changes)} changed strokes:")
+    for c in changes:
+        top, left, bottom, right = c.bbox
+        kind = "added/removed road segment"
+        print(
+            f"  - bbox ({top:3},{left:3})-({bottom:3},{right:3}), "
+            f"~{c.area} px  [{kind}]"
+        )
+
+    box = bounding_box(diff.image)
+    print(f"\nall changes confined to bbox {box} — the rest of the map")
+    print("passes through the array untouched (rows with zero difference")
+    print("cost at most one cancel iteration).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figures 1 and 3: the worked example, traced
+cycle by cycle through the systolic array, with every invariant checked.
+
+Run:  python examples/paper_trace.py
+"""
+
+from repro import RLERow, SystolicXorMachine
+from repro.systolic.trace import render_trace_table
+
+
+def main() -> None:
+    # Figure 1's inputs, coordinates exactly as printed in the paper
+    row1 = RLERow.from_pairs([(10, 3), (16, 2), (23, 2), (27, 3)], width=40)
+    row2 = RLERow.from_pairs([(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], width=40)
+
+    print("Figure 1 — the image difference operation")
+    print("  row of image 1:", " ".join(f"{r}" for r in row1))
+    print("  row of image 2:", " ".join(f"{r}" for r in row2))
+    print()
+
+    machine = SystolicXorMachine(record_trace=True, paranoid=True)
+    result = machine.diff(row1, row2)
+
+    print("Figure 3 — execution of the systolic algorithm")
+    print("  (RegSmall/RegBig per cell; '·' = empty register)")
+    print()
+    print(render_trace_table(result.trace.entries, max_cells=6))
+    print()
+    print("  difference (XOR):", " ".join(str(r) for r in result.result))
+    print(f"  iterations: {result.iterations}")
+    print(f"  Theorem 1 bound (k1+k2): {result.termination_bound}")
+    print(f"  Observation bound (k3+1): {result.k3 + 1}")
+    print()
+    print("  paranoid mode verified Corollaries 1.1/1.2/2.1 and the")
+    print("  Theorem 3 conservation argument after every phase.")
+
+    expected = [(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]
+    assert result.result.to_pairs() == expected, "trace deviates from the paper!"
+    print("\n  matches the paper's published result:", expected)
+
+
+if __name__ == "__main__":
+    main()

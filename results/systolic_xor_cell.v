@@ -1,0 +1,101 @@
+// ------------------------------------------------------------------
+// systolic_xor_cell — one processing element of the systolic RLE XOR array
+// (Ercal, Allen & Feng, IPPS 1999, Section 3).
+//
+// GENERATED from repro.systolic.rtl — the same netlists the Python
+// simulator executes and the test suite verifies exhaustively against
+// the behavioural cell.  Do not edit by hand.
+//
+// Interface per the paper's Figure 2:
+//   load path     : load_en, i1_* (image 1 run), i2_* (image 2 run)
+//   shift chain   : shin_* from the left neighbour, shout_* to the right
+//   termination   : C (this cell's vote), F (external halt broadcast)
+//   sequencing    : phase 0 = normalize, 1 = xor, 2 = shift
+// ------------------------------------------------------------------
+module systolic_xor_cell (
+    input  wire               clk,
+    input  wire               rst,
+    input  wire               load_en,
+    input  wire signed [15:0] i1_start, i1_end,
+    input  wire               i1_valid,
+    input  wire signed [15:0] i2_start, i2_end,
+    input  wire               i2_valid,
+    input  wire         [1:0] phase,
+    input  wire               F,
+    input  wire signed [15:0] shin_start, shin_end,
+    input  wire               shin_valid,
+    output wire signed [15:0] shout_start, shout_end,
+    output wire               shout_valid,
+    output wire               C
+);
+
+  // RegSmall / RegBig (the paper's two run registers) + valid bits
+  reg signed [15:0] ss, se, bs, be;
+  reg               sv, bv;
+
+  // step-3 shift chain taps RegBig combinationally
+  assign shout_start = bs;
+  assign shout_end   = be;
+  assign shout_valid = bv;
+
+  // termination vote: "if there is no data in RegBig then send the
+  // termination signal along output C"
+  assign C = !bv;
+
+  integer unused;  // placate lint for generated locals
+  reg signed [15:0] n_be, n_bs, n_bv, n_se, n_ss, n_sv, w_be, w_bs, w_ose, w_se;
+  reg               w_act, w_both, w_bv, w_move, w_sv, w_swap, w_take;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      sv <= 1'b0;
+      bv <= 1'b0;
+    end else if (load_en) begin
+      ss <= i1_start;  se <= i1_end;  sv <= i1_valid;
+      bs <= i2_start;  be <= i2_end;  bv <= i2_valid;
+    end else if (!F) begin
+      case (phase)
+        2'd0: begin // step 1 — normalize
+          // locals: n_be, n_bs, n_bv, n_se, n_ss, n_sv, w_both, w_move, w_swap, w_take
+          w_both = ((sv) && (bv));
+          w_swap = ((w_both) && (((((ss) > (bs))) || (((((ss) == (bs))) && (((se) > (be))))))));
+          w_move = ((!(sv)) && (bv));
+          w_take = ((w_swap) || (w_move));
+          n_ss = ((w_take) ? (bs) : (ss));
+          n_se = ((w_take) ? (be) : (se));
+          n_sv = ((sv) || (bv));
+          n_bs = ((w_swap) ? (ss) : (bs));
+          n_be = ((w_swap) ? (se) : (be));
+          n_bv = ((bv) && (!(w_move)));
+          ss <= n_ss;
+          se <= n_se;
+          sv <= n_sv;
+          bs <= n_bs;
+          be <= n_be;
+          bv <= n_bv;
+        end
+        2'd1: begin // step 2 — in-cell XOR
+          // locals: w_act, w_be, w_bs, w_bv, w_ose, w_se, w_sv
+          w_act = ((sv) && (bv));
+          w_ose = se;
+          w_se = (((se) < (((bs) - (16'sd1)))) ? (se) : (((bs) - (16'sd1))));
+          w_bs = (((((be) + (16'sd1))) < ((((((w_ose) + (16'sd1))) > (bs)) ? (((w_ose) + (16'sd1))) : (bs)))) ? (((be) + (16'sd1))) : ((((((w_ose) + (16'sd1))) > (bs)) ? (((w_ose) + (16'sd1))) : (bs))));
+          w_be = (((w_ose) > (be)) ? (w_ose) : (be));
+          w_sv = ((w_se) >= (ss));
+          w_bv = ((w_be) >= (w_bs));
+          se <= ((w_act) ? (w_se) : (se));
+          bs <= ((w_act) ? (w_bs) : (bs));
+          be <= ((w_act) ? (w_be) : (be));
+          sv <= ((w_act) ? (w_sv) : (sv));
+          bv <= ((w_act) ? (w_bv) : (bv));
+        end
+        2'd2: begin // step 3 — shift RegBig right
+          bs <= shin_start;
+          be <= shin_end;
+          bv <= shin_valid;
+        end
+      endcase
+    end
+  end
+
+endmodule

@@ -1,0 +1,23 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: A run expressed the way the paper writes them: ``(start, length)``.
+RunTuple = Tuple[int, int]
+
+#: Anything accepted where a list of runs is expected.
+RunsLike = Sequence[RunTuple]
+
+#: A 1-D boolean/0-1 pixel row.
+BitArray = npt.NDArray[np.bool_]
+
+#: A 2-D boolean/0-1 pixel image.
+BitImage = npt.NDArray[np.bool_]
+
+#: Seed material accepted by workload generators.
+SeedLike = Union[int, np.random.Generator, None]

@@ -1,0 +1,29 @@
+"""Experiment harness: sweeps, aggregation, analytic models, reporting.
+
+This layer regenerates the paper's evaluation artifacts.  The benches in
+``benchmarks/`` are thin wrappers over :mod:`repro.analysis.experiments`,
+so the same sweeps are callable from tests, examples and the CLI.
+"""
+
+from repro.analysis.runner import Record, run_sweep, run_trials
+from repro.analysis.aggregate import aggregate, group_by
+from repro.analysis.models import (
+    iteration_bounds,
+    linear_fit,
+    observed_bound_violations,
+)
+from repro.analysis.report import format_table, to_csv, to_markdown
+
+__all__ = [
+    "Record",
+    "run_sweep",
+    "run_trials",
+    "aggregate",
+    "group_by",
+    "iteration_bounds",
+    "linear_fit",
+    "observed_bound_violations",
+    "format_table",
+    "to_csv",
+    "to_markdown",
+]

@@ -1,0 +1,68 @@
+"""Aggregation of sweep records: group-by + summary statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.runner import Record
+
+__all__ = ["Summary", "group_by", "aggregate"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max of one metric over a record group."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        n = len(values)
+        if n == 0:
+            return cls(math.nan, math.nan, math.nan, math.nan, 0)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        return cls(mean=mean, std=math.sqrt(var), min=min(values), max=max(values), count=n)
+
+
+def group_by(
+    records: Sequence[Record], keys: Sequence[str]
+) -> Dict[Tuple, List[Record]]:
+    """Partition records by the values of the given parameter keys,
+    preserving first-seen group order."""
+    groups: Dict[Tuple, List[Record]] = {}
+    for record in records:
+        key = tuple(record.params[k] for k in keys)
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def aggregate(
+    records: Sequence[Record],
+    keys: Sequence[str],
+    metrics: Sequence[str],
+) -> List[Dict[str, object]]:
+    """Summarize ``metrics`` per group.
+
+    Returns one flat dict per group: the grouping parameters plus, for
+    each metric ``m``, columns ``m`` (mean), ``m_std``, ``m_min``,
+    ``m_max`` — the layout the table/plot emitters consume.
+    """
+    rows: List[Dict[str, object]] = []
+    for key, group in group_by(records, keys).items():
+        row: Dict[str, object] = dict(zip(keys, key))
+        for metric in metrics:
+            summary = Summary.of([r.metrics[metric] for r in group])
+            row[metric] = summary.mean
+            row[f"{metric}_std"] = summary.std
+            row[f"{metric}_min"] = summary.min
+            row[f"{metric}_max"] = summary.max
+        row["n"] = len(group)
+        rows.append(row)
+    return rows

@@ -1,0 +1,78 @@
+"""Terminal line plots — regenerating Figure 5 without matplotlib.
+
+A deliberately small scatter/line renderer: multiple named series on a
+shared character grid with axis ticks.  Sufficient to eyeball the
+Figure 5 shape (iterations tracking ``|k1 - k2|`` up to ~30–40 % error,
+then bending toward the ``k1 + k2`` regime) straight from a bench run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(v: float, lo: float, hi: float, span: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (v - lo) / (hi - lo)
+    return min(span - 1, max(0, int(round(pos * (span - 1)))))
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one character grid.
+
+    Each series gets a marker from ``* o + x ...``; a legend and axis
+    ranges are appended.  Empty input yields a placeholder string.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data to plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo > 0:
+        y_lo = 0.0  # anchor at zero: iteration counts are magnitudes
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_hi_label = f"{y_hi:.0f}"
+    y_lo_label = f"{y_lo:.0f}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.2f}".ljust(width - 8) + f"{x_hi:.2f}"
+    lines.append(" " * (margin + 1) + x_axis)
+    if xlabel:
+        lines.append(" " * (margin + 1) + xlabel.center(width))
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append((ylabel + "   " if ylabel else "") + legend)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Distributional statistics for experiment records.
+
+Means hide the tails; deployment sizing (worst-row latency, pipeline
+stalls) needs quantiles and confidence intervals.  These helpers work on
+plain float sequences and on :class:`~repro.analysis.runner.Record`
+lists, and everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.runner import Record
+
+__all__ = [
+    "quantiles",
+    "histogram",
+    "bootstrap_mean_ci",
+    "tail_ratio",
+    "metric_values",
+    "DistributionSummary",
+    "summarize_distribution",
+]
+
+
+def metric_values(records: Sequence[Record], metric: str) -> List[float]:
+    """Extract one metric from a record list."""
+    return [r.metrics[metric] for r in records]
+
+
+def quantiles(
+    values: Sequence[float], qs: Sequence[float] = (0.5, 0.9, 0.99)
+) -> Dict[float, float]:
+    """Selected quantiles (linear interpolation)."""
+    if not values:
+        return {q: float("nan") for q in qs}
+    arr = np.asarray(values, dtype=float)
+    return {q: float(np.quantile(arr, q)) for q in qs}
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10
+) -> List[Tuple[float, float, int]]:
+    """Equal-width histogram as ``(lo, hi, count)`` triples."""
+    if not values:
+        return []
+    counts, edges = np.histogram(np.asarray(values, dtype=float), bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not values:
+        return (float("nan"), float("nan"))
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = np.random.default_rng(seed)
+    arr = np.asarray(values, dtype=float)
+    resamples = rng.choice(arr, size=(n_resamples, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def tail_ratio(values: Sequence[float], q: float = 0.99) -> float:
+    """``quantile(q) / mean`` — how heavy the tail is relative to the
+    average (1.0 = perfectly flat; large = occasional slow rows, the
+    number a pipelined deployment must budget for)."""
+    if not values:
+        return float("nan")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(np.quantile(arr, q)) / mean
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """One metric's distribution in deployment-relevant terms."""
+
+    mean: float
+    ci_low: float
+    ci_high: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+    tail_ratio_99: float
+
+
+def summarize_distribution(
+    values: Sequence[float], seed: int = 0
+) -> DistributionSummary:
+    """Compute the full summary for one metric."""
+    qs = quantiles(values, (0.5, 0.9, 0.99))
+    lo, hi = bootstrap_mean_ci(values, seed=seed)
+    arr = np.asarray(values, dtype=float) if values else np.array([float("nan")])
+    return DistributionSummary(
+        mean=float(arr.mean()),
+        ci_low=lo,
+        ci_high=hi,
+        p50=qs[0.5],
+        p90=qs[0.9],
+        p99=qs[0.99],
+        max=float(arr.max()),
+        tail_ratio_99=tail_ratio(values),
+    )

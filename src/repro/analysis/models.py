@@ -1,0 +1,82 @@
+"""Analytic models of the algorithm's running time.
+
+The paper gives three handles on the systolic iteration count:
+
+* the proven bound ``k1 + k2`` (Theorem 1),
+* the conjectured bound ``k3 + 1`` for compressed inputs (Observation),
+* the empirical driver ``|k1 - k2|`` for similar images (Section 5).
+
+This module evaluates them on measurement records and fits the linear
+trends Table 1 exhibits (iterations vs. image size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.runner import Record
+
+__all__ = [
+    "iteration_bounds",
+    "observed_bound_violations",
+    "linear_fit",
+    "LinearFit",
+]
+
+
+def iteration_bounds(k1: int, k2: int, k3_raw: int) -> Dict[str, int]:
+    """All three analytic handles for one run."""
+    return {
+        "theorem1_bound": k1 + k2,
+        "observation_bound": k3_raw + 1,
+        "run_difference": abs(k1 - k2),
+    }
+
+
+def observed_bound_violations(
+    records: Sequence[Record],
+    iterations_key: str = "iterations",
+    bound_key: str = "observation_bound",
+) -> List[Record]:
+    """Records whose measured iterations exceed the given bound.
+
+    Theorem 1 violations indicate a simulator bug; Observation
+    violations would be a counterexample to the paper's open conjecture
+    (EXPERIMENTS.md reports we found none).
+    """
+    return [
+        r
+        for r in records
+        if r.metrics[iterations_key] > r.metrics[bound_key]
+    ]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` with R²."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit a line; used to verify Table 1's "grows linearly with image
+    size" claims (high R², positive slope) and the flat systolic rows
+    (slope ≈ 0)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2)

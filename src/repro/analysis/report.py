@@ -1,0 +1,97 @@
+"""Result reporting: aligned text tables, markdown, CSV.
+
+The benches print the paper's tables with these emitters and also write
+CSV so EXPERIMENTS.md numbers are regenerable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "to_markdown", "to_csv", "format_value"]
+
+Row = Mapping[str, object]
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Human-friendly cell rendering (floats rounded, ints exact)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    headers: Optional[Mapping[str, str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table (right-aligned numerics)."""
+    if not rows:
+        return "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    head = [headers.get(c, c) if headers else c for c in cols]
+    body = [[format_value(r.get(c, ""), precision) for c in cols] for r in rows]
+    widths = [
+        max(len(head[i]), *(len(b[i]) for b in body)) for i in range(len(cols))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(fmt(head) + "\n")
+    out.write(fmt(["-" * w for w in widths]) + "\n")
+    for b in body:
+        out.write(fmt(b) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def to_markdown(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    headers: Optional[Mapping[str, str]] = None,
+    precision: int = 2,
+) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    if not rows:
+        return "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    head = [headers.get(c, c) if headers else c for c in cols]
+    lines = [
+        "| " + " | ".join(head) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for r in rows:
+        lines.append(
+            "| " + " | ".join(format_value(r.get(c, ""), precision) for c in cols) + " |"
+        )
+    return "\n".join(lines)
+
+
+def to_csv(
+    rows: Sequence[Row],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write rows as CSV (full float precision — for regeneration)."""
+    if not rows:
+        Path(path).write_text("", encoding="ascii")
+        return
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    out = io.StringIO()
+    out.write(",".join(cols) + "\n")
+    for r in rows:
+        out.write(",".join(str(r.get(c, "")) for c in cols) + "\n")
+    Path(path).write_text(out.getvalue(), encoding="ascii")

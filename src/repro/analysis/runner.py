@@ -1,0 +1,89 @@
+"""Sweep runner — grid × repetitions × seeds, with flat result records.
+
+An experiment is a *trial function* ``fn(params, seed) -> metrics dict``.
+The runner executes it over a list of parameter points with several
+seeded repetitions each and returns flat :class:`Record` objects that
+the aggregation layer reduces.  Seeds derive deterministically from
+``(seed0, point index, repetition)`` so any single record can be
+re-run in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["Record", "run_trials", "run_sweep"]
+
+Params = Mapping[str, object]
+Metrics = Mapping[str, float]
+TrialFn = Callable[[Params, int], Metrics]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One trial's parameters, seed and measured metrics."""
+
+    params: Dict[str, object]
+    seed: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, key: str) -> float:
+        """Metric lookup with params fallback (handy for tabulation)."""
+        if key in self.metrics:
+            return self.metrics[key]
+        return float(self.params[key])  # type: ignore[arg-type]
+
+
+def _derive_seed(seed0: int, point_index: int, repetition: int) -> int:
+    """Deterministic, collision-free seed derivation."""
+    return (seed0 * 1_000_003 + point_index * 10_007 + repetition) & 0x7FFFFFFF
+
+
+def run_trials(
+    fn: TrialFn,
+    params: Params,
+    repetitions: int,
+    seed0: int = 0,
+    point_index: int = 0,
+) -> List[Record]:
+    """Run one parameter point ``repetitions`` times."""
+    records: List[Record] = []
+    for rep in range(repetitions):
+        seed = _derive_seed(seed0, point_index, rep)
+        metrics = dict(fn(params, seed))
+        records.append(Record(params=dict(params), seed=seed, metrics=metrics))
+    return records
+
+
+def run_sweep(
+    fn: TrialFn,
+    points: Sequence[Params] | Iterable[Params],
+    repetitions: int = 10,
+    seed0: int = 0,
+    progress: Callable[[int, Params], None] | None = None,
+) -> List[Record]:
+    """Run a whole sweep.
+
+    Parameters
+    ----------
+    fn:
+        The trial function.
+    points:
+        Parameter dictionaries, one per sweep point.
+    repetitions:
+        Seeded repetitions per point.
+    seed0:
+        Base seed for the derivation scheme.
+    progress:
+        Optional callback ``(point_index, params)`` fired per point —
+        the CLI uses it for a progress line.
+    """
+    records: List[Record] = []
+    for idx, params in enumerate(points):
+        if progress is not None:
+            progress(idx, params)
+        records.extend(
+            run_trials(fn, params, repetitions, seed0=seed0, point_index=idx)
+        )
+    return records

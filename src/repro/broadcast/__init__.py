@@ -1,0 +1,27 @@
+"""Broadcast-bus extension — the paper's future-work direction.
+
+Section 6: "In both the case of highly similar and highly different
+images, the number of iterations taken seems to be dominated by the
+frequent need to push a whole set of runs to the right to make room for
+a new entry.  If a broadcast bus existed which could run at the same
+frequency as the rest of the systolic system, it might be possible to
+perform these shifts more efficiently ... such as a reconfigurable
+mesh [13]."
+
+This subpackage implements that proposal so the ablation benchmarks can
+quantify it:
+
+* :mod:`repro.broadcast.bus` — the bus itself, with transaction
+  accounting and segmented (reconfigurable-mesh style) operation;
+* :mod:`repro.broadcast.bus_machine` — the XOR algorithm with step 3's
+  one-cell ripple replaced by direct bus *jumps* to the next cell where
+  the migrating run actually interacts;
+* :mod:`repro.broadcast.rmesh` — the segmented-broadcast / prefix
+  primitives of the reconfigurable-mesh model the paper cites.
+"""
+
+from repro.broadcast.bus import BroadcastBus
+from repro.broadcast.bus_machine import BusXorMachine
+from repro.broadcast.rmesh import ReconfigurableMesh
+
+__all__ = ["BroadcastBus", "BusXorMachine", "ReconfigurableMesh"]

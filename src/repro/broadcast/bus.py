@@ -1,0 +1,82 @@
+"""Broadcast-bus model.
+
+A bus "running at the same frequency as the rest of the systolic system"
+(the paper's premise) carries one transaction per cycle; a *segmented*
+bus — the reconfigurable-mesh flavour — can be split into disjoint
+segments that each carry one transaction in the same cycle, which is
+what lets every migrating run jump simultaneously.
+
+The model tracks transactions and cycles so the cost model can price the
+design point; it does not move data itself (the machines do that) — it
+is the accounting fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["BroadcastBus", "BusTransaction"]
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One datum carried over the bus in one cycle."""
+
+    cycle: int
+    source: int
+    destination: int
+    payload: Tuple[int, int]
+
+    @property
+    def distance(self) -> int:
+        """Cells skipped — the ripple cycles the bus saved."""
+        return abs(self.destination - self.source)
+
+
+@dataclass
+class BroadcastBus:
+    """Transaction ledger for a (possibly segmented) broadcast bus.
+
+    Parameters
+    ----------
+    segmented:
+        When True (reconfigurable mesh), any number of *non-overlapping*
+        transfers share a cycle; when False, each cycle carries exactly
+        one transfer and concurrent requests serialize.
+    """
+
+    segmented: bool = True
+    transactions: List[BusTransaction] = field(default_factory=list)
+    cycles_used: int = 0
+
+    def transfer_round(self, cycle: int, transfers: List[Tuple[int, int, Tuple[int, int]]]) -> int:
+        """Record one round of transfers issued in the same machine cycle.
+
+        ``transfers`` is a list of ``(source, destination, payload)``.
+        Returns the number of bus cycles the round consumed: 1 for a
+        segmented bus (callers guarantee the segments are disjoint — the
+        jump scheduler's strictly-increasing landing order does), or
+        ``len(transfers)`` for a single shared bus.
+        """
+        for src, dst, payload in transfers:
+            self.transactions.append(BusTransaction(cycle, src, dst, payload))
+        if not transfers:
+            return 0
+        cost = 1 if self.segmented else len(transfers)
+        self.cycles_used += cost
+        return cost
+
+    @property
+    def transfer_count(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def total_distance_saved(self) -> int:
+        """Sum over transfers of (distance - 1): ripple cycles avoided
+        versus walking one cell per cycle."""
+        return sum(max(t.distance - 1, 0) for t in self.transactions)
+
+    def reset(self) -> None:
+        self.transactions.clear()
+        self.cycles_used = 0

@@ -1,0 +1,221 @@
+"""Bus-accelerated systolic XOR — step 3 as a jump, not a ripple.
+
+In the pure systolic machine a migrating ``RegBig`` run crosses many
+cells in whose ``RegSmall`` it provokes *no change* — the pass-through
+states of Figure 4 (DISJOINT/ADJACENT with the resident run
+lexicographically smaller).  Every such crossing costs a full iteration;
+that ripple is exactly the ``|k1 - k2|`` term dominating the paper's
+measurements.
+
+With a segmented broadcast bus each migrating run instead *jumps*
+directly to the first cell where something will actually happen: a cell
+whose ``RegSmall`` is empty (the run settles), lexicographically larger
+(a swap), or overlapping/co-located (an XOR interaction).  Jump targets
+are capped to stay strictly increasing left-to-right, which keeps the
+bus segments disjoint (one cycle per round on a reconfigurable mesh) and
+preserves the run ordering invariants.
+
+Correctness is unchanged — pass-through cells are by definition cells
+the pure machine would have traversed without effect — and the test
+suite checks bus results against the oracle and the pure machine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CapacityError, SystolicError
+from repro.rle.row import RLERow
+from repro.rle.run import Run
+from repro.core.machine import XorRunResult, default_cell_count
+from repro.broadcast.bus import BroadcastBus
+from repro.systolic.stats import ActivityStats
+
+__all__ = ["BusXorMachine"]
+
+_EMPTY: Tuple[int, int] = (0, -1)
+
+
+def _occupied(reg: Tuple[int, int]) -> bool:
+    return reg[1] >= reg[0]
+
+
+def _is_pass_through(small: Tuple[int, int], big: Tuple[int, int]) -> bool:
+    """Would this cell let ``big`` pass unchanged (Figure 4 pass-through)?
+
+    Pass-through requires a resident run that is lexicographically
+    smaller than the migrant and disjoint-or-adjacent from it — the
+    DISJOINT(1a)/ADJACENT(2a) states whose XOR result is "unchanged".
+    """
+    if not _occupied(small):
+        return False  # empty cell: the migrant settles (step-1 move)
+    if (small[0], small[1]) > (big[0], big[1]):
+        return False  # swap will occur
+    return small[1] + 1 < big[0] or small[1] + 1 == big[0]
+
+
+class BusXorMachine:
+    """The systolic XOR with bus-assisted shifts.
+
+    Same public contract as the other engines; ``iterations`` counts
+    machine cycles (each comprising steps 1–2 plus one bus round), and
+    the stats bag gains ``bus_transfers`` / ``bus_cycles`` /
+    ``ripple_cycles_saved`` counters.
+
+    Parameters
+    ----------
+    segmented:
+        True models the reconfigurable-mesh segmented bus (all jumps in
+        one round per cycle); False a single shared bus, whose rounds
+        serialize and are billed into ``bus_cycles``.
+    """
+
+    def __init__(self, n_cells: Optional[int] = None, segmented: bool = True) -> None:
+        self.n_cells = n_cells
+        self.bus = BroadcastBus(segmented=segmented)
+        self.small: List[Tuple[int, int]] = []
+        self.big: List[Tuple[int, int]] = []
+        self.stats = ActivityStats()
+        self.iterations = 0
+        self._k1 = 0
+        self._k2 = 0
+
+    # ------------------------------------------------------------------ #
+    def load(self, row_a: RLERow, row_b: RLERow) -> None:
+        k1, k2 = row_a.run_count, row_b.run_count
+        n = self.n_cells if self.n_cells is not None else default_cell_count(k1, k2)
+        if max(k1, k2) > n:
+            raise CapacityError(
+                f"inputs with {k1}/{k2} runs cannot load into {n} cells"
+            )
+        self._k1, self._k2 = k1, k2
+        self.small = [_EMPTY] * n
+        self.big = [_EMPTY] * n
+        for i, run in enumerate(row_a):
+            self.small[i] = (run.start, run.end)
+        for i, run in enumerate(row_b):
+            self.big[i] = (run.start, run.end)
+        self.stats = ActivityStats()
+        self.bus.reset()
+        self.iterations = 0
+
+    @property
+    def is_done(self) -> bool:
+        return not any(_occupied(b) for b in self.big)
+
+    # ------------------------------------------------------------------ #
+    def _step12(self) -> None:
+        """Steps 1 and 2, identical to the pure cell program."""
+        for i in range(len(self.small)):
+            s, b = self.small[i], self.big[i]
+            has_s, has_b = _occupied(s), _occupied(b)
+            if has_s and has_b:
+                if (s[0], s[1]) > (b[0], b[1]):
+                    s, b = b, s
+                    self.stats.bump("swaps")
+            elif not has_s and has_b:
+                s, b = b, _EMPTY
+                self.stats.bump("moves")
+            if _occupied(s) and _occupied(b):
+                old_se = s[1]
+                new_s = (s[0], min(s[1], b[0] - 1))
+                new_b = (
+                    min(b[1] + 1, max(old_se + 1, b[0])),
+                    max(old_se, b[1]),
+                )
+                if new_s != s or new_b != b:
+                    self.stats.bump("xor_splits")
+                s = new_s if _occupied(new_s) else _EMPTY
+                b = new_b if _occupied(new_b) else _EMPTY
+            self.small[i], self.big[i] = s, b
+
+    def _jump_targets(self) -> List[Tuple[int, int, Tuple[int, int]]]:
+        """Plan this cycle's bus round: ``(source, landing, payload)``.
+
+        Desired target = first non-pass-through cell to the right;
+        landings are capped right-to-left to stay strictly increasing,
+        so concurrent segments never overlap.
+        """
+        sources = [i for i, b in enumerate(self.big) if _occupied(b)]
+        n = len(self.big)
+        plans: List[Tuple[int, int, Tuple[int, int]]] = []
+        next_cap = n  # landings must stay strictly below the cap
+        for i in reversed(sources):
+            payload = self.big[i]
+            target = None
+            for j in range(i + 1, n):
+                if not _is_pass_through(self.small[j], payload):
+                    target = j
+                    break
+            if target is None:
+                raise CapacityError(
+                    f"run {payload} has no landing cell in an array of {n}"
+                )
+            landing = min(target, next_cap - 1)
+            if landing <= i:
+                raise CapacityError(
+                    f"run {payload} cannot move right of cell {i} "
+                    f"(array of {n} cells is too small)"
+                )
+            next_cap = landing
+            plans.append((i, landing, payload))
+        plans.reverse()
+        return plans
+
+    def step(self) -> None:
+        """One machine cycle: steps 1–2, then the bus jump round."""
+        self._step12()
+        plans = self._jump_targets()
+        for src, _dst, _payload in plans:
+            self.big[src] = _EMPTY
+        for src, dst, payload in plans:
+            assert not _occupied(self.big[dst]), "landing collision"
+            self.big[dst] = payload
+        bus_cycles = self.bus.transfer_round(self.iterations + 1, plans)
+        self.stats.bump("bus_transfers", len(plans))
+        self.stats.bump("bus_cycles", bus_cycles)
+        self.stats.bump(
+            "ripple_cycles_saved", sum(max(dst - src - 1, 0) for src, dst, _ in plans)
+        )
+        self.stats.bump("shifts", len(plans))
+        self.iterations += 1
+        self.stats.bump(
+            "busy_cells",
+            sum(
+                1
+                for s, b in zip(self.small, self.big)
+                if _occupied(s) or _occupied(b)
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def extract(self, width: Optional[int] = None) -> RLERow:
+        runs = [
+            Run.from_endpoints(s[0], s[1]) for s in self.small if _occupied(s)
+        ]
+        return RLERow(runs, width=width)
+
+    def diff(
+        self,
+        row_a: RLERow,
+        row_b: RLERow,
+        max_iterations: Optional[int] = None,
+    ) -> XorRunResult:
+        """Compute ``row_a XOR row_b`` using bus-assisted shifts."""
+        self.load(row_a, row_b)
+        bound = max_iterations if max_iterations is not None else self._k1 + self._k2
+        while not self.is_done:
+            if self.iterations >= bound:
+                raise SystolicError(
+                    f"no termination after {self.iterations} cycles (bound {bound})"
+                )
+            self.step()
+        width = row_a.width if row_a.width is not None else row_b.width
+        return XorRunResult(
+            result=self.extract(width=width),
+            iterations=self.iterations,
+            k1=self._k1,
+            k2=self._k2,
+            n_cells=len(self.small),
+            stats=self.stats,
+        )

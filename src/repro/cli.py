@@ -1,0 +1,354 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``demo``       the paper's Figure 1/3 worked example, traced cycle by cycle
+``figure5``    regenerate Figure 5 (iterations vs. error percentage)
+``table1``     regenerate Table 1 (systolic vs. sequential, sizes 128–2048)
+``ablation``   future-work ablations: broadcast bus and compaction pass
+``inspect``    synthetic PCB inspection end-to-end demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systolic RLE image difference (Ercal, Allen & Feng, IPPS 1999) — reproduction toolkit",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="trace the paper's worked example")
+
+    p5 = sub.add_parser("figure5", help="regenerate Figure 5")
+    p5.add_argument("--width", type=int, default=10_000, help="row width in pixels")
+    p5.add_argument("--reps", type=int, default=10, help="repetitions per point")
+    p5.add_argument("--csv", type=str, default=None, help="write the series to CSV")
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument("--reps", type=int, default=30, help="repetitions per point")
+    t1.add_argument("--csv", type=str, default=None, help="write the table to CSV")
+
+    ab = sub.add_parser("ablation", help="future-work ablations")
+    ab.add_argument(
+        "which", choices=("bus", "compaction"), help="which ablation to run"
+    )
+    ab.add_argument("--reps", type=int, default=10)
+
+    ins = sub.add_parser("inspect", help="synthetic PCB inspection demo")
+    ins.add_argument("--seed", type=int, default=7)
+    ins.add_argument("--defects", type=int, default=4)
+    ins.add_argument("--size", type=int, default=192, help="board edge length")
+
+    ver = sub.add_parser(
+        "verify", help="run a random case with trace recording and check the certificate"
+    )
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument("--width", type=int, default=512)
+    ver.add_argument(
+        "--inject-fault",
+        action="store_true",
+        help="corrupt the run to show the verifier rejecting it",
+    )
+
+    thy = sub.add_parser(
+        "theory", help="analytic iteration model vs a quick measurement"
+    )
+    thy.add_argument("--width", type=int, default=10_000)
+    thy.add_argument("--reps", type=int, default=6)
+
+    rtl = sub.add_parser("rtl", help="hardware cell: area estimate / Verilog")
+    rtl.add_argument(
+        "what", choices=("area", "verilog"), help="print gate budget or HDL source"
+    )
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+def _cmd_demo() -> int:
+    from repro.rle.row import RLERow
+    from repro.core.machine import SystolicXorMachine
+    from repro.systolic.trace import render_trace_table
+
+    row_a = RLERow.from_pairs([(10, 3), (16, 2), (23, 2), (27, 3)], width=40)
+    row_b = RLERow.from_pairs([(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], width=40)
+    print("Image 1 row:", row_a.to_pairs())
+    print("Image 2 row:", row_b.to_pairs())
+    machine = SystolicXorMachine(record_trace=True, paranoid=True)
+    result = machine.diff(row_a, row_b)
+    print()
+    print(render_trace_table(result.trace.entries, max_cells=6))
+    print()
+    print(f"XOR result : {result.result.to_pairs()}")
+    print(f"iterations : {result.iterations} (Theorem 1 bound: {result.termination_bound})")
+    return 0
+
+
+def _cmd_figure5(width: int, reps: int, csv: Optional[str]) -> int:
+    from repro.analysis.experiments import figure5_sweep
+    from repro.analysis.aggregate import aggregate
+    from repro.analysis.asciiplot import ascii_plot
+    from repro.analysis.report import format_table, to_csv
+
+    records = figure5_sweep(width=width, repetitions=reps)
+    rows = aggregate(
+        records, ["error_fraction"], ["iterations", "run_difference", "k3"]
+    )
+    print(
+        format_table(
+            rows,
+            columns=["error_fraction", "iterations", "run_difference", "k3", "n"],
+            title=f"Figure 5 — {width} px rows, 30% density, {reps} reps/point",
+        )
+    )
+    series = {
+        "iterations": [(r["error_fraction"], r["iterations"]) for r in rows],
+        "|k1-k2|": [(r["error_fraction"], r["run_difference"]) for r in rows],
+        "k3 (runs in XOR)": [(r["error_fraction"], r["k3"]) for r in rows],
+    }
+    print()
+    print(
+        ascii_plot(
+            series,
+            title="Figure 5: iterations vs. fraction of differing pixels",
+            xlabel="fraction of pixels differing",
+        )
+    )
+    if csv:
+        to_csv(rows, csv)
+        print(f"\nwrote {csv}")
+    return 0
+
+
+def _cmd_table1(reps: int, csv: Optional[str]) -> int:
+    from repro.analysis.experiments import table1_sweep
+    from repro.analysis.aggregate import aggregate
+    from repro.analysis.report import format_table, to_csv
+
+    records = table1_sweep(repetitions=reps)
+    rows = aggregate(
+        records,
+        ["errors", "width"],
+        ["systolic_iterations", "sequential_iterations"],
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "errors",
+                "width",
+                "systolic_iterations",
+                "sequential_iterations",
+                "n",
+            ],
+            title=f"Table 1 — average iterations vs image size ({reps} reps/point)",
+        )
+    )
+    if csv:
+        to_csv(rows, csv)
+        print(f"\nwrote {csv}")
+    return 0
+
+
+def _cmd_ablation(which: str, reps: int) -> int:
+    from repro.analysis.aggregate import aggregate
+    from repro.analysis.report import format_table
+
+    if which == "bus":
+        from repro.analysis.experiments import bus_ablation_sweep
+
+        records = bus_ablation_sweep(repetitions=reps)
+        rows = aggregate(
+            records,
+            ["error_fraction"],
+            ["systolic_iterations", "bus_cycles", "speedup", "ripple_cycles_saved"],
+        )
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "error_fraction",
+                    "systolic_iterations",
+                    "bus_cycles",
+                    "speedup",
+                    "ripple_cycles_saved",
+                ],
+                title="Ablation: pure systolic vs broadcast-bus shifts",
+            )
+        )
+    else:
+        from repro.analysis.experiments import compaction_sweep
+
+        records = compaction_sweep(repetitions=reps)
+        rows = aggregate(
+            records,
+            ["error_fraction"],
+            [
+                "raw_runs",
+                "canonical_runs",
+                "mergeable_pairs",
+                "systolic_compaction_cycles",
+                "bus_compaction_cycles",
+            ],
+        )
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "error_fraction",
+                    "raw_runs",
+                    "canonical_runs",
+                    "mergeable_pairs",
+                    "systolic_compaction_cycles",
+                    "bus_compaction_cycles",
+                ],
+                title="Ablation: final compaction pass, systolic vs bus",
+            )
+        )
+    return 0
+
+
+def _cmd_inspect(seed: int, defects: int, size: int) -> int:
+    from repro.workloads.pcb import PCBLayout, generate_inspection_case
+    from repro.inspection.pipeline import InspectionSystem
+
+    layout = PCBLayout(height=size, width=size)
+    reference, scan, truth = generate_inspection_case(
+        layout, n_defects=defects, seed=seed
+    )
+    print(
+        f"board {size}x{size}: {reference.total_runs} reference runs, "
+        f"density {reference.density():.2f}, {len(truth)} injected defects"
+    )
+    system = InspectionSystem(reference)
+    report = system.inspect(scan)
+    print(report.summary())
+    print("stage seconds:", {k: round(v, 4) for k, v in report.stage_seconds.items()})
+    return 0
+
+
+def _cmd_verify(seed: int, width: int, inject_fault: bool) -> int:
+    import numpy as np
+
+    from repro.rle.row import RLERow
+    from repro.core.machine import SystolicXorMachine
+    from repro.core.verifier import verify_trace
+    from repro.systolic.faults import Fault, FaultInjector
+    from repro.systolic.trace import TraceRecorder
+
+    rng = np.random.default_rng(seed)
+    row_a = RLERow.from_bits(rng.random(width) < 0.3)
+    row_b = RLERow.from_bits(rng.random(width) < 0.3)
+    machine = SystolicXorMachine()
+    array, _stats = machine.build_array(row_a, row_b)
+    recorder = TraceRecorder().attach(array)
+    if inject_fault:
+        # a single-event upset on cell 0's RegSmall right after the first
+        # normalize — always occupied for non-empty inputs, so the fault
+        # is guaranteed to bite
+        def upset(cell):
+            if not cell.small.is_empty:
+                cell.small.start += 1
+
+        FaultInjector(
+            [Fault(iteration=1, phase="normalize", cell_index=0, mutate=upset,
+                   description="SEU on cell 0 RegSmall")]
+        ).attach(array)
+    try:
+        array.run(max_iterations=row_a.run_count + row_b.run_count + 5)
+    except Exception as exc:  # corrupted runs may fail hard
+        print(f"(run aborted: {exc})")
+    report = verify_trace(recorder.entries, row_a, row_b)
+    print(
+        f"inputs: k1={row_a.run_count}, k2={row_b.run_count}; "
+        f"trace covers {report.iterations_checked} iterations"
+    )
+    if report.ok:
+        print("certificate ACCEPTED — every transition legal, result correct")
+        return 0
+    print(f"certificate REJECTED — {len(report.problems)} problem(s):")
+    for problem in report.problems[:8]:
+        print("  ", problem)
+    return 1
+
+
+def _cmd_theory(width: int, reps: int) -> int:
+    from repro.analysis.experiments import figure5_sweep
+    from repro.analysis.aggregate import aggregate
+    from repro.analysis.report import format_table
+    from repro.analysis.theory import delta_distribution, predicted_iterations
+    from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+    base = BaseRowSpec(width=width, density=0.30)
+    model = delta_distribution(base, ErrorSpec(fraction=0.05))
+    print(
+        f"model: p_transition = 2/(E[R]+E[G]) = {model.p_transition:.4f}  "
+        f"=> E[dK per error run] = {model.mean:.3f}"
+    )
+    fractions = (0.01, 0.02, 0.05, 0.10)
+    records = figure5_sweep(fractions=fractions, width=width, repetitions=reps)
+    rows = aggregate(records, ["error_fraction"], ["iterations"])
+    for r in rows:
+        f = float(r["error_fraction"])
+        r["predicted"] = predicted_iterations(base, ErrorSpec(fraction=f), f)
+    print(
+        format_table(
+            rows,
+            columns=["error_fraction", "iterations", "predicted", "n"],
+            title="predicted vs measured systolic iterations (no fitted constants)",
+        )
+    )
+    return 0
+
+
+def _cmd_rtl(what: str) -> int:
+    if what == "area":
+        from repro.systolic.rtl import RTLCell, WORD_WIDTH
+
+        est = RTLCell.area_estimate()
+        print(f"XOR cell @ {WORD_WIDTH}-bit coordinates (NAND2-equivalents):")
+        for key, value in est.items():
+            print(f"  {key:<14} {value:>6}")
+    else:
+        from repro.systolic.verilog import emit_cell_module
+
+        print(emit_cell_module())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "figure5":
+        return _cmd_figure5(args.width, args.reps, args.csv)
+    if args.command == "table1":
+        return _cmd_table1(args.reps, args.csv)
+    if args.command == "ablation":
+        return _cmd_ablation(args.which, args.reps)
+    if args.command == "inspect":
+        return _cmd_inspect(args.seed, args.defects, args.size)
+    if args.command == "verify":
+        return _cmd_verify(args.seed, args.width, args.inject_fault)
+    if args.command == "theory":
+        return _cmd_theory(args.width, args.reps)
+    if args.command == "rtl":
+        return _cmd_rtl(args.what)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""High-level convenience API.
+
+Most users want one call: *give me the difference of these two rows (or
+images) and tell me how long the systolic array took*.  These wrappers
+select an engine and normalize the result type.
+
+Engines
+-------
+``"systolic"``
+    The reference cell-by-cell simulator (:class:`SystolicXorMachine`) —
+    exact, fully instrumented, but Python-speed.
+``"vectorized"``
+    The NumPy whole-array simulator — identical state evolution, ~two
+    orders of magnitude faster, used by the large parameter sweeps.
+``"sequential"``
+    The paper's software baseline (no systolic hardware at all).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+from repro.errors import ReproError
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+from repro.core.machine import SystolicXorMachine, XorRunResult
+from repro.core.sequential import sequential_xor
+from repro.core.vectorized import VectorizedXorEngine
+
+__all__ = ["row_diff", "image_diff", "EngineName"]
+
+EngineName = Literal["systolic", "vectorized", "sequential"]
+
+
+def row_diff(
+    row_a: RLERow,
+    row_b: RLERow,
+    engine: EngineName = "systolic",
+    paranoid: bool = False,
+    record_trace: bool = False,
+    n_cells: Optional[int] = None,
+) -> XorRunResult:
+    """Difference (XOR) of two RLE rows.
+
+    Returns a :class:`~repro.core.machine.XorRunResult` whatever the
+    engine, so callers can swap engines without touching downstream code.
+    For the sequential engine, ``iterations`` carries the merge-loop
+    count and the systolic-only fields (``n_cells``, ``stats``) are
+    zeroed/empty.
+    """
+    if engine == "systolic":
+        machine = SystolicXorMachine(
+            n_cells=n_cells, paranoid=paranoid, record_trace=record_trace
+        )
+        return machine.diff(row_a, row_b)
+    if engine == "vectorized":
+        return VectorizedXorEngine(n_cells=n_cells).diff(row_a, row_b)
+    if engine == "sequential":
+        seq = sequential_xor(row_a, row_b)
+        return XorRunResult(
+            result=seq.result,
+            iterations=seq.iterations,
+            k1=row_a.run_count,
+            k2=row_b.run_count,
+            n_cells=0,
+        )
+    raise ReproError(f"unknown engine {engine!r}")
+
+
+def image_diff(
+    image_a: RLEImage,
+    image_b: RLEImage,
+    engine: EngineName = "vectorized",
+    canonical: bool = True,
+) -> "ImageDiffResult":
+    """Difference of two whole images, row by row.
+
+    See :mod:`repro.core.pipeline` for the underlying row scheduler and
+    the returned :class:`~repro.core.pipeline.ImageDiffResult` (which
+    carries per-row iteration counts — the quantity the paper reports).
+    """
+    from repro.core.pipeline import diff_images
+
+    return diff_images(image_a, image_b, engine=engine, canonical=canonical)

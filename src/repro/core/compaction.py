@@ -1,0 +1,86 @@
+"""The final compression pass — the paper's second future-work item.
+
+"the task of combining the adjacent runs in different cells at the end of
+the algorithm is left as future research.  This task also is not fast on
+a pure systolic system, but could be performed quickly with the help of a
+broadcast bus."
+
+Three implementations, so the benchmarks can quantify that claim:
+
+* :func:`compact_row` — the host-side O(k) software pass (what a real
+  deployment would do while streaming the result out).
+* :func:`systolic_compaction_cycles` — cost of doing it *on the array*
+  with neighbour-only communication: merging into the left neighbour can
+  require a full left-compaction of the result, costing up to one cycle
+  per occupied cell (each cycle every run can move left by at most one).
+* :func:`bus_compaction_cycles` — with a broadcast bus (or the segmented
+  buses of a reconfigurable mesh), adjacent-run merging is a neighbour
+  comparison plus a segmented prefix-sum placement: O(log n) bus rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.rle.row import RLERow
+from repro.core.xor_cell import CellSnapshot
+
+__all__ = [
+    "compact_row",
+    "count_mergeable_pairs",
+    "systolic_compaction_cycles",
+    "bus_compaction_cycles",
+]
+
+
+def compact_row(row: RLERow) -> RLERow:
+    """Merge adjacent runs — delegates to the row's canonical form."""
+    return row.canonical()
+
+
+def count_mergeable_pairs(row: RLERow) -> int:
+    """How many adjacent-run boundaries the output actually contains.
+
+    This is the work the future-work pass performs; Figure 5's gap
+    between "runs in the XOR produced" and the canonical run count is
+    exactly this number.
+    """
+    return sum(
+        1 for a, b in zip(row.runs, row.runs[1:]) if a.end + 1 == b.start
+    )
+
+
+def _occupied_small(snapshots: Sequence[CellSnapshot]) -> Tuple[int, ...]:
+    return tuple(
+        i for i, ((ss, se), _big) in enumerate(snapshots) if se >= ss
+    )
+
+
+def systolic_compaction_cycles(snapshots: Sequence[CellSnapshot]) -> int:
+    """Cycles for pure-systolic left-compaction of the final state.
+
+    With neighbour-only links a run can move one cell left per cycle, so
+    gathering the runs into a contiguous prefix (after which merging
+    adjacent runs is a single local step) takes as many cycles as the
+    largest displacement any run must cover: ``max_j (index_j - rank_j)``.
+    """
+    occupied = _occupied_small(snapshots)
+    if not occupied:
+        return 0
+    return max(idx - rank for rank, idx in enumerate(occupied)) + 1
+
+
+def bus_compaction_cycles(snapshots: Sequence[CellSnapshot]) -> int:
+    """Bus-assisted compaction cost.
+
+    A reconfigurable-mesh style segmented-broadcast prefix sum computes
+    every run's rank in O(log n) bus rounds, after which each cell
+    broadcasts its run directly to its target cell — one bus transaction
+    per occupied cell, counted here as ceil(log2 n) + 1 rounds (the
+    standard power-of-reconfiguration result the paper cites, [13]).
+    """
+    n = len(snapshots)
+    if n <= 1 or not _occupied_small(snapshots):
+        return 0
+    return math.ceil(math.log2(n)) + 1

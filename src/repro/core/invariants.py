@@ -1,0 +1,285 @@
+"""Executable forms of the paper's theorems and corollaries.
+
+Each checker takes machine snapshots (the per-cell
+``((small_start, small_end), (big_start, big_end))`` tuples shared by
+both engines) and raises :class:`~repro.errors.InvariantViolation` with
+the offending cells when the property fails.
+
+The checkers serve three purposes:
+
+* the **property tests** sweep them over randomized executions, turning
+  the paper's pencil-and-paper proofs into machine-checked assertions;
+* the machines' **paranoid mode** runs them live, so any future change to
+  the cell program that breaks a theorem fails loudly;
+* the **fault-injection tests** corrupt executions and assert the
+  checkers fire — evidence the checks are not vacuous.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvariantViolation
+from repro.rle.ops import xor_rows
+from repro.rle.row import RLERow
+from repro.core.xor_cell import CellSnapshot
+
+__all__ = [
+    "check_regsmall_ordered",
+    "check_regbig_ordered",
+    "check_intra_cell_order",
+    "check_cross_register_order",
+    "check_gap_order",
+    "check_corollary_1_1",
+    "check_corollary_1_2",
+    "check_theorem_1",
+    "check_theorem_3",
+    "check_observation_k3",
+    "check_conservation",
+    "xor_boundary_multiset",
+    "ParanoidChecker",
+]
+
+
+def _small(s: CellSnapshot) -> Optional[Tuple[int, int]]:
+    reg = s[0]
+    return reg if reg[1] >= reg[0] else None
+
+
+def _big(s: CellSnapshot) -> Optional[Tuple[int, int]]:
+    reg = s[1]
+    return reg if reg[1] >= reg[0] else None
+
+
+# --------------------------------------------------------------------- #
+# Theorem 2 / Corollary 2.1                                              #
+# --------------------------------------------------------------------- #
+def check_regsmall_ordered(snapshots: Sequence[CellSnapshot]) -> None:
+    """Corollary 2.1(1): RegSmall runs strictly ordered, non-overlapping
+    across cells (``small_i.end < small_j.start`` for all ``i < j``).
+
+    Checking consecutive occupied cells suffices because order is
+    transitive over the chain.
+    """
+    prev_end = None
+    prev_idx = None
+    for i, snap in enumerate(snapshots):
+        reg = _small(snap)
+        if reg is None:
+            continue
+        if prev_end is not None and prev_end >= reg[0]:
+            raise InvariantViolation(
+                "corollary_2_1_part1",
+                f"RegSmall of cell {prev_idx} ends at {prev_end}, "
+                f"cell {i} starts at {reg[0]}",
+            )
+        prev_end, prev_idx = reg[1], i
+
+
+def check_regbig_ordered(snapshots: Sequence[CellSnapshot]) -> None:
+    """Corollary 2.1(2): same strict ordering for the RegBig runs."""
+    prev_end = None
+    prev_idx = None
+    for i, snap in enumerate(snapshots):
+        reg = _big(snap)
+        if reg is None:
+            continue
+        if prev_end is not None and prev_end >= reg[0]:
+            raise InvariantViolation(
+                "corollary_2_1_part2",
+                f"RegBig of cell {prev_idx} ends at {prev_end}, "
+                f"cell {i} starts at {reg[0]}",
+            )
+        prev_end, prev_idx = reg[1], i
+
+
+def check_intra_cell_order(snapshots: Sequence[CellSnapshot]) -> None:
+    """Corollary 2.1(3): within a cell holding both runs (after step 2),
+    ``RegSmall.end < RegBig.start``."""
+    for i, snap in enumerate(snapshots):
+        small, big = _small(snap), _big(snap)
+        if small is not None and big is not None and small[1] >= big[0]:
+            raise InvariantViolation(
+                "corollary_2_1_part3",
+                f"cell {i}: RegSmall ends at {small[1]}, RegBig starts at {big[0]}",
+            )
+
+
+def check_cross_register_order(snapshots: Sequence[CellSnapshot]) -> None:
+    """Corollary 2.1(4): ``small_i.end < big_j.start`` for every ``i < j``.
+
+    Equivalent to: the largest RegSmall end among cells ``0..j-1`` is
+    below cell j's RegBig start — checked with a running maximum.
+    """
+    max_small_end = None
+    max_small_idx = None
+    for j, snap in enumerate(snapshots):
+        big = _big(snap)
+        if (
+            big is not None
+            and max_small_end is not None
+            and max_small_end >= big[0]
+        ):
+            raise InvariantViolation(
+                "corollary_2_1_part4",
+                f"RegSmall of cell {max_small_idx} ends at {max_small_end}, "
+                f"RegBig of cell {j} starts at {big[0]}",
+            )
+        small = _small(snap)
+        if small is not None and (max_small_end is None or small[1] > max_small_end):
+            max_small_end, max_small_idx = small[1], j
+
+
+def check_gap_order(snapshots: Sequence[CellSnapshot]) -> None:
+    """Corollary 2.1(5), the post-shift property: if some cell ``k`` with
+    ``i <= k < j`` has no RegSmall run, and cell ``i`` holds a RegBig run
+    while cell ``j`` holds a RegSmall run, then
+    ``big_i.end < small_j.start``."""
+    n = len(snapshots)
+    # Direct O(n^2) sweep over (i, j) pairs — paranoid-mode arrays are
+    # small and the literal transcription keeps the check auditable.
+    for j in range(n):
+        small_j = _small(snapshots[j])
+        if small_j is None:
+            continue
+        gap_seen = False  # some cell in [i, j) lacks a RegSmall run
+        for i in range(j - 1, -1, -1):
+            if _small(snapshots[i]) is None:
+                gap_seen = True  # cell k = i qualifies ("including i itself")
+            big_i = _big(snapshots[i])
+            if big_i is not None and gap_seen and big_i[1] >= small_j[0]:
+                raise InvariantViolation(
+                    "corollary_2_1_part5",
+                    f"RegBig of cell {i} ends at {big_i[1]}, RegSmall of "
+                    f"cell {j} starts at {small_j[0]} with an empty-RegSmall "
+                    f"gap between them",
+                )
+
+
+# --------------------------------------------------------------------- #
+# Corollaries 1.1 / 1.2 and Theorem 1                                    #
+# --------------------------------------------------------------------- #
+def check_corollary_1_1(snapshots: Sequence[CellSnapshot], iteration: int) -> None:
+    """After iteration ``i`` the first ``i`` cells have empty RegBig."""
+    for idx in range(min(iteration, len(snapshots))):
+        if _big(snapshots[idx]) is not None:
+            raise InvariantViolation(
+                "corollary_1_1",
+                f"after iteration {iteration}, cell {idx} still holds "
+                f"RegBig run {snapshots[idx][1]}",
+            )
+
+
+def check_corollary_1_2(
+    snapshots: Sequence[CellSnapshot], k1: int, k2: int
+) -> None:
+    """No non-empty cell beyond location ``k1 + k2`` (1-based), i.e. every
+    cell with 0-based index ``>= k1 + k2`` is entirely empty."""
+    for idx in range(k1 + k2, len(snapshots)):
+        snap = snapshots[idx]
+        if _small(snap) is not None or _big(snap) is not None:
+            raise InvariantViolation(
+                "corollary_1_2",
+                f"cell {idx} (beyond k1+k2 = {k1 + k2}) holds data {snap}",
+            )
+
+
+def check_theorem_1(iterations: int, k1: int, k2: int) -> None:
+    """Termination within ``k1 + k2`` iterations."""
+    if iterations > k1 + k2:
+        raise InvariantViolation(
+            "theorem_1", f"{iterations} iterations > bound k1+k2 = {k1 + k2}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Theorem 3 and the conservation argument                                #
+# --------------------------------------------------------------------- #
+def check_theorem_3(result: RLERow, row_a: RLERow, row_b: RLERow) -> None:
+    """The produced runs represent exactly ``row_a XOR row_b``."""
+    expected = xor_rows(row_a, row_b)
+    if not result.same_pixels(expected):
+        raise InvariantViolation(
+            "theorem_3",
+            f"result {result.to_pairs()} != expected {expected.to_pairs()}",
+        )
+
+
+def check_observation_k3(iterations: int, k3: int) -> None:
+    """The unproven Section 5 Observation: for fully-compressed inputs,
+    at most ``k3 + 1`` iterations (``k3`` = runs in the produced XOR).
+
+    Only meaningful when both inputs were canonical."""
+    if iterations > k3 + 1:
+        raise InvariantViolation(
+            "observation_k3", f"{iterations} iterations > k3+1 = {k3 + 1}"
+        )
+
+
+def xor_boundary_multiset(snapshots: Sequence[CellSnapshot]) -> Tuple[int, ...]:
+    """The XOR of *all* runs currently in the machine, as its sorted
+    transition positions.
+
+    Theorem 3's proof observes that every step either permutes the run
+    multiset or XORs two members into the cell they share — so the XOR of
+    everything in flight is invariant.  Transitions surviving an odd
+    count compute that XOR without decompression.
+    """
+    counts: Counter = Counter()
+    for snap in snapshots:
+        for reg in snap:
+            if reg[1] >= reg[0]:
+                counts[reg[0]] += 1
+                counts[reg[1] + 1] += 1
+    return tuple(sorted(p for p, c in counts.items() if c % 2 == 1))
+
+
+def check_conservation(
+    snapshots: Sequence[CellSnapshot], target: Tuple[int, ...]
+) -> None:
+    """The in-flight run multiset still XORs to the input XOR."""
+    current = xor_boundary_multiset(snapshots)
+    if current != target:
+        raise InvariantViolation(
+            "conservation",
+            f"in-flight XOR boundaries {current} != input XOR boundaries {target}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Live checking                                                          #
+# --------------------------------------------------------------------- #
+class ParanoidChecker:
+    """Phase hook bundle running every applicable check live.
+
+    Attach via ``array.phase_hooks.append(checker.hook)``.  After the
+    ``xor`` phase it checks Corollary 2.1 parts 1–4 and conservation;
+    after the ``shift`` phase it additionally checks part 5 and
+    Corollaries 1.1 / 1.2.
+    """
+
+    def __init__(self, row_a: RLERow, row_b: RLERow) -> None:
+        self.k1 = row_a.run_count
+        self.k2 = row_b.run_count
+        self.target = tuple(
+            b for run in xor_rows(row_a, row_b).canonical()
+            for b in (run.start, run.stop)
+        )
+        self.violations: List[InvariantViolation] = []
+
+    def hook(self, array, phase_name: str) -> None:
+        snapshots = array.snapshot()
+        if phase_name == "xor":
+            check_regsmall_ordered(snapshots)
+            check_regbig_ordered(snapshots)
+            check_intra_cell_order(snapshots)
+            check_cross_register_order(snapshots)
+            check_conservation(snapshots, self.target)
+        elif phase_name == array.SHIFT_PHASE:
+            check_regsmall_ordered(snapshots)
+            check_regbig_ordered(snapshots)
+            check_gap_order(snapshots)
+            check_corollary_1_1(snapshots, array.clock.iteration)
+            check_corollary_1_2(snapshots, self.k1, self.k2)
+            check_conservation(snapshots, self.target)

@@ -1,0 +1,215 @@
+"""The systolic XOR machine: load → iterate → extract.
+
+This is the driver a user actually calls.  It sizes the array, performs
+the paper's initial load (run *i* of image 1 into cell *i*'s ``RegSmall``,
+run *i* of image 2 into its ``RegBig``), clocks the array until the
+termination controller fires, and reads the result out of the
+``RegSmall`` registers.
+
+*Paranoid mode* re-checks the paper's Theorem 2 / Corollary 1.1 / 1.2
+ordering invariants and the run-multiset XOR-conservation argument of
+Theorem 3 after every phase — slow, but it turns every test run into a
+proof-shaped certificate (and lets the fault-injection tests show the
+checks have teeth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import CapacityError
+from repro.rle.row import RLERow
+from repro.core.xor_cell import XorCell
+from repro.systolic.array import LinearSystolicArray
+from repro.systolic.controller import TerminationController
+from repro.systolic.stats import ActivityStats
+from repro.systolic.trace import TraceRecorder
+
+__all__ = ["SystolicXorMachine", "XorRunResult", "default_cell_count"]
+
+
+def default_cell_count(k1: int, k2: int) -> int:
+    """Array size guaranteeing capacity.
+
+    Corollary 1.2 bounds non-empty cells to locations ``1..k1+k2``
+    (1-based); one extra cell absorbs the boundary so the simulator can
+    *detect* a violation (overflow past the end raises) instead of
+    silently wrapping.  The paper's "2k cells" (k = max runs per image)
+    satisfies the same bound.
+    """
+    return max(k1 + k2 + 1, 1)
+
+
+@dataclass
+class XorRunResult:
+    """Everything produced by one systolic differencing run."""
+
+    #: The XOR, read from ``RegSmall`` left to right.  May contain
+    #: adjacent runs — the paper's output is "not always compressed as
+    #: much as possible"; see :attr:`canonical_result`.
+    result: RLERow
+    #: Iterations of the cell loop executed before termination.
+    iterations: int
+    #: Run counts of the two inputs (the paper's k1, k2).
+    k1: int
+    k2: int
+    #: Number of cells the array was built with.
+    n_cells: int
+    #: Activity counters accumulated during the run.
+    stats: ActivityStats = field(default_factory=ActivityStats)
+    #: Phase-by-phase trace (only when requested).
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def canonical_result(self) -> RLERow:
+        """The result with adjacent runs merged (the future-work pass)."""
+        return self.result.canonical()
+
+    @property
+    def k3(self) -> int:
+        """Runs in the produced XOR — the paper's conjectured iteration
+        bound parameter.  Per the Section 5 Observation this counts the
+        *raw* output ("the output from the systolic algorithm will not
+        always be compressed as much as possible"), not its canonical
+        form — empirically ``iterations <= k3 + 1`` holds for the raw
+        count and fails badly for the canonical one."""
+        return self.result.run_count
+
+    @property
+    def termination_bound(self) -> int:
+        """Theorem 1's proven bound ``k1 + k2``."""
+        return self.k1 + self.k2
+
+
+class SystolicXorMachine:
+    """Reusable driver for the systolic RLE XOR.
+
+    Parameters
+    ----------
+    n_cells:
+        Fixed array size; ``None`` (default) sizes per call via
+        :func:`default_cell_count`.  A hardware deployment would fix this
+        at fabrication time and reject larger inputs, which this simulator
+        mirrors by raising :class:`~repro.errors.CapacityError`.
+    paranoid:
+        Check the paper's invariants after every phase.
+    record_trace:
+        Capture a Figure-3-style phase trace in the result.
+    controller_latency:
+        Extra cycles for termination detection (0 = the paper's idealised
+        instant AND; see :class:`~repro.systolic.controller.TerminationController`).
+    """
+
+    def __init__(
+        self,
+        n_cells: Optional[int] = None,
+        paranoid: bool = False,
+        record_trace: bool = False,
+        controller_latency: int = 0,
+    ) -> None:
+        self.n_cells = n_cells
+        self.paranoid = paranoid
+        self.record_trace = record_trace
+        self.controller_latency = controller_latency
+
+    # ------------------------------------------------------------------ #
+    # Array construction                                                 #
+    # ------------------------------------------------------------------ #
+    def build_array(
+        self, row_a: RLERow, row_b: RLERow
+    ) -> Tuple[LinearSystolicArray, ActivityStats]:
+        """Build and load an array for one row pair (exposed for tests
+        and experiments needing per-iteration access)."""
+        k1, k2 = row_a.run_count, row_b.run_count
+        n_cells = self.n_cells if self.n_cells is not None else default_cell_count(k1, k2)
+        if max(k1, k2) > n_cells:
+            raise CapacityError(
+                f"inputs with {k1}/{k2} runs cannot load into {n_cells} cells"
+            )
+        stats = ActivityStats()
+        cells = [XorCell(i, stats=stats) for i in range(n_cells)]
+        for i in range(max(k1, k2)):
+            cells[i].load(
+                row_a[i] if i < k1 else None,
+                row_b[i] if i < k2 else None,
+            )
+        array = LinearSystolicArray(
+            cells, controller=TerminationController(self.controller_latency)
+        )
+        array.phase_hooks.append(_busy_counter(stats))
+        return array, stats
+
+    # ------------------------------------------------------------------ #
+    # Main entry point                                                   #
+    # ------------------------------------------------------------------ #
+    def diff(
+        self,
+        row_a: RLERow,
+        row_b: RLERow,
+        max_iterations: Optional[int] = None,
+    ) -> XorRunResult:
+        """Compute ``row_a XOR row_b`` on the systolic array.
+
+        ``max_iterations`` defaults to Theorem 1's ``k1 + k2`` bound (plus
+        controller latency), so a run that fails to terminate within the
+        proven bound raises instead of spinning — Theorem 1 is enforced,
+        not assumed.
+        """
+        k1, k2 = row_a.run_count, row_b.run_count
+        array, stats = self.build_array(row_a, row_b)
+
+        trace = None
+        if self.record_trace:
+            trace = TraceRecorder().attach(array)
+
+        if self.paranoid:
+            from repro.core.invariants import ParanoidChecker
+
+            checker = ParanoidChecker(row_a, row_b)
+            array.phase_hooks.append(checker.hook)
+
+        if max_iterations is None:
+            max_iterations = k1 + k2 + self.controller_latency
+        iterations = array.run(max_iterations=max_iterations)
+        # the controller-latency grace iterations are detection overhead,
+        # not algorithm work; report the paper's iteration count
+        iterations -= min(self.controller_latency, iterations)
+
+        width = row_a.width if row_a.width is not None else row_b.width
+        result = extract_result(array, width=width)
+        return XorRunResult(
+            result=result,
+            iterations=iterations,
+            k1=k1,
+            k2=k2,
+            n_cells=len(array),
+            stats=stats,
+            trace=trace,
+        )
+
+
+def extract_result(array: LinearSystolicArray, width: Optional[int] = None) -> RLERow:
+    """Read the XOR out of the ``RegSmall`` registers, left to right.
+
+    Building the :class:`RLERow` re-validates ordering and disjointness,
+    i.e. Theorem 2 is checked on every extraction.
+    """
+    runs = []
+    for cell in array.cells:
+        run = cell.small.run
+        if run is not None:
+            runs.append(run)
+    return RLERow(runs, width=width)
+
+
+def _busy_counter(stats: ActivityStats):
+    """Hook accumulating occupied-cell counts once per iteration."""
+
+    def hook(array: LinearSystolicArray, phase_name: str) -> None:
+        if phase_name == array.SHIFT_PHASE:
+            stats.bump(
+                "busy_cells", sum(1 for c in array.cells if not c.is_empty)
+            )
+
+    return hook

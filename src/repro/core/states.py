@@ -1,0 +1,152 @@
+"""The Figure 4 cell-state taxonomy.
+
+The paper's ordering proof works by case analysis over the "qualitatively
+different cell states" of Figure 4: nine classes, six of which come in an
+*a*/*b* pair (*b* means the lexicographically larger run currently sits
+in ``RegSmall``; step 1 turns any *b* state into its *a* partner, and
+leaves *a* states unchanged).
+
+This module makes the taxonomy executable: :func:`classify` maps a cell
+snapshot to its class, and :func:`predicted_after_steps` produces the
+post-step-1+2 state the figure's "XOR Results" column promises.  The
+test suite verifies the real :class:`~repro.core.xor_cell.XorCell`
+against these predictions over every class — an executable transcription
+of the case analysis underlying Corollary 2.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.core.xor_cell import CellSnapshot
+
+__all__ = ["StateClass", "classify", "predicted_after_steps", "ALL_CLASSES"]
+
+_EMPTY = (0, -1)
+
+
+class StateClass(enum.Enum):
+    """Figure 4's nine qualitatively different cell states.
+
+    For the paired classes (1–6) the description is given for the *a*
+    orientation, with ``A = [a1, a2]`` the lexicographically smaller run
+    and ``B = [b1, b2]`` the larger.
+    """
+
+    #: 1 — disjoint with a gap: ``a2 + 1 < b1``.  Result: unchanged.
+    DISJOINT = 1
+    #: 2 — directly adjacent: ``a2 + 1 == b1``.  Result: unchanged
+    #: (the two runs jointly represent the merged run; compaction is a
+    #: separate final pass).
+    ADJACENT = 2
+    #: 3 — partial overlap: ``a1 < b1 <= a2 < b2``.
+    #: Result: ``[a1, b1-1]`` and ``[a2+1, b2]``.
+    OVERLAP = 3
+    #: 4 — co-terminal containment: ``a1 < b1``, ``a2 == b2``.
+    #: Result: ``[a1, b1-1]`` alone.
+    COTERMINAL = 4
+    #: 5 — strict containment: ``a1 < b1``, ``b2 < a2``.
+    #: Result: ``[a1, b1-1]`` and ``[b2+1, a2]``.
+    CONTAINED = 5
+    #: 6 — co-initial: ``a1 == b1``, ``a2 < b2``.
+    #: Result: ``[a2+1, b2]`` alone (in ``RegBig``).
+    COINITIAL = 6
+    #: 7 — identical runs (no a/b pairing possible).  Result: empty cell.
+    IDENTICAL = 7
+    #: 8 — a single run (8a in ``RegSmall``, 8b in ``RegBig``).
+    #: Result: the run, in ``RegSmall``.
+    LONE_RUN = 8
+    #: 9 — empty cell.  Result: empty cell.
+    EMPTY = 9
+
+
+ALL_CLASSES = tuple(StateClass)
+
+#: Classes that exist in both *a* and *b* orientations.
+PAIRED_CLASSES = (
+    StateClass.DISJOINT,
+    StateClass.ADJACENT,
+    StateClass.OVERLAP,
+    StateClass.COTERMINAL,
+    StateClass.CONTAINED,
+    StateClass.COINITIAL,
+)
+
+
+def _occupied(reg: Tuple[int, int]) -> bool:
+    return reg[1] >= reg[0]
+
+
+def classify(snapshot: CellSnapshot) -> Tuple[StateClass, Optional[str]]:
+    """Map a cell snapshot to ``(state_class, variant)``.
+
+    ``variant`` is ``"a"``/``"b"`` for the paired classes and for
+    :attr:`StateClass.LONE_RUN` (which register holds the run), ``None``
+    for :attr:`StateClass.IDENTICAL` and :attr:`StateClass.EMPTY`.
+    """
+    small, big = snapshot
+    has_s, has_b = _occupied(small), _occupied(big)
+    if not has_s and not has_b:
+        return StateClass.EMPTY, None
+    if has_s != has_b:
+        return StateClass.LONE_RUN, ("a" if has_s else "b")
+
+    if small == big:
+        return StateClass.IDENTICAL, None
+    # orient: x = lexicographically smaller run, variant records where it is
+    if (small[0], small[1]) <= (big[0], big[1]):
+        variant = "a"
+        (a1, a2), (b1, b2) = small, big
+    else:
+        variant = "b"
+        (a1, a2), (b1, b2) = big, small
+
+    if a2 + 1 < b1:
+        return StateClass.DISJOINT, variant
+    if a2 + 1 == b1:
+        return StateClass.ADJACENT, variant
+    if a1 == b1:
+        # lex order guarantees a2 < b2 here
+        return StateClass.COINITIAL, variant
+    if a2 == b2:
+        return StateClass.COTERMINAL, variant
+    if b2 < a2:
+        return StateClass.CONTAINED, variant
+    return StateClass.OVERLAP, variant
+
+
+def predicted_after_steps(snapshot: CellSnapshot) -> CellSnapshot:
+    """The post-step-1+2 cell state Figure 4's results column predicts.
+
+    Computed *symbolically from the class*, not by running the cell —
+    that independence is what makes comparing against
+    :class:`~repro.core.xor_cell.XorCell` a meaningful test.
+    """
+    state, variant = classify(snapshot)
+    small, big = snapshot
+    if state is StateClass.EMPTY:
+        return (_EMPTY, _EMPTY)
+    if state is StateClass.LONE_RUN:
+        run = small if variant == "a" else big
+        return (run, _EMPTY)
+    if state is StateClass.IDENTICAL:
+        return (_EMPTY, _EMPTY)
+
+    # paired classes: orient to (A smaller, B larger)
+    if variant == "a":
+        (a1, a2), (b1, b2) = small, big
+    else:
+        (a1, a2), (b1, b2) = big, small
+
+    if state in (StateClass.DISJOINT, StateClass.ADJACENT):
+        return ((a1, a2), (b1, b2))
+    if state is StateClass.OVERLAP:
+        return ((a1, b1 - 1), (a2 + 1, b2))
+    if state is StateClass.COTERMINAL:
+        return ((a1, b1 - 1), _EMPTY)
+    if state is StateClass.CONTAINED:
+        return ((a1, b1 - 1), (b2 + 1, a2))
+    if state is StateClass.COINITIAL:
+        return (_EMPTY, (a2 + 1, b2))
+    raise AssertionError(f"unhandled state {state}")  # pragma: no cover

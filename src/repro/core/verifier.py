@@ -1,0 +1,256 @@
+"""Independent trace verification — execution certificates.
+
+A recorded trace (:class:`~repro.systolic.trace.TraceRecorder`) is a
+*certificate* of a systolic run.  This module checks such a certificate
+against the algorithm's **semantics** rather than by re-running the cell
+code: step 1 must permute each cell's register pair, step 2 must
+preserve each cell's pixel symmetric difference, step 3 must be exactly
+a one-cell right shift of the ``RegBig`` plane, and the final state must
+decode to the XOR of the inputs.
+
+Because the checks are semantic (pixel-set reasoning), they do not share
+code — or bugs — with the cell implementation.  A verifier accepting a
+trace therefore certifies the run even if both engines were wrong in
+the same way syntactically; the fault-injection tests show it rejects
+corrupted traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.rle.ops import xor_rows
+from repro.rle.row import RLERow
+from repro.core.xor_cell import CellSnapshot
+
+__all__ = ["TraceProblem", "VerificationReport", "verify_trace"]
+
+
+@dataclass(frozen=True)
+class TraceProblem:
+    """One rule violation found in a trace."""
+
+    label: str  # trace entry label, e.g. "2.1"
+    cell: Optional[int]  # offending cell, None for global rules
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"cell {self.cell}" if self.cell is not None else "global"
+        return f"[{self.label}] {where}: {self.rule} — {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one trace."""
+
+    problems: List[TraceProblem] = field(default_factory=list)
+    iterations_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, label: str, cell: Optional[int], rule: str, detail: str) -> None:
+        self.problems.append(TraceProblem(label, cell, rule, detail))
+
+
+def _pixels(reg: Tuple[int, int]) -> Set[int]:
+    if reg[1] < reg[0]:
+        return set()
+    return set(range(reg[0], reg[1] + 1))
+
+
+def _occupied(reg: Tuple[int, int]) -> bool:
+    return reg[1] >= reg[0]
+
+
+def _lex(reg: Tuple[int, int]) -> Tuple[int, int]:
+    return reg
+
+
+def verify_trace(
+    entries: Sequence,
+    row_a: RLERow,
+    row_b: RLERow,
+) -> VerificationReport:
+    """Verify a full recorded run against the algorithm's semantics.
+
+    Parameters
+    ----------
+    entries:
+        ``TraceRecorder.entries`` — must include the ``initial`` entry
+        and all three phases of every iteration.
+    row_a, row_b:
+        The inputs the machine claimed to process.
+
+    Returns
+    -------
+    VerificationReport
+        ``report.ok`` is True iff every transition is legal and the
+        final state decodes to ``row_a XOR row_b``.
+    """
+    report = VerificationReport()
+    if not entries or entries[0].label != "initial":
+        report.add("-", None, "structure", "trace must start with an 'initial' entry")
+        return report
+
+    # ---- initial load ------------------------------------------------ #
+    initial = entries[0].snapshots
+    for i, snap in enumerate(initial):
+        want_small = (
+            (row_a[i].start, row_a[i].end) if i < row_a.run_count else None
+        )
+        want_big = (
+            (row_b[i].start, row_b[i].end) if i < row_b.run_count else None
+        )
+        small, big = snap
+        if want_small is not None and small != want_small:
+            report.add("initial", i, "load", f"RegSmall {small} != input run {want_small}")
+        if want_small is None and _occupied(small):
+            report.add("initial", i, "load", f"unexpected RegSmall data {small}")
+        if want_big is not None and big != want_big:
+            report.add("initial", i, "load", f"RegBig {big} != input run {want_big}")
+        if want_big is None and _occupied(big):
+            report.add("initial", i, "load", f"unexpected RegBig data {big}")
+
+    # ---- per-phase transitions --------------------------------------- #
+    prev = initial
+    phase_cycle = ("normalize", "xor", "shift")
+    for entry in entries[1:]:
+        cur = entry.snapshots
+        if len(cur) != len(prev):
+            report.add(entry.label, None, "structure", "cell count changed mid-run")
+            return report
+        phase = entry.phase_name
+        if phase not in phase_cycle:
+            report.add(entry.label, None, "structure", f"unknown phase {phase!r}")
+            return report
+
+        if phase == "normalize":
+            _check_normalize(prev, cur, entry.label, report)
+        elif phase == "xor":
+            _check_xor(prev, cur, entry.label, report)
+        else:
+            _check_shift(prev, cur, entry.label, report)
+            report.iterations_checked += 1
+        prev = cur
+
+    # ---- final state -------------------------------------------------- #
+    label = entries[-1].label
+    for i, (small, big) in enumerate(prev):
+        if _occupied(big):
+            report.add(label, i, "termination", f"RegBig still holds {big}")
+    got: Set[int] = set()
+    for small, _big in prev:
+        got |= _pixels(small)
+    expected_row = xor_rows(row_a, row_b)
+    expected = {p for run in expected_row for p in run.pixels()}
+    if got != expected:
+        report.add(
+            label,
+            None,
+            "result",
+            f"final RegSmall pixels != XOR of inputs "
+            f"(extra {sorted(got - expected)[:5]}, missing {sorted(expected - got)[:5]})",
+        )
+    # ordering of the extracted result
+    last_end = None
+    for i, (small, _big) in enumerate(prev):
+        if not _occupied(small):
+            continue
+        if last_end is not None and small[0] <= last_end:
+            report.add(label, i, "result-order", f"RegSmall {small} overlaps predecessor")
+        last_end = small[1]
+
+    return report
+
+
+def _check_normalize(
+    prev: Sequence[CellSnapshot],
+    cur: Sequence[CellSnapshot],
+    label: str,
+    report: VerificationReport,
+) -> None:
+    """Step 1 must permute each cell's register pair and leave the
+    lexicographically smaller run (or the only run) in RegSmall."""
+    for i, (before, after) in enumerate(zip(prev, cur)):
+        b_small, b_big = before
+        a_small, a_big = after
+        before_multiset = sorted(
+            [r for r in (b_small, b_big) if _occupied(r)]
+        )
+        after_multiset = sorted([r for r in (a_small, a_big) if _occupied(r)])
+        if before_multiset != after_multiset:
+            report.add(
+                label, i, "normalize-permutation",
+                f"{before} -> {after} changed register contents",
+            )
+            continue
+        if _occupied(a_small) and _occupied(a_big) and _lex(a_small) > _lex(a_big):
+            report.add(
+                label, i, "normalize-order",
+                f"RegSmall {a_small} lexicographically after RegBig {a_big}",
+            )
+        if not _occupied(a_small) and _occupied(a_big):
+            report.add(
+                label, i, "normalize-move",
+                f"lone run left in RegBig: {after}",
+            )
+
+
+def _check_xor(
+    prev: Sequence[CellSnapshot],
+    cur: Sequence[CellSnapshot],
+    label: str,
+    report: VerificationReport,
+) -> None:
+    """Step 2 must preserve each cell's pixel symmetric difference and
+    leave the registers internally ordered and disjoint."""
+    for i, (before, after) in enumerate(zip(prev, cur)):
+        b_small, b_big = before
+        a_small, a_big = after
+        want = _pixels(b_small) ^ _pixels(b_big)
+        got_small, got_big = _pixels(a_small), _pixels(a_big)
+        if got_small & got_big:
+            report.add(label, i, "xor-disjoint", f"registers overlap: {after}")
+        if (got_small | got_big) != want:
+            report.add(
+                label, i, "xor-pixels",
+                f"{before} -> {after} does not preserve the symmetric difference",
+            )
+        if _occupied(a_small) and _occupied(a_big) and a_small[1] >= a_big[0]:
+            report.add(
+                label, i, "xor-order",
+                f"RegSmall {a_small} not strictly before RegBig {a_big}",
+            )
+
+
+def _check_shift(
+    prev: Sequence[CellSnapshot],
+    cur: Sequence[CellSnapshot],
+    label: str,
+    report: VerificationReport,
+) -> None:
+    """Step 3: RegBig plane shifts right one cell; RegSmall untouched."""
+    n = len(prev)
+    for i in range(n):
+        if cur[i][0] != prev[i][0]:
+            report.add(
+                label, i, "shift-small",
+                f"RegSmall changed during shift: {prev[i][0]} -> {cur[i][0]}",
+            )
+    if _occupied(cur[0][1]):
+        report.add(label, 0, "shift-boundary", f"cell 0 received data {cur[0][1]}")
+    for i in range(1, n):
+        if cur[i][1] != prev[i - 1][1]:
+            report.add(
+                label, i, "shift-big",
+                f"RegBig {cur[i][1]} != left neighbour's previous {prev[i - 1][1]}",
+            )
+    if _occupied(prev[n - 1][1]):
+        report.add(
+            label, n - 1, "shift-overflow",
+            f"last cell's RegBig {prev[n - 1][1]} fell off the array",
+        )

@@ -1,0 +1,148 @@
+"""The XOR cell — Section 3 of the paper, step for step.
+
+Each iteration a cell executes:
+
+* **normalize** (step 1) — ensure the lexicographically smaller run sits
+  in ``RegSmall``; a lone run in ``RegBig`` moves to ``RegSmall``.
+* **xor** (step 2) — the four-assignment in-cell XOR::
+
+      oldSmallEnd  = RegSmall.end
+      RegSmall.end = min(RegSmall.end, RegBig.start − 1)
+      RegBig.start = min(RegBig.end + 1, max(oldSmallEnd + 1, RegBig.start))
+      RegBig.end   = max(oldSmallEnd, RegBig.end)
+
+  (The published text garbles the first ``min`` as ``min(..., RegBig.start,1)``;
+  the Figure 3 worked example pins down the intended ``RegBig.start − 1``.)
+  A register left with ``end < start`` is empty.
+* **shift** (step 3) — ``RegBig`` moves one cell right (handled by the
+  array's shift phase through :meth:`shift_out` / :meth:`shift_in`).
+
+The cell raises its ``C`` (done) output whenever ``RegBig`` is empty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.rle.run import Run
+from repro.systolic.cell import Cell
+from repro.systolic.stats import ActivityStats
+
+__all__ = ["XorCell", "CellSnapshot"]
+
+#: ``((small_start, small_end), (big_start, big_end))`` with empties as (0, -1).
+CellSnapshot = Tuple[Tuple[int, int], Tuple[int, int]]
+
+PHASE_NORMALIZE = "normalize"
+PHASE_XOR = "xor"
+_PHASES = (PHASE_NORMALIZE, PHASE_XOR)
+
+
+class XorCell(Cell):
+    """One processing element of the systolic XOR array."""
+
+    __slots__ = ("small", "big", "stats")
+
+    def __init__(self, index: int, stats: Optional[ActivityStats] = None) -> None:
+        from repro.core.registers import RunRegister
+
+        super().__init__(index)
+        #: ``RegSmall`` — ends up holding the result.
+        self.small = RunRegister()
+        #: ``RegBig`` — the migrating register, shifted right each cycle.
+        self.big = RunRegister()
+        #: Shared counter bag (may be None for bare cells in unit tests).
+        self.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # Loading                                                            #
+    # ------------------------------------------------------------------ #
+    def load(self, small: Optional[Run], big: Optional[Run]) -> None:
+        """Initial load: image-1 run into ``RegSmall``, image-2 run into
+        ``RegBig`` ("Initially the first register of each cell will be
+        used to store the array of runs representing the first image...")."""
+        self.small.load(small)
+        self.big.load(big)
+
+    # ------------------------------------------------------------------ #
+    # Local phases                                                       #
+    # ------------------------------------------------------------------ #
+    def phase_names(self) -> Sequence[str]:
+        return _PHASES
+
+    def run_phase(self, name: str) -> None:
+        if name == PHASE_NORMALIZE:
+            self.step1_normalize()
+        elif name == PHASE_XOR:
+            self.step2_xor()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown phase {name!r}")
+
+    def step1_normalize(self) -> None:
+        """Step 1: smaller run into ``RegSmall``, bigger into ``RegBig``."""
+        small, big = self.small, self.big
+        if not small.is_empty and not big.is_empty:
+            if (small.start > big.start) or (
+                small.start == big.start and small.end > big.end
+            ):
+                small.swap_with(big)
+                if self.stats is not None:
+                    self.stats.bump("swaps")
+        elif small.is_empty and not big.is_empty:
+            small.move_from(big)
+            if self.stats is not None:
+                self.stats.bump("moves")
+
+    def step2_xor(self) -> None:
+        """Step 2: XOR the two runs inside the cell.
+
+        A no-op unless both registers hold runs (XOR with nothing changes
+        nothing; the paper's formulas implicitly assume both present).
+        """
+        small, big = self.small, self.big
+        if small.is_empty or big.is_empty:
+            return
+        before = (small.snapshot(), big.snapshot())
+
+        old_small_end = small.end
+        small.set_endpoints(small.start, min(small.end, big.start - 1))
+        new_big_start = min(big.end + 1, max(old_small_end + 1, big.start))
+        new_big_end = max(old_small_end, big.end)
+        big.set_endpoints(new_big_start, new_big_end)
+
+        if self.stats is not None and (small.snapshot(), big.snapshot()) != before:
+            self.stats.bump("xor_splits")
+
+    # ------------------------------------------------------------------ #
+    # Shift channel (step 3)                                             #
+    # ------------------------------------------------------------------ #
+    def shift_out(self) -> Optional[Run]:
+        datum = self.big.take()
+        if datum is not None and self.stats is not None:
+            self.stats.bump("shifts")
+        return datum
+
+    def shift_in(self, datum: Optional[Run]) -> None:
+        self.big.load(datum)
+
+    # ------------------------------------------------------------------ #
+    # Termination / introspection                                        #
+    # ------------------------------------------------------------------ #
+    def is_done(self) -> bool:
+        """The ``C`` output: no data in ``RegBig``."""
+        return self.big.is_empty
+
+    @property
+    def is_empty(self) -> bool:
+        return self.small.is_empty and self.big.is_empty
+
+    def snapshot(self) -> CellSnapshot:
+        return (self.small.snapshot(), self.big.snapshot())
+
+    def restore(self, snap: CellSnapshot) -> None:
+        self.small.restore(snap[0])
+        self.big.restore(snap[1])
+
+    def display(self) -> str:
+        """``(start,length)`` pair rendering used by the Figure-3 tables."""
+        return f"{self.small}/{self.big}"

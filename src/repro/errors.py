@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` package."""
+
+
+class EncodingError(ReproError):
+    """An RLE structure is malformed (unordered, overlapping, or negative runs)."""
+
+
+class GeometryError(ReproError):
+    """Two images/rows with incompatible shapes were combined."""
+
+
+class SystolicError(ReproError):
+    """The systolic machine was misused (e.g. stepped after halting)."""
+
+
+class CapacityError(SystolicError):
+    """An input does not fit in the configured number of cells."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant derived from the paper's theorems failed.
+
+    Raised by :mod:`repro.core.invariants` checkers (and by machines running
+    in *paranoid* mode).  Seeing this on an unmodified machine indicates a
+    simulator bug; the fault-injection tests raise it deliberately.
+    """
+
+    def __init__(self, name: str, detail: str = "") -> None:
+        self.name = name
+        self.detail = detail
+        message = f"invariant {name!r} violated" + (f": {detail}" if detail else "")
+        super().__init__(message)
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or cannot be satisfied."""
+
+
+class FormatError(ReproError):
+    """A file being read is not in the expected format (PBM, RLE text...)."""

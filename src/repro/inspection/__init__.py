@@ -1,0 +1,27 @@
+"""PCB inspection application layer — the paper's motivating system.
+
+"On-line automatic inspection of PCBs requires acquisition and
+processing of gigabytes of binary image data in a matter of seconds ...
+the binary image difference operation is a fundamental step in the
+inspection process."
+
+This subpackage wires the systolic difference engine into a complete
+reference-comparison pipeline: registration-tolerant differencing,
+clustering of difference pixels into defect blobs, geometric
+classification, and an end-to-end :class:`InspectionSystem` with
+per-stage accounting.
+"""
+
+from repro.inspection.reference import ReferenceComparator, ComparisonReport
+from repro.inspection.defects import DefectBlob, classify_blob, find_defect_blobs
+from repro.inspection.pipeline import InspectionReport, InspectionSystem
+
+__all__ = [
+    "ReferenceComparator",
+    "ComparisonReport",
+    "DefectBlob",
+    "find_defect_blobs",
+    "classify_blob",
+    "InspectionSystem",
+    "InspectionReport",
+]

@@ -1,0 +1,50 @@
+"""Run-length-encoding substrate.
+
+This subpackage provides everything the paper assumes about RLE binary
+images: the run/row/image data model, bitstring conversions, sequential
+operations (including the paper's sequential XOR baseline), metrics,
+morphology, connected components and file I/O.
+
+Only *foreground* runs are stored, exactly as in the paper: a run is a
+``(start, length)`` pair of a maximal-or-not block of 1-pixels; background
+pixels are implicit.
+"""
+
+from repro.rle.run import Run
+from repro.rle.row import RLERow
+from repro.rle.image import RLEImage
+from repro.rle.bitmap import bits_to_runs, runs_to_bits
+from repro.rle.ops import (
+    and_rows,
+    complement_row,
+    crop_row,
+    or_rows,
+    shift_row,
+    sub_rows,
+    xor_rows,
+)
+from repro.rle.metrics import (
+    density,
+    hamming_distance,
+    run_count_difference,
+    similarity,
+)
+
+__all__ = [
+    "Run",
+    "RLERow",
+    "RLEImage",
+    "bits_to_runs",
+    "runs_to_bits",
+    "xor_rows",
+    "and_rows",
+    "or_rows",
+    "sub_rows",
+    "complement_row",
+    "shift_row",
+    "crop_row",
+    "density",
+    "hamming_distance",
+    "similarity",
+    "run_count_difference",
+]

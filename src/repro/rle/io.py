@@ -1,0 +1,168 @@
+"""File I/O for RLE images.
+
+Three formats are supported:
+
+* **PBM** (``P1`` ascii and ``P4`` packed binary) — the standard portable
+  bitmap format, so images round-trip with any external tool.
+* **RLE text** — a simple line-oriented format storing the runs directly,
+  so compressed images persist without decompression (the whole point of
+  the paper).  Format::
+
+      RLETXT <width> <height>
+      <start>,<length> <start>,<length> ...      # one line per row
+      ...
+
+  Empty rows are blank lines.
+* **NPZ** — NumPy archive of the decoded bitmap, for interop with array
+  pipelines.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+
+__all__ = [
+    "read_pbm",
+    "write_pbm",
+    "read_rle_text",
+    "write_rle_text",
+    "read_npz",
+    "write_npz",
+]
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------- #
+# PBM                                                                    #
+# --------------------------------------------------------------------- #
+def _tokenize_pbm(data: bytes) -> List[bytes]:
+    """PBM header tokens, honouring ``#`` comments."""
+    tokens: List[bytes] = []
+    i = 0
+    while i < len(data) and len(tokens) < 3:
+        c = data[i : i + 1]
+        if c == b"#":
+            while i < len(data) and data[i : i + 1] != b"\n":
+                i += 1
+        elif c.isspace():
+            i += 1
+        else:
+            j = i
+            while j < len(data) and not data[j : j + 1].isspace():
+                j += 1
+            tokens.append(data[i:j])
+            i = j
+    tokens.append(str(i).encode())  # sentinel: offset past the header
+    return tokens
+
+
+def read_pbm(path: PathLike) -> RLEImage:
+    """Read a PBM file (``P1`` or ``P4``) into an :class:`RLEImage`.
+
+    PBM convention: 1 = black = foreground.
+    """
+    data = Path(path).read_bytes()
+    magic_and_dims = _tokenize_pbm(data)
+    if len(magic_and_dims) != 4:
+        raise FormatError(f"{path}: truncated PBM header")
+    magic, w_tok, h_tok, offset_tok = magic_and_dims
+    try:
+        width, height = int(w_tok), int(h_tok)
+    except ValueError as exc:
+        raise FormatError(f"{path}: bad PBM dimensions") from exc
+
+    if magic == b"P1":
+        body = data[int(offset_tok) :]
+        digits = [c for c in body if c in b"01"]
+        if len(digits) < width * height:
+            raise FormatError(f"{path}: P1 body too short")
+        bits = np.array(digits[: width * height], dtype=np.uint8) == ord("1")
+        return RLEImage.from_array(bits.reshape(height, width))
+    if magic == b"P4":
+        start = int(offset_tok) + 1  # single whitespace after header
+        row_bytes = (width + 7) // 8
+        body = data[start : start + row_bytes * height]
+        if len(body) < row_bytes * height:
+            raise FormatError(f"{path}: P4 body too short")
+        raw = np.frombuffer(body, dtype=np.uint8).reshape(height, row_bytes)
+        bits = np.unpackbits(raw, axis=1)[:, :width].astype(bool)
+        return RLEImage.from_array(bits)
+    raise FormatError(f"{path}: unsupported PBM magic {magic!r}")
+
+
+def write_pbm(image: RLEImage, path: PathLike, binary: bool = True) -> None:
+    """Write an image as PBM (``P4`` packed by default, ``P1`` ascii else)."""
+    height, width = image.shape
+    arr = image.to_array()
+    with open(path, "wb") as fh:
+        if binary:
+            fh.write(f"P4\n{width} {height}\n".encode())
+            packed = np.packbits(arr.astype(np.uint8), axis=1)
+            fh.write(packed.tobytes())
+        else:
+            fh.write(f"P1\n{width} {height}\n".encode())
+            for row in arr:
+                fh.write(("".join("1" if b else "0" for b in row) + "\n").encode())
+
+
+# --------------------------------------------------------------------- #
+# RLE text                                                               #
+# --------------------------------------------------------------------- #
+def write_rle_text(image: RLEImage, path: PathLike) -> None:
+    """Persist an image in the native run-list format (no decompression)."""
+    buf = _io.StringIO()
+    buf.write(f"RLETXT {image.width} {image.height}\n")
+    for row in image:
+        buf.write(" ".join(f"{r.start},{r.length}" for r in row))
+        buf.write("\n")
+    Path(path).write_text(buf.getvalue(), encoding="ascii")
+
+
+def read_rle_text(path: PathLike) -> RLEImage:
+    """Load an image written by :func:`write_rle_text`."""
+    lines = Path(path).read_text(encoding="ascii").splitlines()
+    if not lines or not lines[0].startswith("RLETXT"):
+        raise FormatError(f"{path}: missing RLETXT header")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise FormatError(f"{path}: malformed RLETXT header {lines[0]!r}")
+    width, height = int(parts[1]), int(parts[2])
+    body = lines[1 : 1 + height]
+    if len(body) < height:
+        raise FormatError(f"{path}: expected {height} rows, found {len(body)}")
+    rows = []
+    for lineno, line in enumerate(body, start=2):
+        pairs = []
+        for token in line.split():
+            try:
+                s, n = token.split(",")
+                pairs.append((int(s), int(n)))
+            except ValueError as exc:
+                raise FormatError(f"{path}:{lineno}: bad run token {token!r}") from exc
+        rows.append(RLERow.from_pairs(pairs, width=width))
+    return RLEImage(rows, width=width)
+
+
+# --------------------------------------------------------------------- #
+# NPZ                                                                    #
+# --------------------------------------------------------------------- #
+def write_npz(image: RLEImage, path: PathLike) -> None:
+    """Save the decoded bitmap as a compressed ``.npz`` archive."""
+    np.savez_compressed(path, bitmap=image.to_array())
+
+
+def read_npz(path: PathLike) -> RLEImage:
+    """Load an image written by :func:`write_npz`."""
+    with np.load(path) as archive:
+        if "bitmap" not in archive:
+            raise FormatError(f"{path}: no 'bitmap' array in archive")
+        return RLEImage.from_array(archive["bitmap"])

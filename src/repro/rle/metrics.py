@@ -1,0 +1,91 @@
+"""Similarity and complexity metrics on RLE rows and images.
+
+The paper's performance analysis is phrased entirely in terms of run
+counts: ``k1``/``k2`` (runs in the inputs), ``k3`` (runs in the XOR), the
+difference ``|k1 - k2|`` that dominates the systolic time for similar
+images, and the pixel-level error fraction swept in Figure 5.  These
+helpers compute every such quantity without decompressing.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.rle.image import RLEImage
+from repro.rle.ops import and_rows, xor_rows
+from repro.rle.row import RLERow
+
+__all__ = [
+    "density",
+    "hamming_distance",
+    "error_fraction",
+    "similarity",
+    "jaccard",
+    "run_count_difference",
+    "xor_run_count",
+    "total_runs",
+]
+
+RowOrImage = Union[RLERow, RLEImage]
+
+
+def density(x: RowOrImage) -> float:
+    """Foreground-pixel fraction of a row or image."""
+    if isinstance(x, RLEImage):
+        return x.density()
+    return x.density()
+
+
+def hamming_distance(a: RowOrImage, b: RowOrImage) -> int:
+    """Number of differing pixels — ``|a XOR b|`` computed in RLE domain."""
+    if isinstance(a, RLEImage) and isinstance(b, RLEImage):
+        return sum(xor_rows(ra, rb).pixel_count for ra, rb in zip(a, b))
+    assert isinstance(a, RLERow) and isinstance(b, RLERow)
+    return xor_rows(a, b).pixel_count
+
+
+def error_fraction(a: RowOrImage, b: RowOrImage, width: int | None = None) -> float:
+    """Differing pixels as a fraction of total pixels (Figure 5's x-axis)."""
+    if isinstance(a, RLEImage) and isinstance(b, RLEImage):
+        area = a.height * a.width
+        return hamming_distance(a, b) / area if area else 0.0
+    assert isinstance(a, RLERow) and isinstance(b, RLERow)
+    w = width if width is not None else (a.width or b.width or max(a.extent, b.extent))
+    return hamming_distance(a, b) / w if w else 0.0
+
+
+def similarity(a: RowOrImage, b: RowOrImage, width: int | None = None) -> float:
+    """``1 - error_fraction`` — the paper's informal "similarity measure"."""
+    return 1.0 - error_fraction(a, b, width=width)
+
+
+def jaccard(a: RLERow, b: RLERow) -> float:
+    """Intersection-over-union of the foreground sets (1.0 for two empties)."""
+    inter = and_rows(a, b).pixel_count
+    union = a.pixel_count + b.pixel_count - inter
+    return inter / union if union else 1.0
+
+
+def run_count_difference(a: RowOrImage, b: RowOrImage) -> int:
+    """``|k1 - k2|`` — the factor that dominates systolic time for
+    similar images (Section 5)."""
+    if isinstance(a, RLEImage) and isinstance(b, RLEImage):
+        return sum(
+            abs(ra.run_count - rb.run_count) for ra, rb in zip(a, b)
+        )
+    assert isinstance(a, RLERow) and isinstance(b, RLERow)
+    return abs(a.run_count - b.run_count)
+
+
+def xor_run_count(a: RLERow, b: RLERow) -> int:
+    """``k3`` — runs in the (canonical) XOR, the paper's conjectured
+    iteration bound for compressed inputs."""
+    return xor_rows(a, b).run_count
+
+
+def total_runs(a: RowOrImage, b: RowOrImage) -> int:
+    """``k1 + k2`` — the proven termination bound and the sequential cost."""
+    if isinstance(a, RLEImage) and isinstance(b, RLEImage):
+        return a.total_runs + b.total_runs
+    assert isinstance(a, RLERow) and isinstance(b, RLERow)
+    return a.run_count + b.run_count

@@ -1,0 +1,218 @@
+"""Sequential operations on RLE rows.
+
+These are the software baselines the paper compares against: everything
+here walks run lists directly, never materializing pixel arrays.
+
+:func:`xor_rows` uses the *boundary-toggle* formulation — the XOR of two
+binary functions transitions exactly at the positions where an odd number
+of inputs transition — which yields a canonical output in a single linear
+merge.  The paper's own merge-style sequential algorithm (with its
+iteration accounting, needed for Table 1) lives in
+:mod:`repro.core.sequential`; the two are cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import GeometryError
+from repro.rle.run import Run
+from repro.rle.row import RLERow
+
+__all__ = [
+    "xor_rows",
+    "and_rows",
+    "or_rows",
+    "sub_rows",
+    "complement_row",
+    "shift_row",
+    "crop_row",
+    "merge_boolean",
+]
+
+
+def _common_width(a: RLERow, b: RLERow) -> Optional[int]:
+    if a.width is not None and b.width is not None and a.width != b.width:
+        raise GeometryError(f"row widths differ: {a.width} vs {b.width}")
+    return a.width if a.width is not None else b.width
+
+
+def _boundaries(row: RLERow) -> List[int]:
+    """Transition positions of the row's indicator function (sorted)."""
+    out: List[int] = []
+    for run in row:
+        out.append(run.start)
+        out.append(run.stop)
+    return out
+
+
+def xor_rows(a: RLERow, b: RLERow) -> RLERow:
+    """Exclusive-or of two rows, computed entirely in the RLE domain.
+
+    Merges the two sorted boundary lists; positions appearing an odd
+    number of times are transitions of the XOR.  Consecutive surviving
+    transitions pair up into runs, so the result is always canonical.
+    Complexity: O(k1 + k2).
+    """
+    width = _common_width(a, b)
+    merged = list(heapq.merge(_boundaries(a), _boundaries(b)))
+    surviving: List[int] = []
+    i = 0
+    while i < len(merged):
+        j = i
+        while j < len(merged) and merged[j] == merged[i]:
+            j += 1
+        if (j - i) % 2 == 1:
+            surviving.append(merged[i])
+        i = j
+    assert len(surviving) % 2 == 0, "toggle positions must pair up"
+    runs = [
+        Run.from_endpoints(surviving[t], surviving[t + 1] - 1)
+        for t in range(0, len(surviving), 2)
+    ]
+    return RLERow(runs, width=width)
+
+
+def merge_boolean(
+    a: RLERow, b: RLERow, op: Callable[[bool, bool], bool]
+) -> RLERow:
+    """Generic two-row combine under an arbitrary boolean operator.
+
+    A linear sweep over the union of boundary positions evaluates ``op``
+    on each elementary segment.  Used to implement AND/OR/SUB; XOR has the
+    faster special-case above.  Output is canonical.
+    """
+    if op(False, False):
+        raise ValueError("merge_boolean requires op(False, False) == False")
+    width = _common_width(a, b)
+    points = sorted(set(_boundaries(a)) | set(_boundaries(b)))
+    if not points:
+        return RLERow((), width=width)
+
+    runs: List[Run] = []
+    open_start: Optional[int] = None
+    ia = ib = 0
+    runs_a, runs_b = a.runs, b.runs
+    for p in points:
+        # advance run cursors past segments ending at or before p
+        while ia < len(runs_a) and runs_a[ia].stop <= p:
+            ia += 1
+        while ib < len(runs_b) and runs_b[ib].stop <= p:
+            ib += 1
+        in_a = ia < len(runs_a) and runs_a[ia].start <= p
+        in_b = ib < len(runs_b) and runs_b[ib].start <= p
+        value = op(in_a, in_b)
+        if value and open_start is None:
+            open_start = p
+        elif not value and open_start is not None:
+            runs.append(Run.from_endpoints(open_start, p - 1))
+            open_start = None
+    if open_start is not None:
+        # the last boundary always closes every run (it is some run's stop),
+        # so by construction the sweep never leaves a run open
+        runs.append(Run.from_endpoints(open_start, points[-1] - 1))
+    return RLERow(runs, width=width).canonical()
+
+
+def and_rows(a: RLERow, b: RLERow) -> RLERow:
+    """Intersection of two rows (two-pointer sweep, O(k1 + k2))."""
+    width = _common_width(a, b)
+    out: List[Run] = []
+    ia = ib = 0
+    runs_a, runs_b = a.runs, b.runs
+    while ia < len(runs_a) and ib < len(runs_b):
+        ra, rb = runs_a[ia], runs_b[ib]
+        inter = ra.intersection(rb)
+        if inter is not None:
+            out.append(inter)
+        if ra.end < rb.end:
+            ia += 1
+        else:
+            ib += 1
+    return RLERow(out, width=width)
+
+
+def or_rows(a: RLERow, b: RLERow) -> RLERow:
+    """Union of two rows (merge + coalesce, O(k1 + k2))."""
+    width = _common_width(a, b)
+    out: List[Run] = []
+    for run in heapq.merge(a.runs, b.runs, key=lambda r: (r.start, r.end)):
+        if out and out[-1].end + 1 >= run.start:
+            out[-1] = out[-1].merge(run)
+        else:
+            out.append(run)
+    return RLERow(out, width=width)
+
+
+def sub_rows(a: RLERow, b: RLERow) -> RLERow:
+    """Set difference ``a AND NOT b`` — pixels on in ``a`` but not ``b``.
+
+    This is the one-sided defect map used by inspection pipelines
+    (extra copper vs. missing copper), as opposed to the symmetric XOR.
+    """
+    width = _common_width(a, b)
+    out: List[Run] = []
+    ib = 0
+    runs_b = b.runs
+    for ra in a.runs:
+        cursor = ra.start
+        while ib < len(runs_b) and runs_b[ib].end < ra.start:
+            ib += 1
+        jb = ib
+        while jb < len(runs_b) and runs_b[jb].start <= ra.end:
+            rb = runs_b[jb]
+            if rb.start > cursor:
+                out.append(Run.from_endpoints(cursor, rb.start - 1))
+            cursor = max(cursor, rb.end + 1)
+            jb += 1
+        if cursor <= ra.end:
+            out.append(Run.from_endpoints(cursor, ra.end))
+    return RLERow(out, width=width)
+
+
+def complement_row(a: RLERow, width: Optional[int] = None) -> RLERow:
+    """Background becomes foreground within ``[0, width)``."""
+    w = width if width is not None else a.width
+    if w is None:
+        raise GeometryError("complement needs a row width")
+    out: List[Run] = []
+    cursor = 0
+    for run in a.canonical():
+        if run.start > cursor:
+            out.append(Run.from_endpoints(cursor, run.start - 1))
+        cursor = run.stop
+    if cursor < w:
+        out.append(Run.from_endpoints(cursor, w - 1))
+    return RLERow(out, width=w)
+
+
+def shift_row(a: RLERow, offset: int) -> RLERow:
+    """Translate a row by ``offset`` pixels, clipping at the borders.
+
+    Pixels shifted below 0 are dropped; pixels shifted past ``width``
+    (when the row has one) are dropped as well.
+    """
+    out: List[Run] = []
+    hi = a.width - 1 if a.width is not None else None
+    for run in a:
+        s = run.start + offset
+        e = run.end + offset
+        s = max(s, 0)
+        if hi is not None:
+            e = min(e, hi)
+        if e >= s:
+            out.append(Run.from_endpoints(s, e))
+    return RLERow(out, width=a.width)
+
+
+def crop_row(a: RLERow, lo: int, hi: int) -> RLERow:
+    """Pixels of ``a`` inside ``[lo, hi]`` (inclusive), re-based to 0."""
+    if hi < lo:
+        raise GeometryError(f"empty crop window [{lo}, {hi}]")
+    out: List[Run] = []
+    for run in a:
+        clipped = run.clipped(lo, hi)
+        if clipped is not None:
+            out.append(clipped.shifted(-lo))
+    return RLERow(out, width=hi - lo + 1)

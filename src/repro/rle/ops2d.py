@@ -1,0 +1,98 @@
+"""Image-level (2-D) operations built from the row ops.
+
+All operations pair up corresponding rows, which requires equal shapes —
+exactly the reference-comparison setting of the paper's PCB application
+(the scanned board is registered against the CAD reference before
+differencing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.ops import (
+    and_rows,
+    complement_row,
+    crop_row,
+    or_rows,
+    shift_row,
+    sub_rows,
+    xor_rows,
+)
+from repro.rle.row import RLERow
+
+__all__ = [
+    "xor_images",
+    "and_images",
+    "or_images",
+    "sub_images",
+    "complement_image",
+    "translate_image",
+    "crop_image",
+    "combine_images",
+]
+
+
+def _check_shapes(a: RLEImage, b: RLEImage) -> None:
+    if a.shape != b.shape:
+        raise GeometryError(f"image shapes differ: {a.shape} vs {b.shape}")
+
+
+def combine_images(
+    a: RLEImage, b: RLEImage, row_op: Callable[[RLERow, RLERow], RLERow]
+) -> RLEImage:
+    """Apply a two-row operator to every corresponding row pair."""
+    _check_shapes(a, b)
+    return RLEImage(
+        (row_op(ra, rb) for ra, rb in zip(a, b)), width=a.width
+    )
+
+
+def xor_images(a: RLEImage, b: RLEImage) -> RLEImage:
+    """The image-difference operation of the paper, row by row."""
+    return combine_images(a, b, xor_rows)
+
+
+def and_images(a: RLEImage, b: RLEImage) -> RLEImage:
+    return combine_images(a, b, and_rows)
+
+
+def or_images(a: RLEImage, b: RLEImage) -> RLEImage:
+    return combine_images(a, b, or_rows)
+
+
+def sub_images(a: RLEImage, b: RLEImage) -> RLEImage:
+    """Pixels in ``a`` but not in ``b`` (one-sided defect map)."""
+    return combine_images(a, b, sub_rows)
+
+
+def complement_image(a: RLEImage) -> RLEImage:
+    return a.map_rows(lambda r: complement_row(r, a.width))
+
+
+def translate_image(a: RLEImage, dy: int, dx: int) -> RLEImage:
+    """Translate by ``(dy, dx)``; pixels moved outside the frame are lost.
+
+    Used by the inspection pipeline to model (and correct) registration
+    offsets between the scanned board and the reference.
+    """
+    height, width = a.shape
+    blank = RLERow.empty(width)
+    shifted_rows = [shift_row(r, dx) for r in a]
+    out = []
+    for y in range(height):
+        src = y - dy
+        out.append(shifted_rows[src] if 0 <= src < height else blank)
+    return RLEImage(out, width=width)
+
+
+def crop_image(a: RLEImage, top: int, left: int, height: int, width: int) -> RLEImage:
+    """Axis-aligned crop, re-based to (0, 0)."""
+    if top < 0 or left < 0 or top + height > a.height or left + width > a.width:
+        raise GeometryError(
+            f"crop ({top},{left},{height},{width}) exceeds image {a.shape}"
+        )
+    rows = [crop_row(a[y], left, left + width - 1) for y in range(top, top + height)]
+    return RLEImage(rows, width=width)

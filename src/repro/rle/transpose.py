@@ -1,0 +1,86 @@
+"""Transpose and rotation of RLE images, computed in the RLE domain.
+
+Row-major RLE makes horizontal operations cheap and vertical ones
+awkward; transposing converts between the two regimes (e.g. running the
+systolic row-difference down the *columns* of an image, or implementing
+vertical morphology as horizontal morphology on the transpose).
+
+The transpose algorithm is a single sweep: every run emits a +1/−1 edge
+event per column interval; a column-indexed active-run table converts
+the per-row events into vertical runs.  Complexity O(R + C + output
+runs) for R input runs over C columns — no pixel array is materialized.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+from repro.rle.run import Run
+
+__all__ = ["transpose", "rotate90", "rotate180", "rotate270", "flip_horizontal", "flip_vertical"]
+
+
+def transpose(image: RLEImage) -> RLEImage:
+    """The transposed image: pixel ``(y, x)`` maps to ``(x, y)``.
+
+    Sweeps rows top to bottom.  Comparing each row to its predecessor
+    (two RLE set differences) yields exactly the columns where vertical
+    runs *open* or *close*, so the work done per row is proportional to
+    the coverage change, not the width: O(R_in + R_out + height) total.
+    """
+    from repro.rle.ops import sub_rows
+
+    height, width = image.shape
+    # open_since[x] = row where the active vertical run in column x began
+    open_since = [-1] * width
+    out_runs: List[List[Run]] = [[] for _ in range(width)]
+
+    prev = RLERow.empty(width)
+    for y in range(height + 1):
+        cur = image[y].canonical() if y < height else RLERow.empty(width)
+        for opened in sub_rows(cur, prev):  # newly covered columns
+            for x in range(opened.start, opened.stop):
+                open_since[x] = y
+        for closed in sub_rows(prev, cur):  # newly uncovered columns
+            for x in range(closed.start, closed.stop):
+                out_runs[x].append(Run.from_endpoints(open_since[x], y - 1))
+                open_since[x] = -1
+        prev = cur
+
+    return RLEImage(
+        (RLERow(runs, width=height) for runs in out_runs), width=height
+    )
+
+
+def flip_horizontal(image: RLEImage) -> RLEImage:
+    """Mirror left-right: pixel ``(y, x)`` maps to ``(y, W-1-x)``."""
+    width = image.width
+    rows = []
+    for row in image:
+        mirrored = [
+            Run.from_endpoints(width - 1 - run.end, width - 1 - run.start)
+            for run in reversed(row.runs)
+        ]
+        rows.append(RLERow(mirrored, width=width))
+    return RLEImage(rows, width=width)
+
+
+def flip_vertical(image: RLEImage) -> RLEImage:
+    """Mirror top-bottom."""
+    return RLEImage(reversed(image.rows), width=image.width)
+
+
+def rotate90(image: RLEImage) -> RLEImage:
+    """Rotate 90° clockwise: ``(y, x) -> (x, H-1-y)``."""
+    return flip_horizontal(transpose(image))
+
+
+def rotate270(image: RLEImage) -> RLEImage:
+    """Rotate 90° counter-clockwise."""
+    return transpose(flip_horizontal(image))
+
+
+def rotate180(image: RLEImage) -> RLEImage:
+    return flip_vertical(flip_horizontal(image))

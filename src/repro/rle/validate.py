@@ -1,0 +1,51 @@
+"""Structural validation shared by rows, registers and tests.
+
+The checks implement the paper's structural requirements on an RLE
+bitstring: strictly increasing starts and pairwise non-overlapping
+intervals.  Adjacency is allowed (non-canonical but valid).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import EncodingError
+from repro.rle.run import Run
+
+__all__ = ["validate_runs", "check_sorted_disjoint", "check_canonical"]
+
+
+def validate_runs(runs: Sequence[Run]) -> None:
+    """Raise :class:`EncodingError` unless ``runs`` is a valid RLE row.
+
+    Validity means strictly increasing starts and no overlap between any
+    two runs.  Because the runs are required to be sorted, checking each
+    consecutive pair suffices.
+    """
+    for prev, cur in zip(runs, runs[1:]):
+        if cur.start <= prev.start:
+            raise EncodingError(
+                f"run starts must strictly increase: {prev.as_tuple()} then {cur.as_tuple()}"
+            )
+        if cur.start <= prev.end:
+            raise EncodingError(
+                f"runs overlap: {prev.as_tuple()} and {cur.as_tuple()}"
+            )
+
+
+def check_sorted_disjoint(pairs: Sequence[Tuple[int, int]]) -> bool:
+    """Boolean form of :func:`validate_runs` on ``(start, length)`` pairs."""
+    try:
+        validate_runs([Run(s, n) for s, n in pairs])
+    except EncodingError:
+        return False
+    return True
+
+
+def check_canonical(runs: Sequence[Run]) -> bool:
+    """True when the run list is valid *and* has no adjacent runs."""
+    try:
+        validate_runs(runs)
+    except EncodingError:
+        return False
+    return all(a.end + 1 < b.start for a, b in zip(runs, runs[1:]))

@@ -1,0 +1,35 @@
+"""Generic linear systolic array substrate.
+
+The paper proposes dedicated hardware; this subpackage is the software
+equivalent: synchronously clocked cells in a linear array with a
+right-shift channel and the AND-tree termination controller described in
+Section 3 ("Externally when all cells are sending the termination signal
+along output C, then the termination signal is sent along input F").
+
+The XOR algorithm itself lives in :mod:`repro.core`; everything here is
+algorithm-agnostic so alternative cell programs (e.g. the broadcast-bus
+variant) reuse the same clocking, tracing, statistics, fault-injection
+and cost-model machinery.
+"""
+
+from repro.systolic.cell import Cell, ShiftDatum
+from repro.systolic.array import LinearSystolicArray
+from repro.systolic.controller import TerminationController
+from repro.systolic.clock import CycleClock, PhaseEvent
+from repro.systolic.trace import TraceRecorder, render_trace_table
+from repro.systolic.stats import ActivityStats
+from repro.systolic.cost import CostModel, CostReport
+
+__all__ = [
+    "Cell",
+    "ShiftDatum",
+    "LinearSystolicArray",
+    "TerminationController",
+    "CycleClock",
+    "PhaseEvent",
+    "TraceRecorder",
+    "render_trace_table",
+    "ActivityStats",
+    "CostModel",
+    "CostReport",
+]

@@ -1,0 +1,152 @@
+"""The synchronously clocked linear systolic array.
+
+One :meth:`LinearSystolicArray.step` is one hardware clock cycle — one
+iteration of the paper's per-cell ``while`` loop:
+
+1. every local phase of every cell runs (phases are cell-local, so a
+   sequential sweep is equivalent to the hardware's parallel update);
+2. the shift phase moves each cell's emission one position right,
+   gather-then-deliver so all cells see pre-shift values (simultaneity);
+3. the termination controller samples the ``C`` outputs.
+
+The array is deliberately algorithm-agnostic: the XOR machine, the fault
+harness and the broadcast-bus variant all drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import CapacityError, SystolicError
+from repro.systolic.cell import Cell, ShiftDatum
+from repro.systolic.clock import CycleClock
+from repro.systolic.controller import TerminationController
+
+__all__ = ["LinearSystolicArray"]
+
+#: Hook signature: called with (array, phase_name) after each phase.
+PhaseHook = Callable[["LinearSystolicArray", str], None]
+
+
+class LinearSystolicArray:
+    """A 1-D array of :class:`Cell` objects under a common clock.
+
+    Parameters
+    ----------
+    cells:
+        The processing elements, left to right.  All cells must expose
+        identical phase lists (the array issues one global phase signal).
+    controller:
+        Termination controller; defaults to ideal 0-latency detection.
+    boundary_input:
+        Factory producing the datum fed into cell 0's shift input each
+        iteration (defaults to "nothing", i.e. ``None`` — the loaded-array
+        operating mode of the paper).
+    """
+
+    SHIFT_PHASE = "shift"
+
+    def __init__(
+        self,
+        cells: Sequence[Cell],
+        controller: Optional[TerminationController] = None,
+        boundary_input: Optional[Callable[[], ShiftDatum]] = None,
+    ) -> None:
+        if not cells:
+            raise SystolicError("an array needs at least one cell")
+        phase_lists = {tuple(c.phase_names()) for c in cells}
+        if len(phase_lists) != 1:
+            raise SystolicError("all cells must share the same phase list")
+        self.cells: List[Cell] = list(cells)
+        self.controller = controller or TerminationController()
+        self.clock = CycleClock()
+        self.boundary_input = boundary_input or (lambda: None)
+        self._halted = False
+        #: Hooks fired after every phase (tracing, invariants, faults).
+        self.phase_hooks: List[PhaseHook] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def iterations(self) -> int:
+        """Iterations executed so far."""
+        return self.clock.iteration
+
+    def snapshot(self) -> tuple:
+        """Tuple of all cell snapshots — the global machine state."""
+        return tuple(cell.snapshot() for cell in self.cells)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+    def _fire_hooks(self, phase_name: str) -> None:
+        for hook in self.phase_hooks:
+            hook(self, phase_name)
+
+    def step(self) -> None:
+        """Execute one full iteration (all local phases + shift).
+
+        Raises
+        ------
+        SystolicError
+            If the array has already halted.
+        CapacityError
+            If a non-empty datum falls off the right end of the array —
+            the input did not fit in the configured number of cells.
+        """
+        if self._halted:
+            raise SystolicError("array has halted; reset() before stepping again")
+
+        self.clock.begin_iteration()
+        for phase in self.cells[0].phase_names():
+            for cell in self.cells:
+                cell.run_phase(phase)
+            self.clock.phase_done(phase)
+            self._fire_hooks(phase)
+
+        # gather-then-deliver models the simultaneous hardware shift
+        outgoing = [cell.shift_out() for cell in self.cells]
+        if outgoing[-1] is not None:
+            raise CapacityError(
+                f"datum {outgoing[-1]!r} shifted past the last cell "
+                f"(array of {len(self.cells)} cells is too small)"
+            )
+        self.cells[0].shift_in(self.boundary_input())
+        for i in range(1, len(self.cells)):
+            self.cells[i].shift_in(outgoing[i - 1])
+        self.clock.phase_done(self.SHIFT_PHASE)
+        self._fire_hooks(self.SHIFT_PHASE)
+
+    def run(self, max_iterations: Optional[int] = None) -> int:
+        """Step until the controller asserts F; returns iterations executed.
+
+        Parameters
+        ----------
+        max_iterations:
+            Safety bound; :class:`SystolicError` is raised if termination
+            has not occurred by then.  Callers reproducing Theorem 1 pass
+            ``k1 + k2``.
+        """
+        while not self.controller.poll(self.cells):
+            if max_iterations is not None and self.iterations >= max_iterations:
+                raise SystolicError(
+                    f"no termination after {self.iterations} iterations "
+                    f"(bound {max_iterations})"
+                )
+            self.step()
+        self._halted = True
+        return self.iterations
+
+    def reset_clock(self) -> None:
+        """Re-arm the array for another run (cell state is left alone)."""
+        self._halted = False
+        self.clock.reset()
+        self.controller.reset()

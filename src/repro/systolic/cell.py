@@ -1,0 +1,86 @@
+"""The abstract systolic cell.
+
+A cell is a finite-state processing element that
+
+* executes a fixed sequence of *local phases* each iteration (steps 1 and
+  2 of the paper's algorithm are local phases of the XOR cell),
+* participates in the synchronous *shift phase* by emitting one datum to
+  its right neighbour and accepting one from its left neighbour, and
+* continuously drives its termination output ``C``.
+
+Phases are cell-local by contract: a phase may read and write only the
+cell's own registers, which is what makes executing them cell-by-cell in
+software equivalent to the hardware's simultaneous update.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Sequence
+
+__all__ = ["Cell", "ShiftDatum"]
+
+#: Whatever travels over the shift channel.  ``None`` means "nothing" —
+#: an empty register shifting right.
+ShiftDatum = Optional[Any]
+
+
+class Cell(ABC):
+    """Base class for systolic processing elements.
+
+    Subclasses define the per-iteration local phases via
+    :meth:`phase_names` / :meth:`run_phase` and the shift-channel
+    behaviour via :meth:`shift_out` / :meth:`shift_in`.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        #: Position of the cell in the array, 0-based, fixed at build time.
+        self.index = index
+
+    # ------------------------------------------------------------------ #
+    # Local computation                                                  #
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def phase_names(self) -> Sequence[str]:
+        """Names of the local phases, executed in order each iteration."""
+
+    @abstractmethod
+    def run_phase(self, name: str) -> None:
+        """Execute one local phase.  Must touch only this cell's state."""
+
+    # ------------------------------------------------------------------ #
+    # Shift channel                                                      #
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def shift_out(self) -> ShiftDatum:
+        """Emit the datum leaving this cell to the right.
+
+        Called once per iteration on every cell *before* any
+        :meth:`shift_in` delivery, which is how the simulator models the
+        simultaneous hardware shift.
+        """
+
+    @abstractmethod
+    def shift_in(self, datum: ShiftDatum) -> None:
+        """Accept the datum arriving from the left neighbour."""
+
+    # ------------------------------------------------------------------ #
+    # Termination and introspection                                      #
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def is_done(self) -> bool:
+        """The cell's ``C`` output — True when it votes for termination."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """An immutable, comparable view of the cell state (for traces,
+        invariant checks and cross-engine equivalence tests)."""
+
+    def display(self) -> str:
+        """Short human-readable cell rendering for trace tables."""
+        return repr(self.snapshot())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} #{self.index}>"

@@ -1,0 +1,86 @@
+"""Cycle/phase bookkeeping and event hooks for the systolic simulator.
+
+The hardware has a single global clock; the simulator exposes it as a
+:class:`CycleClock` that counts iterations, tags sub-phases with the
+paper's ``<iteration>.<phase>`` labels (Figure 3 labels the trace rows
+``1.1, 1.2, 1.3, 2.1, ...``), and fans events out to observers — trace
+recorders, invariant checkers, fault injectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["PhaseEvent", "CycleClock"]
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One completed phase of one iteration.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration number (the paper's trace starts at 1).
+    phase_index:
+        1-based phase position within the iteration.
+    phase_name:
+        The cell-defined phase name, or ``"shift"`` for the shift phase.
+    """
+
+    iteration: int
+    phase_index: int
+    phase_name: str
+
+    @property
+    def label(self) -> str:
+        """The paper's ``i.p`` trace label, e.g. ``"2.3"``."""
+        return f"{self.iteration}.{self.phase_index}"
+
+
+Observer = Callable[[PhaseEvent], None]
+
+
+class CycleClock:
+    """Counts iterations/phases and notifies observers after each phase."""
+
+    __slots__ = ("_iteration", "_phase_index", "_observers")
+
+    def __init__(self) -> None:
+        self._iteration = 0
+        self._phase_index = 0
+        self._observers: List[Observer] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def iteration(self) -> int:
+        """Number of iterations started so far (0 before the first)."""
+        return self._iteration
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register a callback fired after every completed phase."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------ #
+    def begin_iteration(self) -> int:
+        """Advance to the next iteration; returns its 1-based number."""
+        self._iteration += 1
+        self._phase_index = 0
+        return self._iteration
+
+    def phase_done(self, phase_name: str) -> PhaseEvent:
+        """Record completion of the next phase and notify observers."""
+        self._phase_index += 1
+        event = PhaseEvent(self._iteration, self._phase_index, phase_name)
+        for observer in self._observers:
+            observer(event)
+        return event
+
+    def reset(self) -> None:
+        """Return to the pre-run state (observers stay subscribed)."""
+        self._iteration = 0
+        self._phase_index = 0

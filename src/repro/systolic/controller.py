@@ -1,0 +1,55 @@
+"""Termination controller — the external AND of the cells' ``C`` outputs.
+
+Section 3: "Externally when all cells are sending the termination signal
+along output C, then the termination signal is sent along input F so that
+all the cells stop processing."  In hardware this is an AND tree plus a
+broadcast wire; here it is a poll over the cells, with an optional
+pipelined-latency model for studies of realistic termination detection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.systolic.cell import Cell
+
+__all__ = ["TerminationController"]
+
+
+class TerminationController:
+    """Models the F/C termination handshake.
+
+    Parameters
+    ----------
+    latency:
+        Iterations between "all cells raised C" and the cells seeing F.
+        0 models the paper's idealised same-cycle detection (its iteration
+        counts assume this); an AND *tree* over n cells would realistically
+        add ``ceil(log2 n)`` extra cycles, which callers can model by
+        passing that latency — the result is unaffected because a cell
+        whose ``RegBig`` is empty performs no further state change until
+        something shifts in.
+    """
+
+    __slots__ = ("latency", "_pending")
+
+    def __init__(self, latency: int = 0) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+        self._pending = 0
+
+    def poll(self, cells: Sequence[Cell]) -> bool:
+        """One controller cycle: sample all C outputs, return F.
+
+        Returns True when the array should halt *before* executing the
+        next iteration.
+        """
+        if all(cell.is_done() for cell in cells):
+            self._pending += 1
+        else:
+            self._pending = 0
+        return self._pending > self.latency
+
+    def reset(self) -> None:
+        self._pending = 0

@@ -1,0 +1,100 @@
+"""Hardware cost model for the systolic array.
+
+The paper evaluates in *iterations*; this model converts iteration counts
+and activity statistics into first-order time / energy / area estimates
+so the ablation benchmarks can compare design points (pure systolic vs.
+broadcast bus) in physical units rather than abstract cycles.
+
+The numbers are deliberately parameterised: defaults describe a modest
+late-1990s ASIC process (the paper's era) but every figure can be
+overridden.  The model is intentionally simple — per-event energies and a
+fixed cycle time — because the *relative* comparison is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systolic.stats import ActivityStats
+
+__all__ = ["CostModel", "CostReport"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Estimated physical cost of one run."""
+
+    cycles: int
+    time_ns: float
+    energy_nj: float
+    area_units: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.cycles} cycles, {self.time_ns:.1f} ns, "
+            f"{self.energy_nj:.3f} nJ, area {self.area_units:.0f} units"
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event cost parameters.
+
+    Attributes
+    ----------
+    cycle_time_ns:
+        Clock period.  100 MHz (10 ns) is representative of the era's
+        systolic image processors (e.g. the C3L labeling chip runs in
+        that regime).
+    compare_energy_pj, register_write_energy_pj, shift_energy_pj:
+        Energy per comparator evaluation, per run-register write and per
+        inter-cell shift of one run (two integers over the link).
+    idle_cell_energy_pj:
+        Static/clock energy per cell per cycle, busy or not.
+    cell_area_units:
+        Area per cell in arbitrary gate-equivalent units (two run
+        registers + comparators + control ≈ a few hundred gates).
+    bus_area_units:
+        Extra area when a broadcast bus spans the array.
+    bus_transfer_energy_pj:
+        Energy per broadcast-bus transaction.
+    """
+
+    cycle_time_ns: float = 10.0
+    compare_energy_pj: float = 0.8
+    register_write_energy_pj: float = 1.2
+    shift_energy_pj: float = 2.0
+    idle_cell_energy_pj: float = 0.05
+    cell_area_units: float = 320.0
+    bus_area_units: float = 1200.0
+    bus_transfer_energy_pj: float = 6.0
+
+    def estimate(
+        self,
+        iterations: int,
+        n_cells: int,
+        stats: ActivityStats,
+        has_bus: bool = False,
+    ) -> CostReport:
+        """Turn a run's statistics into a :class:`CostReport`.
+
+        Each iteration costs three sub-cycles (the paper's steps); we bill
+        one clock per step, hence ``cycles = 3 * iterations``.
+        """
+        cycles = 3 * iterations
+        energy_pj = (
+            # every occupied cell evaluates the step-1 comparator each cycle
+            self.compare_energy_pj * stats.get("busy_cells")
+            + self.register_write_energy_pj
+            * (2 * stats.get("swaps") + stats.get("moves") + 2 * stats.get("xor_splits"))
+            + self.shift_energy_pj * stats.get("shifts")
+            + self.idle_cell_energy_pj * cycles * n_cells
+            + self.bus_transfer_energy_pj * stats.get("bus_transfers")
+        )
+        area = self.cell_area_units * n_cells + (self.bus_area_units if has_bus else 0.0)
+        return CostReport(
+            cycles=cycles,
+            time_ns=cycles * self.cycle_time_ns,
+            energy_nj=energy_pj / 1000.0,
+            area_units=area,
+        )

@@ -1,0 +1,136 @@
+"""Fault injection for the systolic simulator.
+
+The paper's theorems guarantee correct results only for a fault-free
+array.  This module injects the classic hardware failure modes —
+stuck cells, corrupted registers, dropped shifts — so the test suite can
+demonstrate that (a) the invariant checkers of
+:mod:`repro.core.invariants` actually detect broken executions, and
+(b) a single faulty cell genuinely corrupts results (the checks are not
+vacuous).
+
+Faults are expressed as :class:`Fault` records scheduled by a
+:class:`FaultInjector` attached to an array's phase hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["Fault", "FaultInjector", "stuck_cell", "corrupt_register", "drop_shift"]
+
+
+@dataclass
+class Fault:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    iteration:
+        Iteration at which the fault fires (1-based).  ``None`` = every
+        iteration (a permanent fault).
+    phase:
+        Phase name after which the mutation is applied (e.g. ``"shift"``),
+        or ``"*"`` to fire after every phase.
+    cell_index:
+        Target cell.
+    mutate:
+        Callback receiving the target cell; mutates its state in place.
+    description:
+        Human-readable label for reports.
+    """
+
+    iteration: Optional[int]
+    phase: str
+    cell_index: int
+    mutate: Callable
+    description: str = ""
+
+    def applies(self, iteration: int, phase: str) -> bool:
+        return (self.phase == "*" or phase == self.phase) and (
+            self.iteration is None or self.iteration == iteration
+        )
+
+
+class FaultInjector:
+    """Applies scheduled faults through the array's phase hooks."""
+
+    def __init__(self, faults: Optional[List[Fault]] = None) -> None:
+        self.faults: List[Fault] = list(faults or [])
+        self.fired: List[Fault] = []
+
+    def add(self, fault: Fault) -> "FaultInjector":
+        self.faults.append(fault)
+        return self
+
+    def attach(self, array) -> "FaultInjector":
+        array.phase_hooks.append(self._hook)
+        return self
+
+    def _hook(self, array, phase_name: str) -> None:
+        iteration = array.clock.iteration
+        for fault in self.faults:
+            if fault.applies(iteration, phase_name):
+                fault.mutate(array.cells[fault.cell_index])
+                self.fired.append(fault)
+
+
+# --------------------------------------------------------------------- #
+# Canned fault constructors for the XOR cell                             #
+# --------------------------------------------------------------------- #
+def stuck_cell(cell_index: int, from_iteration: int = 1) -> Fault:
+    """The cell stops computing: both registers frozen via phase override.
+
+    Modeled by re-loading the pre-phase state after every local phase —
+    equivalent to a clock-gated (dead) processing element.
+    """
+    saved = {}
+
+    def mutate(cell):
+        key = id(cell)
+        if key not in saved:
+            saved[key] = cell.snapshot()
+        cell.restore(saved[key])
+
+    return Fault(
+        iteration=None,
+        phase="*",
+        cell_index=cell_index,
+        mutate=mutate,
+        description=f"cell {cell_index} stuck from iteration {from_iteration}",
+    )
+
+
+def corrupt_register(
+    cell_index: int, iteration: int, register: str = "small", delta: int = 1
+) -> Fault:
+    """Add ``delta`` to one register's start — a single-event upset."""
+
+    def mutate(cell):
+        reg = cell.small if register == "small" else cell.big
+        if not reg.is_empty:
+            reg.start += delta
+
+    return Fault(
+        iteration=iteration,
+        phase="xor",
+        cell_index=cell_index,
+        mutate=mutate,
+        description=f"corrupt {register} register of cell {cell_index} at iter {iteration}",
+    )
+
+
+def drop_shift(cell_index: int, iteration: int) -> Fault:
+    """Lose the datum that just shifted into ``cell_index`` — a broken
+    inter-cell link."""
+
+    def mutate(cell):
+        cell.big.clear()
+
+    return Fault(
+        iteration=iteration,
+        phase="shift",
+        cell_index=cell_index,
+        mutate=mutate,
+        description=f"drop shift into cell {cell_index} at iter {iteration}",
+    )

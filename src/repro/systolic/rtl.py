@@ -1,0 +1,354 @@
+"""Register-transfer-level model of the XOR cell.
+
+The paper proposes the algorithm *for hardware*; this module pins down
+what that hardware is.  The cell datapath is described as a netlist of
+signal assignments over a tiny expression language (constants, signals,
+add/sub, min/max, comparators, boolean ops, 2:1 muxes).  The netlist can
+be
+
+* **evaluated** — a micro-architectural simulator executes the phase-1
+  and phase-2 assignment blocks; the equivalence tests check it against
+  the behavioural :class:`~repro.core.xor_cell.XorCell` over exhaustive
+  state boxes, so the netlist *is* the cell, and
+
+* **costed** — every operator carries a gate-equivalent estimate
+  (ripple comparators/adders at the paper's word width), giving the
+  per-cell area figure the cost model uses.
+
+The state registers are the paper's two runs plus two valid bits:
+``ss, se`` (RegSmall start/end), ``bs, be`` (RegBig), ``sv, bv``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Sig",
+    "Const",
+    "BinOp",
+    "Mux",
+    "Assign",
+    "Netlist",
+    "build_phase1_netlist",
+    "build_phase2_netlist",
+    "RTLCell",
+    "WORD_WIDTH",
+]
+
+#: Coordinate word width (16 bits addresses rows up to 65 535 px, which
+#: covers every size the paper sweeps with headroom).
+WORD_WIDTH = 16
+
+# ---------------------------------------------------------------------- #
+# Expression language                                                     #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Sig:
+    """A named signal (register output or intermediate wire)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operator node.
+
+    ``op`` is one of ``add sub min max gt ge eq and or``.
+    Comparisons yield 0/1; ``and``/``or`` are 1-bit.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Mux:
+    """2:1 word multiplexer: ``sel ? if_true : if_false``."""
+
+    sel: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+Expr = Union[Sig, Const, BinOp, Not, Mux]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """One synchronous assignment ``dest <= expr`` (dest is a register
+    or a named wire; wires are written once and read afterwards)."""
+
+    dest: str
+    expr: Expr
+
+
+#: Gate-equivalents per operator at WORD_WIDTH bits (ripple structures,
+#: NAND2-equivalent units — coarse but consistent across design points).
+GATE_COST = {
+    "add": 5 * WORD_WIDTH,
+    "sub": 5 * WORD_WIDTH,
+    "min": 6 * WORD_WIDTH,   # comparator + mux
+    "max": 6 * WORD_WIDTH,
+    "gt": 3 * WORD_WIDTH,
+    "ge": 3 * WORD_WIDTH,
+    "eq": 2 * WORD_WIDTH,
+    "and": 1,
+    "or": 1,
+    "not": 1,
+    "mux": 3 * WORD_WIDTH,
+    "register_bit": 6,  # DFF
+}
+
+
+class Netlist:
+    """An ordered block of assignments with evaluation and costing."""
+
+    def __init__(self, name: str, assigns: List[Assign]) -> None:
+        self.name = name
+        self.assigns = assigns
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, state: Dict[str, int]) -> Dict[str, int]:
+        """Run the block on ``state`` and return the new environment.
+
+        Wires live only inside the call; the returned dict contains every
+        signal ever written (callers project out the register set).
+        """
+        env = dict(state)
+        for assign in self.assigns:
+            env[assign.dest] = _eval(assign.expr, env)
+        return env
+
+    def gate_count(self) -> int:
+        """Combinational gate-equivalents of the block."""
+        total = 0
+        for assign in self.assigns:
+            total += _gates(assign.expr)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Netlist {self.name}: {len(self.assigns)} assigns, ~{self.gate_count()} gates>"
+
+
+def _eval(expr: Expr, env: Dict[str, int]) -> int:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sig):
+        return env[expr.name]
+    if isinstance(expr, Not):
+        return 0 if _eval(expr.operand, env) else 1
+    if isinstance(expr, Mux):
+        return (
+            _eval(expr.if_true, env)
+            if _eval(expr.sel, env)
+            else _eval(expr.if_false, env)
+        )
+    assert isinstance(expr, BinOp)
+    a = _eval(expr.left, env)
+    b = _eval(expr.right, env)
+    if expr.op == "add":
+        return a + b
+    if expr.op == "sub":
+        return a - b
+    if expr.op == "min":
+        return min(a, b)
+    if expr.op == "max":
+        return max(a, b)
+    if expr.op == "gt":
+        return 1 if a > b else 0
+    if expr.op == "ge":
+        return 1 if a >= b else 0
+    if expr.op == "eq":
+        return 1 if a == b else 0
+    if expr.op == "and":
+        return 1 if (a and b) else 0
+    if expr.op == "or":
+        return 1 if (a or b) else 0
+    raise ValueError(f"unknown op {expr.op!r}")
+
+
+def _gates(expr: Expr) -> int:
+    if isinstance(expr, (Const, Sig)):
+        return 0
+    if isinstance(expr, Not):
+        return GATE_COST["not"] + _gates(expr.operand)
+    if isinstance(expr, Mux):
+        return (
+            GATE_COST["mux"]
+            + _gates(expr.sel)
+            + _gates(expr.if_true)
+            + _gates(expr.if_false)
+        )
+    assert isinstance(expr, BinOp)
+    return GATE_COST[expr.op] + _gates(expr.left) + _gates(expr.right)
+
+
+# ---------------------------------------------------------------------- #
+# The XOR cell's two combinational blocks                                  #
+# ---------------------------------------------------------------------- #
+def _s(name: str) -> Sig:
+    return Sig(name)
+
+
+def build_phase1_netlist() -> Netlist:
+    """Step 1 (normalize) as hardware.
+
+    ``swap`` is the paper's comparison; ``move`` the lone-run transfer.
+    Register writes are muxed on those two control wires.
+    """
+    swap_cmp = BinOp(
+        "or",
+        BinOp("gt", _s("ss"), _s("bs")),
+        BinOp(
+            "and",
+            BinOp("eq", _s("ss"), _s("bs")),
+            BinOp("gt", _s("se"), _s("be")),
+        ),
+    )
+    return Netlist(
+        "phase1_normalize",
+        [
+            Assign("w_both", BinOp("and", _s("sv"), _s("bv"))),
+            Assign("w_swap", BinOp("and", _s("w_both"), swap_cmp)),
+            Assign("w_move", BinOp("and", Not(_s("sv")), _s("bv"))),
+            Assign("w_take", BinOp("or", _s("w_swap"), _s("w_move"))),
+            # RegSmall takes RegBig's contents on swap or move
+            Assign("n_ss", Mux(_s("w_take"), _s("bs"), _s("ss"))),
+            Assign("n_se", Mux(_s("w_take"), _s("be"), _s("se"))),
+            Assign("n_sv", BinOp("or", _s("sv"), _s("bv"))),
+            # RegBig takes RegSmall's contents on swap, empties on move
+            Assign("n_bs", Mux(_s("w_swap"), _s("ss"), _s("bs"))),
+            Assign("n_be", Mux(_s("w_swap"), _s("se"), _s("be"))),
+            Assign("n_bv", BinOp("and", _s("bv"), Not(_s("w_move")))),
+            # commit
+            Assign("ss", _s("n_ss")),
+            Assign("se", _s("n_se")),
+            Assign("sv", _s("n_sv")),
+            Assign("bs", _s("n_bs")),
+            Assign("be", _s("n_be")),
+            Assign("bv", _s("n_bv")),
+        ],
+    )
+
+
+def build_phase2_netlist() -> Netlist:
+    """Step 2 (in-cell XOR) as hardware — the paper's four assignments
+    plus the end<start ⇒ invalid normalization, gated on both registers
+    being valid."""
+    one = Const(1)
+    return Netlist(
+        "phase2_xor",
+        [
+            Assign("w_act", BinOp("and", _s("sv"), _s("bv"))),
+            # oldSmallEnd
+            Assign("w_ose", _s("se")),
+            # RegSmall.end = min(RegSmall.end, RegBig.start - 1)
+            Assign(
+                "w_se",
+                BinOp("min", _s("se"), BinOp("sub", _s("bs"), one)),
+            ),
+            # RegBig.start = min(RegBig.end+1, max(oldSmallEnd+1, RegBig.start))
+            Assign(
+                "w_bs",
+                BinOp(
+                    "min",
+                    BinOp("add", _s("be"), one),
+                    BinOp("max", BinOp("add", _s("w_ose"), one), _s("bs")),
+                ),
+            ),
+            # RegBig.end = max(oldSmallEnd, RegBig.end)
+            Assign("w_be", BinOp("max", _s("w_ose"), _s("be"))),
+            # validity: end >= start
+            Assign("w_sv", BinOp("ge", _s("w_se"), _s("ss"))),
+            Assign("w_bv", BinOp("ge", _s("w_be"), _s("w_bs"))),
+            # commit, gated on activation
+            Assign("se", Mux(_s("w_act"), _s("w_se"), _s("se"))),
+            Assign("bs", Mux(_s("w_act"), _s("w_bs"), _s("bs"))),
+            Assign("be", Mux(_s("w_act"), _s("w_be"), _s("be"))),
+            Assign("sv", Mux(_s("w_act"), _s("w_sv"), _s("sv"))),
+            Assign("bv", Mux(_s("w_act"), _s("w_bv"), _s("bv"))),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# A cell driven by the netlists                                            #
+# ---------------------------------------------------------------------- #
+_EMPTY = (0, -1)
+
+
+class RTLCell:
+    """The XOR cell executed from its RTL description.
+
+    State is the six registers; :meth:`phase1` / :meth:`phase2` run the
+    netlist blocks; snapshots use the behavioural cell's format so the
+    equivalence tests compare directly.
+    """
+
+    #: DFF count: 4 coordinate registers + 2 valid bits.
+    REGISTER_BITS = 4 * WORD_WIDTH + 2
+
+    def __init__(self) -> None:
+        self.state: Dict[str, int] = {
+            "ss": 0, "se": 0, "sv": 0, "bs": 0, "be": 0, "bv": 0,
+        }
+        self._phase1 = build_phase1_netlist()
+        self._phase2 = build_phase2_netlist()
+
+    # ------------------------------------------------------------------ #
+    def load_snapshot(self, snap: Tuple[Tuple[int, int], Tuple[int, int]]) -> None:
+        (ss, se), (bs, be) = snap
+        small_valid = 1 if se >= ss else 0
+        big_valid = 1 if be >= bs else 0
+        self.state.update(
+            ss=ss if small_valid else 0,
+            se=se if small_valid else 0,
+            sv=small_valid,
+            bs=bs if big_valid else 0,
+            be=be if big_valid else 0,
+            bv=big_valid,
+        )
+
+    def snapshot(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        s = self.state
+        small = (s["ss"], s["se"]) if s["sv"] else _EMPTY
+        big = (s["bs"], s["be"]) if s["bv"] else _EMPTY
+        return (small, big)
+
+    def phase1(self) -> None:
+        env = self._phase1.evaluate(self.state)
+        self.state = {k: env[k] for k in self.state}
+
+    def phase2(self) -> None:
+        env = self._phase2.evaluate(self.state)
+        self.state = {k: env[k] for k in self.state}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def area_estimate(cls) -> Dict[str, int]:
+        """Gate-equivalent budget of one cell (combinational + storage)."""
+        phase1 = build_phase1_netlist().gate_count()
+        phase2 = build_phase2_netlist().gate_count()
+        storage = cls.REGISTER_BITS * GATE_COST["register_bit"]
+        return {
+            "phase1_gates": phase1,
+            "phase2_gates": phase2,
+            "storage_gates": storage,
+            "total_gates": phase1 + phase2 + storage,
+        }

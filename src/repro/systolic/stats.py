@@ -1,0 +1,74 @@
+"""Activity statistics for systolic runs.
+
+Cells and the array increment named counters through one shared
+:class:`ActivityStats` object; benches and the hardware cost model consume
+the totals.  Counter names used by the XOR machine:
+
+``swaps``
+    step-1 register exchanges (State *b* → State *a* transitions).
+``moves``
+    step-1 RegBig→RegSmall moves (lone-run normalization).
+``xor_splits``
+    step-2 executions that changed at least one register.
+``shifts``
+    non-empty data actually moved right in step 3.
+``busy_cells``
+    cells holding at least one run, accumulated per iteration
+    (divide by iterations × cells for mean occupancy).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["ActivityStats"]
+
+
+@dataclass
+class ActivityStats:
+    """A named-counter bag with a few derived metrics."""
+
+    counters: Counter = field(default_factory=Counter)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``.
+
+        Zero increments are dropped so that a counter that never fired is
+        *absent* — keeps stats comparable across engines that evaluate
+        counters eagerly (vectorized reductions) vs. lazily (per event).
+        """
+        if amount:
+            self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self.counters.items()))
+
+    def merge(self, other: "ActivityStats") -> "ActivityStats":
+        """Sum two stats bags (used when pipelining rows of an image)."""
+        merged = ActivityStats()
+        merged.counters = self.counters + other.counters
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def utilization(self, iterations: int, n_cells: int) -> float:
+        """Mean fraction of cells holding data per iteration."""
+        if iterations == 0 or n_cells == 0:
+            return 0.0
+        return self.get("busy_cells") / (iterations * n_cells)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{k}={v}" for k, v in self)
+        return f"ActivityStats({body})"

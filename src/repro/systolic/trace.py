@@ -1,0 +1,102 @@
+"""Execution tracing — regenerating the paper's Figure 3 tables.
+
+:class:`TraceRecorder` subscribes to an array's phase hooks and snapshots
+the machine after every phase; :func:`render_trace_table` lays the
+snapshots out exactly like the paper's execution table: one row per
+``<iteration>.<phase>`` label, one column per cell, each cell showing its
+register contents as ``(start,length)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceEntry", "TraceRecorder", "render_trace_table"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded phase: the label (``"2.1"`` or ``"initial"``), the
+    phase name, and the per-cell display strings and snapshots."""
+
+    label: str
+    phase_name: str
+    displays: Tuple[str, ...]
+    snapshots: Tuple[Any, ...]
+
+
+class TraceRecorder:
+    """Record per-phase machine snapshots.
+
+    Use by attaching to an array::
+
+        recorder = TraceRecorder()
+        recorder.attach(array)         # records 'initial' immediately
+        array.run()
+        print(render_trace_table(recorder.entries))
+    """
+
+    def __init__(self, phases: Optional[Sequence[str]] = None) -> None:
+        #: Restrict recording to these phase names (None = record all).
+        self.phases = set(phases) if phases is not None else None
+        self.entries: List[TraceEntry] = []
+
+    # ------------------------------------------------------------------ #
+    def attach(self, array) -> "TraceRecorder":
+        """Subscribe to ``array`` and record its pre-run state."""
+        self._record(array, "initial", "initial")
+        array.phase_hooks.append(self._hook)
+        return self
+
+    def _hook(self, array, phase_name: str) -> None:
+        if self.phases is not None and phase_name not in self.phases:
+            return
+        label = f"{array.clock.iteration}.{self._phase_number(array, phase_name)}"
+        self._record(array, label, phase_name)
+
+    @staticmethod
+    def _phase_number(array, phase_name: str) -> int:
+        names = list(array.cells[0].phase_names())
+        if phase_name == array.SHIFT_PHASE:
+            return len(names) + 1
+        return names.index(phase_name) + 1
+
+    def _record(self, array, label: str, phase_name: str) -> None:
+        self.entries.append(
+            TraceEntry(
+                label=label,
+                phase_name=phase_name,
+                displays=tuple(cell.display() for cell in array.cells),
+                snapshots=array.snapshot(),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def render_trace_table(
+    entries: Sequence[TraceEntry],
+    max_cells: Optional[int] = None,
+    cell_label: str = "Cell",
+) -> str:
+    """Format trace entries as the paper's Figure-3-style text table."""
+    if not entries:
+        return "(empty trace)"
+    n_cells = len(entries[0].displays)
+    if max_cells is not None:
+        n_cells = min(n_cells, max_cells)
+
+    headers = ["Step"] + [f"{cell_label}{i}" for i in range(n_cells)]
+    rows = [[e.label] + list(e.displays[:n_cells]) for e in entries]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) for c in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Synthetic workload generators.
+
+:mod:`repro.workloads.random_rows` reimplements the paper's Section 5
+methodology exactly (base runs 4–20 px, error runs 2–6 px, density and
+error rate set via average gap spacing); the other modules supply the
+application workloads the introduction motivates — PCB inspection,
+character recognition, motion detection — so the examples and benches
+exercise realistic data, not just noise.
+"""
+
+from repro.workloads.spec import (
+    BaseRowSpec,
+    ErrorSpec,
+    RowPairSpec,
+    as_generator,
+)
+from repro.workloads.random_rows import (
+    generate_base_row,
+    generate_error_mask,
+    generate_row_pair,
+)
+from repro.workloads.errors import edge_jitter, flip_error_runs, salt_pepper
+
+__all__ = [
+    "BaseRowSpec",
+    "ErrorSpec",
+    "RowPairSpec",
+    "as_generator",
+    "generate_base_row",
+    "generate_error_mask",
+    "generate_row_pair",
+    "flip_error_runs",
+    "salt_pepper",
+    "edge_jitter",
+]

@@ -1,0 +1,132 @@
+"""Character-recognition workload — 5×7 bitmap glyphs.
+
+Character recognition is among the applications the paper's introduction
+lists.  This module carries a classic 5×7 dot-matrix font (a standard
+public-domain pattern set), renders strings into binary images, and
+produces degraded copies so template-matching-style diffs can be
+benchmarked: a scanned glyph is compared against each template and the
+XOR pixel count ranks the candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.errors import WorkloadError
+from repro.rle.image import RLEImage
+from repro.workloads.spec import as_generator
+
+__all__ = ["GLYPHS", "render_glyph", "render_string", "degrade_image", "match_glyph"]
+
+# 5x7 dot-matrix font, one string per glyph row, '#' = foreground.
+GLYPHS: Dict[str, Tuple[str, ...]] = {
+    "A": (".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"),
+    "B": ("####.", "#...#", "####.", "####.", "#...#", "#...#", "####."),
+    "C": (".###.", "#...#", "#....", "#....", "#....", "#...#", ".###."),
+    "D": ("####.", "#...#", "#...#", "#...#", "#...#", "#...#", "####."),
+    "E": ("#####", "#....", "#....", "####.", "#....", "#....", "#####"),
+    "F": ("#####", "#....", "#....", "####.", "#....", "#....", "#...."),
+    "G": (".###.", "#...#", "#....", "#.###", "#...#", "#...#", ".###."),
+    "H": ("#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"),
+    "I": ("#####", "..#..", "..#..", "..#..", "..#..", "..#..", "#####"),
+    "J": ("..###", "...#.", "...#.", "...#.", "...#.", "#..#.", ".##.."),
+    "K": ("#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"),
+    "L": ("#....", "#....", "#....", "#....", "#....", "#....", "#####"),
+    "M": ("#...#", "##.##", "#.#.#", "#.#.#", "#...#", "#...#", "#...#"),
+    "N": ("#...#", "##..#", "#.#.#", "#..##", "#...#", "#...#", "#...#"),
+    "O": (".###.", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."),
+    "P": ("####.", "#...#", "#...#", "####.", "#....", "#....", "#...."),
+    "Q": (".###.", "#...#", "#...#", "#...#", "#.#.#", "#..#.", ".##.#"),
+    "R": ("####.", "#...#", "#...#", "####.", "#.#..", "#..#.", "#...#"),
+    "S": (".####", "#....", "#....", ".###.", "....#", "....#", "####."),
+    "T": ("#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."),
+    "U": ("#...#", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."),
+    "V": ("#...#", "#...#", "#...#", "#...#", "#...#", ".#.#.", "..#.."),
+    "W": ("#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"),
+    "X": ("#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"),
+    "Y": ("#...#", "#...#", ".#.#.", "..#..", "..#..", "..#..", "..#.."),
+    "Z": ("#####", "....#", "...#.", "..#..", ".#...", "#....", "#####"),
+    "0": (".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."),
+    "1": ("..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."),
+    "2": (".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"),
+    "3": (".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."),
+    "4": ("...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."),
+    "5": ("#####", "#....", "####.", "....#", "....#", "#...#", ".###."),
+    "6": (".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."),
+    "7": ("#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."),
+    "8": (".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."),
+    "9": (".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."),
+    " ": (".....", ".....", ".....", ".....", ".....", ".....", "....."),
+}
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+
+
+def render_glyph(char: str, scale: int = 1) -> RLEImage:
+    """Render one glyph, optionally magnified ``scale``× in each axis."""
+    if char.upper() not in GLYPHS:
+        raise WorkloadError(f"no glyph for {char!r}")
+    if scale < 1:
+        raise WorkloadError(f"scale must be >= 1, got {scale}")
+    rows = GLYPHS[char.upper()]
+    arr = np.array([[c == "#" for c in row] for row in rows], dtype=bool)
+    if scale > 1:
+        arr = np.repeat(np.repeat(arr, scale, axis=0), scale, axis=1)
+    return RLEImage.from_array(arr)
+
+
+def render_string(
+    text: str, scale: int = 1, spacing: int = 1, margin: int = 1
+) -> RLEImage:
+    """Render a string left to right on one baseline."""
+    if not text:
+        raise WorkloadError("cannot render an empty string")
+    glyphs = [render_glyph(c, scale).to_array() for c in text]
+    h = GLYPH_HEIGHT * scale
+    gap = spacing * scale
+    width = sum(g.shape[1] for g in glyphs) + gap * (len(glyphs) - 1) + 2 * margin
+    canvas = np.zeros((h + 2 * margin, width), dtype=bool)
+    x = margin
+    for g in glyphs:
+        canvas[margin : margin + h, x : x + g.shape[1]] = g
+        x += g.shape[1] + gap
+    return RLEImage.from_array(canvas)
+
+
+def degrade_image(
+    image: RLEImage, flip_probability: float = 0.02, seed: SeedLike = None
+) -> RLEImage:
+    """Per-pixel flip degradation — simulated print/scan noise."""
+    rng = as_generator(seed)
+    arr = image.to_array()
+    flips = rng.random(arr.shape) < flip_probability
+    return RLEImage.from_array(arr ^ flips)
+
+
+def match_glyph(
+    sample: RLEImage, scale: int = 1, candidates: Optional[str] = None
+) -> List[Tuple[str, int]]:
+    """Rank candidate glyphs by XOR distance to ``sample``.
+
+    Returns ``(char, differing_pixels)`` pairs, best match first — the
+    template-matching flow the paper's hardware would accelerate.
+    """
+    from repro.rle.ops2d import xor_images
+
+    chars = candidates if candidates is not None else "".join(
+        c for c in GLYPHS if c != " "
+    )
+    scores: List[Tuple[str, int]] = []
+    for c in chars:
+        template = render_glyph(c, scale)
+        if template.shape != sample.shape:
+            raise WorkloadError(
+                f"sample shape {sample.shape} != template shape {template.shape}"
+            )
+        scores.append((c, xor_images(sample, template).pixel_count))
+    scores.sort(key=lambda pair: pair[1])
+    return scores

@@ -1,0 +1,118 @@
+"""Synthetic map / line-drawing workload.
+
+Map analysis is another application from the paper's introduction
+("efficient morphological processing of maps and line drawings", ref.
+[6]).  This generator rasterizes a street-map-like line drawing — a
+jittered grid of roads plus random diagonal connectors — and produces a
+*revision* with a few segments added or removed.  Comparing map
+revisions is again the highly-similar regime: the difference is a
+handful of thin strokes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.errors import WorkloadError
+from repro.rle.image import RLEImage
+from repro.workloads.spec import as_generator
+
+__all__ = ["Segment", "draw_segments", "generate_map", "revise_map"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One stroke: endpoints (y, x) inclusive, with a stroke thickness."""
+
+    start: Tuple[int, int]
+    end: Tuple[int, int]
+    thickness: int = 1
+
+
+def _raster_segment(canvas: np.ndarray, seg: Segment) -> None:
+    """Bresenham-style rasterization with square brush thickness."""
+    h, w = canvas.shape
+    (y0, x0), (y1, x1) = seg.start, seg.end
+    steps = max(abs(y1 - y0), abs(x1 - x0), 1)
+    t = seg.thickness
+    for i in range(steps + 1):
+        y = round(y0 + (y1 - y0) * i / steps)
+        x = round(x0 + (x1 - x0) * i / steps)
+        ylo, yhi = max(0, y - t // 2), min(h, y + (t + 1) // 2)
+        xlo, xhi = max(0, x - t // 2), min(w, x + (t + 1) // 2)
+        canvas[ylo:yhi, xlo:xhi] = True
+
+
+def draw_segments(
+    height: int, width: int, segments: List[Segment]
+) -> RLEImage:
+    """Rasterize a list of strokes onto a blank canvas."""
+    canvas = np.zeros((height, width), dtype=bool)
+    for seg in segments:
+        _raster_segment(canvas, seg)
+    return RLEImage.from_array(canvas)
+
+
+def generate_map(
+    height: int = 192,
+    width: int = 192,
+    block: int = 24,
+    jitter: int = 3,
+    diagonals: int = 5,
+    thickness: int = 2,
+    seed: SeedLike = None,
+) -> Tuple[RLEImage, List[Segment]]:
+    """A street-map-like drawing; returns the image and its segments.
+
+    Horizontal/vertical roads on a jittered ``block`` grid plus a few
+    random diagonal connectors.
+    """
+    if block < 4:
+        raise WorkloadError(f"block must be >= 4, got {block}")
+    rng = as_generator(seed)
+    segments: List[Segment] = []
+    for y in range(block, height - 2, block):
+        yy = y + int(rng.integers(-jitter, jitter + 1))
+        segments.append(Segment((yy, 0), (yy, width - 1), thickness))
+    for x in range(block, width - 2, block):
+        xx = x + int(rng.integers(-jitter, jitter + 1))
+        segments.append(Segment((0, xx), (height - 1, xx), thickness))
+    for _ in range(diagonals):
+        y0 = int(rng.integers(0, height))
+        x0 = int(rng.integers(0, width))
+        y1 = min(height - 1, y0 + int(rng.integers(10, 2 * block)))
+        x1 = min(width - 1, x0 + int(rng.integers(10, 2 * block)))
+        segments.append(Segment((y0, x0), (y1, x1), thickness))
+    return draw_segments(height, width, segments), segments
+
+
+def revise_map(
+    height: int,
+    width: int,
+    segments: List[Segment],
+    additions: int = 2,
+    removals: int = 1,
+    seed: SeedLike = None,
+) -> Tuple[RLEImage, List[Segment]]:
+    """A map revision: drop ``removals`` random segments, add
+    ``additions`` new connectors.  Returns the revised raster and its
+    segment list."""
+    if removals > len(segments):
+        raise WorkloadError(
+            f"cannot remove {removals} of {len(segments)} segments"
+        )
+    rng = as_generator(seed)
+    kept = list(segments)
+    for _ in range(removals):
+        kept.pop(int(rng.integers(0, len(kept))))
+    for _ in range(additions):
+        y0 = int(rng.integers(0, height))
+        x0 = int(rng.integers(0, width))
+        y1 = min(height - 1, y0 + int(rng.integers(8, 40)))
+        x1 = min(width - 1, x0 + int(rng.integers(8, 40)))
+        kept.append(Segment((y0, x0), (y1, x1), thickness=2))
+    return draw_segments(height, width, kept), kept

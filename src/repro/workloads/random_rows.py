@@ -1,0 +1,167 @@
+"""The paper's Section 5 random-row generator.
+
+Base rows alternate uniformly-sampled gaps and runs; the second image of
+a pair is ``base XOR error_mask`` — which is precisely "flipping some of
+the bits of the first image in either direction (1 to 0, and 0 to 1) ...
+in runs of length 2 to 6".
+
+Everything returns validated :class:`~repro.rle.row.RLERow` objects, so
+downstream code never sees raw pixel arrays unless it asks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.errors import WorkloadError
+from repro.rle.ops import xor_rows
+from repro.rle.row import RLERow
+from repro.rle.run import Run
+from repro.workloads.spec import BaseRowSpec, ErrorSpec, RowPairSpec, as_generator
+
+__all__ = [
+    "generate_base_row",
+    "generate_error_mask",
+    "generate_row_pair",
+    "realize_spec",
+]
+
+
+def _uniform_int(rng: np.random.Generator, lo: int, hi: int) -> int:
+    """Inclusive uniform integer."""
+    return int(rng.integers(lo, hi + 1))
+
+
+def generate_base_row(spec: BaseRowSpec, seed: SeedLike = None) -> RLERow:
+    """Sample one base row: alternating gap/run with uniform lengths.
+
+    Gap lengths are uniform on ``[1, 2*mean_gap - 1]`` so their mean hits
+    the density target while staying at least 1 (keeping the row
+    canonical).  The row is truncated at ``width``.
+    """
+    rng = as_generator(seed)
+    lo, hi = spec.run_length
+    max_gap = max(1, int(round(2 * spec.mean_gap - 1)))
+    runs: List[Run] = []
+    cursor = _uniform_int(rng, 0, max_gap)  # random lead-in gap
+    while cursor < spec.width:
+        length = _uniform_int(rng, lo, hi)
+        length = min(length, spec.width - cursor)
+        if length >= 1:
+            runs.append(Run(cursor, length))
+        cursor += length + _uniform_int(rng, 1, max_gap)
+    return RLERow(runs, width=spec.width)
+
+
+def generate_error_mask(
+    spec: ErrorSpec, width: int, seed: SeedLike = None
+) -> RLERow:
+    """Sample the error mask — the runs of flipped bits.
+
+    Two placement strategies, matching the spec's two modes:
+
+    * **fraction mode** — the paper's own mechanism ("the percentage ...
+      of the errors ... was varied by changing the average distance
+      between the runs"): a gap/run walk whose mean gap hits the target
+      pixel fraction.  Gaps may shrink to zero at high fractions, in
+      which case the flip runs simply merge (flipping adjacent ranges is
+      one longer flip) — the returned row is canonicalized.
+    * **count mode** — exactly ``n_runs`` runs placed uniformly at
+      random with at least one pixel of separation (rejection sampling;
+      cheap because Table 1 uses only a handful of runs).
+    """
+    rng = as_generator(seed)
+    lo, hi = spec.run_length
+
+    if spec.fraction is not None:
+        return _fraction_mask(spec, width, rng)
+
+    assert spec.n_runs is not None
+    occupied = np.zeros(width + 1, dtype=bool)  # +1 keeps separation at edge
+    runs: List[Run] = []
+    attempts = 0
+    max_attempts = 200 * max(spec.n_runs, 1)
+    while len(runs) < spec.n_runs:
+        attempts += 1
+        if attempts > max_attempts:
+            raise WorkloadError(
+                f"could not place {spec.n_runs} error runs in width {width}"
+            )
+        length = (
+            spec.fixed_length
+            if spec.fixed_length is not None
+            else _uniform_int(rng, lo, hi)
+        )
+        if length > width:
+            raise WorkloadError(
+                f"error run of length {length} cannot fit in width {width}"
+            )
+        start = _uniform_int(rng, 0, width - length)
+        span_lo = max(0, start - 1)
+        span_hi = min(width, start + length + 1)
+        if occupied[span_lo:span_hi].any():
+            continue
+        occupied[start : start + length] = True
+        runs.append(Run(start, length))
+
+    runs.sort(key=lambda r: r.start)
+    return RLERow(runs, width=width)
+
+
+def _fraction_mask(spec: ErrorSpec, width: int, rng: np.random.Generator) -> RLERow:
+    """Gap/run walk hitting a target flipped-pixel fraction."""
+    fraction = spec.fraction
+    assert fraction is not None
+    budget = int(round(fraction * width))
+    if budget <= 0 or width == 0:
+        return RLERow.empty(width)
+    lo, hi = spec.run_length
+    mean_len = (
+        spec.fixed_length if spec.fixed_length is not None else (lo + hi) / 2.0
+    )
+    mean_gap = mean_len * (1.0 - fraction) / fraction
+    max_gap = max(0, int(round(2 * mean_gap)))
+
+    runs: List[Run] = []
+    placed = 0
+    # random lead-in so masks are translation-invariant on average
+    cursor = _uniform_int(rng, 0, max(max_gap, 1))
+    while cursor < width and placed < budget:
+        length = (
+            spec.fixed_length
+            if spec.fixed_length is not None
+            else _uniform_int(rng, lo, hi)
+        )
+        length = min(length, width - cursor, max(budget - placed, 1))
+        if length >= 1:
+            runs.append(Run(cursor, length))
+            placed += length
+        cursor += length + _uniform_int(rng, 0, max_gap)
+    # zero gaps merge adjacent flip runs into longer flips
+    return RLERow(runs, width=width).canonical()
+
+
+def generate_row_pair(
+    base_spec: BaseRowSpec,
+    error_spec: ErrorSpec,
+    seed: SeedLike = None,
+) -> Tuple[RLERow, RLERow, RLERow]:
+    """One Section 5 test case.
+
+    Returns ``(row1, row2, error_mask)`` with ``row2 = row1 XOR mask``;
+    the mask is returned so experiments can report the ground-truth
+    error statistics alongside the measurements.
+    """
+    rng = as_generator(seed)
+    base = generate_base_row(base_spec, rng)
+    mask = generate_error_mask(error_spec, base_spec.width, rng)
+    flipped = xor_rows(base, mask)
+    return base, flipped, mask
+
+
+def realize_spec(spec: RowPairSpec) -> Tuple[RLERow, RLERow, RLERow]:
+    """Materialize a :class:`~repro.workloads.spec.RowPairSpec`."""
+    return generate_row_pair(spec.base, spec.errors, spec.seed)

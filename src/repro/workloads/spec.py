@@ -1,0 +1,143 @@
+"""Workload specifications and RNG plumbing.
+
+Every generator takes an explicit seed (or :class:`numpy.random.Generator`)
+so experiments are reproducible run-to-run and benches can fix their
+inputs; :func:`as_generator` is the single coercion point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.errors import WorkloadError
+
+__all__ = ["as_generator", "BaseRowSpec", "ErrorSpec", "RowPairSpec"]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``None`` / int / Generator into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class BaseRowSpec:
+    """Parameters of the paper's base-row generator.
+
+    "The on pixels in the first image were chosen in runs of length 4 to
+    20 ... The percentage of on pixels ... was varied by changing the
+    average distance between the runs."
+
+    Attributes
+    ----------
+    width:
+        Row length in pixels (the paper sweeps 128–2048 and uses 10 000
+        for Figure 5).
+    run_length:
+        Inclusive (min, max) of the uniform run-length distribution.
+    density:
+        Target foreground fraction; realized by choosing the mean gap as
+        ``mean_run * (1 - density) / density``.
+    """
+
+    width: int
+    run_length: Tuple[int, int] = (4, 20)
+    density: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise WorkloadError(f"width must be >= 0, got {self.width}")
+        lo, hi = self.run_length
+        if not (1 <= lo <= hi):
+            raise WorkloadError(f"bad run_length range {self.run_length}")
+        if not (0.0 < self.density < 1.0):
+            raise WorkloadError(f"density must be in (0, 1), got {self.density}")
+
+    @property
+    def mean_run_length(self) -> float:
+        lo, hi = self.run_length
+        return (lo + hi) / 2.0
+
+    @property
+    def mean_gap(self) -> float:
+        """Average background gap hitting the target density."""
+        return self.mean_run_length * (1.0 - self.density) / self.density
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """Parameters of the error (bit-flip) mask.
+
+    "these changes are called errors and they were created in runs of
+    length 2 to 6" — either a target *fraction* of error pixels
+    (Figure 5's x-axis, Table 1's 3.5 % row) or an exact *count* of
+    fixed-length error runs (Table 1's "6 runs of size 4" row).
+    """
+
+    run_length: Tuple[int, int] = (2, 6)
+    #: Fraction of pixels to flip (mutually exclusive with ``n_runs``).
+    fraction: Optional[float] = None
+    #: Exact number of error runs (mutually exclusive with ``fraction``).
+    n_runs: Optional[int] = None
+    #: Fixed length for counted runs (``None`` = sample from run_length).
+    fixed_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.fraction is None) == (self.n_runs is None):
+            raise WorkloadError("specify exactly one of fraction / n_runs")
+        if self.fraction is not None and not (0.0 <= self.fraction <= 1.0):
+            raise WorkloadError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.n_runs is not None and self.n_runs < 0:
+            raise WorkloadError(f"n_runs must be >= 0, got {self.n_runs}")
+        lo, hi = self.run_length
+        if not (1 <= lo <= hi):
+            raise WorkloadError(f"bad run_length range {self.run_length}")
+        if self.fixed_length is not None and self.fixed_length < 1:
+            raise WorkloadError(f"fixed_length must be >= 1, got {self.fixed_length}")
+
+
+@dataclass(frozen=True)
+class RowPairSpec:
+    """A full Section 5 test case: base row + error mask + seed."""
+
+    base: BaseRowSpec
+    errors: ErrorSpec
+    seed: Optional[int] = None
+
+    @classmethod
+    def paper_figure5(
+        cls, error_fraction: float, width: int = 10_000, seed: Optional[int] = None
+    ) -> "RowPairSpec":
+        """Figure 5's setting: 10 000 px, ~250 runs at 30 % density."""
+        return cls(
+            base=BaseRowSpec(width=width, run_length=(4, 20), density=0.30),
+            errors=ErrorSpec(run_length=(2, 6), fraction=error_fraction),
+            seed=seed,
+        )
+
+    @classmethod
+    def paper_table1_percent(
+        cls, width: int, seed: Optional[int] = None
+    ) -> "RowPairSpec":
+        """Table 1, first pairing: errors ≈ 3.5 % of the image."""
+        return cls(
+            base=BaseRowSpec(width=width, run_length=(4, 20), density=0.30),
+            errors=ErrorSpec(run_length=(2, 6), fraction=0.035),
+            seed=seed,
+        )
+
+    @classmethod
+    def paper_table1_fixed(
+        cls, width: int, seed: Optional[int] = None
+    ) -> "RowPairSpec":
+        """Table 1, second pairing: exactly 6 error runs of 4 pixels."""
+        return cls(
+            base=BaseRowSpec(width=width, run_length=(4, 20), density=0.30),
+            errors=ErrorSpec(run_length=(2, 6), n_runs=6, fixed_length=4),
+            seed=seed,
+        )

@@ -1,0 +1,151 @@
+"""Named canned workloads used by benches, examples and smoke tests.
+
+Each entry is a zero-argument callable returning a pair of RLE rows (or
+images) plus a short description — a stable registry so benchmarks and
+documentation refer to workloads by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.rle.row import RLERow
+from repro.workloads.spec import BaseRowSpec, ErrorSpec
+from repro.workloads.random_rows import generate_row_pair
+
+__all__ = ["RowWorkload", "ROW_WORKLOADS", "get_row_workload"]
+
+
+@dataclass(frozen=True)
+class RowWorkload:
+    """A named, seeded row-pair workload."""
+
+    name: str
+    description: str
+    make: Callable[[], Tuple[RLERow, RLERow, RLERow]]
+
+
+def _pair(width: int, density: float, *, fraction=None, n_runs=None,
+          fixed_length=None, seed: int) -> Callable:
+    def make() -> Tuple[RLERow, RLERow, RLERow]:
+        return generate_row_pair(
+            BaseRowSpec(width=width, density=density),
+            ErrorSpec(fraction=fraction, n_runs=n_runs, fixed_length=fixed_length),
+            seed=seed,
+        )
+
+    return make
+
+
+ROW_WORKLOADS: Dict[str, RowWorkload] = {
+    w.name: w
+    for w in [
+        RowWorkload(
+            "tiny-similar",
+            "512 px, 2 error runs — near-identical rows",
+            _pair(512, 0.30, n_runs=2, fixed_length=4, seed=101),
+        ),
+        RowWorkload(
+            "paper-figure5-5pct",
+            "10 000 px at 30 % density with 5 % error pixels (Figure 5 regime)",
+            _pair(10_000, 0.30, fraction=0.05, seed=102),
+        ),
+        RowWorkload(
+            "paper-table1-2048-fixed",
+            "2048 px with exactly 6 error runs of 4 px (Table 1, second pairing)",
+            _pair(2048, 0.30, n_runs=6, fixed_length=4, seed=103),
+        ),
+        RowWorkload(
+            "paper-table1-2048-pct",
+            "2048 px with 3.5 % error pixels (Table 1, first pairing)",
+            _pair(2048, 0.30, fraction=0.035, seed=104),
+        ),
+        RowWorkload(
+            "dense-dissimilar",
+            "4096 px at 50 % density with 40 % error pixels — stress regime",
+            _pair(4096, 0.50, fraction=0.40, seed=105),
+        ),
+    ]
+}
+
+
+def get_row_workload(name: str) -> RowWorkload:
+    """Look up a canned workload; raises ``KeyError`` with the catalog."""
+    try:
+        return ROW_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ROW_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+# --------------------------------------------------------------------- #
+# Image-pair workloads (application scenarios)                           #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ImageWorkload:
+    """A named, seeded image-pair workload: ``make()`` returns
+    ``(reference, comparison)`` — the highly-similar pairs of the
+    paper's application domains."""
+
+    name: str
+    description: str
+    make: Callable[[], tuple]
+
+
+def _pcb_pair():
+    from repro.workloads.pcb import PCBLayout, generate_inspection_case
+
+    reference, scanned, _ = generate_inspection_case(
+        PCBLayout(height=192, width=192), n_defects=4, seed=301
+    )
+    return reference, scanned
+
+
+def _motion_pair():
+    from repro.workloads.motion import generate_sequence
+
+    frames = generate_sequence(128, 128, n_frames=2, seed=302)
+    return frames[0], frames[1]
+
+
+def _map_pair():
+    from repro.workloads.maps import generate_map, revise_map
+
+    original, segments = generate_map(192, 192, seed=303)
+    revised, _ = revise_map(192, 192, segments, seed=304)
+    return original, revised
+
+
+def _fingerprint_pair():
+    from repro.inspection.reference import ReferenceComparator
+    from repro.rle.ops2d import translate_image
+    from repro.workloads.fingerprint import generate_pair
+
+    first, second = generate_pair(same_finger=True, seed=305)
+    # register the second impression (a matcher always aligns first;
+    # unregistered periodic ridges are maximally dissimilar)
+    dy, dx = ReferenceComparator(first, max_offset=2).align(second)
+    return first, translate_image(second, dy, dx) if (dy or dx) else second
+
+
+IMAGE_WORKLOADS: Dict[str, ImageWorkload] = {
+    w.name: w
+    for w in [
+        ImageWorkload("pcb", "reference board vs defective scan", _pcb_pair),
+        ImageWorkload("motion", "two consecutive surveillance frames", _motion_pair),
+        ImageWorkload("map", "street map vs revision", _map_pair),
+        ImageWorkload(
+            "fingerprint", "two impressions of the same finger", _fingerprint_pair
+        ),
+    ]
+}
+
+
+def get_image_workload(name: str) -> ImageWorkload:
+    """Look up a canned image workload; raises ``KeyError`` with catalog."""
+    try:
+        return IMAGE_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(IMAGE_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

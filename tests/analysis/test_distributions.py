@@ -1,0 +1,87 @@
+"""Tests for distributional statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    bootstrap_mean_ci,
+    histogram,
+    metric_values,
+    quantiles,
+    summarize_distribution,
+    tail_ratio,
+)
+from repro.analysis.runner import Record
+
+
+class TestQuantiles:
+    def test_median_of_odd_list(self):
+        assert quantiles([1, 2, 3], (0.5,))[0.5] == 2.0
+
+    def test_extremes(self):
+        qs = quantiles(list(range(101)), (0.0, 1.0))
+        assert qs[0.0] == 0.0 and qs[1.0] == 100.0
+
+    def test_empty(self):
+        assert math.isnan(quantiles([], (0.5,))[0.5])
+
+
+class TestHistogram:
+    def test_bins_cover_all_values(self):
+        values = list(range(100))
+        bins = histogram(values, bins=10)
+        assert sum(c for _, _, c in bins) == 100
+        assert bins[0][0] == 0.0 and bins[-1][1] == 99.0
+
+    def test_empty(self):
+        assert histogram([]) == []
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for trial in range(20):
+            sample = rng.normal(10.0, 2.0, size=50)
+            lo, hi = bootstrap_mean_ci(sample.tolist(), seed=trial)
+            if lo <= 10.0 <= hi:
+                hits += 1
+        assert hits >= 16  # ~95% nominal coverage
+
+    def test_deterministic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(values, seed=1) == bootstrap_mean_ci(values, seed=1)
+
+    def test_singleton(self):
+        assert bootstrap_mean_ci([5.0]) == (5.0, 5.0)
+
+    def test_empty(self):
+        lo, hi = bootstrap_mean_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+
+class TestTailRatio:
+    def test_flat_distribution(self):
+        assert tail_ratio([5.0] * 100) == pytest.approx(1.0)
+
+    def test_heavy_tail(self):
+        values = [1.0] * 90 + [100.0] * 10
+        assert tail_ratio(values) > 5.0
+
+    def test_zero_mean(self):
+        assert tail_ratio([0.0, 0.0]) == 1.0
+
+
+class TestSummary:
+    def test_fields_consistent(self):
+        values = list(np.random.default_rng(1).integers(1, 50, size=200).astype(float))
+        s = summarize_distribution(values, seed=2)
+        assert s.ci_low <= s.mean <= s.ci_high
+        assert s.p50 <= s.p90 <= s.p99 <= s.max
+        assert s.tail_ratio_99 == pytest.approx(s.p99 / s.mean)
+
+    def test_metric_values_extraction(self):
+        records = [Record({}, i, {"m": float(i)}) for i in range(3)]
+        assert metric_values(records, "m") == [0.0, 1.0, 2.0]

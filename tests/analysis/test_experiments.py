@@ -1,0 +1,203 @@
+"""Shape tests for the paper's evaluation artifacts.
+
+These run the real experiment sweeps at reduced scale and assert the
+*claims* of Section 5 / Table 1 / Figure 5 — who wins, what is flat,
+what is linear, what correlates — rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import aggregate
+from repro.analysis.experiments import (
+    bus_ablation_sweep,
+    compaction_sweep,
+    figure5_sweep,
+    figure5_trial,
+    table1_sweep,
+    table1_trial,
+)
+from repro.analysis.models import linear_fit
+
+
+class TestTable1Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        records = table1_sweep(widths=(128, 256, 512, 1024, 2048), repetitions=8)
+        return aggregate(
+            records,
+            ["errors", "width"],
+            ["systolic_iterations", "sequential_iterations"],
+        )
+
+    def _series(self, rows, errors, metric):
+        pts = [(r["width"], r[metric]) for r in rows if r["errors"] == errors]
+        xs, ys = zip(*sorted(pts))
+        return list(xs), list(ys)
+
+    def test_sequential_grows_linearly_both_regimes(self, rows):
+        for errors in ("3.5%", "6 runs"):
+            xs, ys = self._series(rows, errors, "sequential_iterations")
+            fit = linear_fit(xs, ys)
+            assert fit.slope > 0, errors
+            assert fit.r_squared > 0.95, errors
+
+    def test_systolic_grows_with_proportional_errors(self, rows):
+        xs, ys = self._series(rows, "3.5%", "systolic_iterations")
+        assert ys[-1] > 3 * ys[0]  # clearly increasing over 16x sizes
+
+    def test_systolic_flat_with_fixed_errors(self, rows):
+        """The paper's headline: "the systolic algorithm averages just
+        over 5 iterations regardless of how large the image gets"."""
+        xs, ys = self._series(rows, "6 runs", "systolic_iterations")
+        assert max(ys) - min(ys) < 3.0
+        assert max(ys) < 12.0
+
+    def test_systolic_beats_sequential_at_scale(self, rows):
+        for errors in ("3.5%", "6 runs"):
+            xs, ys_sys = self._series(rows, errors, "systolic_iterations")
+            _, ys_seq = self._series(rows, errors, "sequential_iterations")
+            assert ys_sys[-1] < ys_seq[-1], errors
+
+    def test_fixed_error_speedup_grows_with_size(self, rows):
+        _, ys_sys = self._series(rows, "6 runs", "systolic_iterations")
+        _, ys_seq = self._series(rows, "6 runs", "sequential_iterations")
+        speedups = [s / max(y, 1) for s, y in zip(ys_seq, ys_sys)]
+        assert speedups[-1] > 2 * speedups[0]
+
+
+class TestFigure5Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        records = figure5_sweep(
+            fractions=(0.01, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.90),
+            width=4000,
+            repetitions=6,
+        )
+        return aggregate(
+            records, ["error_fraction"], ["iterations", "run_difference", "k3"]
+        )
+
+    def test_iterations_track_run_difference_up_to_30pct(self, rows):
+        """"for medium amounts of error ... the dominating factor was the
+        difference between the number of runs in the two images"."""
+        low = [r for r in rows if r["error_fraction"] <= 0.30]
+        for r in low:
+            assert r["iterations"] == pytest.approx(
+                r["run_difference"], rel=0.35, abs=6
+            ), r
+
+    def test_k3_upper_bounds_iterations(self, rows):
+        """The Observation's curve: k3 (+1) dominates iterations at
+        every error level."""
+        for r in rows:
+            assert r["iterations"] <= r["k3"] + 1.5, r
+
+    def test_iterations_increase_with_error_up_to_saturation(self, rows):
+        ys = [
+            r["iterations"]
+            for r in sorted(rows, key=lambda r: r["error_fraction"])
+            if r["error_fraction"] <= 0.70
+        ]
+        assert ys == sorted(ys)
+
+    def test_divergence_beyond_40pct(self, rows):
+        """"When the number of pixels changed is much greater than 30 %
+        ... a different factor begins to dominate": the ratio
+        iterations / |k1 - k2| pulls away from 1 and the count latches
+        onto the k3 upper-bound curve."""
+        by_f = {r["error_fraction"]: r for r in rows}
+        ratio = lambda r: r["iterations"] / max(r["run_difference"], 1.0)
+        # tight correlation below 30 %, clear departure at 50 %+
+        assert ratio(by_f[0.10]) < 1.10
+        assert ratio(by_f[0.50]) > 1.15
+        assert ratio(by_f[0.70]) > ratio(by_f[0.30])
+        # at very high error the count rides the k3 curve
+        high = by_f[0.70]
+        assert high["iterations"] == pytest.approx(high["k3"], rel=0.05)
+
+    def test_trial_metrics_complete(self):
+        metrics = figure5_trial({"width": 2000, "error_fraction": 0.05}, seed=0)
+        assert set(metrics) >= {
+            "iterations",
+            "run_difference",
+            "k3",
+            "k1",
+            "k2",
+            "theorem1_bound",
+        }
+        assert metrics["iterations"] <= metrics["theorem1_bound"]
+
+
+class TestSizeIndependence:
+    def test_correlation_holds_irrespective_of_size(self):
+        """Section 5: the iterations/|k1-k2| correlation is "true
+        irrespective of the sizes of the images"."""
+        from repro.analysis.experiments import figure5_trial
+        from repro.analysis.runner import run_trials
+
+        for width in (1000, 4000, 16000):
+            records = run_trials(
+                figure5_trial,
+                {"width": width, "error_fraction": 0.05},
+                repetitions=6,
+                seed0=width,
+            )
+            iters = np.mean([r.metrics["iterations"] for r in records])
+            diffs = np.mean([r.metrics["run_difference"] for r in records])
+            assert iters == pytest.approx(diffs, rel=0.25, abs=6), width
+
+
+class TestDensitySweep:
+    def test_density_sweep_produces_all_points(self):
+        from repro.analysis.experiments import density_sweep
+
+        records = density_sweep(
+            densities=(0.2, 0.4), error_fraction=0.05, width=2000, repetitions=3
+        )
+        assert len(records) == 6
+        assert {r.params["density"] for r in records} == {0.2, 0.4}
+
+
+class TestAblationShapes:
+    def test_bus_never_slower(self):
+        records = bus_ablation_sweep(
+            fractions=(0.035, 0.10), width=1024, repetitions=4
+        )
+        for r in records:
+            assert r.metrics["bus_cycles"] <= r.metrics["systolic_iterations"]
+            assert r.metrics["speedup"] >= 1.0
+
+    def test_bus_wins_clearly_in_ripple_regime(self):
+        records = bus_ablation_sweep(fractions=(0.10,), width=2048, repetitions=4)
+        mean_speedup = np.mean([r.metrics["speedup"] for r in records])
+        assert mean_speedup > 2.0
+
+    def test_compaction_bus_cheaper_when_output_large(self):
+        records = compaction_sweep(fractions=(0.20,), width=2048, repetitions=4)
+        for r in records:
+            assert (
+                r.metrics["bus_compaction_cycles"]
+                <= r.metrics["systolic_compaction_cycles"] + 12
+            )
+
+    def test_compaction_accounting_consistent(self):
+        records = compaction_sweep(fractions=(0.05,), width=1024, repetitions=4)
+        for r in records:
+            assert (
+                r.metrics["raw_runs"] - r.metrics["mergeable_pairs"]
+                == r.metrics["canonical_runs"]
+            )
+
+
+class TestTable1Trial:
+    def test_fixed_error_mode(self):
+        metrics = table1_trial(
+            {"width": 512, "n_error_runs": 6, "error_run_length": 4}, seed=1
+        )
+        assert metrics["systolic_iterations"] >= 0
+        assert metrics["sequential_iterations"] > 0
+
+    def test_fraction_mode(self):
+        metrics = table1_trial({"width": 512, "error_fraction": 0.035}, seed=2)
+        assert metrics["systolic_iterations"] <= metrics["k1"] + metrics["k2"]

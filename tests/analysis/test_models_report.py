@@ -1,0 +1,119 @@
+"""Tests for analytic models, tables and plots."""
+
+import pytest
+
+from repro.analysis.models import (
+    LinearFit,
+    iteration_bounds,
+    linear_fit,
+    observed_bound_violations,
+)
+from repro.analysis.report import format_table, format_value, to_csv, to_markdown
+from repro.analysis.runner import Record
+from repro.analysis.asciiplot import ascii_plot
+
+
+class TestModels:
+    def test_iteration_bounds(self):
+        bounds = iteration_bounds(k1=4, k2=5, k3_raw=5)
+        assert bounds == {
+            "theorem1_bound": 9,
+            "observation_bound": 6,
+            "run_difference": 1,
+        }
+
+    def test_linear_fit_exact(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_linear_fit_flat(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_linear_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+
+    def test_violations_filter(self):
+        records = [
+            Record({}, 0, {"iterations": 5.0, "observation_bound": 6.0}),
+            Record({}, 1, {"iterations": 9.0, "observation_bound": 6.0}),
+        ]
+        bad = observed_bound_violations(records)
+        assert len(bad) == 1 and bad[0].seed == 1
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(3.14159, precision=4) == "3.1416"
+        assert format_value(float("nan")) == "-"
+        assert format_value("abc") == "abc"
+        assert format_value(True) == "True"
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        table = format_table(rows, title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_column_selection_and_headers(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"], headers={"b": "Bee"})
+        assert "Bee" in table and "a" not in table.splitlines()[0]
+
+    def test_markdown(self):
+        rows = [{"x": 1, "y": 2.0}]
+        md = to_markdown(rows)
+        assert md.splitlines()[0] == "| x | y |"
+        assert "|---|---|" in md
+
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": 2.5}, {"x": 2, "y": 3.5}]
+        path = tmp_path / "out.csv"
+        to_csv(rows, path)
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,2.5"
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "e.csv"
+        to_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        plot = ascii_plot(
+            {"up": [(0, 0), (1, 10)], "down": [(0, 10), (1, 0)]},
+            width=40,
+            height=10,
+            title="demo",
+        )
+        assert "demo" in plot
+        assert "* up" in plot and "o down" in plot
+        assert "*" in plot and "o" in plot
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data to plot)"
+        assert ascii_plot({"s": []}) == "(no data to plot)"
+
+    def test_single_point(self):
+        plot = ascii_plot({"s": [(1.0, 5.0)]}, width=20, height=5)
+        assert "*" in plot
+
+    def test_axis_labels(self):
+        plot = ascii_plot(
+            {"s": [(0, 1), (2, 3)]}, width=30, height=6, xlabel="err", ylabel="iters"
+        )
+        assert "err" in plot and "iters" in plot

@@ -1,0 +1,97 @@
+"""Tests for the sweep runner and aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import Summary, aggregate, group_by
+from repro.analysis.runner import Record, run_sweep, run_trials
+
+
+def fake_trial(params, seed):
+    return {"value": float(params["x"]) * 10 + (seed % 3), "seed_echo": float(seed)}
+
+
+class TestRunner:
+    def test_run_trials_count_and_params(self):
+        records = run_trials(fake_trial, {"x": 2}, repetitions=4)
+        assert len(records) == 4
+        assert all(r.params == {"x": 2} for r in records)
+
+    def test_seeds_unique_within_point(self):
+        records = run_trials(fake_trial, {"x": 1}, repetitions=10)
+        assert len({r.seed for r in records}) == 10
+
+    def test_seeds_differ_across_points(self):
+        sweep = run_sweep(fake_trial, [{"x": 1}, {"x": 2}], repetitions=5)
+        seeds_1 = {r.seed for r in sweep if r.params["x"] == 1}
+        seeds_2 = {r.seed for r in sweep if r.params["x"] == 2}
+        assert seeds_1.isdisjoint(seeds_2)
+
+    def test_deterministic_given_seed0(self):
+        a = run_sweep(fake_trial, [{"x": 3}], repetitions=3, seed0=5)
+        b = run_sweep(fake_trial, [{"x": 3}], repetitions=3, seed0=5)
+        assert [r.metrics for r in a] == [r.metrics for r in b]
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            fake_trial,
+            [{"x": 1}, {"x": 2}],
+            repetitions=1,
+            progress=lambda i, p: seen.append((i, p["x"])),
+        )
+        assert seen == [(0, 1), (1, 2)]
+
+    def test_record_value_falls_back_to_params(self):
+        record = Record(params={"x": 4}, seed=0, metrics={"m": 1.5})
+        assert record.value("m") == 1.5
+        assert record.value("x") == 4.0
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.std == pytest.approx(math.sqrt(2 / 3))
+        assert s.count == 3
+
+    def test_empty(self):
+        s = Summary.of([])
+        assert math.isnan(s.mean) and s.count == 0
+
+    def test_single(self):
+        s = Summary.of([5.0])
+        assert s.mean == 5.0 and s.std == 0.0
+
+
+class TestGroupingAggregation:
+    def _records(self):
+        return [
+            Record(params={"w": 10, "e": "a"}, seed=0, metrics={"m": 1.0}),
+            Record(params={"w": 10, "e": "a"}, seed=1, metrics={"m": 3.0}),
+            Record(params={"w": 20, "e": "a"}, seed=2, metrics={"m": 5.0}),
+            Record(params={"w": 10, "e": "b"}, seed=3, metrics={"m": 7.0}),
+        ]
+
+    def test_group_by(self):
+        groups = group_by(self._records(), ["w"])
+        assert set(groups) == {(10,), (20,)}
+        assert len(groups[(10,)]) == 3
+
+    def test_group_by_multiple_keys(self):
+        groups = group_by(self._records(), ["w", "e"])
+        assert len(groups) == 3
+
+    def test_aggregate_layout(self):
+        rows = aggregate(self._records(), ["w", "e"], ["m"])
+        first = rows[0]
+        assert first["w"] == 10 and first["e"] == "a"
+        assert first["m"] == 2.0
+        assert first["m_min"] == 1.0 and first["m_max"] == 3.0
+        assert first["n"] == 2
+
+    def test_aggregate_preserves_group_order(self):
+        rows = aggregate(self._records(), ["w"], ["m"])
+        assert [r["w"] for r in rows] == [10, 20]

@@ -1,0 +1,39 @@
+"""Tests for the broadcast-bus ledger."""
+
+from repro.broadcast.bus import BroadcastBus, BusTransaction
+
+
+class TestTransactions:
+    def test_distance(self):
+        t = BusTransaction(cycle=1, source=2, destination=7, payload=(0, 1))
+        assert t.distance == 5
+
+    def test_segmented_round_costs_one_cycle(self):
+        bus = BroadcastBus(segmented=True)
+        cost = bus.transfer_round(1, [(0, 3, (1, 2)), (4, 9, (5, 6))])
+        assert cost == 1
+        assert bus.cycles_used == 1
+        assert bus.transfer_count == 2
+
+    def test_shared_bus_serializes(self):
+        bus = BroadcastBus(segmented=False)
+        cost = bus.transfer_round(1, [(0, 3, (1, 2)), (4, 9, (5, 6))])
+        assert cost == 2
+        assert bus.cycles_used == 2
+
+    def test_empty_round_free(self):
+        bus = BroadcastBus()
+        assert bus.transfer_round(1, []) == 0
+        assert bus.cycles_used == 0
+
+    def test_distance_saved(self):
+        bus = BroadcastBus()
+        bus.transfer_round(1, [(0, 1, (1, 2)), (2, 7, (5, 6))])
+        # one-hop transfer saves nothing; 5-hop saves 4 ripple cycles
+        assert bus.total_distance_saved == 4
+
+    def test_reset(self):
+        bus = BroadcastBus()
+        bus.transfer_round(1, [(0, 1, (1, 2))])
+        bus.reset()
+        assert bus.transfer_count == 0 and bus.cycles_used == 0

@@ -1,0 +1,65 @@
+"""Tests for the reconfigurable-mesh primitives."""
+
+import pytest
+
+from repro.broadcast.rmesh import ReconfigurableMesh
+
+
+class TestSegmentedBroadcast:
+    def test_values_flow_right_within_segments(self):
+        mesh = ReconfigurableMesh(6)
+        out = mesh.segmented_broadcast([None, "a", None, "b", None, None])
+        assert out == [None, "a", "a", "b", "b", "b"]
+        assert mesh.cycles == 1
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableMesh(3).segmented_broadcast([None])
+
+    def test_no_leaders(self):
+        mesh = ReconfigurableMesh(3)
+        assert mesh.segmented_broadcast([None] * 3) == [None] * 3
+
+
+class TestPrefixSum:
+    def test_exclusive_prefix(self):
+        mesh = ReconfigurableMesh(5)
+        assert mesh.prefix_sum([1, 0, 1, 1, 0]) == [0, 1, 1, 2, 3]
+
+    def test_cycle_charge_logarithmic(self):
+        mesh = ReconfigurableMesh(1024)
+        mesh.prefix_sum([0] * 1024)
+        assert mesh.cycles == 11  # ceil(log2 1024) + 1
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurableMesh(2).prefix_sum([1])
+
+
+class TestCompact:
+    def test_packs_preserving_order(self):
+        mesh = ReconfigurableMesh(5)
+        out = mesh.compact([None, "x", None, "y", "z"])
+        assert out == ["x", "y", "z", None, None]
+
+    def test_all_empty(self):
+        mesh = ReconfigurableMesh(3)
+        assert mesh.compact([None] * 3) == [None] * 3
+
+
+class TestMergeAdjacentRuns:
+    def test_merges_chains(self):
+        mesh = ReconfigurableMesh(8)
+        slots = [(0, 2), (3, 5), None, (6, 6), (9, 9), None, None, (10, 12)]
+        out = mesh.merge_adjacent_runs(slots)
+        assert out[:2] == [(0, 6), (9, 12)]
+        assert all(s is None for s in out[2:])
+
+    def test_no_adjacency_just_compacts(self):
+        mesh = ReconfigurableMesh(4)
+        out = mesh.merge_adjacent_runs([None, (0, 1), None, (5, 6)])
+        assert out == [(0, 1), (5, 6), None, None]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ReconfigurableMesh(0)

@@ -1,0 +1,159 @@
+"""Tests for the theorem/corollary checkers themselves.
+
+Positive direction: clean executions satisfy every checker at every
+phase (hypothesis sweep).  Negative direction: hand-built broken states
+trigger each checker individually — no checker is vacuous.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvariantViolation
+from repro.rle.row import RLERow
+from repro.core.invariants import (
+    ParanoidChecker,
+    check_conservation,
+    check_corollary_1_1,
+    check_corollary_1_2,
+    check_cross_register_order,
+    check_gap_order,
+    check_intra_cell_order,
+    check_observation_k3,
+    check_regbig_ordered,
+    check_regsmall_ordered,
+    check_theorem_1,
+    check_theorem_3,
+    xor_boundary_multiset,
+)
+from repro.core.machine import SystolicXorMachine
+from tests.conftest import row_pairs, similar_row_pairs
+
+E = (0, -1)  # empty register
+
+
+class TestOrderingCheckers:
+    def test_regsmall_ordered_passes(self):
+        check_regsmall_ordered([((1, 3), E), ((5, 8), E), (E, E)])
+
+    def test_regsmall_overlap_detected(self):
+        with pytest.raises(InvariantViolation) as exc:
+            check_regsmall_ordered([((1, 5), E), ((4, 8), E)])
+        assert exc.value.name == "corollary_2_1_part1"
+
+    def test_regsmall_touching_detected(self):
+        with pytest.raises(InvariantViolation):
+            check_regsmall_ordered([((1, 5), E), ((5, 8), E)])
+
+    def test_regsmall_ignores_gaps(self):
+        check_regsmall_ordered([((1, 3), E), (E, E), ((5, 8), E)])
+
+    def test_regbig_ordered(self):
+        check_regbig_ordered([(E, (1, 3)), (E, (5, 8))])
+        with pytest.raises(InvariantViolation) as exc:
+            check_regbig_ordered([(E, (1, 5)), (E, (2, 8))])
+        assert exc.value.name == "corollary_2_1_part2"
+
+    def test_intra_cell_order(self):
+        check_intra_cell_order([((1, 3), (5, 8))])
+        with pytest.raises(InvariantViolation) as exc:
+            check_intra_cell_order([((1, 5), (5, 8))])
+        assert exc.value.name == "corollary_2_1_part3"
+
+    def test_cross_register_order(self):
+        check_cross_register_order([((1, 3), E), (E, (5, 8))])
+        with pytest.raises(InvariantViolation) as exc:
+            check_cross_register_order([((1, 6), E), (E, (5, 8))])
+        assert exc.value.name == "corollary_2_1_part4"
+
+    def test_cross_register_same_cell_not_part4(self):
+        # part 4 is strictly j > i; the same-cell case is part 3
+        check_cross_register_order([((1, 6), (5, 8))])
+
+    def test_gap_order_requires_gap(self):
+        # big in cell 0, small in cell 1, no gap: part 5 does not apply
+        check_gap_order([((1, 2), (4, 9)), ((5, 7), E)])
+
+    def test_gap_order_detects_violation(self):
+        # cell 0 has big ending at 9; cell 1 has empty small (the gap);
+        # cell 2's small starts at 8 <= 9 -> violation
+        with pytest.raises(InvariantViolation) as exc:
+            check_gap_order([(E, (4, 9)), (E, E), ((8, 10), E)])
+        assert exc.value.name == "corollary_2_1_part5"
+
+    def test_gap_order_cell_i_itself_counts(self):
+        # "including i itself": cell 0's small empty, big ends at 9,
+        # cell 1 small starts at 8 -> violation
+        with pytest.raises(InvariantViolation):
+            check_gap_order([(E, (4, 9)), ((8, 10), E)])
+
+
+class TestProgressCheckers:
+    def test_corollary_1_1(self):
+        snaps = [((1, 2), E), ((4, 5), E), (E, (7, 8))]
+        check_corollary_1_1(snaps, iteration=2)
+        with pytest.raises(InvariantViolation):
+            check_corollary_1_1(snaps, iteration=3)
+
+    def test_corollary_1_2(self):
+        snaps = [((1, 2), E), (E, E), ((5, 6), E)]
+        check_corollary_1_2(snaps, k1=2, k2=1)  # index 2 < 3 allowed
+        with pytest.raises(InvariantViolation):
+            check_corollary_1_2(snaps, k1=1, k2=1)  # index 2 >= 2 occupied
+
+    def test_theorem_1(self):
+        check_theorem_1(9, 4, 5)
+        with pytest.raises(InvariantViolation):
+            check_theorem_1(10, 4, 5)
+
+    def test_observation_k3(self):
+        check_observation_k3(6, 5)
+        with pytest.raises(InvariantViolation):
+            check_observation_k3(7, 5)
+
+
+class TestTheorem3AndConservation:
+    def test_theorem_3(self):
+        a = RLERow.from_pairs([(0, 2)], width=8)
+        b = RLERow.from_pairs([(1, 2)], width=8)
+        good = RLERow.from_pairs([(0, 1), (2, 1)], width=8)
+        bad = RLERow.from_pairs([(0, 1)], width=8)
+        check_theorem_3(good, a, b)
+        with pytest.raises(InvariantViolation):
+            check_theorem_3(bad, a, b)
+
+    def test_boundary_multiset_cancellation(self):
+        # two identical runs XOR to nothing
+        assert xor_boundary_multiset([((3, 6), (3, 6))]) == ()
+        # disjoint runs keep all four boundaries
+        assert xor_boundary_multiset([((1, 2), (5, 6))]) == (1, 3, 5, 7)
+
+    def test_conservation_detects_loss(self):
+        target = (1, 3, 5, 7)
+        check_conservation([((1, 2), (5, 6))], target)
+        with pytest.raises(InvariantViolation):
+            check_conservation([((1, 2), E)], target)
+
+
+class TestParanoidSweep:
+    @given(row_pairs(max_width=80))
+    @settings(max_examples=30)
+    def test_clean_runs_satisfy_everything(self, pair):
+        a, b = pair
+        result = SystolicXorMachine(paranoid=True).diff(a, b)
+        check_theorem_1(result.iterations, result.k1, result.k2)
+        check_theorem_3(result.result, a, b)
+        check_observation_k3(result.iterations, result.k3)
+
+    @given(similar_row_pairs(max_width=300))
+    @settings(max_examples=25)
+    def test_similar_regime_paranoid(self, pair):
+        a, b = pair
+        result = SystolicXorMachine(paranoid=True).diff(a, b)
+        check_theorem_3(result.result, a, b)
+
+    def test_checker_collects_context(self):
+        a = RLERow.from_pairs([(0, 2)], width=8)
+        b = RLERow.from_pairs([(4, 2)], width=8)
+        checker = ParanoidChecker(a, b)
+        assert checker.k1 == 1 and checker.k2 == 1
+        assert checker.target == (0, 2, 4, 6)

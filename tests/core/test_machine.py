@@ -1,0 +1,146 @@
+"""Tests for the SystolicXorMachine driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.rle.ops import xor_rows
+from repro.rle.row import RLERow
+from repro.core.machine import (
+    SystolicXorMachine,
+    XorRunResult,
+    default_cell_count,
+    extract_result,
+)
+
+
+def random_rows(seed=0, width=150, density=0.3):
+    rng = np.random.default_rng(seed)
+    return (
+        RLERow.from_bits(rng.random(width) < density),
+        RLERow.from_bits(rng.random(width) < density),
+    )
+
+
+class TestSizing:
+    def test_default_cell_count(self):
+        assert default_cell_count(4, 5) == 10
+        assert default_cell_count(0, 0) == 1
+
+    def test_explicit_cell_count_used(self):
+        a, b = random_rows(1)
+        machine = SystolicXorMachine(n_cells=64)
+        result = machine.diff(a, b)
+        assert result.n_cells == 64
+
+    def test_capacity_error_when_too_small_to_load(self):
+        a = RLERow.from_pairs([(0, 1), (2, 1), (4, 1)], width=10)
+        b = RLERow.empty(10)
+        with pytest.raises(CapacityError):
+            SystolicXorMachine(n_cells=2).diff(a, b)
+
+
+class TestEdgeCases:
+    def test_both_empty(self):
+        result = SystolicXorMachine().diff(RLERow.empty(10), RLERow.empty(10))
+        assert result.result.run_count == 0
+        assert result.iterations == 0
+
+    def test_one_empty_returns_other(self):
+        a = RLERow.from_pairs([(2, 3), (7, 1)], width=10)
+        result = SystolicXorMachine().diff(a, RLERow.empty(10))
+        assert result.result == a
+        assert result.iterations == 0  # RegBig all empty from the start
+
+    def test_empty_first_image(self):
+        b = RLERow.from_pairs([(2, 3)], width=10)
+        result = SystolicXorMachine().diff(RLERow.empty(10), b)
+        assert result.result.same_pixels(b)
+
+    def test_identical_rows_cancel(self):
+        a, _ = random_rows(2)
+        result = SystolicXorMachine().diff(a, a)
+        assert result.result.run_count == 0
+
+    def test_single_pixel_rows(self):
+        a = RLERow.from_pairs([(0, 1)], width=1)
+        b = RLERow.from_pairs([(0, 1)], width=1)
+        assert SystolicXorMachine().diff(a, b).result.run_count == 0
+
+    def test_zero_width(self):
+        result = SystolicXorMachine().diff(RLERow.empty(0), RLERow.empty(0))
+        assert result.result.run_count == 0
+
+
+class TestResultObject:
+    def test_fields(self):
+        a, b = random_rows(3)
+        result = SystolicXorMachine().diff(a, b)
+        assert isinstance(result, XorRunResult)
+        assert result.k1 == a.run_count
+        assert result.k2 == b.run_count
+        assert result.termination_bound == a.run_count + b.run_count
+        assert result.k3 == result.result.run_count
+
+    def test_canonical_result(self):
+        a = RLERow.from_pairs([(0, 2)], width=10)
+        b = RLERow.from_pairs([(2, 2)], width=10)
+        result = SystolicXorMachine().diff(a, b)
+        # the array keeps the two adjacent fragments; canonical merges
+        assert result.result.run_count == 2
+        assert result.canonical_result.to_pairs() == [(0, 4)]
+
+    def test_stats_populated(self):
+        a, b = random_rows(4)
+        result = SystolicXorMachine().diff(a, b)
+        assert result.stats.get("busy_cells") > 0
+
+    def test_trace_absent_by_default(self):
+        a, b = random_rows(5)
+        assert SystolicXorMachine().diff(a, b).trace is None
+
+
+class TestCorrectness:
+    def test_against_oracle_many_seeds(self):
+        for seed in range(25):
+            a, b = random_rows(seed, width=120)
+            result = SystolicXorMachine().diff(a, b)
+            assert result.result.same_pixels(xor_rows(a, b)), seed
+
+    def test_result_is_valid_row(self):
+        # extraction re-validates ordering (Theorem 2); a structurally
+        # broken result would raise inside RLERow
+        for seed in range(10):
+            a, b = random_rows(seed + 100)
+            result = SystolicXorMachine().diff(a, b)
+            assert result.result.run_count >= 0
+
+    def test_theorem1_bound_enforced_as_max_iterations(self):
+        for seed in range(10):
+            a, b = random_rows(seed + 200)
+            # diff() raises SystolicError if the k1+k2 bound is exceeded
+            SystolicXorMachine().diff(a, b)
+
+
+class TestControllerLatency:
+    def test_latency_does_not_change_result_or_count(self):
+        a, b = random_rows(6)
+        ideal = SystolicXorMachine().diff(a, b)
+        delayed = SystolicXorMachine(controller_latency=2).diff(a, b)
+        assert delayed.result == ideal.result
+        assert delayed.iterations == ideal.iterations
+
+    def test_extra_iterations_are_harmless(self):
+        a, b = random_rows(7)
+        result = SystolicXorMachine(controller_latency=3).diff(a, b)
+        assert result.result.same_pixels(xor_rows(a, b))
+
+
+class TestExtractResult:
+    def test_runs_in_cell_order(self):
+        a, b = random_rows(8)
+        machine = SystolicXorMachine()
+        array, _ = machine.build_array(a, b)
+        array.run()
+        result = extract_result(array, width=a.width)
+        assert result.same_pixels(xor_rows(a, b))

@@ -1,0 +1,66 @@
+"""Tests for the process-pool parallel differencing path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.core.parallel import parallel_diff_images
+from repro.core.pipeline import diff_images
+
+
+def images(seed=0, h=32, w=128):
+    rng = np.random.default_rng(seed)
+    a = rng.random((h, w)) < 0.3
+    b = a.copy()
+    for _ in range(10):
+        y = int(rng.integers(0, h))
+        x = int(rng.integers(0, w - 4))
+        b[y, x : x + 3] ^= True
+    return RLEImage.from_array(a), RLEImage.from_array(b)
+
+
+class TestEquivalenceWithSerial:
+    def test_same_image_and_iterations(self):
+        a, b = images(1)
+        serial = diff_images(a, b, engine="vectorized")
+        parallel = parallel_diff_images(a, b, workers=2)
+        assert parallel.image == serial.image
+        assert parallel.total_iterations == serial.total_iterations
+        assert [r.iterations for r in parallel.row_results] == [
+            r.iterations for r in serial.row_results
+        ]
+
+    def test_raw_output_mode(self):
+        a, b = images(2)
+        serial = diff_images(a, b, engine="vectorized", canonical=False)
+        parallel = parallel_diff_images(a, b, workers=2, canonical=False)
+        assert parallel.image == serial.image
+
+    def test_odd_chunking(self):
+        a, b = images(3, h=17)
+        parallel = parallel_diff_images(a, b, workers=2, chunk_rows=5)
+        serial = diff_images(a, b, engine="vectorized")
+        assert parallel.image == serial.image
+
+    def test_single_worker_short_circuits(self):
+        a, b = images(4)
+        result = parallel_diff_images(a, b, workers=1)
+        assert result.image == diff_images(a, b, engine="vectorized").image
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        a, _ = images(5)
+        with pytest.raises(GeometryError):
+            parallel_diff_images(a, RLEImage.blank(1, 1), workers=2)
+
+    def test_bad_worker_count(self):
+        a, b = images(6)
+        with pytest.raises(ValueError):
+            parallel_diff_images(a, b, workers=0)
+
+    def test_empty_image(self):
+        empty = RLEImage([], width=8)
+        result = parallel_diff_images(empty, empty, workers=2)
+        assert result.image.height == 0

@@ -1,0 +1,83 @@
+"""Tests for the RunRegister storage element."""
+
+from repro.core.registers import EMPTY_SNAPSHOT, RunRegister
+from repro.rle.run import Run
+
+
+class TestEmpty:
+    def test_new_register_is_empty(self):
+        reg = RunRegister()
+        assert reg.is_empty
+        assert reg.run is None
+        assert reg.snapshot() == EMPTY_SNAPSHOT
+
+    def test_clear(self):
+        reg = RunRegister(Run(3, 4))
+        reg.clear()
+        assert reg.is_empty
+        assert reg.snapshot() == EMPTY_SNAPSHOT
+
+    def test_empty_interval_normalizes(self):
+        reg = RunRegister()
+        reg.set_endpoints(10, 5)  # end < start => empty
+        assert reg.is_empty
+        assert reg.snapshot() == EMPTY_SNAPSHOT
+
+
+class TestLoadStore:
+    def test_load_run(self):
+        reg = RunRegister()
+        reg.load(Run(3, 4))
+        assert not reg.is_empty
+        assert reg.start == 3 and reg.end == 6
+        assert reg.run == Run(3, 4)
+
+    def test_load_none_clears(self):
+        reg = RunRegister(Run(1, 1))
+        reg.load(None)
+        assert reg.is_empty
+
+    def test_set_endpoints(self):
+        reg = RunRegister()
+        reg.set_endpoints(5, 9)
+        assert reg.run == Run.from_endpoints(5, 9)
+
+    def test_take(self):
+        reg = RunRegister(Run(3, 4))
+        assert reg.take() == Run(3, 4)
+        assert reg.is_empty
+        assert reg.take() is None
+
+    def test_move_from(self):
+        src, dst = RunRegister(Run(3, 4)), RunRegister()
+        dst.move_from(src)
+        assert src.is_empty
+        assert dst.run == Run(3, 4)
+
+    def test_swap_with(self):
+        a, b = RunRegister(Run(1, 2)), RunRegister(Run(5, 1))
+        a.swap_with(b)
+        assert a.run == Run(5, 1) and b.run == Run(1, 2)
+
+    def test_swap_with_empty(self):
+        a, b = RunRegister(Run(1, 2)), RunRegister()
+        a.swap_with(b)
+        assert a.is_empty and b.run == Run(1, 2)
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self):
+        reg = RunRegister(Run(3, 4))
+        snap = reg.snapshot()
+        reg.clear()
+        reg.restore(snap)
+        assert reg.run == Run(3, 4)
+
+    def test_restore_empty(self):
+        reg = RunRegister(Run(3, 4))
+        reg.restore(EMPTY_SNAPSHOT)
+        assert reg.is_empty
+
+    def test_str_paper_notation(self):
+        assert str(RunRegister(Run(10, 3))) == "(10,3)"
+        assert str(RunRegister()) == "·"

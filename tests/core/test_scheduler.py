@@ -1,0 +1,142 @@
+"""Tests for the multi-array deployment scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.rle.image import RLEImage
+from repro.core.scheduler import (
+    RowJob,
+    ScheduleResult,
+    row_costs,
+    scaling_curve,
+    schedule,
+    simulate_deployment,
+)
+
+
+def jobs_of(costs):
+    return [RowJob(i, c, 0) for i, c in enumerate(costs)]
+
+
+def images(seed=0, h=24, w=96):
+    rng = np.random.default_rng(seed)
+    a = rng.random((h, w)) < 0.3
+    b = a.copy()
+    for _ in range(6):
+        y = int(rng.integers(0, h))
+        x = int(rng.integers(0, w - 4))
+        b[y, x : x + 3] ^= True
+    return RLEImage.from_array(a), RLEImage.from_array(b)
+
+
+class TestRowCosts:
+    def test_one_job_per_row(self):
+        a, b = images(1)
+        jobs = row_costs(a, b)
+        assert len(jobs) == a.height
+        assert [j.row_index for j in jobs] == list(range(a.height))
+
+    def test_identical_rows_cost_one_cancel_pass(self):
+        a, _ = images(2)
+        jobs = row_costs(a, a, overhead=3)
+        # identical rows annihilate in the first iteration (empty rows in 0)
+        assert all(j.iterations <= 1 for j in jobs)
+        assert all(j.cost == j.iterations + 3 for j in jobs)
+
+    def test_shape_mismatch(self):
+        a, _ = images(3)
+        with pytest.raises(ReproError):
+            row_costs(a, RLEImage.blank(1, 1))
+
+
+class TestPolicies:
+    def test_every_job_assigned_exactly_once(self):
+        jobs = jobs_of([5, 1, 7, 3, 9, 2])
+        for policy in ("block", "round_robin", "lpt"):
+            result = schedule(jobs, 3, policy)
+            assigned = sorted(r for rows in result.assignment for r in rows)
+            assert assigned == list(range(6)), policy
+            assert result.total_work == sum(j.cost for j in jobs), policy
+
+    def test_block_is_contiguous(self):
+        result = schedule(jobs_of([1] * 6), 3, "block")
+        assert result.assignment == [[0, 1], [2, 3], [4, 5]]
+
+    def test_round_robin_strides(self):
+        result = schedule(jobs_of([1] * 6), 3, "round_robin")
+        assert result.assignment == [[0, 3], [1, 4], [2, 5]]
+
+    def test_lpt_balances_skewed_costs(self):
+        # one giant job + many small: block would overload array 0
+        jobs = jobs_of([100] + [1] * 10)
+        lpt = schedule(jobs, 2, "lpt")
+        assert lpt.makespan == 100  # giant alone, small ones together
+
+    def test_lpt_never_worse_than_others_here(self):
+        rng = np.random.default_rng(4)
+        jobs = jobs_of([int(c) for c in rng.integers(1, 50, size=40)])
+        for p in (2, 3, 5):
+            lpt = schedule(jobs, p, "lpt").makespan
+            for other in ("block", "round_robin"):
+                assert lpt <= schedule(jobs, p, other).makespan
+
+    def test_lpt_within_4_3_of_lower_bound(self):
+        rng = np.random.default_rng(5)
+        jobs = jobs_of([int(c) for c in rng.integers(1, 99, size=60)])
+        for p in (2, 4, 8):
+            result = schedule(jobs, p, "lpt")
+            lower = max(
+                max(j.cost for j in jobs), sum(j.cost for j in jobs) / p
+            )
+            assert result.makespan <= (4 / 3) * lower + 1
+
+    def test_single_array(self):
+        jobs = jobs_of([3, 4, 5])
+        result = schedule(jobs, 1, "lpt")
+        assert result.makespan == 12
+        assert result.speedup_over_single() == 1.0
+
+    def test_more_arrays_than_jobs(self):
+        result = schedule(jobs_of([5, 3]), 4, "lpt")
+        assert result.makespan == 5
+        assert sum(len(a) for a in result.assignment) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            schedule([], 0)
+        with pytest.raises(ReproError):
+            schedule([], 1, "magic")  # type: ignore[arg-type]
+
+    def test_empty_jobs(self):
+        result = schedule([], 3)
+        assert result.makespan == 0 and result.utilization == 1.0
+
+
+class TestMetrics:
+    def test_utilization_perfect_balance(self):
+        result = schedule(jobs_of([5, 5, 5, 5]), 2, "round_robin")
+        assert result.utilization == 1.0
+        assert result.speedup_over_single() == 2.0
+
+    def test_utilization_imbalance(self):
+        result = ScheduleResult(policy="x", n_arrays=2, busy=[10, 0], assignment=[[0], []])
+        assert result.utilization == 0.5
+
+
+class TestDeployment:
+    def test_end_to_end(self):
+        a, b = images(6)
+        result = simulate_deployment(a, b, n_arrays=4)
+        assert result.n_arrays == 4
+        assert sum(len(rows) for rows in result.assignment) == a.height
+
+    def test_scaling_curve_monotone(self):
+        a, b = images(7, h=48)
+        jobs = row_costs(a, b)
+        curve = scaling_curve(jobs, [1, 2, 4, 8])
+        spans = [curve[p].makespan for p in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+        # speedup bounded by the largest single job
+        biggest = max(j.cost for j in jobs)
+        assert curve[8].makespan >= biggest

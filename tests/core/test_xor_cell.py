@@ -1,0 +1,192 @@
+"""Unit tests for the XOR cell's three steps against the paper's text."""
+
+import pytest
+
+from repro.core.xor_cell import XorCell
+from repro.rle.run import Run
+from repro.systolic.stats import ActivityStats
+
+
+def cell(small=None, big=None, stats=None):
+    c = XorCell(0, stats=stats)
+    c.load(small, big)
+    return c
+
+
+def ep(s, e):
+    return Run.from_endpoints(s, e)
+
+
+class TestStep1Normalize:
+    def test_swap_when_small_starts_later(self):
+        c = cell(small=Run(10, 3), big=Run(3, 4))
+        c.step1_normalize()
+        assert c.small.run == Run(3, 4)
+        assert c.big.run == Run(10, 3)
+
+    def test_swap_on_equal_start_longer_first(self):
+        # the paper's tie-break: equal starts, RegSmall must hold the
+        # run with the smaller end (Figure 3, step 2.1, cell 4)
+        c = cell(small=ep(27, 30), big=ep(27, 29))
+        c.step1_normalize()
+        assert c.small.run == ep(27, 29)
+        assert c.big.run == ep(27, 30)
+
+    def test_no_swap_when_ordered(self):
+        c = cell(small=Run(3, 4), big=Run(10, 3))
+        c.step1_normalize()
+        assert c.small.run == Run(3, 4)
+        assert c.big.run == Run(10, 3)
+
+    def test_no_swap_on_identical(self):
+        c = cell(small=Run(5, 2), big=Run(5, 2))
+        c.step1_normalize()
+        assert c.small.run == Run(5, 2) and c.big.run == Run(5, 2)
+
+    def test_lone_big_moves_to_small(self):
+        c = cell(small=None, big=Run(4, 2))
+        c.step1_normalize()
+        assert c.small.run == Run(4, 2)
+        assert c.big.is_empty
+
+    def test_lone_small_unchanged(self):
+        c = cell(small=Run(4, 2), big=None)
+        c.step1_normalize()
+        assert c.small.run == Run(4, 2) and c.big.is_empty
+
+    def test_empty_cell_noop(self):
+        c = cell()
+        c.step1_normalize()
+        assert c.is_empty
+
+    def test_stats_counted(self):
+        stats = ActivityStats()
+        c = cell(small=Run(10, 1), big=Run(3, 1), stats=stats)
+        c.step1_normalize()
+        assert stats.get("swaps") == 1
+        c2 = cell(small=None, big=Run(3, 1), stats=stats)
+        c2.step1_normalize()
+        assert stats.get("moves") == 1
+
+
+class TestStep2Xor:
+    """One case per Figure 4 result class (a-oriented)."""
+
+    def run_xor(self, small, big):
+        c = cell(small=small, big=big)
+        c.step2_xor()
+        return c.small.run, c.big.run
+
+    def test_disjoint_unchanged(self):
+        s, b = self.run_xor(ep(3, 6), ep(10, 12))
+        assert s == ep(3, 6) and b == ep(10, 12)
+
+    def test_adjacent_unchanged(self):
+        s, b = self.run_xor(ep(3, 6), ep(7, 9))
+        assert s == ep(3, 6) and b == ep(7, 9)
+
+    def test_partial_overlap_splits(self):
+        s, b = self.run_xor(ep(8, 12), ep(10, 12 + 5))
+        assert s == ep(8, 9) and b == ep(13, 17)
+
+    def test_coterminal_kills_big(self):
+        s, b = self.run_xor(ep(3, 10), ep(6, 10))
+        assert s == ep(3, 5) and b is None
+
+    def test_containment_keeps_tail_in_big(self):
+        s, b = self.run_xor(ep(2, 8), ep(4, 6))
+        assert s == ep(2, 3) and b == ep(7, 8)
+
+    def test_coinitial_kills_small(self):
+        s, b = self.run_xor(ep(2, 5), ep(2, 8))
+        assert s is None and b == ep(6, 8)
+
+    def test_identical_kills_both(self):
+        s, b = self.run_xor(ep(4, 7), ep(4, 7))
+        assert s is None and b is None
+
+    def test_noop_when_big_empty(self):
+        c = cell(small=ep(4, 7), big=None)
+        c.step2_xor()
+        assert c.small.run == ep(4, 7)
+
+    def test_noop_when_small_empty(self):
+        c = cell(small=None, big=ep(4, 7))
+        c.step2_xor()
+        assert c.big.run == ep(4, 7)
+
+    def test_big_start_zero_edge(self):
+        # RegBig.start - 1 == -1: RegSmall must empty without blowing up
+        s, b = self.run_xor(ep(0, 3), ep(0, 5))
+        assert s is None and b == ep(4, 5)
+
+    def test_xor_split_counted_only_on_change(self):
+        stats = ActivityStats()
+        c = cell(small=ep(3, 6), big=ep(10, 12), stats=stats)
+        c.step2_xor()
+        assert stats.get("xor_splits") == 0
+        c2 = cell(small=ep(3, 6), big=ep(5, 12), stats=stats)
+        c2.step2_xor()
+        assert stats.get("xor_splits") == 1
+
+    def test_xor_preserves_pixel_symmetric_difference(self):
+        # brute-force over a grid of small cases
+        for a1 in range(0, 6):
+            for a2 in range(a1, 8):
+                for b1 in range(a1, 8):  # after step1, small is lex-first
+                    for b2 in range(b1, 10):
+                        if (b1, b2) < (a1, a2):
+                            continue
+                        s, b = self.run_xor(ep(a1, a2), ep(b1, b2))
+                        got = set()
+                        if s is not None:
+                            got |= set(s.pixels())
+                        if b is not None:
+                            got |= set(b.pixels())
+                        expected = set(range(a1, a2 + 1)) ^ set(range(b1, b2 + 1))
+                        assert got == expected, (a1, a2, b1, b2)
+
+
+class TestShift:
+    def test_shift_out_takes_big(self):
+        c = cell(small=Run(1, 1), big=Run(5, 2))
+        assert c.shift_out() == Run(5, 2)
+        assert c.big.is_empty
+
+    def test_shift_out_empty(self):
+        assert cell().shift_out() is None
+
+    def test_shift_in_loads_big(self):
+        c = cell()
+        c.shift_in(Run(7, 1))
+        assert c.big.run == Run(7, 1)
+
+    def test_shift_counted(self):
+        stats = ActivityStats()
+        c = cell(big=Run(5, 2), stats=stats)
+        c.shift_out()
+        assert stats.get("shifts") == 1
+        c.shift_out()
+        assert stats.get("shifts") == 1  # empty shift not counted
+
+
+class TestTermination:
+    def test_done_iff_big_empty(self):
+        assert cell(small=Run(1, 1)).is_done()
+        assert cell().is_done()
+        assert not cell(big=Run(1, 1)).is_done()
+
+    def test_display(self):
+        assert cell(small=Run(3, 4), big=Run(10, 3)).display() == "(3,4)/(10,3)"
+        assert cell().display() == "·/·"
+
+    def test_snapshot_restore_roundtrip(self):
+        c = cell(small=Run(3, 4), big=Run(10, 3))
+        snap = c.snapshot()
+        c.load(None, None)
+        c.restore(snap)
+        assert c.snapshot() == snap
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            cell().run_phase("bogus")

@@ -1,0 +1,148 @@
+"""Tests for defect extraction and the end-to-end inspection system."""
+
+import numpy as np
+import pytest
+
+from repro.rle.image import RLEImage
+from repro.rle.ops2d import xor_images
+from repro.inspection.defects import DefectBlob, classify_blob, find_defect_blobs
+from repro.inspection.pipeline import InspectionSystem
+from repro.workloads.pcb import PCBLayout, generate_inspection_case
+
+
+def blob(bbox, area, extra, missing):
+    b = DefectBlob(
+        bbox=bbox,
+        area=area,
+        centroid=((bbox[0] + bbox[2]) / 2, (bbox[1] + bbox[3]) / 2),
+        extra_pixels=extra,
+        missing_pixels=missing,
+    )
+    b.kind = classify_blob(b)
+    return b
+
+
+class TestClassification:
+    def test_polarity(self):
+        assert blob((0, 0, 1, 1), 4, 4, 0).polarity == "extra"
+        assert blob((0, 0, 1, 1), 4, 0, 4).polarity == "missing"
+        assert blob((0, 0, 1, 1), 4, 2, 2).polarity == "mixed"
+
+    def test_pinhole_small_missing(self):
+        assert blob((0, 0, 1, 1), 3, 0, 3).kind == "pinhole"
+
+    def test_open_wide_missing(self):
+        assert blob((0, 0, 1, 8), 12, 0, 12).kind == "open"
+
+    def test_short_tall_extra(self):
+        assert blob((0, 0, 9, 2), 20, 20, 0).kind == "short"
+
+    def test_spur_small_extra(self):
+        assert blob((0, 0, 1, 1), 4, 4, 0).kind == "spur"
+
+    def test_mixed(self):
+        assert blob((0, 0, 3, 3), 8, 4, 4).kind == "mixed"
+
+
+class TestFindBlobs:
+    def _scene(self):
+        ref = np.zeros((24, 24), dtype=bool)
+        ref[4:8, 2:20] = True  # a trace
+        scan = ref.copy()
+        scan[4:8, 10:12] = False  # missing chunk (open-ish)
+        scan[16:18, 5:7] = True  # extra splash
+        return RLEImage.from_array(ref), RLEImage.from_array(scan)
+
+    def test_finds_both_defects(self):
+        ref, scan = self._scene()
+        diff = xor_images(ref, scan)
+        blobs = find_defect_blobs(diff, ref, scan)
+        assert len(blobs) == 2
+        kinds = {b.polarity for b in blobs}
+        assert kinds == {"extra", "missing"}
+
+    def test_min_area_filters_noise(self):
+        ref, scan = self._scene()
+        diff = xor_images(ref, scan)
+        blobs = find_defect_blobs(diff, ref, scan, min_area=5)
+        assert all(b.area >= 5 for b in blobs)
+
+    def test_merge_radius_groups_fragments(self):
+        ref = RLEImage.blank(10, 20)
+        arr = np.zeros((10, 20), dtype=bool)
+        arr[4, 3:5] = True
+        arr[4, 6:8] = True  # 1px gap between fragments
+        scan = RLEImage.from_array(arr)
+        diff = xor_images(ref, scan)
+        grouped = find_defect_blobs(diff, ref, scan, merge_radius=1)
+        split = find_defect_blobs(diff, ref, scan, merge_radius=0)
+        assert len(grouped) == 1
+        assert len(split) == 2
+
+    def test_blob_geometry_uses_true_pixels(self):
+        ref, scan = self._scene()
+        diff = xor_images(ref, scan)
+        blobs = find_defect_blobs(diff, ref, scan, merge_radius=2)
+        assert sum(b.area for b in blobs) == diff.pixel_count
+
+    def test_empty_difference(self):
+        ref, _ = self._scene()
+        assert find_defect_blobs(xor_images(ref, ref), ref, ref) == []
+
+
+class TestInspectionSystem:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return generate_inspection_case(
+            PCBLayout(height=128, width=128), n_defects=4, seed=42
+        )
+
+    def test_clean_board_passes(self, case):
+        reference, _, _ = case
+        report = InspectionSystem(reference).inspect(reference)
+        assert report.passed
+        assert report.defects == []
+
+    def test_defective_board_fails(self, case):
+        reference, scanned, truth = case
+        report = InspectionSystem(reference).inspect(scanned)
+        assert not report.passed
+        assert report.defects
+
+    def test_recall_by_location(self, case):
+        """Every injected defect is found within a few pixels."""
+        reference, scanned, truth = case
+        report = InspectionSystem(reference).inspect(scanned)
+        for injected in truth:
+            cy, cx = injected.center
+            hit = any(
+                abs(b.centroid[0] - cy) <= 4 and abs(b.centroid[1] - cx) <= 4
+                for b in report.defects
+            )
+            assert hit, injected
+
+    def test_misregistration_tolerated(self, case):
+        from repro.rle.ops2d import translate_image
+
+        reference, scanned, _ = case
+        shifted = translate_image(scanned, 1, 0)
+        report = InspectionSystem(reference, max_offset=1).inspect(shifted)
+        # same verdict as the aligned scan (borders may add tiny blobs)
+        assert not report.passed
+
+    def test_stage_timing_recorded(self, case):
+        reference, scanned, _ = case
+        report = InspectionSystem(reference).inspect(scanned)
+        assert set(report.stage_seconds) == {"align", "diff", "extract"}
+        assert all(v >= 0 for v in report.stage_seconds.values())
+
+    def test_systolic_iterations_reported(self, case):
+        reference, scanned, _ = case
+        report = InspectionSystem(reference).inspect(scanned)
+        assert report.total_systolic_iterations > 0
+
+    def test_summary_readable(self, case):
+        reference, scanned, _ = case
+        report = InspectionSystem(reference).inspect(scanned)
+        text = report.summary()
+        assert "FAIL" in text and "systolic iterations" in text

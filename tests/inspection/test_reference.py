@@ -1,0 +1,82 @@
+"""Tests for registration-tolerant reference comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.ops2d import translate_image
+from repro.inspection.reference import ReferenceComparator
+
+
+def structured_image(seed=0, h=48, w=48):
+    rng = np.random.default_rng(seed)
+    arr = np.zeros((h, w), dtype=bool)
+    for _ in range(6):
+        y, x = int(rng.integers(2, h - 8)), int(rng.integers(2, w - 8))
+        arr[y : y + 3, x : x + 6] = True
+    return RLEImage.from_array(arr)
+
+
+class TestAlign:
+    def test_identity_when_aligned(self):
+        ref = structured_image(1)
+        comparator = ReferenceComparator(ref, max_offset=1)
+        assert comparator.align(ref) == (0, 0)
+
+    def test_recovers_translation(self):
+        ref = structured_image(2)
+        shifted = translate_image(ref, 1, -1)
+        comparator = ReferenceComparator(ref, max_offset=2)
+        assert comparator.align(shifted) == (-1, 1)
+
+    def test_zero_radius_skips_search(self):
+        ref = structured_image(3)
+        shifted = translate_image(ref, 1, 0)
+        comparator = ReferenceComparator(ref, max_offset=0)
+        assert comparator.align(shifted) == (0, 0)
+
+    def test_shape_mismatch(self):
+        ref = structured_image(4)
+        comparator = ReferenceComparator(ref)
+        with pytest.raises(GeometryError):
+            comparator.align(RLEImage.blank(8, 8))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            ReferenceComparator(structured_image(5), max_offset=-1)
+
+
+class TestCompare:
+    def test_clean_scan_zero_difference(self):
+        ref = structured_image(6)
+        report = ReferenceComparator(ref).compare(ref)
+        assert report.difference_pixels == 0
+        assert report.offset == (0, 0)
+        assert report.diff_result is not None
+
+    def test_misregistered_clean_scan_still_zero(self):
+        """Registration recovers the offset, so a shifted-but-perfect
+        board produces no differences — the false-alarm case AOI must
+        avoid."""
+        ref = structured_image(7)
+        shifted = translate_image(ref, 1, 1)
+        report = ReferenceComparator(ref, max_offset=1).compare(shifted)
+        assert report.difference_pixels == 0
+
+    def test_defect_survives_registration(self):
+        ref = structured_image(8)
+        arr = ref.to_array().copy()
+        arr[10:12, 10:14] ^= True
+        scan = RLEImage.from_array(arr)
+        report = ReferenceComparator(ref, max_offset=1).compare(scan)
+        assert report.difference_pixels == 8
+
+    def test_precomputed_offset_honoured(self):
+        ref = structured_image(9)
+        shifted = translate_image(ref, 0, 1)
+        report = ReferenceComparator(ref, max_offset=1).compare(
+            shifted, offset=(0, -1)
+        )
+        assert report.offset == (0, -1)
+        assert report.difference_pixels == 0

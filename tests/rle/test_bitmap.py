@@ -1,0 +1,89 @@
+"""Tests for bitstring <-> RLE conversion, fast path vs. scalar oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GeometryError
+from repro.rle.bitmap import (
+    bits_to_runs,
+    bits_to_runs_scalar,
+    pack_run_array,
+    runs_to_bits,
+    unpack_run_array,
+)
+from repro.rle.run import Run
+from tests.conftest import bit_rows
+
+
+class TestEncoder:
+    def test_simple(self):
+        bits = np.array([0, 0, 1, 1, 1, 0, 1], dtype=bool)
+        assert bits_to_runs(bits) == [Run(2, 3), Run(6, 1)]
+
+    def test_empty_and_blank(self):
+        assert bits_to_runs(np.zeros(0, dtype=bool)) == []
+        assert bits_to_runs(np.zeros(7, dtype=bool)) == []
+
+    def test_full(self):
+        assert bits_to_runs(np.ones(5, dtype=bool)) == [Run(0, 5)]
+
+    def test_rejects_2d(self):
+        with pytest.raises(GeometryError):
+            bits_to_runs(np.zeros((2, 3), dtype=bool))
+
+    @given(bit_rows())
+    def test_fast_matches_scalar(self, bits):
+        assert bits_to_runs(bits) == bits_to_runs_scalar(list(bits))
+
+    @given(bit_rows())
+    def test_output_is_canonical(self, bits):
+        runs = bits_to_runs(bits)
+        for a, b in zip(runs, runs[1:]):
+            assert a.end + 1 < b.start
+
+
+class TestDecoder:
+    def test_simple(self):
+        out = runs_to_bits([Run(2, 3), Run(6, 1)], 8)
+        assert out.tolist() == [False, False, True, True, True, False, True, False]
+
+    def test_zero_width(self):
+        assert runs_to_bits([], 0).size == 0
+
+    def test_run_overflow_rejected(self):
+        with pytest.raises(GeometryError):
+            runs_to_bits([Run(5, 5)], 8)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(GeometryError):
+            runs_to_bits([], -1)
+
+    def test_overlapping_runs_union(self):
+        # decoding tolerates overlap (union semantics)
+        out = runs_to_bits([Run(0, 4), Run(2, 4)], 8)
+        assert out.tolist() == [True] * 6 + [False] * 2
+
+    @given(bit_rows())
+    def test_roundtrip(self, bits):
+        runs = bits_to_runs(bits)
+        assert (runs_to_bits(runs, bits.size) == bits).all()
+
+
+class TestPackedArrays:
+    def test_pack_layout(self):
+        arr = pack_run_array([Run(3, 4), Run(10, 1)])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [[3, 6], [10, 10]]
+
+    def test_pack_empty(self):
+        assert pack_run_array([]).shape == (0, 2)
+
+    def test_unpack_skips_empty_slots(self):
+        arr = np.array([[3, 6], [0, -1], [10, 10]], dtype=np.int64)
+        assert unpack_run_array(arr) == [Run(3, 4), Run(10, 1)]
+
+    @given(bit_rows())
+    def test_pack_unpack_roundtrip(self, bits):
+        runs = bits_to_runs(bits)
+        assert unpack_run_array(pack_run_array(runs)) == runs

@@ -1,0 +1,105 @@
+"""Tests for RLE connected-component labeling against scipy's labeler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy import ndimage
+
+from repro.rle.components import UnionFind, label_components
+from repro.rle.image import RLEImage
+
+FOUR = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+EIGHT = np.ones((3, 3), dtype=bool)
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(3)
+        assert len({uf.find(i) for i in range(3)}) == 3
+
+    def test_union(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(3)
+        assert uf.find(0) != uf.find(2)
+        uf.union(1, 2)
+        assert len({uf.find(i) for i in range(4)}) == 1
+
+    def test_add(self):
+        uf = UnionFind()
+        a, b = uf.add(), uf.add()
+        assert a != b and len(uf) == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind(2)
+        r1 = uf.union(0, 1)
+        r2 = uf.union(0, 1)
+        assert r1 == r2
+
+
+class TestLabeling:
+    def test_two_separate_blobs(self):
+        img = RLEImage.from_row_pairs([[(0, 2)], [], [(4, 2)]], width=8)
+        comps = label_components(img)
+        assert len(comps) == 2
+        assert {c.area for c in comps} == {2}
+
+    def test_diagonal_joined_only_in_8(self):
+        arr = np.array([[1, 0], [0, 1]], dtype=bool)
+        img = RLEImage.from_array(arr)
+        assert len(label_components(img, connectivity=8)) == 1
+        assert len(label_components(img, connectivity=4)) == 2
+
+    def test_vertical_chain(self):
+        arr = np.array([[1], [1], [1]], dtype=bool)
+        comps = label_components(RLEImage.from_array(arr), connectivity=4)
+        assert len(comps) == 1 and comps[0].area == 3
+
+    def test_u_shape_merges_late(self):
+        # two arms meeting at the bottom: the union-find must merge them
+        arr = np.array(
+            [[1, 0, 1],
+             [1, 0, 1],
+             [1, 1, 1]], dtype=bool
+        )
+        comps = label_components(RLEImage.from_array(arr), connectivity=4)
+        assert len(comps) == 1 and comps[0].area == 7
+
+    def test_empty_image(self):
+        assert label_components(RLEImage.blank(4, 4)) == []
+
+    def test_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            label_components(RLEImage.blank(1, 1), connectivity=6)  # type: ignore[arg-type]
+
+    def test_adjacent_fragments_in_same_row_are_one_component(self):
+        img = RLEImage.from_row_pairs([[(0, 2), (2, 2)]], width=6)
+        comps = label_components(img)
+        assert len(comps) == 1 and comps[0].area == 4
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 14), st.integers(1, 22),
+           st.floats(0.1, 0.9), st.sampled_from([4, 8]))
+    def test_matches_scipy(self, seed, h, w, density, connectivity):
+        rng = np.random.default_rng(seed)
+        arr = rng.random((h, w)) < density
+        img = RLEImage.from_array(arr)
+        comps = label_components(img, connectivity=connectivity)
+        structure = FOUR if connectivity == 4 else EIGHT
+        _, n_expected = ndimage.label(arr, structure=structure)
+        assert len(comps) == n_expected
+        # the component pixel sets must partition the foreground
+        total = sum(c.area for c in comps)
+        assert total == int(arr.sum())
+
+
+class TestComponentGeometry:
+    def test_bbox_centroid(self):
+        arr = np.zeros((5, 5), dtype=bool)
+        arr[1:3, 2:4] = True  # 2x2 square at rows 1-2, cols 2-3
+        comp = label_components(RLEImage.from_array(arr))[0]
+        assert comp.bbox == (1, 2, 2, 3)
+        assert comp.centroid == (1.5, 2.5)
+        assert comp.height == 2 and comp.width == 2
+        assert comp.area == 4

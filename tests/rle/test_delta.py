@@ -1,0 +1,97 @@
+"""Tests for temporal delta coding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.rle.delta import DeltaSequence
+from repro.rle.image import RLEImage
+from repro.workloads.motion import generate_sequence
+
+
+def random_frames(seed=0, n=5, h=16, w=32):
+    rng = np.random.default_rng(seed)
+    base = rng.random((h, w)) < 0.3
+    frames = []
+    for _ in range(n):
+        frames.append(RLEImage.from_array(base))
+        # mutate a little between frames
+        y, x = int(rng.integers(0, h)), int(rng.integers(0, w - 3))
+        base = base.copy()
+        base[y, x : x + 3] ^= True
+    return frames
+
+
+class TestRoundTrip:
+    def test_every_frame_reconstructs(self):
+        frames = random_frames(1)
+        seq = DeltaSequence(frames)
+        for t, frame in enumerate(frames):
+            assert seq.frame(t).same_pixels(frame), t
+
+    def test_iteration_matches_frames(self):
+        frames = random_frames(2)
+        seq = DeltaSequence(frames)
+        for got, want in zip(seq, frames):
+            assert got.same_pixels(want)
+
+    def test_single_frame(self):
+        frames = random_frames(3, n=1)
+        seq = DeltaSequence(frames)
+        assert len(seq) == 1
+        assert seq.frame(0).same_pixels(frames[0])
+
+    def test_out_of_range(self):
+        seq = DeltaSequence(random_frames(4, n=3))
+        with pytest.raises(IndexError):
+            seq.frame(3)
+        with pytest.raises(IndexError):
+            seq.frame(-1)
+
+    def test_append(self):
+        frames = random_frames(5, n=4)
+        seq = DeltaSequence(frames[:2])
+        seq.append(frames[2])
+        seq.append(frames[3])
+        assert len(seq) == 4
+        assert seq.frame(3).same_pixels(frames[3])
+
+    def test_append_shape_mismatch(self):
+        seq = DeltaSequence(random_frames(6, n=2))
+        with pytest.raises(GeometryError):
+            seq.append(RLEImage.blank(1, 1))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            DeltaSequence([])
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(GeometryError):
+            DeltaSequence([RLEImage.blank(2, 2), RLEImage.blank(3, 2)])
+
+
+class TestCompression:
+    def test_similar_frames_compress(self):
+        """A surveillance clip's deltas carry far fewer runs than the
+        raw frames."""
+        frames = generate_sequence(96, 96, n_frames=8, seed=7)
+        seq = DeltaSequence(frames)
+        stats = seq.stats
+        assert stats.compression_ratio > 2.0
+        assert stats.encoded_runs == stats.key_runs + stats.delta_runs
+
+    def test_static_sequence_compresses_maximally(self):
+        frame = random_frames(8, n=1)[0]
+        seq = DeltaSequence([frame] * 6)
+        assert seq.stats.delta_runs == 0
+        assert seq.stats.compression_ratio == pytest.approx(6.0)
+
+    def test_rekey(self):
+        frames = random_frames(9, n=6)
+        seq = DeltaSequence(frames)
+        rekeyed = seq.rekey(3)
+        assert len(rekeyed) == 3
+        for t in range(3):
+            assert rekeyed.frame(t).same_pixels(frames[3 + t])

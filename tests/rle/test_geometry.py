@@ -1,0 +1,133 @@
+"""Tests for RLE-domain geometric features against pixel-domain oracles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rle.geometry import (
+    area,
+    bounding_box,
+    central_moments,
+    centroid,
+    eccentricity,
+    horizontal_projection,
+    orientation,
+    perimeter,
+    vertical_projection,
+)
+from repro.rle.image import RLEImage
+
+
+@st.composite
+def images(draw, min_side=1, max_h=12, max_w=24):
+    h = draw(st.integers(min_side, max_h))
+    w = draw(st.integers(min_side, max_w))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return RLEImage.from_array(rng.random((h, w)) < draw(st.floats(0, 1)))
+
+
+def pixel_perimeter(arr: np.ndarray) -> int:
+    """Oracle: 4-connected foreground/background edge count."""
+    padded = np.pad(arr, 1)
+    total = 0
+    for dy, dx in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+        shifted = np.roll(np.roll(padded, dy, axis=0), dx, axis=1)
+        total += int((padded & ~shifted).sum())
+    return total
+
+
+class TestBasics:
+    def test_bounding_box(self):
+        img = RLEImage.from_row_pairs([[], [(3, 2)], [(1, 1), (6, 1)], []], width=8)
+        assert bounding_box(img) == (1, 1, 2, 6)
+
+    def test_bounding_box_empty(self):
+        assert bounding_box(RLEImage.blank(3, 3)) is None
+
+    def test_area(self):
+        img = RLEImage.from_row_pairs([[(0, 3)], [(2, 2)]], width=6)
+        assert area(img) == 5
+
+    @given(images())
+    def test_perimeter_matches_oracle(self, img):
+        assert perimeter(img) == pixel_perimeter(img.to_array())
+
+    def test_perimeter_single_pixel(self):
+        img = RLEImage.from_row_pairs([[(1, 1)]], width=3)
+        assert perimeter(img) == 4
+
+    def test_perimeter_square(self):
+        img = RLEImage.from_array(np.ones((3, 3), dtype=bool))
+        assert perimeter(img) == 12
+
+
+class TestProjections:
+    @given(images())
+    def test_horizontal_matches_numpy(self, img):
+        expected = img.to_array().sum(axis=1)
+        assert (horizontal_projection(img) == expected).all()
+
+    @given(images())
+    def test_vertical_matches_numpy(self, img):
+        expected = img.to_array().sum(axis=0)
+        assert (vertical_projection(img) == expected).all()
+
+    def test_vertical_with_noncanonical_rows(self):
+        img = RLEImage.from_row_pairs([[(0, 2), (2, 2)]], width=6)
+        assert vertical_projection(img).tolist() == [1, 1, 1, 1, 0, 0]
+
+
+class TestMoments:
+    @given(images())
+    def test_centroid_matches_numpy(self, img):
+        arr = img.to_array()
+        c = centroid(img)
+        if arr.sum() == 0:
+            assert c is None
+            return
+        ys, xs = np.nonzero(arr)
+        assert c[0] == pytest.approx(ys.mean())
+        assert c[1] == pytest.approx(xs.mean())
+
+    @given(images())
+    def test_central_moments_match_numpy(self, img):
+        arr = img.to_array()
+        if arr.sum() == 0:
+            return
+        ys, xs = np.nonzero(arr)
+        cy, cx = ys.mean(), xs.mean()
+        mu20, mu02, mu11 = central_moments(img)
+        assert mu20 == pytest.approx(((ys - cy) ** 2).sum(), abs=1e-6)
+        assert mu02 == pytest.approx(((xs - cx) ** 2).sum(), abs=1e-6)
+        assert mu11 == pytest.approx(((ys - cy) * (xs - cx)).sum(), abs=1e-6)
+
+
+class TestShape:
+    def test_orientation_of_horizontal_bar(self):
+        img = RLEImage.from_row_pairs([[(0, 10)]], width=10)
+        assert orientation(img) == pytest.approx(0.0, abs=1e-9)
+
+    def test_orientation_of_vertical_bar(self):
+        img = RLEImage.from_row_pairs([[(2, 1)]] * 8, width=5)
+        assert abs(orientation(img)) == pytest.approx(math.pi / 2, abs=1e-9)
+
+    def test_orientation_of_diagonal(self):
+        arr = np.eye(8, dtype=bool)
+        # main diagonal goes down-right: y increases with x => +45 deg
+        angle = orientation(RLEImage.from_array(arr))
+        assert abs(angle) == pytest.approx(math.pi / 4, abs=1e-6)
+
+    def test_eccentricity_extremes(self):
+        line = RLEImage.from_row_pairs([[(0, 20)]], width=20)
+        assert eccentricity(line) == pytest.approx(1.0)
+        square = RLEImage.from_array(np.ones((6, 6), dtype=bool))
+        assert eccentricity(square) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_image_returns_none(self):
+        img = RLEImage.blank(3, 3)
+        assert orientation(img) is None
+        assert eccentricity(img) is None
+        assert centroid(img) is None

@@ -1,0 +1,145 @@
+"""Tests for PBM / RLE-text / NPZ I/O round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.rle.image import RLEImage
+from repro.rle.io import (
+    read_npz,
+    read_pbm,
+    read_rle_text,
+    write_npz,
+    write_pbm,
+    write_rle_text,
+)
+
+
+def random_image(seed=0, h=9, w=17, density=0.35):
+    rng = np.random.default_rng(seed)
+    return RLEImage.from_array(rng.random((h, w)) < density)
+
+
+@st.composite
+def images(draw):
+    h = draw(st.integers(1, 12))
+    w = draw(st.integers(1, 30))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return RLEImage.from_array(rng.random((h, w)) < draw(st.floats(0, 1)))
+
+
+class TestPBM:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(images())
+    def test_p4_roundtrip(self, tmp_path_factory, img):
+        path = tmp_path_factory.mktemp("pbm") / "img.pbm"
+        write_pbm(img, path, binary=True)
+        assert read_pbm(path) == img
+
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(images())
+    def test_p1_roundtrip(self, tmp_path_factory, img):
+        path = tmp_path_factory.mktemp("pbm") / "img.pbm"
+        write_pbm(img, path, binary=False)
+        assert read_pbm(path) == img
+
+    def test_p1_with_comments(self, tmp_path):
+        path = tmp_path / "c.pbm"
+        path.write_bytes(b"P1\n# a comment\n3 2\n1 0 1\n0 1 0\n")
+        img = read_pbm(path)
+        assert img.shape == (2, 3)
+        assert img[0].to_pairs() == [(0, 1), (2, 1)]
+
+    def test_non_multiple_of_8_width(self, tmp_path):
+        img = random_image(w=13)
+        path = tmp_path / "w13.pbm"
+        write_pbm(img, path)
+        assert read_pbm(path) == img
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_bytes(b"P5\n2 2\nxxxx")
+        with pytest.raises(FormatError):
+            read_pbm(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.pbm"
+        path.write_bytes(b"P1\n3")
+        with pytest.raises(FormatError):
+            read_pbm(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "short.pbm"
+        path.write_bytes(b"P4\n16 4\nAB")
+        with pytest.raises(FormatError):
+            read_pbm(path)
+
+    def test_bad_dimensions(self, tmp_path):
+        path = tmp_path / "dims.pbm"
+        path.write_bytes(b"P1\nx y\n")
+        with pytest.raises(FormatError):
+            read_pbm(path)
+
+
+class TestRLEText:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(images())
+    def test_roundtrip(self, tmp_path_factory, img):
+        path = tmp_path_factory.mktemp("rle") / "img.rle"
+        write_rle_text(img, path)
+        assert read_rle_text(path) == img
+
+    def test_preserves_run_structure(self, tmp_path):
+        # non-canonical runs survive the round trip (no decompression)
+        img = RLEImage.from_row_pairs([[(0, 2), (2, 3)]], width=8)
+        path = tmp_path / "nc.rle"
+        write_rle_text(img, path)
+        back = read_rle_text(path)
+        assert back[0].to_pairs() == [(0, 2), (2, 3)]
+
+    def test_header_readable(self, tmp_path):
+        img = random_image(h=2, w=5)
+        path = tmp_path / "h.rle"
+        write_rle_text(img, path)
+        assert path.read_text().startswith("RLETXT 5 2\n")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.rle"
+        path.write_text("NOPE 3 3\n")
+        with pytest.raises(FormatError):
+            read_rle_text(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad2.rle"
+        path.write_text("RLETXT 3\n")
+        with pytest.raises(FormatError):
+            read_rle_text(path)
+
+    def test_missing_rows(self, tmp_path):
+        path = tmp_path / "few.rle"
+        path.write_text("RLETXT 4 3\n0,1\n")
+        with pytest.raises(FormatError):
+            read_rle_text(path)
+
+    def test_bad_run_token(self, tmp_path):
+        path = tmp_path / "tok.rle"
+        path.write_text("RLETXT 4 1\n0;1\n")
+        with pytest.raises(FormatError):
+            read_rle_text(path)
+
+
+class TestNPZ:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(images())
+    def test_roundtrip(self, tmp_path_factory, img):
+        path = tmp_path_factory.mktemp("npz") / "img.npz"
+        write_npz(img, path)
+        assert read_npz(path) == img
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(FormatError):
+            read_npz(path)

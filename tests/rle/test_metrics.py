@@ -1,0 +1,99 @@
+"""Tests for the similarity / run-count metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.rle.image import RLEImage
+from repro.rle.metrics import (
+    density,
+    error_fraction,
+    hamming_distance,
+    jaccard,
+    run_count_difference,
+    similarity,
+    total_runs,
+    xor_run_count,
+)
+from repro.rle.row import RLERow
+from tests.conftest import row_pairs
+
+
+class TestRowMetrics:
+    def test_hamming_simple(self):
+        a = RLERow.from_bits("1100")
+        b = RLERow.from_bits("1010")
+        assert hamming_distance(a, b) == 2
+
+    def test_hamming_identical(self):
+        a = RLERow.from_bits("1100")
+        assert hamming_distance(a, a) == 0
+
+    @given(row_pairs())
+    def test_hamming_matches_numpy(self, pair):
+        a, b = pair
+        assert hamming_distance(a, b) == int((a.to_bits() ^ b.to_bits()).sum())
+
+    @given(row_pairs())
+    def test_error_fraction_bounds(self, pair):
+        a, b = pair
+        f = error_fraction(a, b)
+        assert 0.0 <= f <= 1.0
+        assert similarity(a, b) == pytest.approx(1.0 - f)
+
+    def test_error_fraction_explicit_width(self):
+        a = RLERow.from_pairs([(0, 2)])
+        b = RLERow.from_pairs([(0, 1)])
+        assert error_fraction(a, b, width=4) == 0.25
+
+    def test_jaccard(self):
+        a = RLERow.from_bits("1100")
+        b = RLERow.from_bits("0110")
+        assert jaccard(a, b) == pytest.approx(1 / 3)
+        assert jaccard(RLERow.empty(4), RLERow.empty(4)) == 1.0
+        assert jaccard(a, a) == 1.0
+
+    def test_run_counts(self):
+        a = RLERow.from_pairs([(0, 1), (3, 1), (6, 1)], width=10)
+        b = RLERow.from_pairs([(0, 1)], width=10)
+        assert run_count_difference(a, b) == 2
+        assert total_runs(a, b) == 4
+        assert xor_run_count(a, b) == 2  # (3,1) and (6,1) survive
+
+    def test_density_dispatch(self):
+        row = RLERow.from_pairs([(0, 5)], width=10)
+        assert density(row) == 0.5
+        img = RLEImage([row], width=10)
+        assert density(img) == 0.5
+
+
+class TestImageMetrics:
+    def _images(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 12)) < 0.4
+        b = a.copy()
+        b[2, 3:6] ^= True
+        return RLEImage.from_array(a), RLEImage.from_array(b)
+
+    def test_image_hamming(self):
+        a, b = self._images()
+        assert hamming_distance(a, b) == 3
+
+    def test_image_error_fraction(self):
+        a, b = self._images()
+        assert error_fraction(a, b) == pytest.approx(3 / 72)
+
+    def test_image_run_difference(self):
+        a, b = self._images()
+        expected = sum(
+            abs(ra.run_count - rb.run_count) for ra, rb in zip(a, b)
+        )
+        assert run_count_difference(a, b) == expected
+
+    def test_image_total_runs(self):
+        a, b = self._images()
+        assert total_runs(a, b) == a.total_runs + b.total_runs
+
+    def test_empty_image_fraction(self):
+        empty = RLEImage([], width=4)
+        assert error_fraction(empty, empty) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for RLE-domain morphology against scipy's pixel-domain oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy import ndimage
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.morphology import (
+    close_image,
+    dilate_image,
+    dilate_row,
+    erode_image,
+    erode_row,
+    open_image,
+)
+from repro.rle.row import RLERow
+from tests.conftest import rle_rows
+
+
+def _rect(ry: int, rx: int) -> np.ndarray:
+    return np.ones((2 * ry + 1, 2 * rx + 1), dtype=bool)
+
+
+@st.composite
+def images(draw):
+    h = draw(st.integers(1, 10))
+    w = draw(st.integers(1, 20))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return RLEImage.from_array(rng.random((h, w)) < draw(st.floats(0, 1)))
+
+
+class TestRowMorphology:
+    def test_dilate_grows_and_merges(self):
+        row = RLERow.from_pairs([(2, 2), (6, 1)], width=10)
+        assert dilate_row(row, 1).to_pairs() == [(1, 7)]
+
+    def test_dilate_clips_at_borders(self):
+        row = RLERow.from_pairs([(0, 1), (9, 1)], width=10)
+        assert dilate_row(row, 2).to_pairs() == [(0, 3), (7, 3)]
+
+    def test_erode_shrinks_and_kills_small(self):
+        row = RLERow.from_pairs([(2, 5), (8, 1)], width=12)
+        assert erode_row(row, 1).to_pairs() == [(3, 3)]
+
+    def test_zero_radius_identity(self):
+        row = RLERow.from_pairs([(2, 2)], width=6)
+        assert dilate_row(row, 0) is row
+        assert erode_row(row, 0) is row
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            dilate_row(RLERow.empty(4), -1)
+
+    def test_erode_canonicalizes_first(self):
+        # two adjacent fragments form one logical run of length 4
+        row = RLERow.from_pairs([(2, 2), (4, 2)], width=10)
+        assert erode_row(row, 1).to_pairs() == [(3, 2)]
+
+    @given(rle_rows(max_width=60), st.integers(0, 3))
+    def test_dilate_matches_scipy(self, row, radius):
+        w = row.width
+        if w == 0:
+            return
+        expected = ndimage.binary_dilation(
+            row.to_bits(), structure=np.ones(2 * radius + 1, dtype=bool)
+        )
+        assert (dilate_row(row, radius).to_bits(w) == expected).all()
+
+    @given(rle_rows(max_width=60), st.integers(0, 3))
+    def test_erode_matches_scipy(self, row, radius):
+        w = row.width
+        if w == 0:
+            return
+        expected = ndimage.binary_erosion(
+            row.to_bits(),
+            structure=np.ones(2 * radius + 1, dtype=bool),
+            border_value=0,
+        )
+        assert (erode_row(row, radius).to_bits(w) == expected).all()
+
+    @given(rle_rows(max_width=60), st.integers(0, 3))
+    def test_erosion_dilation_duality_in_interior(self, row, radius):
+        # with background borders the duality holds away from the edges
+        # (at the edges, erosion sees implicit background while the
+        # complement sees the clipped row end)
+        from repro.rle.ops import complement_row
+
+        w = row.width
+        if w == 0 or w <= 2 * radius:
+            return
+        lhs = erode_row(row, radius).to_bits(w)
+        rhs = complement_row(
+            dilate_row(complement_row(row, w), radius), w
+        ).to_bits(w)
+        interior = slice(radius, w - radius)
+        assert (lhs[interior] == rhs[interior]).all()
+
+
+class TestImageMorphology:
+    @given(images(), st.integers(0, 2), st.integers(0, 2))
+    def test_dilate_matches_scipy(self, img, ry, rx):
+        expected = ndimage.binary_dilation(img.to_array(), structure=_rect(ry, rx))
+        assert (dilate_image(img, ry, rx).to_array() == expected).all()
+
+    @given(images(), st.integers(0, 2), st.integers(0, 2))
+    def test_erode_matches_scipy(self, img, ry, rx):
+        expected = ndimage.binary_erosion(
+            img.to_array(), structure=_rect(ry, rx), border_value=0
+        )
+        assert (erode_image(img, ry, rx).to_array() == expected).all()
+
+    @given(images())
+    def test_open_close_relations(self, img):
+        opened = open_image(img, 1, 1)
+        closed = close_image(img, 1, 1)
+        # opening is anti-extensive everywhere
+        assert (opened.to_array() <= img.to_array()).all()
+        # closing is extensive away from the borders (background borders
+        # let the final erosion nibble edge pixels)
+        h, w = img.shape
+        if h > 2 and w > 2:
+            inner = (slice(1, h - 1), slice(1, w - 1))
+            assert (closed.to_array()[inner] >= img.to_array()[inner]).all()
+
+    @given(images(), st.integers(0, 2), st.integers(0, 2))
+    def test_open_idempotent(self, img, ry, rx):
+        once = open_image(img, ry, rx)
+        twice = open_image(once, ry, rx)
+        assert once.same_pixels(twice)

@@ -1,0 +1,72 @@
+"""Tests for the set-algebra operator overloads on rows and images."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.ops import and_rows, complement_row, or_rows, sub_rows, xor_rows
+from repro.rle.row import RLERow
+from tests.conftest import row_pairs
+
+
+class TestRowOperators:
+    @given(row_pairs())
+    def test_delegate_to_ops(self, pair):
+        a, b = pair
+        assert (a ^ b) == xor_rows(a, b)
+        assert (a & b) == and_rows(a, b)
+        assert (a | b) == or_rows(a, b)
+        assert (a - b) == sub_rows(a, b)
+
+    @given(row_pairs(max_width=60))
+    def test_invert(self, pair):
+        a, _ = pair
+        assert (~a) == complement_row(a)
+        assert (~~a).same_pixels(a)
+
+    def test_invert_requires_width(self):
+        with pytest.raises(GeometryError):
+            ~RLERow.from_pairs([(0, 1)])
+
+    @given(row_pairs())
+    def test_algebraic_identities(self, pair):
+        a, b = pair
+        assert (a ^ b).same_pixels((a | b) - (a & b))
+        assert ((a ^ b) ^ b).same_pixels(a)
+        assert (a & b).same_pixels(b & a)
+
+    def test_expression_readability(self):
+        reference = RLERow.from_bits("00111100")
+        scan = RLERow.from_bits("00111010")
+        extra = scan - reference
+        missing = reference - scan
+        assert (extra | missing).same_pixels(reference ^ scan)
+
+
+class TestImageOperators:
+    def _pair(self, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.random((6, 20)) < 0.4
+        b = rng.random((6, 20)) < 0.4
+        return RLEImage.from_array(a), RLEImage.from_array(b)
+
+    def test_xor(self):
+        a, b = self._pair(1)
+        assert ((a ^ b).to_array() == (a.to_array() ^ b.to_array())).all()
+
+    def test_and_or_sub(self):
+        a, b = self._pair(2)
+        assert ((a & b).to_array() == (a.to_array() & b.to_array())).all()
+        assert ((a | b).to_array() == (a.to_array() | b.to_array())).all()
+        assert ((a - b).to_array() == (a.to_array() & ~b.to_array())).all()
+
+    def test_invert(self):
+        a, _ = self._pair(3)
+        assert ((~a).to_array() == ~a.to_array()).all()
+
+    def test_shape_mismatch_raises(self):
+        a, _ = self._pair(4)
+        with pytest.raises(GeometryError):
+            a ^ RLEImage.blank(1, 1)

@@ -1,0 +1,198 @@
+"""Tests for the sequential RLE row operations against bitmap oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.rle.ops import (
+    and_rows,
+    complement_row,
+    crop_row,
+    merge_boolean,
+    or_rows,
+    shift_row,
+    sub_rows,
+    xor_rows,
+)
+from repro.rle.row import RLERow
+from tests.conftest import PAPER_ROW_1, PAPER_ROW_2, PAPER_XOR, row_pairs, rle_rows
+
+
+class TestXor:
+    def test_paper_example(self):
+        a = RLERow.from_pairs(PAPER_ROW_1, width=40)
+        b = RLERow.from_pairs(PAPER_ROW_2, width=40)
+        assert xor_rows(a, b).to_pairs() == PAPER_XOR
+
+    def test_self_xor_is_empty(self):
+        a = RLERow.from_pairs([(3, 4), (9, 2)], width=20)
+        assert xor_rows(a, a).run_count == 0
+
+    def test_xor_with_empty_is_identity(self):
+        a = RLERow.from_pairs([(3, 4)], width=20)
+        assert xor_rows(a, RLERow.empty(20)) == a
+
+    def test_adjacent_runs_merge_in_xor(self):
+        # non-canonical inputs still produce a canonical XOR
+        a = RLERow.from_pairs([(0, 2), (2, 2)], width=10)  # = [0,4)
+        b = RLERow.empty(10)
+        assert xor_rows(a, b).to_pairs() == [(0, 4)]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            xor_rows(RLERow.empty(5), RLERow.empty(6))
+
+    def test_width_inherited(self):
+        a = RLERow.from_pairs([(1, 1)])  # no width
+        b = RLERow.from_pairs([(2, 1)], width=10)
+        assert xor_rows(a, b).width == 10
+
+    @given(row_pairs())
+    def test_matches_bitmap_oracle(self, pair):
+        a, b = pair
+        w = a.width
+        assert (xor_rows(a, b).to_bits(w) == (a.to_bits() ^ b.to_bits())).all()
+
+    @given(row_pairs())
+    def test_commutative(self, pair):
+        a, b = pair
+        assert xor_rows(a, b) == xor_rows(b, a)
+
+    @given(row_pairs())
+    def test_output_canonical(self, pair):
+        assert xor_rows(*pair).is_canonical()
+
+    @given(row_pairs())
+    def test_involution(self, pair):
+        a, b = pair
+        assert xor_rows(xor_rows(a, b), b).same_pixels(a)
+
+
+class TestAndOrSub:
+    @given(row_pairs())
+    def test_and_oracle(self, pair):
+        a, b = pair
+        assert (and_rows(a, b).to_bits(a.width) == (a.to_bits() & b.to_bits())).all()
+
+    @given(row_pairs())
+    def test_or_oracle(self, pair):
+        a, b = pair
+        assert (or_rows(a, b).to_bits(a.width) == (a.to_bits() | b.to_bits())).all()
+
+    @given(row_pairs())
+    def test_sub_oracle(self, pair):
+        a, b = pair
+        assert (
+            sub_rows(a, b).to_bits(a.width) == (a.to_bits() & ~b.to_bits())
+        ).all()
+
+    @given(row_pairs())
+    def test_de_morgan(self, pair):
+        a, b = pair
+        w = a.width
+        lhs = complement_row(and_rows(a, b), w)
+        rhs = or_rows(complement_row(a, w), complement_row(b, w))
+        assert lhs.same_pixels(rhs)
+
+    @given(row_pairs())
+    def test_xor_as_or_minus_and(self, pair):
+        a, b = pair
+        assert xor_rows(a, b).same_pixels(sub_rows(or_rows(a, b), and_rows(a, b)))
+
+    def test_or_merges_adjacent(self):
+        a = RLERow.from_pairs([(0, 2)], width=10)
+        b = RLERow.from_pairs([(2, 2)], width=10)
+        assert or_rows(a, b).to_pairs() == [(0, 4)]
+
+
+class TestMergeBoolean:
+    @given(row_pairs())
+    def test_generic_xor_matches_specialized(self, pair):
+        a, b = pair
+        generic = merge_boolean(a, b, lambda x, y: x != y)
+        assert generic.same_pixels(xor_rows(a, b))
+
+    @given(row_pairs())
+    def test_generic_and(self, pair):
+        a, b = pair
+        assert merge_boolean(a, b, lambda x, y: x and y).same_pixels(and_rows(a, b))
+
+    def test_rejects_ops_true_on_empty(self):
+        with pytest.raises(ValueError):
+            merge_boolean(
+                RLERow.empty(4), RLERow.empty(4), lambda x, y: not x and not y
+            )
+
+
+class TestComplement:
+    def test_simple(self):
+        row = RLERow.from_pairs([(2, 3)], width=8)
+        assert complement_row(row).to_pairs() == [(0, 2), (5, 3)]
+
+    def test_empty(self):
+        assert complement_row(RLERow.empty(5)).to_pairs() == [(0, 5)]
+
+    def test_full(self):
+        assert complement_row(RLERow.full(5)).run_count == 0
+
+    def test_needs_width(self):
+        with pytest.raises(GeometryError):
+            complement_row(RLERow.from_pairs([(1, 2)]))
+
+    @given(rle_rows())
+    def test_involution(self, row):
+        w = row.width
+        assert complement_row(complement_row(row, w), w).same_pixels(row)
+
+
+class TestShiftCrop:
+    def test_shift_right(self):
+        row = RLERow.from_pairs([(2, 3)], width=10)
+        assert shift_row(row, 3).to_pairs() == [(5, 3)]
+
+    def test_shift_clips_left(self):
+        row = RLERow.from_pairs([(2, 3)], width=10)
+        assert shift_row(row, -3).to_pairs() == [(0, 2)]
+
+    def test_shift_clips_right(self):
+        row = RLERow.from_pairs([(6, 3)], width=10)
+        assert shift_row(row, 3).to_pairs() == [(9, 1)]
+
+    def test_shift_drops_runs_off_either_end(self):
+        row = RLERow.from_pairs([(0, 2), (8, 2)], width=10)
+        assert shift_row(row, -4).to_pairs() == [(4, 2)]
+        assert shift_row(row, 9).to_pairs() == [(9, 1)]
+
+    @given(rle_rows(), st.integers(-40, 40))
+    def test_shift_matches_bitmap(self, row, offset):
+        w = row.width
+        shifted = shift_row(row, offset)
+        expected = np.zeros(w, dtype=bool)
+        bits = row.to_bits()
+        for i in range(w):
+            src = i - offset
+            if 0 <= src < w:
+                expected[i] = bits[src]
+        assert (shifted.to_bits(w) == expected).all()
+
+    def test_crop(self):
+        row = RLERow.from_pairs([(2, 4), (8, 2)], width=12)
+        cropped = crop_row(row, 3, 9)
+        assert cropped.width == 7
+        assert cropped.to_pairs() == [(0, 3), (5, 2)]
+
+    def test_crop_empty_window_rejected(self):
+        with pytest.raises(GeometryError):
+            crop_row(RLERow.empty(5), 4, 3)
+
+    @given(rle_rows(max_width=60), st.integers(0, 59), st.integers(0, 59))
+    def test_crop_matches_bitmap(self, row, a, b):
+        w = row.width
+        if w == 0:
+            return
+        lo, hi = min(a, b) % w, max(a, b) % w
+        if hi < lo:
+            lo, hi = hi, lo
+        cropped = crop_row(row, lo, hi)
+        assert (cropped.to_bits() == row.to_bits()[lo : hi + 1]).all()

@@ -1,0 +1,98 @@
+"""Tests for image-level operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.ops2d import (
+    and_images,
+    combine_images,
+    complement_image,
+    crop_image,
+    or_images,
+    sub_images,
+    translate_image,
+    xor_images,
+)
+from repro.rle.ops import xor_rows
+
+
+@st.composite
+def image_pairs(draw):
+    h = draw(st.integers(1, 12))
+    w = draw(st.integers(1, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.random((h, w)) < draw(st.floats(0, 1))
+    b = rng.random((h, w)) < draw(st.floats(0, 1))
+    return RLEImage.from_array(a), RLEImage.from_array(b)
+
+
+class TestCombinators:
+    @given(image_pairs())
+    def test_xor_oracle(self, pair):
+        a, b = pair
+        assert (xor_images(a, b).to_array() == (a.to_array() ^ b.to_array())).all()
+
+    @given(image_pairs())
+    def test_and_or_sub_oracle(self, pair):
+        a, b = pair
+        aa, bb = a.to_array(), b.to_array()
+        assert (and_images(a, b).to_array() == (aa & bb)).all()
+        assert (or_images(a, b).to_array() == (aa | bb)).all()
+        assert (sub_images(a, b).to_array() == (aa & ~bb)).all()
+
+    @given(image_pairs())
+    def test_complement(self, pair):
+        a, _ = pair
+        assert (complement_image(a).to_array() == ~a.to_array()).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            xor_images(RLEImage.blank(2, 3), RLEImage.blank(2, 4))
+
+    def test_combine_custom_op(self):
+        a = RLEImage.from_row_pairs([[(0, 2)]], width=4)
+        b = RLEImage.from_row_pairs([[(1, 2)]], width=4)
+        out = combine_images(a, b, xor_rows)
+        assert out[0].to_pairs() == [(0, 1), (2, 1)]
+
+
+class TestTranslate:
+    @given(image_pairs(), st.integers(-5, 5), st.integers(-5, 5))
+    def test_matches_numpy_roll_with_clipping(self, pair, dy, dx):
+        a, _ = pair
+        out = translate_image(a, dy, dx).to_array()
+        h, w = a.shape
+        expected = np.zeros((h, w), dtype=bool)
+        src = a.to_array()
+        for y in range(h):
+            for x in range(w):
+                sy, sx = y - dy, x - dx
+                if 0 <= sy < h and 0 <= sx < w:
+                    expected[y, x] = src[sy, sx]
+        assert (out == expected).all()
+
+    def test_zero_translation_identity(self):
+        img = RLEImage.from_row_pairs([[(1, 2)]], width=5)
+        assert translate_image(img, 0, 0).same_pixels(img)
+
+
+class TestCrop:
+    def test_basic(self):
+        img = RLEImage.from_array(np.eye(4, dtype=bool))
+        out = crop_image(img, 1, 1, 2, 2)
+        assert (out.to_array() == np.eye(2, dtype=bool)).all()
+
+    def test_out_of_bounds_rejected(self):
+        img = RLEImage.blank(4, 4)
+        with pytest.raises(GeometryError):
+            crop_image(img, 2, 2, 4, 2)
+
+    @given(image_pairs())
+    def test_full_crop_identity(self, pair):
+        a, _ = pair
+        h, w = a.shape
+        assert crop_image(a, 0, 0, h, w).same_pixels(a)

@@ -1,0 +1,178 @@
+"""Unit and property tests for RLERow."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import EncodingError, GeometryError
+from repro.rle.row import RLERow
+from repro.rle.run import Run
+from tests.conftest import bit_rows, rle_rows
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        row = RLERow.from_pairs([(3, 4), (8, 5)])
+        assert row.run_count == 2
+        assert row[0] == Run(3, 4)
+
+    def test_from_endpoints(self):
+        row = RLERow.from_endpoints([(3, 6), (8, 12)])
+        assert row.to_pairs() == [(3, 4), (8, 5)]
+
+    def test_accepts_run_objects(self):
+        row = RLERow([Run(1, 2), Run(5, 1)])
+        assert row.to_pairs() == [(1, 2), (5, 1)]
+
+    def test_empty(self):
+        row = RLERow.empty(10)
+        assert row.run_count == 0 and row.width == 10 and not row
+
+    def test_full(self):
+        row = RLERow.full(10)
+        assert row.to_pairs() == [(0, 10)]
+        assert RLERow.full(0).run_count == 0
+
+    def test_unordered_rejected(self):
+        with pytest.raises(EncodingError):
+            RLERow.from_pairs([(8, 2), (3, 2)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(EncodingError):
+            RLERow.from_pairs([(3, 5), (6, 2)])
+
+    def test_equal_starts_rejected(self):
+        with pytest.raises(EncodingError):
+            RLERow.from_pairs([(3, 1), (3, 2)])
+
+    def test_adjacent_allowed(self):
+        # the paper: "it is permissible ... for two intervals ... to be
+        # directly adjacent"
+        row = RLERow.from_pairs([(3, 2), (5, 2)])
+        assert row.run_count == 2
+        assert not row.is_canonical()
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(GeometryError):
+            RLERow.from_pairs([(3, 4)], width=6)
+
+    def test_width_exact_fit(self):
+        row = RLERow.from_pairs([(3, 4)], width=7)
+        assert row.width == 7
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(GeometryError):
+            RLERow.empty(-1)
+
+
+class TestFromBits:
+    def test_simple(self):
+        row = RLERow.from_bits("0011100110")
+        assert row.to_pairs() == [(2, 3), (7, 2)]
+        assert row.width == 10
+
+    def test_all_zero(self):
+        assert RLERow.from_bits("0000").run_count == 0
+
+    def test_all_one(self):
+        assert RLERow.from_bits("1111").to_pairs() == [(0, 4)]
+
+    def test_edges(self):
+        assert RLERow.from_bits("1001").to_pairs() == [(0, 1), (3, 1)]
+
+    def test_empty_string(self):
+        row = RLERow.from_bits("")
+        assert row.run_count == 0 and row.width == 0
+
+    def test_numpy_input(self):
+        bits = np.array([True, False, True, True])
+        assert RLERow.from_bits(bits).to_pairs() == [(0, 1), (2, 2)]
+
+    def test_2d_rejected(self):
+        with pytest.raises(GeometryError):
+            RLERow.from_bits(np.zeros((2, 2), dtype=bool))
+
+    @given(bit_rows())
+    def test_roundtrip(self, bits):
+        row = RLERow.from_bits(bits)
+        assert (row.to_bits() == bits).all()
+        assert row.is_canonical()
+
+
+class TestAccessors:
+    def test_counts(self):
+        row = RLERow.from_pairs([(3, 4), (8, 5)], width=20)
+        assert row.run_count == 2
+        assert row.pixel_count == 9
+        assert row.extent == 13
+        assert len(row) == 2
+
+    def test_get_pixel(self):
+        row = RLERow.from_pairs([(3, 4), (10, 2)], width=20)
+        expected = row.to_bits()
+        assert all(row.get(i) == bool(expected[i]) for i in range(20))
+
+    def test_get_outside(self):
+        row = RLERow.from_pairs([(3, 4)], width=20)
+        assert not row.get(100)
+
+    def test_slice_returns_row(self):
+        row = RLERow.from_pairs([(1, 1), (3, 1), (5, 1)])
+        sliced = row[1:]
+        assert isinstance(sliced, RLERow)
+        assert sliced.to_pairs() == [(3, 1), (5, 1)]
+
+    def test_density(self):
+        row = RLERow.from_pairs([(0, 5)], width=10)
+        assert row.density() == 0.5
+        assert row.density(width=20) == 0.25
+        assert RLERow.empty(0).density() == 0.0
+
+    def test_iteration(self):
+        runs = [Run(1, 2), Run(5, 1)]
+        assert list(RLERow(runs)) == runs
+
+
+class TestCanonicalization:
+    def test_merges_adjacent(self):
+        row = RLERow.from_pairs([(3, 2), (5, 2), (9, 1)])
+        assert row.canonical().to_pairs() == [(3, 4), (9, 1)]
+
+    def test_merges_chains(self):
+        row = RLERow.from_pairs([(0, 1), (1, 1), (2, 1), (3, 1)])
+        assert row.canonical().to_pairs() == [(0, 4)]
+
+    def test_canonical_is_identity_when_canonical(self):
+        row = RLERow.from_pairs([(3, 2), (7, 2)])
+        assert row.canonical() is row
+
+    @given(rle_rows(canonical=False))
+    def test_canonical_preserves_pixels(self, row):
+        assert (row.canonical().to_bits() == row.to_bits()).all()
+
+    @given(rle_rows(canonical=False))
+    def test_canonical_idempotent(self, row):
+        once = row.canonical()
+        assert once.canonical() == once
+        assert once.is_canonical()
+
+
+class TestEquality:
+    def test_structural_vs_semantic(self):
+        a = RLERow.from_pairs([(3, 4)])
+        b = RLERow.from_pairs([(3, 2), (5, 2)])
+        assert a != b
+        assert a.same_pixels(b)
+
+    def test_hashable(self):
+        a = RLERow.from_pairs([(3, 4)])
+        b = RLERow.from_pairs([(3, 4)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_other_types(self):
+        assert RLERow.from_pairs([(3, 4)]) != [(3, 4)]
+
+    def test_with_width(self):
+        row = RLERow.from_pairs([(3, 4)]).with_width(20)
+        assert row.width == 20

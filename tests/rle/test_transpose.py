@@ -1,0 +1,91 @@
+"""Tests for RLE-domain transpose and rotations."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.rle.image import RLEImage
+from repro.rle.transpose import (
+    flip_horizontal,
+    flip_vertical,
+    rotate90,
+    rotate180,
+    rotate270,
+    transpose,
+)
+
+
+@st.composite
+def images(draw, max_h=14, max_w=18):
+    h = draw(st.integers(0, max_h))
+    w = draw(st.integers(0, max_w))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return RLEImage.from_array(rng.random((h, w)) < draw(st.floats(0, 1)))
+
+
+class TestTranspose:
+    @given(images())
+    def test_matches_numpy(self, img):
+        assert (transpose(img).to_array() == img.to_array().T).all()
+
+    @given(images())
+    def test_involution(self, img):
+        assert transpose(transpose(img)).same_pixels(img)
+
+    @given(images())
+    def test_output_rows_canonical(self, img):
+        assert transpose(img).is_canonical()
+
+    def test_shape_swap(self):
+        img = RLEImage.blank(3, 7)
+        assert transpose(img).shape == (7, 3)
+
+    def test_vertical_run_becomes_horizontal(self):
+        img = RLEImage.from_row_pairs([[(2, 1)], [(2, 1)], [(2, 1)]], width=5)
+        t = transpose(img)
+        assert t[2].to_pairs() == [(0, 3)]
+
+    def test_noncanonical_input_handled(self):
+        img = RLEImage.from_row_pairs([[(0, 2), (2, 2)]], width=6)
+        assert (transpose(img).to_array() == img.to_array().T).all()
+
+
+class TestFlips:
+    @given(images())
+    def test_flip_horizontal_matches_numpy(self, img):
+        assert (flip_horizontal(img).to_array() == img.to_array()[:, ::-1]).all()
+
+    @given(images())
+    def test_flip_vertical_matches_numpy(self, img):
+        assert (flip_vertical(img).to_array() == img.to_array()[::-1]).all()
+
+    @given(images())
+    def test_flips_are_involutions(self, img):
+        assert flip_horizontal(flip_horizontal(img)).same_pixels(img)
+        assert flip_vertical(flip_vertical(img)).same_pixels(img)
+
+
+class TestRotations:
+    @given(images())
+    def test_rotate90_matches_numpy(self, img):
+        expected = np.rot90(img.to_array(), k=-1)  # clockwise
+        assert (rotate90(img).to_array() == expected).all()
+
+    @given(images())
+    def test_rotate270_matches_numpy(self, img):
+        expected = np.rot90(img.to_array(), k=1)
+        assert (rotate270(img).to_array() == expected).all()
+
+    @given(images())
+    def test_rotate180_matches_numpy(self, img):
+        expected = np.rot90(img.to_array(), k=2)
+        assert (rotate180(img).to_array() == expected).all()
+
+    @given(images())
+    def test_four_quarter_turns_identity(self, img):
+        out = rotate90(rotate90(rotate90(rotate90(img))))
+        assert out.same_pixels(img)
+
+    @given(images())
+    def test_90_then_270_identity(self, img):
+        assert rotate270(rotate90(img)).same_pixels(img)

@@ -1,0 +1,44 @@
+"""Tests for the shared structural validators."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.rle.run import Run
+from repro.rle.validate import check_canonical, check_sorted_disjoint, validate_runs
+
+
+class TestValidateRuns:
+    def test_accepts_valid(self):
+        validate_runs([Run(0, 2), Run(3, 1), Run(10, 5)])
+
+    def test_accepts_adjacent(self):
+        validate_runs([Run(0, 2), Run(2, 2)])
+
+    def test_accepts_empty_and_singleton(self):
+        validate_runs([])
+        validate_runs([Run(5, 1)])
+
+    def test_rejects_unordered(self):
+        with pytest.raises(EncodingError):
+            validate_runs([Run(5, 1), Run(2, 1)])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(EncodingError):
+            validate_runs([Run(0, 5), Run(3, 2)])
+
+    def test_rejects_duplicate_start(self):
+        with pytest.raises(EncodingError):
+            validate_runs([Run(3, 1), Run(3, 4)])
+
+
+class TestBooleanForms:
+    def test_check_sorted_disjoint(self):
+        assert check_sorted_disjoint([(0, 2), (4, 1)])
+        assert not check_sorted_disjoint([(4, 1), (0, 2)])
+        assert not check_sorted_disjoint([(0, 5), (2, 1)])
+
+    def test_check_canonical(self):
+        assert check_canonical([Run(0, 2), Run(4, 1)])
+        assert not check_canonical([Run(0, 2), Run(2, 1)])  # adjacent
+        assert not check_canonical([Run(4, 1), Run(0, 2)])  # invalid
+        assert check_canonical([])

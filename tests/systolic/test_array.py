@@ -1,0 +1,182 @@
+"""Tests for the generic systolic array mechanics, using a toy cell.
+
+The toy cell passes an integer token rightward and is "done" when it
+holds nothing — enough to exercise clocking, shift simultaneity,
+termination, capacity detection and hooks independently of the XOR
+algorithm.
+"""
+
+import pytest
+
+from repro.errors import CapacityError, SystolicError
+from repro.systolic.array import LinearSystolicArray
+from repro.systolic.cell import Cell
+from repro.systolic.controller import TerminationController
+
+
+class TokenCell(Cell):
+    """Holds at most one integer token; shifts it right every cycle."""
+
+    __slots__ = ("token", "seen")
+
+    def __init__(self, index, token=None):
+        super().__init__(index)
+        self.token = token
+        self.seen = []
+
+    def phase_names(self):
+        return ("tick",)
+
+    def run_phase(self, name):
+        self.seen.append(name)
+
+    def shift_out(self):
+        token, self.token = self.token, None
+        return token
+
+    def shift_in(self, datum):
+        self.token = datum
+
+    def is_done(self):
+        return self.token is None
+
+    def snapshot(self):
+        return self.token
+
+
+def make_array(tokens, **kwargs):
+    cells = [TokenCell(i, t) for i, t in enumerate(tokens)]
+    return LinearSystolicArray(cells, **kwargs)
+
+
+class TestStepping:
+    def test_tokens_move_right_simultaneously(self):
+        array = make_array([1, 2, None, None])
+        array.step()
+        assert array.snapshot() == (None, 1, 2, None)
+        array.step()
+        assert array.snapshot() == (None, None, 1, 2)
+
+    def test_all_cells_run_every_phase(self):
+        array = make_array([None, None, None])
+        array.step()
+        assert all(cell.seen == ["tick"] for cell in array.cells)
+
+    def test_clock_counts_iterations(self):
+        array = make_array([1, None, None])
+        assert array.iterations == 0
+        array.step()
+        assert array.iterations == 1
+
+    def test_boundary_input_default_none(self):
+        array = make_array([7, None])
+        array.step()
+        assert array.cells[0].token is None
+
+    def test_boundary_input_custom(self):
+        feed = iter([10, 20])
+        array = make_array([None, None], boundary_input=lambda: next(feed))
+        array.step()
+        assert array.snapshot() == (10, None)
+        array.step()
+        assert array.snapshot() == (20, 10)
+
+    def test_capacity_error_on_overflow(self):
+        array = make_array([None, 5])
+        with pytest.raises(CapacityError):
+            array.step()
+
+    def test_empty_cell_list_rejected(self):
+        with pytest.raises(SystolicError):
+            LinearSystolicArray([])
+
+    def test_mismatched_phase_lists_rejected(self):
+        class OtherCell(TokenCell):
+            def phase_names(self):
+                return ("tock",)
+
+        with pytest.raises(SystolicError):
+            LinearSystolicArray([TokenCell(0), OtherCell(1)])
+
+
+class TestRun:
+    def test_tokens_never_vanish_so_overflow_is_detected(self):
+        # a token can only move right; with no sink it must eventually
+        # fall off the end and the array must notice rather than halt
+        array = make_array([1, None, None])
+        with pytest.raises(CapacityError):
+            array.run()
+
+    def test_empty_array_terminates_immediately(self):
+        array = make_array([None, None])
+        assert array.run() == 0
+        assert array.halted
+
+    def test_step_after_halt_rejected(self):
+        array = make_array([None])
+        array.run()
+        with pytest.raises(SystolicError):
+            array.step()
+
+    def test_reset_clock_allows_reuse(self):
+        array = make_array([None])
+        array.run()
+        array.reset_clock()
+        assert not array.halted
+        assert array.run() == 0
+
+    def test_max_iterations_enforced(self):
+        # a token bouncing forever (cell keeps it by re-inserting)
+        class StickyCell(TokenCell):
+            def shift_out(self):
+                return None  # never releases
+
+            def is_done(self):
+                return False  # never satisfied
+
+        array = LinearSystolicArray([StickyCell(0, 1)])
+        with pytest.raises(SystolicError):
+            array.run(max_iterations=5)
+
+
+class TestHooks:
+    def test_phase_hooks_fire_in_order(self):
+        events = []
+        array = make_array([1, None, None])
+        array.phase_hooks.append(lambda a, phase: events.append(phase))
+        array.step()
+        assert events == ["tick", "shift"]
+
+    def test_clock_events_carry_labels(self):
+        labels = []
+        array = make_array([1, None, None])
+        array.clock.subscribe(lambda e: labels.append(e.label))
+        array.step()
+        array.step()
+        assert labels == ["1.1", "1.2", "2.1", "2.2"]
+
+
+class TestController:
+    def test_latency_zero_halts_at_once(self):
+        ctrl = TerminationController(latency=0)
+        array = make_array([None, None], controller=ctrl)
+        assert array.run() == 0
+
+    def test_latency_adds_grace_iterations(self):
+        ctrl = TerminationController(latency=2)
+        array = make_array([None, None], controller=ctrl)
+        assert array.run() == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TerminationController(latency=-1)
+
+    def test_pending_resets_when_not_done(self):
+        ctrl = TerminationController(latency=1)
+        cells = [TokenCell(0, None), TokenCell(1, None)]
+        assert not ctrl.poll(cells)  # pending=1, not > 1
+        cells[0].token = 5
+        assert not ctrl.poll(cells)  # reset
+        cells[0].token = None
+        assert not ctrl.poll(cells)  # pending=1 again
+        assert ctrl.poll(cells)  # pending=2 > 1

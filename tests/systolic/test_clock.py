@@ -1,0 +1,65 @@
+"""Tests for cycle/phase bookkeeping."""
+
+from repro.systolic.clock import CycleClock, PhaseEvent
+
+
+class TestPhaseEvent:
+    def test_label_matches_paper_notation(self):
+        assert PhaseEvent(2, 3, "shift").label == "2.3"
+
+    def test_frozen(self):
+        event = PhaseEvent(1, 1, "a")
+        try:
+            event.iteration = 2  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestCycleClock:
+    def test_initial_state(self):
+        clock = CycleClock()
+        assert clock.iteration == 0
+
+    def test_begin_iteration_advances(self):
+        clock = CycleClock()
+        assert clock.begin_iteration() == 1
+        assert clock.begin_iteration() == 2
+        assert clock.iteration == 2
+
+    def test_phase_numbering_resets_per_iteration(self):
+        clock = CycleClock()
+        clock.begin_iteration()
+        assert clock.phase_done("a").label == "1.1"
+        assert clock.phase_done("b").label == "1.2"
+        clock.begin_iteration()
+        assert clock.phase_done("a").label == "2.1"
+
+    def test_observers_notified_in_order(self):
+        clock = CycleClock()
+        seen = []
+        clock.subscribe(lambda e: seen.append((e.label, e.phase_name)))
+        clock.begin_iteration()
+        clock.phase_done("x")
+        clock.phase_done("y")
+        assert seen == [("1.1", "x"), ("1.2", "y")]
+
+    def test_unsubscribe(self):
+        clock = CycleClock()
+        seen = []
+        obs = lambda e: seen.append(e)
+        clock.subscribe(obs)
+        clock.unsubscribe(obs)
+        clock.begin_iteration()
+        clock.phase_done("x")
+        assert seen == []
+
+    def test_reset(self):
+        clock = CycleClock()
+        clock.begin_iteration()
+        clock.phase_done("x")
+        clock.reset()
+        assert clock.iteration == 0
+        clock.begin_iteration()
+        assert clock.phase_done("x").label == "1.1"

@@ -1,0 +1,104 @@
+"""Tests for activity statistics and the hardware cost model."""
+
+import pytest
+
+from repro.systolic.cost import CostModel, CostReport
+from repro.systolic.stats import ActivityStats
+
+
+class TestActivityStats:
+    def test_bump_and_get(self):
+        stats = ActivityStats()
+        stats.bump("swaps")
+        stats.bump("swaps", 2)
+        assert stats.get("swaps") == 3
+        assert stats["swaps"] == 3
+
+    def test_missing_counter_is_zero(self):
+        assert ActivityStats().get("nope") == 0
+
+    def test_zero_bump_leaves_counter_absent(self):
+        stats = ActivityStats()
+        stats.bump("x", 0)
+        assert "x" not in stats.as_dict()
+
+    def test_merge(self):
+        a, b = ActivityStats(), ActivityStats()
+        a.bump("swaps", 2)
+        b.bump("swaps", 3)
+        b.bump("moves", 1)
+        merged = a.merge(b)
+        assert merged.get("swaps") == 5
+        assert merged.get("moves") == 1
+        # originals untouched
+        assert a.get("swaps") == 2
+
+    def test_iteration_sorted(self):
+        stats = ActivityStats()
+        stats.bump("zeta")
+        stats.bump("alpha")
+        assert [k for k, _ in stats] == ["alpha", "zeta"]
+
+    def test_utilization(self):
+        stats = ActivityStats()
+        stats.bump("busy_cells", 30)
+        assert stats.utilization(iterations=10, n_cells=6) == 0.5
+        assert stats.utilization(0, 6) == 0.0
+
+    def test_reset(self):
+        stats = ActivityStats()
+        stats.bump("x")
+        stats.reset()
+        assert stats.as_dict() == {}
+
+
+class TestCostModel:
+    def _stats(self):
+        stats = ActivityStats()
+        stats.bump("busy_cells", 100)
+        stats.bump("swaps", 10)
+        stats.bump("moves", 5)
+        stats.bump("xor_splits", 8)
+        stats.bump("shifts", 20)
+        return stats
+
+    def test_cycles_are_three_per_iteration(self):
+        report = CostModel().estimate(iterations=7, n_cells=4, stats=ActivityStats())
+        assert report.cycles == 21
+
+    def test_time_scales_with_cycle_time(self):
+        fast = CostModel(cycle_time_ns=5.0).estimate(10, 4, ActivityStats())
+        slow = CostModel(cycle_time_ns=10.0).estimate(10, 4, ActivityStats())
+        assert slow.time_ns == pytest.approx(2 * fast.time_ns)
+
+    def test_energy_increases_with_activity(self):
+        model = CostModel()
+        idle = model.estimate(10, 4, ActivityStats())
+        busy = model.estimate(10, 4, self._stats())
+        assert busy.energy_nj > idle.energy_nj
+
+    def test_bus_area_only_when_bus(self):
+        model = CostModel()
+        without = model.estimate(1, 8, ActivityStats(), has_bus=False)
+        with_bus = model.estimate(1, 8, ActivityStats(), has_bus=True)
+        assert with_bus.area_units == without.area_units + model.bus_area_units
+
+    def test_area_scales_with_cells(self):
+        model = CostModel()
+        a4 = model.estimate(1, 4, ActivityStats())
+        a8 = model.estimate(1, 8, ActivityStats())
+        assert a8.area_units == pytest.approx(2 * a4.area_units)
+
+    def test_report_is_frozen_and_printable(self):
+        report = CostModel().estimate(1, 1, ActivityStats())
+        assert isinstance(report, CostReport)
+        assert "cycles" in str(report)
+
+    def test_bus_transfers_billed(self):
+        stats = ActivityStats()
+        stats.bump("bus_transfers", 100)
+        model = CostModel()
+        with_bus = model.estimate(10, 4, stats)
+        without = model.estimate(10, 4, ActivityStats())
+        expected_extra = model.bus_transfer_energy_pj * 100 / 1000.0
+        assert with_bus.energy_nj == pytest.approx(without.energy_nj + expected_extra)

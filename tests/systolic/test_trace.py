@@ -1,0 +1,76 @@
+"""Tests for the trace recorder and Figure-3-style table rendering."""
+
+from repro.rle.row import RLERow
+from repro.core.machine import SystolicXorMachine
+from repro.systolic.trace import TraceRecorder, render_trace_table
+from tests.conftest import PAPER_ROW_1, PAPER_ROW_2
+
+
+def run_paper_example():
+    machine = SystolicXorMachine(record_trace=True)
+    return machine.diff(
+        RLERow.from_pairs(PAPER_ROW_1, width=40),
+        RLERow.from_pairs(PAPER_ROW_2, width=40),
+    )
+
+
+class TestRecorder:
+    def test_initial_entry_recorded(self):
+        result = run_paper_example()
+        assert result.trace is not None
+        assert result.trace.entries[0].label == "initial"
+
+    def test_three_entries_per_iteration(self):
+        result = run_paper_example()
+        # initial + 3 iterations x 3 phases
+        assert len(result.trace.entries) == 1 + 3 * result.iterations
+
+    def test_labels_match_paper_numbering(self):
+        result = run_paper_example()
+        labels = [e.label for e in result.trace.entries[1:]]
+        assert labels[:6] == ["1.1", "1.2", "1.3", "2.1", "2.2", "2.3"]
+
+    def test_snapshots_track_machine_state(self):
+        result = run_paper_example()
+        last = result.trace.entries[-1]
+        smalls = [s for (s, _b) in last.snapshots if s[1] >= s[0]]
+        assert [(s, e - s + 1) for s, e in smalls] == result.result.to_pairs()
+
+    def test_phase_filter(self):
+        machine = SystolicXorMachine()
+        a = RLERow.from_pairs(PAPER_ROW_1, width=40)
+        b = RLERow.from_pairs(PAPER_ROW_2, width=40)
+        array, _ = machine.build_array(a, b)
+        recorder = TraceRecorder(phases=["shift"]).attach(array)
+        array.run()
+        # initial + one entry per iteration
+        assert len(recorder.entries) == 1 + array.iterations
+        assert all(e.phase_name in ("initial", "shift") for e in recorder.entries)
+
+
+class TestRendering:
+    def test_matches_paper_figure3_states(self):
+        result = run_paper_example()
+        table = render_trace_table(result.trace.entries, max_cells=6)
+        lines = table.splitlines()
+        # spot-check the milestones of Figure 3
+        initial = next(l for l in lines if l.startswith("initial"))
+        assert "(10,3)/(3,4)" in initial
+        step22 = next(l for l in lines if l.startswith("2.2"))
+        assert "(8,2)" in step22 and "(15,1)" in step22 and "(30,1)" in step22
+        final = lines[-1]
+        for pair in ["(3,4)", "(8,2)", "(15,1)", "(18,2)", "(30,1)"]:
+            assert pair in final
+
+    def test_empty_trace(self):
+        assert render_trace_table([]) == "(empty trace)"
+
+    def test_max_cells_limits_columns(self):
+        result = run_paper_example()
+        table = render_trace_table(result.trace.entries, max_cells=2)
+        assert "Cell2" not in table.splitlines()[0]
+
+    def test_custom_cell_label(self):
+        result = run_paper_example()
+        table = render_trace_table(result.trace.entries, max_cells=1, cell_label="PE")
+        assert "PE0" in table.splitlines()[0]

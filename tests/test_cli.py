@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+
+    def test_figure5_options(self):
+        args = build_parser().parse_args(
+            ["figure5", "--width", "2000", "--reps", "3", "--csv", "out.csv"]
+        )
+        assert args.width == 2000 and args.reps == 3 and args.csv == "out.csv"
+
+    def test_ablation_choices(self):
+        assert build_parser().parse_args(["ablation", "bus"]).which == "bus"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nope"])
+
+
+class TestCommands:
+    def test_demo_prints_paper_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "(10, 3)" in out  # input row
+        assert "iterations : 3" in out
+        assert "initial" in out  # the trace table
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "systolic_iterations" in out
+        assert "2048" in out
+
+    def test_table1_csv(self, tmp_path, capsys):
+        csv = tmp_path / "t1.csv"
+        assert main(["table1", "--reps", "1", "--csv", str(csv)]) == 0
+        assert csv.exists()
+        assert "width" in csv.read_text()
+
+    def test_figure5_small(self, capsys):
+        assert main(["figure5", "--width", "1000", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "error_fraction" in out
+        assert "iterations" in out
+        assert "|k1-k2|" in out  # the plot legend
+
+    def test_ablation_bus(self, capsys):
+        assert main(["ablation", "bus", "--reps", "1"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_ablation_compaction(self, capsys):
+        assert main(["ablation", "compaction", "--reps", "1"]) == 0
+        assert "mergeable_pairs" in capsys.readouterr().out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "--size", "96", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "stage seconds" in out
+
+    def test_verify_accepts_clean_run(self, capsys):
+        assert main(["verify", "--width", "200", "--seed", "1"]) == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_verify_rejects_faulty_run(self, capsys):
+        assert main(["verify", "--width", "200", "--seed", "1", "--inject-fault"]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_theory(self, capsys):
+        assert main(["theory", "--width", "2000", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "p_transition" in out
+
+    def test_rtl_area(self, capsys):
+        assert main(["rtl", "area"]) == 0
+        assert "total_gates" in capsys.readouterr().out
+
+    def test_rtl_verilog(self, capsys):
+        assert main(["rtl", "verilog"]) == 0
+        out = capsys.readouterr().out
+        assert "module systolic_xor_cell" in out and "endmodule" in out

@@ -1,0 +1,159 @@
+"""Tests for the character-recognition and motion workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rle.metrics import error_fraction
+from repro.workloads.characters import (
+    GLYPH_HEIGHT,
+    GLYPH_WIDTH,
+    GLYPHS,
+    degrade_image,
+    match_glyph,
+    render_glyph,
+    render_string,
+)
+from repro.workloads.motion import (
+    Sprite,
+    generate_background,
+    generate_sequence,
+    render_frame,
+)
+
+
+class TestGlyphs:
+    def test_font_table_well_formed(self):
+        for char, rows in GLYPHS.items():
+            assert len(rows) == GLYPH_HEIGHT, char
+            assert all(len(r) == GLYPH_WIDTH for r in rows), char
+            assert all(set(r) <= {"#", "."} for r in rows), char
+
+    def test_render_glyph(self):
+        img = render_glyph("A")
+        assert img.shape == (GLYPH_HEIGHT, GLYPH_WIDTH)
+        assert img.pixel_count > 0
+
+    def test_case_insensitive(self):
+        assert render_glyph("a") == render_glyph("A")
+
+    def test_scaling(self):
+        img = render_glyph("I", scale=3)
+        assert img.shape == (21, 15)
+        assert img.pixel_count == render_glyph("I").pixel_count * 9
+
+    def test_unknown_glyph(self):
+        with pytest.raises(WorkloadError):
+            render_glyph("?")
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            render_glyph("A", scale=0)
+
+
+class TestStrings:
+    def test_render_string_width(self):
+        img = render_string("AB", spacing=1, margin=1)
+        assert img.shape == (GLYPH_HEIGHT + 2, 2 * GLYPH_WIDTH + 1 + 2)
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(WorkloadError):
+            render_string("")
+
+    def test_space_renders_blank(self):
+        img = render_string(" ")
+        assert img.pixel_count == 0
+
+
+class TestMatching:
+    def test_clean_glyph_matches_itself(self):
+        for char in "AXZ059":
+            sample = render_glyph(char)
+            best, score = match_glyph(sample)[0]
+            assert best == char and score == 0
+
+    def test_degraded_glyph_still_matches(self):
+        sample = degrade_image(render_glyph("E", scale=3), 0.03, seed=1)
+        best, _ = match_glyph(sample, scale=3)[0]
+        assert best == "E"
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            match_glyph(render_glyph("A", scale=2), scale=1)
+
+    def test_candidates_restriction(self):
+        sample = render_glyph("B")
+        scores = match_glyph(sample, candidates="ABC")
+        assert [c for c, _ in scores][0] == "B"
+        assert len(scores) == 3
+
+
+class TestDegrade:
+    def test_flip_rate(self):
+        img = render_string("HELLO", scale=4)
+        noisy = degrade_image(img, 0.05, seed=2)
+        assert 0.01 < error_fraction(img, noisy) < 0.12
+
+    def test_zero_noise_identity(self):
+        img = render_glyph("Q")
+        assert degrade_image(img, 0.0, seed=3) == img
+
+
+class TestMotion:
+    def test_background_deterministic(self):
+        a = generate_background(64, 64, seed=4)
+        b = generate_background(64, 64, seed=4)
+        assert (a == b).all()
+
+    def test_sprite_trajectory(self):
+        sprite = Sprite("rect", 2, (10.0, 5.0), (1.0, 2.0))
+        assert sprite.at(0) == (10.0, 5.0)
+        assert sprite.at(3) == (13.0, 11.0)
+
+    def test_frame_contains_sprite(self):
+        bg = np.zeros((32, 32), dtype=bool)
+        frame = render_frame(bg, [Sprite("rect", 2, (16.0, 16.0), (0, 0))], 0)
+        assert frame.to_array()[16, 16]
+        assert frame.pixel_count == 25  # (2*2+1)^2
+
+    def test_disc_sprite(self):
+        bg = np.zeros((32, 32), dtype=bool)
+        frame = render_frame(bg, [Sprite("disc", 3, (16.0, 16.0), (0, 0))], 0)
+        arr = frame.to_array()
+        assert arr[16, 16] and arr[16, 19] and not arr[16, 20]
+
+    def test_sequence_consecutive_frames_similar(self):
+        frames = generate_sequence(96, 96, n_frames=5, seed=5)
+        assert len(frames) == 5
+        for f1, f2 in zip(frames, frames[1:]):
+            assert error_fraction(f1, f2) < 0.10
+
+    def test_sequence_moves(self):
+        frames = generate_sequence(96, 96, n_frames=4, seed=6)
+        assert not frames[0].same_pixels(frames[-1])
+
+    def test_bad_frame_count(self):
+        with pytest.raises(WorkloadError):
+            generate_sequence(n_frames=0)
+
+
+class TestSuite:
+    def test_registry_workloads_materialize(self):
+        from repro.workloads.suite import ROW_WORKLOADS, get_row_workload
+
+        for name, workload in ROW_WORKLOADS.items():
+            a, b, mask = workload.make()
+            assert a.width == b.width, name
+        assert get_row_workload("tiny-similar").name == "tiny-similar"
+
+    def test_unknown_workload(self):
+        from repro.workloads.suite import get_row_workload
+
+        with pytest.raises(KeyError):
+            get_row_workload("nope")
+
+    def test_workloads_deterministic(self):
+        from repro.workloads.suite import get_row_workload
+
+        w = get_row_workload("tiny-similar")
+        assert w.make()[0] == w.make()[0]

@@ -1,0 +1,80 @@
+"""Tests for the degradation models."""
+
+import numpy as np
+import pytest
+
+from repro.rle.ops import xor_rows
+from repro.rle.row import RLERow
+from repro.workloads.errors import edge_jitter, flip_error_runs, salt_pepper
+from repro.workloads.spec import ErrorSpec
+
+
+def base_row(seed=0, width=1000, density=0.3):
+    rng = np.random.default_rng(seed)
+    return RLERow.from_bits(rng.random(width) < density)
+
+
+class TestFlipErrorRuns:
+    def test_returns_degraded_and_mask(self):
+        row = base_row()
+        degraded, mask = flip_error_runs(row, ErrorSpec(fraction=0.05), seed=1)
+        assert xor_rows(row, degraded).same_pixels(mask)
+
+    def test_needs_width(self):
+        with pytest.raises(ValueError):
+            flip_error_runs(RLERow.from_pairs([(0, 1)]), ErrorSpec(fraction=0.1))
+
+
+class TestSaltPepper:
+    def test_flip_probability_respected(self):
+        row = base_row(width=20_000)
+        _, mask = salt_pepper(row, 0.01, seed=2)
+        assert mask.pixel_count == pytest.approx(200, rel=0.4)
+
+    def test_zero_probability_no_change(self):
+        row = base_row()
+        degraded, mask = salt_pepper(row, 0.0, seed=3)
+        assert degraded == row and mask.run_count == 0
+
+    def test_mask_consistent(self):
+        row = base_row()
+        degraded, mask = salt_pepper(row, 0.05, seed=4)
+        assert xor_rows(row, degraded).same_pixels(mask)
+
+    def test_needs_width(self):
+        with pytest.raises(ValueError):
+            salt_pepper(RLERow.from_pairs([(0, 1)]), 0.1)
+
+
+class TestEdgeJitter:
+    def test_structure_valid(self):
+        row = base_row(5)
+        jittered = edge_jitter(row, 1, seed=5)
+        for r1, r2 in zip(jittered.runs, jittered.runs[1:]):
+            assert r1.end < r2.start
+
+    def test_zero_shift_identity_in_pixels(self):
+        row = base_row(6)
+        assert edge_jitter(row, 0, seed=6).same_pixels(row)
+
+    def test_stays_inside_width(self):
+        row = base_row(7, width=200)
+        jittered = edge_jitter(row, 2, seed=7)
+        assert jittered.extent <= 200
+
+    def test_small_difference_on_structured_rows(self):
+        """On rows with real runs (4-20 px, like scanned artwork), ±1
+        jitter produces the similar-images regime: each run changes by
+        at most 2 pixels."""
+        from repro.workloads.random_rows import generate_base_row
+        from repro.workloads.spec import BaseRowSpec
+
+        row = generate_base_row(BaseRowSpec(width=5000), seed=8)
+        jittered = edge_jitter(row, 1, seed=8)
+        diff = xor_rows(row, jittered).pixel_count
+        assert diff <= 2 * row.run_count
+        assert diff < row.pixel_count // 2
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            edge_jitter(base_row(), -1)

@@ -1,0 +1,112 @@
+"""Tests for the fingerprint and map workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rle.metrics import error_fraction
+from repro.workloads.fingerprint import (
+    generate_fingerprint,
+    generate_pair,
+    match_score,
+    second_impression,
+)
+from repro.workloads.maps import (
+    Segment,
+    draw_segments,
+    generate_map,
+    revise_map,
+)
+
+
+class TestFingerprint:
+    def test_plausible_ridge_density(self):
+        fp = generate_fingerprint(seed=0)
+        # ridges fill about half the finger oval (~60% of frame)
+        assert 0.15 < fp.density() < 0.50
+
+    def test_deterministic(self):
+        assert generate_fingerprint(seed=1) == generate_fingerprint(seed=1)
+        assert generate_fingerprint(seed=1) != generate_fingerprint(seed=2)
+
+    def test_ridge_structure_not_noise(self):
+        fp = generate_fingerprint(seed=3)
+        mean_run = fp.pixel_count / max(fp.total_runs, 1)
+        assert mean_run > 2.0  # periodic stripes, not salt-and-pepper
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_fingerprint(height=8, width=8)
+        with pytest.raises(WorkloadError):
+            generate_fingerprint(ridge_period=0.5)
+
+    def test_second_impression_similar(self):
+        fp = generate_fingerprint(seed=4)
+        imp = second_impression(fp, displacement=(1, 0), pressure=1, seed=5)
+        assert fp.shape == imp.shape
+        assert error_fraction(fp, imp) < 0.5
+
+    def test_match_scores_separate_genuine_from_impostor(self):
+        genuine_scores = []
+        impostor_scores = []
+        for seed in range(3):
+            a, b = generate_pair(same_finger=True, seed=seed)
+            genuine_scores.append(match_score(a, b))
+            a, b = generate_pair(same_finger=False, seed=seed + 100)
+            impostor_scores.append(match_score(a, b))
+        assert min(genuine_scores) > max(impostor_scores)
+
+    def test_self_match_is_high(self):
+        fp = generate_fingerprint(seed=6)
+        assert match_score(fp, fp) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            match_score(
+                generate_fingerprint(seed=7),
+                generate_fingerprint(height=96, width=64, seed=7),
+            )
+
+
+class TestMaps:
+    def test_segment_rasterization(self):
+        img = draw_segments(10, 10, [Segment((2, 0), (2, 9), 1)])
+        assert img[2].to_pairs() == [(0, 10)]
+        assert img[3].run_count == 0
+
+    def test_diagonal_segment_connected(self):
+        img = draw_segments(10, 10, [Segment((0, 0), (9, 9), 1)])
+        from repro.rle.components import label_components
+
+        assert len(label_components(img, connectivity=8)) == 1
+
+    def test_thickness(self):
+        thin = draw_segments(10, 20, [Segment((5, 0), (5, 19), 1)])
+        thick = draw_segments(10, 20, [Segment((5, 0), (5, 19), 3)])
+        assert thick.pixel_count == 3 * thin.pixel_count
+
+    def test_generate_map_structure(self):
+        img, segments = generate_map(seed=0)
+        assert img.pixel_count > 0
+        assert len(segments) >= 10
+        assert 0.02 < img.density() < 0.40
+
+    def test_map_deterministic(self):
+        a, _ = generate_map(seed=1)
+        b, _ = generate_map(seed=1)
+        assert a == b
+
+    def test_revision_is_similar(self):
+        img, segments = generate_map(seed=2)
+        revised, new_segments = revise_map(192, 192, segments, seed=3)
+        assert error_fraction(img, revised) < 0.10
+        assert not revised.same_pixels(img)
+        assert len(new_segments) == len(segments) + 2 - 1
+
+    def test_revision_validation(self):
+        with pytest.raises(WorkloadError):
+            revise_map(10, 10, [], removals=1)
+
+    def test_block_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_map(block=2)

@@ -1,0 +1,99 @@
+"""Tests for the synthetic PCB workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rle.metrics import error_fraction
+from repro.workloads.pcb import (
+    DEFECT_TYPES,
+    Defect,
+    PCBLayout,
+    generate_board,
+    generate_inspection_case,
+    inject_defects,
+)
+
+
+class TestLayout:
+    def test_defaults_valid(self):
+        layout = PCBLayout()
+        assert layout.height == layout.width == 256
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            PCBLayout(height=8, width=8)
+
+    def test_trace_width_vs_pitch(self):
+        with pytest.raises(WorkloadError):
+            PCBLayout(trace_width=10, trace_pitch=10)
+
+
+class TestBoard:
+    def test_plausible_density(self):
+        board = generate_board(PCBLayout(height=128, width=128), seed=0)
+        assert 0.10 < board.density() < 0.45
+
+    def test_deterministic(self):
+        layout = PCBLayout(height=64, width=64)
+        assert generate_board(layout, seed=1) == generate_board(layout, seed=1)
+
+    def test_structured_not_noise(self):
+        """Traces make long runs: mean run length far above noise's."""
+        board = generate_board(PCBLayout(height=128, width=128), seed=2)
+        mean_run = board.pixel_count / max(board.total_runs, 1)
+        assert mean_run > 5.0
+
+
+class TestDefects:
+    def test_injection_returns_ground_truth(self):
+        reference = generate_board(PCBLayout(height=128, width=128), seed=3)
+        scanned, defects = inject_defects(reference, 5, seed=4)
+        assert 1 <= len(defects) <= 5
+        assert all(isinstance(d, Defect) for d in defects)
+        assert all(d.kind in DEFECT_TYPES for d in defects)
+
+    def test_defects_actually_change_pixels(self):
+        reference = generate_board(PCBLayout(height=128, width=128), seed=5)
+        scanned, defects = inject_defects(reference, 4, seed=6)
+        if defects:
+            assert not scanned.same_pixels(reference)
+
+    def test_zero_defects_identity(self):
+        reference = generate_board(PCBLayout(height=64, width=64), seed=7)
+        scanned, defects = inject_defects(reference, 0, seed=8)
+        assert scanned == reference and defects == []
+
+    def test_polarity_recorded(self):
+        reference = generate_board(PCBLayout(height=128, width=128), seed=9)
+        scanned, defects = inject_defects(
+            reference, 6, kinds=("open", "short"), seed=10
+        )
+        ref_arr, scan_arr = reference.to_array(), scanned.to_array()
+        for defect in defects:
+            t, l, b, r = defect.bbox
+            region_ref = ref_arr[t : b + 1, l : r + 1]
+            region_scan = scan_arr[t : b + 1, l : r + 1]
+            if defect.adds_copper:
+                assert region_scan.sum() >= region_ref.sum()
+            else:
+                assert region_scan.sum() <= region_ref.sum()
+
+    def test_defect_center(self):
+        d = Defect(kind="open", bbox=(2, 4, 6, 8), adds_copper=False)
+        assert d.center == (4, 6)
+
+
+class TestInspectionCase:
+    def test_high_similarity_regime(self):
+        """The substitution's essential property: reference and scan are
+        highly similar (the regime the systolic algorithm targets)."""
+        reference, scanned, _ = generate_inspection_case(
+            PCBLayout(height=128, width=128), n_defects=4, seed=11
+        )
+        assert error_fraction(reference, scanned) < 0.05
+
+    def test_shapes_match(self):
+        reference, scanned, _ = generate_inspection_case(
+            PCBLayout(height=64, width=96), n_defects=2, seed=12
+        )
+        assert reference.shape == scanned.shape == (64, 96)

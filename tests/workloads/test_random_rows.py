@@ -1,0 +1,114 @@
+"""Tests for the Section 5 random-row generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rle.metrics import error_fraction
+from repro.rle.ops import xor_rows
+from repro.workloads.spec import BaseRowSpec, ErrorSpec, RowPairSpec
+from repro.workloads.random_rows import (
+    generate_base_row,
+    generate_error_mask,
+    generate_row_pair,
+    realize_spec,
+)
+
+
+class TestBaseRow:
+    def test_run_lengths_in_range(self):
+        spec = BaseRowSpec(width=5000, run_length=(4, 20))
+        row = generate_base_row(spec, seed=0)
+        # all runs except a possible truncated last one obey the range
+        for run in row.runs[:-1]:
+            assert 4 <= run.length <= 20
+
+    def test_density_close_to_target(self):
+        spec = BaseRowSpec(width=20_000, density=0.30)
+        densities = [generate_base_row(spec, seed=s).density() for s in range(10)]
+        assert abs(np.mean(densities) - 0.30) < 0.03
+
+    def test_run_count_matches_paper(self):
+        """10 000 px at 30 % density => "approximately 250 runs"."""
+        spec = BaseRowSpec(width=10_000, density=0.30)
+        counts = [generate_base_row(spec, seed=s).run_count for s in range(10)]
+        assert 220 <= np.mean(counts) <= 280
+
+    def test_rows_canonical(self):
+        row = generate_base_row(BaseRowSpec(width=2000), seed=1)
+        assert row.is_canonical()
+
+    def test_deterministic_per_seed(self):
+        spec = BaseRowSpec(width=500)
+        assert generate_base_row(spec, seed=7) == generate_base_row(spec, seed=7)
+        assert generate_base_row(spec, seed=7) != generate_base_row(spec, seed=8)
+
+    def test_zero_width(self):
+        row = generate_base_row(BaseRowSpec(width=0), seed=0)
+        assert row.run_count == 0
+
+
+class TestErrorMask:
+    def test_fraction_target_met(self):
+        mask = generate_error_mask(ErrorSpec(fraction=0.05), width=10_000, seed=0)
+        assert mask.pixel_count == pytest.approx(500, abs=6)
+
+    def test_fixed_count_and_length(self):
+        mask = generate_error_mask(
+            ErrorSpec(n_runs=6, fixed_length=4), width=2048, seed=0
+        )
+        assert mask.run_count == 6
+        assert all(r.length == 4 for r in mask)
+
+    def test_error_run_lengths_in_range(self):
+        mask = generate_error_mask(ErrorSpec(fraction=0.10), width=5000, seed=1)
+        for run in mask.runs[:-1]:
+            assert 1 <= run.length <= 6  # budget clamp may shorten some
+
+    def test_mask_canonical(self):
+        mask = generate_error_mask(ErrorSpec(fraction=0.2), width=3000, seed=2)
+        assert mask.is_canonical()
+
+    def test_zero_fraction(self):
+        mask = generate_error_mask(ErrorSpec(fraction=0.0), width=100, seed=0)
+        assert mask.run_count == 0
+
+    def test_zero_runs(self):
+        mask = generate_error_mask(ErrorSpec(n_runs=0), width=100, seed=0)
+        assert mask.run_count == 0
+
+    def test_impossible_count_raises(self):
+        with pytest.raises(WorkloadError):
+            generate_error_mask(
+                ErrorSpec(n_runs=60, fixed_length=4), width=100, seed=0
+            )
+
+    def test_run_longer_than_row_raises(self):
+        with pytest.raises(WorkloadError):
+            generate_error_mask(ErrorSpec(n_runs=1, fixed_length=10), width=5, seed=0)
+
+
+class TestRowPair:
+    def test_second_is_base_xor_mask(self):
+        base_spec = BaseRowSpec(width=3000)
+        err_spec = ErrorSpec(fraction=0.05)
+        row1, row2, mask = generate_row_pair(base_spec, err_spec, seed=3)
+        assert xor_rows(row1, mask).same_pixels(row2)
+        # by XOR involution, row1 ^ row2 == mask
+        assert xor_rows(row1, row2).same_pixels(mask)
+
+    def test_error_fraction_observable(self):
+        row1, row2, mask = generate_row_pair(
+            BaseRowSpec(width=10_000), ErrorSpec(fraction=0.10), seed=4
+        )
+        assert error_fraction(row1, row2) == pytest.approx(0.10, abs=0.005)
+
+    def test_realize_spec(self):
+        spec = RowPairSpec.paper_table1_fixed(512, seed=9)
+        row1, row2, mask = realize_spec(spec)
+        assert mask.run_count == 6
+        assert row1.width == row2.width == 512
+
+    def test_deterministic(self):
+        spec = RowPairSpec.paper_figure5(0.05, width=1000, seed=11)
+        assert realize_spec(spec)[0] == realize_spec(spec)[0]

@@ -1,0 +1,90 @@
+"""Tests for workload specifications."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import BaseRowSpec, ErrorSpec, RowPairSpec, as_generator
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a, b = as_generator(42), as_generator(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+
+class TestBaseRowSpec:
+    def test_defaults_match_paper(self):
+        spec = BaseRowSpec(width=10_000)
+        assert spec.run_length == (4, 20)
+        assert spec.density == 0.30
+        assert spec.mean_run_length == 12.0
+
+    def test_mean_gap_hits_density(self):
+        spec = BaseRowSpec(width=1000, density=0.5)
+        # density = run / (run + gap)  =>  gap = run * (1-d)/d
+        assert spec.mean_gap == pytest.approx(spec.mean_run_length)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BaseRowSpec(width=-1)
+        with pytest.raises(WorkloadError):
+            BaseRowSpec(width=10, run_length=(0, 5))
+        with pytest.raises(WorkloadError):
+            BaseRowSpec(width=10, run_length=(5, 2))
+        with pytest.raises(WorkloadError):
+            BaseRowSpec(width=10, density=0.0)
+        with pytest.raises(WorkloadError):
+            BaseRowSpec(width=10, density=1.0)
+
+
+class TestErrorSpec:
+    def test_fraction_form(self):
+        spec = ErrorSpec(fraction=0.035)
+        assert spec.n_runs is None
+
+    def test_count_form(self):
+        spec = ErrorSpec(n_runs=6, fixed_length=4)
+        assert spec.fraction is None
+
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(WorkloadError):
+            ErrorSpec()
+        with pytest.raises(WorkloadError):
+            ErrorSpec(fraction=0.1, n_runs=3)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ErrorSpec(fraction=1.5)
+        with pytest.raises(WorkloadError):
+            ErrorSpec(n_runs=-1)
+        with pytest.raises(WorkloadError):
+            ErrorSpec(fraction=0.1, run_length=(6, 2))
+        with pytest.raises(WorkloadError):
+            ErrorSpec(n_runs=2, fixed_length=0)
+
+
+class TestRowPairSpec:
+    def test_figure5_factory(self):
+        spec = RowPairSpec.paper_figure5(0.05)
+        assert spec.base.width == 10_000
+        assert spec.base.density == 0.30
+        assert spec.errors.fraction == 0.05
+        assert spec.errors.run_length == (2, 6)
+
+    def test_table1_percent_factory(self):
+        spec = RowPairSpec.paper_table1_percent(512)
+        assert spec.base.width == 512
+        assert spec.errors.fraction == 0.035
+
+    def test_table1_fixed_factory(self):
+        spec = RowPairSpec.paper_table1_fixed(2048)
+        assert spec.errors.n_runs == 6
+        assert spec.errors.fixed_length == 4
