@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test bench examples artifacts fuzz clean
+.PHONY: install test bench bench-smoke examples artifacts fuzz clean
 
 install:
 	pip install -e '.[test]'
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+# tiny-config engine bench: fails if the batched engine's results
+# diverge from the sequential baseline (no timing, no artifacts)
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_engines.py -q --benchmark-disable
 
 # regenerate every paper artifact into results/
 artifacts: bench

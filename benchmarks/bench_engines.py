@@ -1,27 +1,49 @@
-"""A3 — engine throughput: reference cell machine vs. NumPy engine vs.
-software baselines.
+"""A3 — engine throughput: reference cell machine vs. NumPy engines vs.
+software baselines, per row and per image.
 
-Not a paper artifact per se, but the measurement that justifies using
-the vectorized engine for the big sweeps (identical results, far faster
-simulation) and quantifies the software cost of simulating the hardware
-at all — the sequential merge is the "no special hardware" comparison.
+Not a paper artifact per se, but the measurement that justifies the
+engine defaults: the vectorized engine for single rows (identical
+results, far faster simulation) and the batched engine for whole images
+(one NumPy dispatch for every row at once instead of a Python row loop).
+The sequential merge is the "no special hardware" comparison.
 
 Outputs: pytest-benchmark's comparison table, plus
-``results/engines.txt`` with the per-engine iteration counts (identical
-by construction — asserted here).
+``results/engines.txt`` with the per-engine iteration counts and the
+measured batched-vs-row-loop speedup on a 512-row Figure 5 image
+(asserted ≥5× — the tentpole claim).
+
+Smoke mode: ``REPRO_BENCH_SMOKE=1`` shrinks the image workload to a
+tiny configuration and skips the artifact write and the speedup floor,
+keeping only the correctness gate (batched must match the sequential
+baseline) — CI runs this on every push so perf code can't rot silently.
 """
+
+import os
+import time
 
 import pytest
 
+from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 from repro.rle.ops import xor_rows
+from repro.workloads.spec import BaseRowSpec, ErrorSpec
+from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.suite import get_row_workload
 
 from conftest import write_artifact
 
 WORKLOAD = "paper-figure5-5pct"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: The tentpole image workload: Figure 5 rows (10 000 px, 30 % density,
+#: 5 % differing pixels) stacked 512 high.  Smoke keeps the same recipe
+#: at toy scale so the equivalence gate stays cheap enough for CI.
+IMAGE_ROWS = 8 if SMOKE else 512
+IMAGE_WIDTH = 400 if SMOKE else 10_000
+IMAGE_ERROR_FRACTION = 0.05
+SPEEDUP_FLOOR = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +52,21 @@ def rows():
     return a, b
 
 
+@pytest.fixture(scope="module")
+def image_rows():
+    base = BaseRowSpec(width=IMAGE_WIDTH, run_length=(4, 20), density=0.30)
+    errors = ErrorSpec(run_length=(2, 6), fraction=IMAGE_ERROR_FRACTION)
+    rows_a, rows_b = [], []
+    for y in range(IMAGE_ROWS):
+        row_a, row_b, _mask = generate_row_pair(base, errors, seed=1000 + y)
+        rows_a.append(row_a)
+        rows_b.append(row_b)
+    return rows_a, rows_b
+
+
+# --------------------------------------------------------------------- #
+# Single row — per-call engine overhead                                  #
+# --------------------------------------------------------------------- #
 def test_bench_reference_machine(benchmark, rows):
     a, b = rows
     machine = SystolicXorMachine()
@@ -55,25 +92,98 @@ def test_bench_rle_xor_op(benchmark, rows):
     benchmark(lambda: xor_rows(a, b))
 
 
-def test_engines_agree_and_report(benchmark, rows, results_dir):
-    a, b = rows
-    ref = SystolicXorMachine().diff(a, b)
-    vec = benchmark.pedantic(
-        lambda: VectorizedXorEngine().diff(a, b), rounds=5, iterations=1
+# --------------------------------------------------------------------- #
+# Whole image — the batched engine vs. the row loop                      #
+# --------------------------------------------------------------------- #
+def test_bench_image_row_loop_vectorized(benchmark, image_rows):
+    rows_a, rows_b = image_rows
+    engine = VectorizedXorEngine(collect_stats=False)
+    benchmark.pedantic(
+        lambda: [engine.diff(a, b) for a, b in zip(rows_a, rows_b)],
+        rounds=1 if SMOKE else 3,
+        iterations=1,
     )
-    seq = sequential_xor(a, b)
-    assert vec.result == ref.result
-    assert vec.iterations == ref.iterations
-    assert seq.result.same_pixels(ref.result)
+
+
+def test_bench_image_batched(benchmark, image_rows):
+    rows_a, rows_b = image_rows
+    engine = BatchedXorEngine(collect_stats=False)
+    benchmark.pedantic(
+        lambda: engine.diff_rows(rows_a, rows_b),
+        rounds=1 if SMOKE else 3,
+        iterations=1,
+    )
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batched_image_speedup_and_equivalence(image_rows, results_dir):
+    """The tentpole gate: the batched engine must match the sequential
+    baseline on every row of the image, and (outside smoke mode) beat
+    the per-row vectorized loop by ≥5× on the 512-row Figure 5 image."""
+    rows_a, rows_b = image_rows
+
+    batched = BatchedXorEngine(collect_stats=False).diff_rows(rows_a, rows_b)
+    loop_engine = VectorizedXorEngine(collect_stats=False)
+    for (a, b), res in zip(zip(rows_a, rows_b), batched):
+        seq = sequential_xor(a, b)
+        assert res.result.same_pixels(seq.result), "batched diverged from sequential"
+        assert res.iterations == loop_engine.diff(a, b).iterations
+
+    if SMOKE:
+        return
+
+    rounds = 3
+    loop_s = _best_of(
+        lambda: [loop_engine.diff(a, b) for a, b in zip(rows_a, rows_b)], rounds
+    )
+    batch_engine = BatchedXorEngine(collect_stats=False)
+    batch_s = _best_of(lambda: batch_engine.diff_rows(rows_a, rows_b), rounds)
+    speedup = loop_s / batch_s
+
+    ref = SystolicXorMachine().diff(rows_a[0], rows_b[0])
+    seq = sequential_xor(rows_a[0], rows_b[0])
     write_artifact(
         results_dir,
         "engines.txt",
         "\n".join(
             [
-                f"workload: {WORKLOAD} (k1={ref.k1}, k2={ref.k2})",
-                f"systolic iterations (both engines): {ref.iterations}",
+                f"row workload: {WORKLOAD} (k1={ref.k1}, k2={ref.k2})",
+                f"systolic iterations (all engines): {ref.iterations}",
                 f"sequential merge iterations: {seq.iterations}",
                 f"raw output runs (k3): {ref.k3}",
+                "",
+                f"image workload: {IMAGE_ROWS} rows x {IMAGE_WIDTH} px, "
+                f"30% density, {IMAGE_ERROR_FRACTION:.0%} differing pixels",
+                f"row-loop vectorized: {loop_s:.3f} s",
+                f"batched whole-image: {batch_s:.3f} s",
+                f"speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
             ]
         ),
     )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched engine only {speedup:.2f}x over the row loop "
+        f"(floor {SPEEDUP_FLOOR}x): loop {loop_s:.3f}s vs batch {batch_s:.3f}s"
+    )
+
+
+def test_engines_agree(benchmark, rows):
+    a, b = rows
+    ref = SystolicXorMachine().diff(a, b)
+    vec = benchmark.pedantic(
+        lambda: VectorizedXorEngine().diff(a, b), rounds=5, iterations=1
+    )
+    bat = BatchedXorEngine().diff(a, b)
+    seq = sequential_xor(a, b)
+    assert vec.result == ref.result
+    assert vec.iterations == ref.iterations
+    assert bat.result == ref.result
+    assert bat.iterations == ref.iterations
+    assert seq.result.same_pixels(ref.result)

@@ -26,7 +26,7 @@ def main() -> None:
     )
 
     # every engine computes the same function
-    for engine in ("systolic", "vectorized", "sequential"):
+    for engine in ("systolic", "vectorized", "batched", "sequential"):
         r = row_diff(row1, row2, engine=engine)
         print(f"  {engine:<11} -> {r.result.to_pairs()}")
 

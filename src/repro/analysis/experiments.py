@@ -35,6 +35,7 @@ from repro.workloads.random_rows import generate_row_pair
 __all__ = [
     "figure5_trial",
     "figure5_sweep",
+    "figure5_batched_sweep",
     "table1_trial",
     "table1_sweep",
     "bus_ablation_trial",
@@ -105,6 +106,48 @@ def figure5_sweep(
     """The full Figure 5 sweep (10 000 px, 30 % density, ≈250 runs)."""
     points = [{"width": width, "error_fraction": f} for f in fractions]
     return run_sweep(figure5_trial, points, repetitions=repetitions, seed0=seed0)
+
+
+def figure5_batched_sweep(
+    fractions: Sequence[float] = PAPER_FIGURE5_FRACTIONS,
+    width: int = 10_000,
+    repetitions: int = 10,
+    seed0: int = 5,
+) -> List[Record]:
+    """:func:`figure5_sweep` through the batched engine: the same seeded
+    row pairs (identical derivation scheme), but every (point, repetition)
+    trial differenced in **one** :class:`BatchedXorEngine` batch instead
+    of a Python loop of per-row engines — record-for-record identical
+    metrics, one engine dispatch."""
+    from repro.analysis.runner import _derive_seed
+    from repro.core.batched import BatchedXorEngine
+
+    points = [{"width": width, "error_fraction": f} for f in fractions]
+    metas, rows_a, rows_b = [], [], []
+    for idx, params in enumerate(points):
+        for rep in range(repetitions):
+            seed = _derive_seed(seed0, idx, rep)
+            row_a, row_b, mask = _make_pair(params, seed)
+            rows_a.append(row_a)
+            rows_b.append(row_b)
+            metas.append((params, seed, mask))
+    results = BatchedXorEngine(collect_stats=False).diff_rows(rows_a, rows_b)
+    return [
+        Record(
+            params=dict(params),
+            seed=seed,
+            metrics={
+                "iterations": float(result.iterations),
+                "run_difference": float(abs(result.k1 - result.k2)),
+                "k3": float(result.k3),
+                "k1": float(result.k1),
+                "k2": float(result.k2),
+                "theorem1_bound": float(result.k1 + result.k2),
+                "error_pixels": float(mask.pixel_count),
+            },
+        )
+        for (params, seed, mask), result in zip(metas, results)
+    ]
 
 
 # --------------------------------------------------------------------- #

@@ -7,6 +7,8 @@ Commands
 ``table1``     regenerate Table 1 (systolic vs. sequential, sizes 128–2048)
 ``ablation``   future-work ablations: broadcast bus and compaction pass
 ``inspect``    synthetic PCB inspection end-to-end demo
+``bench-engines``  time the engines on one Figure-5-style image and
+               cross-check their results against the sequential baseline
 """
 
 from __future__ import annotations
@@ -72,6 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
     rtl = sub.add_parser("rtl", help="hardware cell: area estimate / Verilog")
     rtl.add_argument(
         "what", choices=("area", "verilog"), help="print gate budget or HDL source"
+    )
+
+    be = sub.add_parser(
+        "bench-engines",
+        help="time the engines on a Figure-5-style image; fail on divergence",
+    )
+    be.add_argument("--rows", type=int, default=128, help="image height")
+    be.add_argument("--width", type=int, default=4_000, help="row width in pixels")
+    be.add_argument(
+        "--error-fraction", type=float, default=0.05, help="fraction of differing pixels"
+    )
+    be.add_argument("--seed", type=int, default=0)
+    be.add_argument(
+        "--engines",
+        type=str,
+        default="batched,vectorized,sequential",
+        help="comma-separated engine list (first engine's runtime is the baseline)",
     )
 
     return parser
@@ -329,6 +348,64 @@ def _cmd_rtl(what: str) -> int:
     return 0
 
 
+def _cmd_bench_engines(
+    rows: int, width: int, error_fraction: float, seed: int, engines: str
+) -> int:
+    import time
+
+    from repro.core.pipeline import diff_images
+    from repro.rle.image import RLEImage
+    from repro.workloads.random_rows import generate_row_pair
+    from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+    base = BaseRowSpec(width=width, density=0.30)
+    errors = ErrorSpec(fraction=error_fraction)
+    rows_a, rows_b = [], []
+    for y in range(rows):
+        ra, rb, _mask = generate_row_pair(base, errors, seed=seed * 100_003 + y)
+        rows_a.append(ra)
+        rows_b.append(rb)
+    image_a = RLEImage(rows_a, width=width)
+    image_b = RLEImage(rows_b, width=width)
+    print(
+        f"image: {rows} rows x {width} px, density 0.30, "
+        f"{error_fraction:.0%} differing pixels, seed {seed}"
+    )
+
+    names = [name.strip() for name in engines.split(",") if name.strip()]
+    known = ("batched", "systolic", "vectorized", "sequential")
+    bad = [name for name in names if name not in known]
+    if bad or not names:
+        print(
+            f"error: unknown engine(s) {', '.join(bad) or '(none given)'} — "
+            f"choose from {', '.join(known)}"
+        )
+        return 2
+    baseline = diff_images(image_a, image_b, engine="sequential")
+    baseline_pixels = [r.to_pairs() for r in baseline.image]
+    timings = []
+    diverged = False
+    for name in names:
+        t0 = time.perf_counter()
+        result = diff_images(image_a, image_b, engine=name)
+        elapsed = time.perf_counter() - t0
+        ok = [r.to_pairs() for r in result.image] == baseline_pixels
+        diverged |= not ok
+        timings.append((name, elapsed, result.total_iterations, ok))
+    ref_time = timings[0][1]
+    print(f"{'engine':<12} {'seconds':>9} {'speedup':>8} {'total_iters':>12} match")
+    for name, elapsed, total_iters, ok in timings:
+        speedup = ref_time / elapsed if elapsed else float("inf")
+        print(
+            f"{name:<12} {elapsed:>9.4f} {speedup:>7.2f}x {total_iters:>12} "
+            f"{'ok' if ok else 'DIVERGED'}"
+        )
+    if diverged:
+        print("ERROR: at least one engine diverged from the sequential baseline")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -347,6 +424,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_theory(args.width, args.reps)
     if args.command == "rtl":
         return _cmd_rtl(args.what)
+    if args.command == "bench-engines":
+        return _cmd_bench_engines(
+            args.rows, args.width, args.error_fraction, args.seed, args.engines
+        )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

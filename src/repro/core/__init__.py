@@ -7,6 +7,7 @@ Modules
 ``machine``      load / run / extract driver with paranoid invariant mode
 ``sequential``   the paper's sequential merge baseline (Section 2)
 ``vectorized``   NumPy engine, bit-identical to the cell machine
+``batched``      NumPy engine stepping every row of an image at once
 ``states``       the Figure 4 cell-state taxonomy
 ``invariants``   executable Theorems 1–3 / Corollaries 1.1, 1.2, 2.1
 ``compaction``   the future-work final merge pass
@@ -15,6 +16,7 @@ Modules
 """
 
 from repro.core.api import image_diff, row_diff
+from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine, XorRunResult
 from repro.core.sequential import SequentialResult, sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
@@ -27,4 +29,5 @@ __all__ = [
     "sequential_xor",
     "SequentialResult",
     "VectorizedXorEngine",
+    "BatchedXorEngine",
 ]

@@ -1,0 +1,434 @@
+"""Batched whole-image simulation of the systolic XOR.
+
+The paper's headline claim is that the systolic array processes *all*
+runs concurrently — yet the per-row NumPy engine
+(:class:`~repro.core.vectorized.VectorizedXorEngine`) still walks an
+image row by row in a Python loop, paying per-row load/dispatch overhead
+that dominates run-length workloads (cf. Ehrensperger et al. and Breuel
+on RLE morphology).  This engine lifts the batch dimension into NumPy:
+the register files of **every row of an image at once** live in planar
+``(n_rows, n_cells)`` integer arrays, and the paper's three steps run as
+single masked kernels across the whole batch.
+
+State layout
+------------
+``ss``, ``se``, ``bs``, ``be``
+    Four contiguous ``(n_rows, n_cells)`` integer planes (int32 unless a
+    row is multi-gigapixel wide — the kernels are memory-bound, so the
+    narrow dtype halves their traffic): the ``RegSmall``
+    and ``RegBig`` start/end coordinates of every cell of every lane
+    (planar rather than interleaved ``(..., 2)`` so each comparison and
+    minimum streams over contiguous memory).  ``end < start`` is the
+    empty register, normalized to the same ``(0, -1)`` sentinel as
+    :class:`~repro.core.registers.RunRegister` so per-lane snapshots
+    compare directly against the reference machine.
+``active``
+    ``(n_rows,)`` boolean mask.  A lane terminates early — all its cells
+    raise ``C`` (Theorem 1) — independently of its batch mates; its mask
+    bit flips off, freezing the lane's registers at their final state
+    while the remaining lanes keep stepping.
+``iterations``
+    ``(n_rows,)`` per-lane iteration counts, recorded at mask-flip time —
+    the quantity Table 1 reports, identical lane-by-lane to what the
+    reference machine measures on the same row pair.
+
+Early exit and the column window
+--------------------------------
+Stepping a terminated lane is a natural state no-op (nothing to swap,
+move, XOR or shift once ``RegBig`` is empty), so the kernels run
+unmasked and the ``active`` mask only gates bookkeeping (iteration
+counts, the ``busy_cells`` counter).  Columns are windowed: Corollary
+1.1 empties ``RegBig`` left to right while step 3 marches the occupied
+band one cell right per iteration, so the engine tracks the band
+``[lo, hi)`` of columns where *any* lane still holds a ``RegBig`` run
+and slices every kernel to it.  ``RegSmall`` cells left of the band are
+frozen (their occupancy is banked into a running ``busy_cells`` prefix);
+cells right of it still hold their initial load (prefix-summed at load
+time) — so stats stay exact without touching either region.
+
+Stats are accumulated per lane (axis-1 reductions), so each row's
+:class:`~repro.systolic.stats.ActivityStats` matches the reference
+machine's counters exactly — the shared batch width does not distort
+them because every counter only fires on occupied cells.
+
+The equivalence tests compare per-iteration snapshots of every lane
+against :class:`~repro.core.machine.SystolicXorMachine` and
+:class:`~repro.core.vectorized.VectorizedXorEngine`; only the Python
+loops over rows and cells are gone, the state evolution is identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError, SystolicError
+from repro.rle.row import RLERow
+from repro.rle.run import Run
+from repro.core.machine import XorRunResult, default_cell_count
+from repro.core.xor_cell import CellSnapshot
+from repro.systolic.stats import ActivityStats
+
+__all__ = ["BatchedXorEngine"]
+
+#: Per-lane counters accumulated when ``collect_stats`` is on, in the
+#: order they are stacked in ``self._stat_rows``.
+_STAT_NAMES = ("swaps", "moves", "xor_splits", "shifts", "busy_cells")
+
+
+class BatchedXorEngine:
+    """Array-at-once, *batch*-at-once systolic XOR simulator.
+
+    Use :meth:`diff_rows` (or :meth:`diff` for a single pair) for
+    one-shot runs, or :meth:`load` / :meth:`step` / :meth:`snapshot` for
+    instrumented stepping (the equivalence tests do).
+
+    Parameters
+    ----------
+    n_cells:
+        Fixed array size shared by every lane, or ``None`` to size the
+        batch to the widest row pair via
+        :func:`~repro.core.machine.default_cell_count`.
+    collect_stats:
+        Accumulate the reference machine's activity counters per lane
+        (a few extra axis-1 reductions per step).
+    """
+
+    def __init__(self, n_cells: Optional[int] = None, collect_stats: bool = True) -> None:
+        self.n_cells = n_cells
+        self.collect_stats = collect_stats
+        shape = (0, 0)
+        self.ss = np.zeros(shape, dtype=np.int64)
+        self.se = np.zeros(shape, dtype=np.int64)
+        self.bs = np.zeros(shape, dtype=np.int64)
+        self.be = np.zeros(shape, dtype=np.int64)
+        self.active: np.ndarray = np.zeros(0, dtype=bool)
+        self.iterations: np.ndarray = np.zeros(0, dtype=np.int64)
+        self.k1: np.ndarray = np.zeros(0, dtype=np.int64)
+        self.k2: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._stat_rows: np.ndarray = np.zeros((len(_STAT_NAMES), 0), dtype=np.int64)
+        self._frozen_busy: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._small_prefix: np.ndarray = np.zeros((0, 1), dtype=np.int64)
+        self._lo = 0
+        self._hi = 0
+        self._step_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Load / extract                                                     #
+    # ------------------------------------------------------------------ #
+    def load(self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]) -> None:
+        """The paper's initial load, for every lane at once: run *i* of
+        each image row into cell *i* of that row's lane."""
+        if len(rows_a) != len(rows_b):
+            raise ValueError(
+                f"batch sides differ: {len(rows_a)} vs {len(rows_b)} rows"
+            )
+        n_rows = len(rows_a)
+        self.k1 = np.fromiter((r.run_count for r in rows_a), dtype=np.int64, count=n_rows)
+        self.k2 = np.fromiter((r.run_count for r in rows_b), dtype=np.int64, count=n_rows)
+        widest = int(np.maximum(self.k1, self.k2).max()) if n_rows else 0
+        if self.n_cells is not None:
+            n = self.n_cells
+            if widest > n:
+                raise CapacityError(
+                    f"inputs with up to {widest} runs cannot load into {n} cells"
+                )
+        else:
+            # widest lane sizes the shared batch; per Corollary 1.2 no
+            # lane ever occupies a cell past its own k1+k2, so the extra
+            # cells of narrower lanes stay empty throughout
+            n = max(
+                (default_cell_count(int(a), int(b)) for a, b in zip(self.k1, self.k2)),
+                default=1,
+            )
+        # register coordinates are pixel offsets, so int32 holds any
+        # realistic row and halves the memory traffic of every kernel;
+        # fall back to int64 for pathological multi-gigapixel rows
+        max_coord = max(
+            (
+                r.runs[-1].end
+                for rows in (rows_a, rows_b)
+                for r in rows
+                if r.run_count
+            ),
+            default=0,
+        )
+        dtype = np.int32 if max_coord < 2**31 - 1 else np.int64
+        self.ss = np.zeros((n_rows, n), dtype=dtype)
+        self.se = np.full((n_rows, n), -1, dtype=dtype)
+        self.bs = np.zeros((n_rows, n), dtype=dtype)
+        self.be = np.full((n_rows, n), -1, dtype=dtype)
+        self._bulk_load(self.ss, self.se, rows_a)
+        self._bulk_load(self.bs, self.be, rows_b)
+        # lanes whose RegBig bank is empty at load time are done in 0
+        # iterations (every cell already raises C)
+        self.active = self.k2 > 0
+        self.iterations = np.zeros(n_rows, dtype=np.int64)
+        self._stat_rows = np.zeros((len(_STAT_NAMES), n_rows), dtype=np.int64)
+        self._frozen_busy = np.zeros(n_rows, dtype=np.int64)
+        if self.collect_stats:
+            # initial RegSmall occupancy per (lane, column) prefix-summed,
+            # so busy_cells can account for the untouched region right of
+            # the column window without scanning it
+            occupied = (self.se >= self.ss).astype(np.int64)
+            self._small_prefix = np.zeros((n_rows, n + 1), dtype=np.int64)
+            np.cumsum(occupied, axis=1, out=self._small_prefix[:, 1:])
+        # the column window: every occupied RegBig column lies in [lo, hi)
+        self._lo = 0
+        self._hi = int(self.k2.max()) if n_rows and self.active.any() else 0
+        self._step_count = 0
+
+    @staticmethod
+    def _bulk_load(starts: np.ndarray, ends: np.ndarray, rows: Sequence[RLERow]) -> None:
+        """Scatter every row's runs into its lane with one array build
+        (no per-run Python assignments — the batched load is itself the
+        hot path for low-iteration workloads)."""
+        counts = np.fromiter((r.run_count for r in rows), dtype=np.int64, count=len(rows))
+        total = int(counts.sum())
+        if total == 0:
+            return
+        flat = np.fromiter(
+            (v for r in rows for run in r.runs for v in (run.start, run.length)),
+            dtype=np.int64,
+            count=2 * total,
+        ).reshape(total, 2)
+        lane = np.repeat(np.arange(len(rows)), counts)
+        cell = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        starts[lane, cell] = flat[:, 0]
+        ends[lane, cell] = flat[:, 0] + flat[:, 1] - 1
+
+    def extract(self, row: int, width: Optional[int] = None) -> RLERow:
+        """Read lane ``row``'s XOR out of its ``RegSmall`` bank."""
+        ss, se = self.ss[row], self.se[row]
+        occupied = np.flatnonzero(se >= ss)
+        runs = [Run.from_endpoints(int(ss[i]), int(se[i])) for i in occupied]
+        return RLERow(runs, width=width)
+
+    def snapshot(self, row: int) -> Tuple[CellSnapshot, ...]:
+        """Lane ``row``'s per-cell snapshots in the reference format."""
+        return tuple(
+            ((int(self.ss[row, i]), int(self.se[row, i])),
+             (int(self.bs[row, i]), int(self.be[row, i])))
+            for i in range(self.ss.shape[1])
+        )
+
+    def stats_for(self, row: int) -> ActivityStats:
+        """Lane ``row``'s activity counters as an :class:`ActivityStats`
+        (zero counters absent, matching the event-driven reference)."""
+        stats = ActivityStats()
+        for name, value in zip(_STAT_NAMES, self._stat_rows[:, row]):
+            stats.bump(name, int(value))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Stepping                                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return self.ss.shape[0]
+
+    @property
+    def batch_cells(self) -> int:
+        """Cells per lane actually allocated for this batch."""
+        return self.ss.shape[1]
+
+    @property
+    def small(self) -> np.ndarray:
+        """The ``RegSmall`` bank as one ``(n_rows, n_cells, 2)`` array
+        (assembled on demand; the planar planes are the hot state)."""
+        return np.stack((self.ss, self.se), axis=-1)
+
+    @property
+    def big(self) -> np.ndarray:
+        """The ``RegBig`` bank as one ``(n_rows, n_cells, 2)`` array."""
+        return np.stack((self.bs, self.be), axis=-1)
+
+    @property
+    def is_done(self) -> bool:
+        """Every lane terminated (all ``RegBig`` registers empty)."""
+        return not self.active.any()
+
+    def step(self) -> None:
+        """One iteration of steps 1–3 over every *active* lane."""
+        if self.is_done:
+            return
+        active = self.active
+        over = active & (self.iterations >= self.k1 + self.k2)
+        if over.any():
+            lane = int(np.flatnonzero(over)[0])
+            raise SystolicError(
+                f"lane {lane}: no termination after {int(self.iterations[lane])} "
+                f"iterations (bound {int(self.k1[lane] + self.k2[lane])})"
+            )
+
+        n = self.batch_cells
+        lo, hi = self._lo, self._hi
+        ss = self.ss[:, lo:hi]
+        se = self.se[:, lo:hi]
+        bs = self.bs[:, lo:hi]
+        be = self.be[:, lo:hi]
+        has_s = se >= ss
+        has_b = be >= bs
+
+        # --- step 1: normalize -------------------------------------- #
+        both = has_s & has_b
+        swap = both & ((ss > bs) | ((ss == bs) & (se > be)))
+        sw = np.nonzero(swap)
+        if sw[0].size:
+            tmp = ss[sw].copy()
+            ss[sw] = bs[sw]
+            bs[sw] = tmp
+            tmp = se[sw].copy()
+            se[sw] = be[sw]
+            be[sw] = tmp
+        move = has_b & ~has_s
+        mv = np.nonzero(move)
+        if mv[0].size:
+            ss[mv] = bs[mv]
+            se[mv] = be[mv]
+            bs[mv] = 0
+            be[mv] = -1
+            has_b = has_b & ~move
+        if self.collect_stats:
+            self._stat_rows[0] += swap.sum(axis=1)
+            self._stat_rows[1] += move.sum(axis=1)
+
+        # --- step 2: in-cell XOR ------------------------------------ #
+        both = (se >= ss) & has_b
+        if both.any():
+            new_se = np.minimum(se, bs - 1)
+            new_bs = np.minimum(be + 1, np.maximum(se + 1, bs))
+            new_be = np.maximum(se, be)
+            if self.collect_stats:
+                changed = both & (
+                    (new_se != se) | (new_bs != bs) | (new_be != be)
+                )
+                self._stat_rows[2] += changed.sum(axis=1)
+            se[:, :] = np.where(both, new_se, se)
+            bs[:, :] = np.where(both, new_bs, bs)
+            be[:, :] = np.where(both, new_be, be)
+            # normalize only registers step 2 touched — cells outside
+            # ``both`` kept their already-canonical contents
+            em = np.nonzero(both & (se < ss))
+            if em[0].size:
+                ss[em] = 0
+                se[em] = -1
+            em = np.nonzero(both & (be < bs))
+            if em[0].size:
+                bs[em] = 0
+                be[em] = -1
+            has_b = be >= bs
+
+        # --- step 3: shift RegBig right ------------------------------ #
+        if hi == n and has_b.shape[1] and has_b[:, -1].any():
+            lane = int(np.flatnonzero(has_b[:, -1])[0])
+            datum = (int(bs[lane, -1]), int(be[lane, -1]))
+            raise CapacityError(
+                f"lane {lane}: datum {datum} shifted past the last cell "
+                f"(batch of {n} cells is too small)"
+            )
+        if self.collect_stats:
+            self._stat_rows[3] += has_b.sum(axis=1)
+        lane_alive = has_b.any(axis=1)
+        col_occupied = np.flatnonzero(has_b.any(axis=0))
+        shift_hi = min(hi + 1, n)
+        self.bs[:, lo + 1:shift_hi] = self.bs[:, lo:shift_hi - 1]
+        self.be[:, lo + 1:shift_hi] = self.be[:, lo:shift_hi - 1]
+        self.bs[:, lo] = 0
+        self.be[:, lo] = -1
+
+        self._step_count += 1
+        self.iterations[active] = self._step_count
+
+        # the window after the shift: occupied columns moved one right.
+        # ``hi`` never shrinks — columns right of it must stay untouched
+        # since load for the busy_cells static prefix to remain valid.
+        if col_occupied.size:
+            new_lo = lo + int(col_occupied[0]) + 1
+            new_hi = min(max(hi, lo + int(col_occupied[-1]) + 2), n)
+        else:
+            new_lo = new_hi = shift_hi
+
+        if self.collect_stats:
+            # busy = frozen RegSmall cells left of the window
+            #      + live cells inside [lo, shift_hi)
+            #      + untouched initial RegSmall cells right of it
+            live = (
+                (self.se[:, lo:shift_hi] >= self.ss[:, lo:shift_hi])
+                | (self.be[:, lo:shift_hi] >= self.bs[:, lo:shift_hi])
+            )
+            busy = (
+                self._frozen_busy
+                + live.sum(axis=1)
+                + (self._small_prefix[:, n] - self._small_prefix[:, shift_hi])
+            )
+            self._stat_rows[4] += busy * active
+            # bank the RegSmall occupancy of columns sliding out on the
+            # left — no RegBig run can ever reach them again
+            if new_lo > lo:
+                self._frozen_busy += (
+                    self.se[:, lo:new_lo] >= self.ss[:, lo:new_lo]
+                ).sum(axis=1)
+
+        # flip the mask on lanes whose RegBig bank just emptied — their
+        # iteration count was written above and never advances again
+        self.active = active & lane_alive
+        self._lo, self._hi = new_lo, new_hi
+
+    def run(self, max_iterations: Optional[int] = None) -> None:
+        """Step until every lane terminates.
+
+        Theorem 1 is enforced per lane: a lane still active past its own
+        ``k1 + k2`` bound raises :class:`~repro.errors.SystolicError`
+        (``max_iterations`` optionally caps the whole batch instead).
+        """
+        while not self.is_done:
+            if max_iterations is not None and self._step_count >= max_iterations:
+                raise SystolicError(
+                    f"{int(self.active.sum())} lanes still active after "
+                    f"{self._step_count} iterations (cap {max_iterations})"
+                )
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # One-shot drivers                                                   #
+    # ------------------------------------------------------------------ #
+    def diff_rows(
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        max_iterations: Optional[int] = None,
+    ) -> List[XorRunResult]:
+        """Difference ``rows_a[i] XOR rows_b[i]`` for every ``i`` in one
+        batch; returns one :class:`XorRunResult` per lane (same contract
+        as running :meth:`VectorizedXorEngine.diff` per row, except
+        ``n_cells`` reports the shared batch width)."""
+        self.load(rows_a, rows_b)
+        self.run(max_iterations=max_iterations)
+        n = self.batch_cells
+        results: List[XorRunResult] = []
+        for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+            width = ra.width if ra.width is not None else rb.width
+            results.append(
+                XorRunResult(
+                    result=self.extract(i, width=width),
+                    iterations=int(self.iterations[i]),
+                    k1=int(self.k1[i]),
+                    k2=int(self.k2[i]),
+                    n_cells=n,
+                    stats=self.stats_for(i),
+                )
+            )
+        return results
+
+    def diff(
+        self,
+        row_a: RLERow,
+        row_b: RLERow,
+        max_iterations: Optional[int] = None,
+    ) -> XorRunResult:
+        """Single-pair convenience: a batch of one lane."""
+        return self.diff_rows([row_a], [row_b], max_iterations=max_iterations)[0]

@@ -8,8 +8,13 @@ per-row results — identical output to :func:`repro.core.pipeline.diff_images`
 (asserted in the tests), with near-linear speedup on multicore hosts for
 large images.
 
-Workers receive plain run-pair lists (small, picklable) rather than
-whole objects, keeping IPC cheap.
+Each worker diffs its whole chunk as one :class:`BatchedXorEngine`
+batch (no per-row Python loop), with activity counters on; workers
+receive plain run-pair lists and return plain tuples (small, picklable),
+keeping IPC cheap.  For images that fit comfortably in one batch the
+serial ``engine="batched"`` path usually wins outright — prefer this
+pool only when the per-image work is large enough to amortize process
+start-up and pickling.
 """
 
 from __future__ import annotations
@@ -20,33 +25,43 @@ from typing import List, Optional, Tuple
 from repro.errors import GeometryError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
+from repro.core.batched import BatchedXorEngine
 from repro.core.machine import XorRunResult
 from repro.core.pipeline import ImageDiffResult
-from repro.core.vectorized import VectorizedXorEngine
+from repro.systolic.stats import ActivityStats
 
 __all__ = ["parallel_diff_images"]
 
 RunPairs = List[Tuple[int, int]]
 
+#: Per-row payload a worker sends back: result run pairs, iterations,
+#: k1, k2, n_cells, and the activity counters as sorted (name, count)
+#: tuples — builtin types only, so pickling stays cheap.
+RowOut = Tuple[RunPairs, int, int, int, int, Tuple[Tuple[str, int], ...]]
+
 
 def _diff_chunk(
     payload: Tuple[int, List[Tuple[RunPairs, RunPairs]], int]
-) -> Tuple[int, List[Tuple[RunPairs, int, int, int]]]:
-    """Worker: diff a chunk of row pairs; returns plain tuples.
+) -> Tuple[int, List[RowOut]]:
+    """Worker: diff a chunk of row pairs as one batch.
 
-    Runs in a separate process — only builtin/numpy types cross the
-    boundary.  Output per row: (result run pairs, iterations, k1, k2).
+    Runs in a separate process — only builtin types cross the boundary.
     """
     chunk_index, rows, width = payload
-    engine = VectorizedXorEngine(collect_stats=False)
-    out: List[Tuple[RunPairs, int, int, int]] = []
-    for pairs_a, pairs_b in rows:
-        row_a = RLERow.from_pairs(pairs_a, width=width)
-        row_b = RLERow.from_pairs(pairs_b, width=width)
-        result = engine.diff(row_a, row_b)
-        out.append(
-            (result.result.to_pairs(), result.iterations, result.k1, result.k2)
+    rows_a = [RLERow.from_pairs(pa, width=width) for pa, _ in rows]
+    rows_b = [RLERow.from_pairs(pb, width=width) for _, pb in rows]
+    results = BatchedXorEngine(collect_stats=True).diff_rows(rows_a, rows_b)
+    out: List[RowOut] = [
+        (
+            r.result.to_pairs(),
+            r.iterations,
+            r.k1,
+            r.k2,
+            r.n_cells,
+            tuple(sorted(r.stats.as_dict().items())),
         )
+        for r in results
+    ]
     return chunk_index, out
 
 
@@ -75,7 +90,7 @@ def parallel_diff_images(
     if workers == 1 or image_a.height == 0:
         from repro.core.pipeline import diff_images
 
-        return diff_images(image_a, image_b, engine="vectorized", canonical=canonical)
+        return diff_images(image_a, image_b, engine="batched", canonical=canonical)
 
     height, width = image_a.shape
     if chunk_rows is None:
@@ -97,14 +112,20 @@ def parallel_diff_images(
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []
     for chunk_index in range(len(payloads)):
-        for pairs, iterations, k1, k2 in results_by_chunk[chunk_index]:
+        for pairs, iterations, k1, k2, n_cells, stat_items in results_by_chunk[
+            chunk_index
+        ]:
             row = RLERow.from_pairs(pairs, width=width)
+            stats = ActivityStats()
+            for name, count in stat_items:
+                stats.bump(name, count)
             result = XorRunResult(
                 result=row,
                 iterations=iterations,
                 k1=k1,
                 k2=k2,
-                n_cells=k1 + k2 + 1,
+                n_cells=n_cells,
+                stats=stats,
             )
             row_results.append(result)
             out_rows.append(row.canonical() if canonical else row)

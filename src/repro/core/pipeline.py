@@ -16,6 +16,7 @@ from typing import List, Optional
 from repro.errors import GeometryError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
+from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine, XorRunResult
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
@@ -67,25 +68,39 @@ class ImageDiffResult:
 def diff_images(
     image_a: RLEImage,
     image_b: RLEImage,
-    engine: str = "vectorized",
+    engine: str = "batched",
     canonical: bool = True,
     n_cells: Optional[int] = None,
 ) -> ImageDiffResult:
-    """Difference two equal-shape images row by row.
+    """Difference two equal-shape images.
 
     Parameters
     ----------
     engine:
-        ``"systolic"``, ``"vectorized"`` or ``"sequential"`` (see
-        :mod:`repro.core.api`).
+        ``"batched"`` (default — one NumPy batch over all rows at once),
+        or the per-row engines ``"systolic"``, ``"vectorized"``,
+        ``"sequential"`` (see :mod:`repro.core.api`).
     canonical:
         Merge adjacent runs in the output rows (the paper's optional
         final compression pass).
     n_cells:
-        Fixed array size reused for every row; ``None`` sizes per row.
+        Fixed array size reused for every row (and every batch lane);
+        ``None`` sizes per row (per batch).
     """
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
+
+    if engine == "batched":
+        row_results = BatchedXorEngine(n_cells=n_cells).diff_rows(
+            list(image_a), list(image_b)
+        )
+        return ImageDiffResult(
+            image=RLEImage(
+                (r.canonical_result if canonical else r.result for r in row_results),
+                width=image_a.width,
+            ),
+            row_results=row_results,
+        )
 
     if engine == "systolic":
         machine = SystolicXorMachine(n_cells=n_cells)

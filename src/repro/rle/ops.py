@@ -190,9 +190,18 @@ def complement_row(a: RLERow, width: Optional[int] = None) -> RLERow:
 def shift_row(a: RLERow, offset: int) -> RLERow:
     """Translate a row by ``offset`` pixels, clipping at the borders.
 
-    Pixels shifted below 0 are dropped; pixels shifted past ``width``
-    (when the row has one) are dropped as well.
+    Contract: pixels shifted below 0 are dropped, and pixels shifted at
+    or past ``width`` are dropped.  Both clips need a border to clip
+    against — the left border is always 0, but the right border only
+    exists when the row carries a width.  A *positive* offset on an
+    unbounded row (``width=None``) therefore raises
+    :class:`~repro.errors.GeometryError` rather than silently keeping
+    every pixel (mirroring :func:`complement_row`, which likewise
+    refuses unbounded rows); negative and zero offsets stay legal since
+    they only involve the left border.
     """
+    if offset > 0 and a.width is None:
+        raise GeometryError("positive shift needs a row width to clip against")
     out: List[Run] = []
     hi = a.width - 1 if a.width is not None else None
     for run in a:

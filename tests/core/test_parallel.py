@@ -48,6 +48,18 @@ class TestEquivalenceWithSerial:
         result = parallel_diff_images(a, b, workers=1)
         assert result.image == diff_images(a, b, engine="vectorized").image
 
+    def test_stats_match_serial(self):
+        """Regression: workers used to run with ``collect_stats=False``,
+        so the reassembled results carried empty counters and
+        ``ImageDiffResult.stats`` silently reported all zeros."""
+        a, b = images(7)
+        serial = diff_images(a, b, engine="vectorized")
+        parallel = parallel_diff_images(a, b, workers=2)
+        assert parallel.stats.as_dict() == serial.stats.as_dict()
+        assert parallel.stats.as_dict() != {}  # the counters really fired
+        for par_row, ser_row in zip(parallel.row_results, serial.row_results):
+            assert par_row.stats.as_dict() == ser_row.stats.as_dict()
+
 
 class TestValidation:
     def test_shape_mismatch(self):

@@ -176,6 +176,17 @@ class TestShiftCrop:
                 expected[i] = bits[src]
         assert (shifted.to_bits(w) == expected).all()
 
+    def test_positive_shift_unbounded_row_rejected(self):
+        row = RLERow.from_pairs([(2, 3)])
+        with pytest.raises(GeometryError):
+            shift_row(row, 1)
+
+    def test_nonpositive_shift_unbounded_row_allowed(self):
+        row = RLERow.from_pairs([(2, 3)])
+        assert shift_row(row, 0).to_pairs() == [(2, 3)]
+        assert shift_row(row, -3).to_pairs() == [(0, 2)]
+        assert shift_row(row, -10).to_pairs() == []
+
     def test_crop(self):
         row = RLERow.from_pairs([(2, 4), (8, 2)], width=12)
         cropped = crop_row(row, 3, 9)
