@@ -1,12 +1,30 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test bench bench-smoke examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke examples artifacts fuzz clean
+
+# mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
+MYPY_STRICT_FILES = \
+	src/repro/errors.py \
+	src/repro/rle/run.py \
+	src/repro/rle/row.py \
+	src/repro/core/api.py
 
 install:
 	pip install -e '.[test]'
 
 test:
 	pytest tests/ -q
+
+# rlelint (RLE001-RLE005, see docs/STATIC_ANALYSIS.md) + the mypy
+# strict typing gate on the seed modules.  mypy is skipped with a
+# notice when not installed (pip install -e '.[lint]').
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro lint src/repro
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		mypy --strict $(MYPY_STRICT_FILES); \
+	else \
+		echo "mypy not installed — skipping strict typing gate (pip install -e '.[lint]')"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,48 @@
+"""``rlelint`` — domain-aware static analysis for the systolic XOR stack.
+
+A small AST-based linter whose rules encode this repository's
+correctness conventions: invariants raise
+:class:`~repro.errors.InvariantViolation` rather than ``assert``
+(RLE001), library code raises typed :class:`~repro.errors.ReproError`
+subclasses (RLE002), hot paths never decompress RLE data to pixel
+arrays (RLE003), ``np.int32`` coordinate planes sit behind an overflow
+guard (RLE004), and worker-visible mutable state is banned (RLE005).
+
+Run it as ``repro lint``, ``python -m repro.analysis.lint`` or
+``make lint``; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue,
+the ``# rlelint: disable=RLE###`` suppression syntax and the baseline
+workflow.
+"""
+
+from repro.analysis.lint.engine import (
+    LintReport,
+    check_source,
+    iter_python_files,
+    lint_paths,
+)
+from repro.analysis.lint.model import (
+    ModuleContext,
+    Rule,
+    Violation,
+    all_rule_classes,
+    create_rules,
+    register,
+    rule_codes,
+)
+
+# importing the rules module populates the registry
+from repro.analysis.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "all_rule_classes",
+    "check_source",
+    "create_rules",
+    "iter_python_files",
+    "lint_paths",
+    "register",
+    "rule_codes",
+]

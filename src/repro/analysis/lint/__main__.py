@@ -1,0 +1,9 @@
+"""``python -m repro.analysis.lint`` — standalone rlelint entry point."""
+
+import sys
+
+import repro.analysis.lint  # noqa: F401  — ensure the rule registry is populated
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

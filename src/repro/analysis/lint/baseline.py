@@ -1,0 +1,87 @@
+"""Baseline file handling — grandfathering pre-existing violations.
+
+The baseline is a JSON document mapping violation fingerprints (see
+:meth:`~repro.analysis.lint.model.Violation.fingerprint`) to enough
+context to review them by hand.  Violations whose fingerprint appears in
+the baseline are reported separately and do **not** fail the run; new
+violations always do.  The workflow:
+
+1. ``repro lint src/repro --write-baseline`` records the current tree's
+   violations into the baseline file.
+2. Commit the baseline; CI passes while the debt is paid down.
+3. Fix a grandfathered site and its entry becomes *stale* — regenerate
+   the baseline (it only ever shrinks in review).
+
+The shipped tree is lint-clean, so no baseline file is committed; the
+mechanism exists for future rules that land with open violations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.lint.model import Violation
+from repro.errors import LintError
+
+__all__ = ["load_baseline", "write_baseline", "partition"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Fingerprint → entry mapping; empty if the file does not exist."""
+    if not path.exists():
+        return {}
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported structure "
+            f"(expected a v{_VERSION} document written by --write-baseline)"
+        )
+    entries = document.get("entries", [])
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path}: 'entries' must be a list")
+    out: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise LintError(f"baseline {path}: entry without a fingerprint")
+        out[str(entry["fingerprint"])] = entry
+    return out
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Write every violation's fingerprint (deduplicated, sorted) to
+    ``path``; returns the number of entries written."""
+    entries = {}
+    for violation in violations:
+        entries[violation.fingerprint()] = {
+            "fingerprint": violation.fingerprint(),
+            "rule": violation.rule,
+            "path": violation.path,
+            "snippet": violation.snippet,
+        }
+    document = {
+        "version": _VERSION,
+        "entries": [entries[key] for key in sorted(entries)],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def partition(
+    violations: Iterable[Violation], baseline: Dict[str, Dict[str, object]]
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split into ``(new, baselined)`` against a loaded baseline."""
+    new: List[Violation] = []
+    grandfathered: List[Violation] = []
+    for violation in violations:
+        if violation.fingerprint() in baseline:
+            grandfathered.append(violation)
+        else:
+            new.append(violation)
+    return new, grandfathered

@@ -1,0 +1,150 @@
+"""Command-line front end for ``rlelint``.
+
+Reached three ways, all sharing :func:`configure_parser` / :func:`run`:
+
+* ``repro lint [paths...]`` — subcommand of the main CLI;
+* ``python -m repro.analysis.lint`` — standalone module;
+* ``make lint`` / the CI ``lint`` job — wrap the first form.
+
+Exit codes: ``0`` clean (baselined findings allowed), ``1`` new
+violations, ``2`` configuration error (bad path, malformed directive or
+baseline, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.baseline import load_baseline, write_baseline
+from repro.analysis.lint.engine import lint_paths
+from repro.analysis.lint.model import all_rule_classes
+from repro.errors import LintError
+
+__all__ = ["configure_parser", "run", "main"]
+
+DEFAULT_TARGET = "src/repro"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {DEFAULT_TARGET} if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered violations (non-fatal when matched)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current violations into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _default_paths() -> List[Path]:
+    candidate = Path(DEFAULT_TARGET)
+    return [candidate if candidate.is_dir() else Path(".")]
+
+
+def _list_rules() -> int:
+    for cls in all_rule_classes():
+        print(f"{cls.code}  {cls.name}")
+        print(f"        {cls.description}")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        return _list_rules()
+    try:
+        paths = [Path(p) for p in args.paths] or _default_paths()
+        select = (
+            [code.strip() for code in args.select.split(",") if code.strip()]
+            if args.select
+            else None
+        )
+        baseline_path = Path(args.baseline) if args.baseline else None
+        if args.write_baseline and baseline_path is None:
+            raise LintError("--write-baseline requires --baseline FILE")
+
+        if args.write_baseline:
+            report = lint_paths(paths, baseline=None, select=select)
+            count = write_baseline(baseline_path, report.violations)
+            print(
+                f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+                f"to {baseline_path}"
+            )
+            return 0
+
+        baseline = load_baseline(baseline_path) if baseline_path else {}
+        report = lint_paths(paths, baseline=baseline, select=select)
+    except LintError as exc:
+        print(f"rlelint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": report.files_checked,
+                    "violations": [v.to_json() for v in report.violations],
+                    "baselined": [v.to_json() for v in report.baselined],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in report.violations:
+            print(violation.format())
+        for violation in report.baselined:
+            print(f"{violation.format()} (baselined)")
+        summary = (
+            f"rlelint: {report.files_checked} files checked, "
+            f"{len(report.violations)} violation"
+            f"{'' if len(report.violations) == 1 else 's'}"
+        )
+        if report.baselined:
+            summary += f" ({len(report.baselined)} baselined)"
+        print(summary)
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rlelint",
+        description="Domain-aware static analysis for the systolic XOR stack",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

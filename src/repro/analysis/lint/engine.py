@@ -1,0 +1,140 @@
+"""File walking, per-module analysis, and report assembly for ``rlelint``.
+
+The engine turns paths into :class:`ModuleContext` objects, runs every
+selected rule, filters the findings through suppression comments and the
+baseline, and hands back a :class:`LintReport`.  Fixture-driven tests use
+:func:`check_source` directly to lint an in-memory snippet under a chosen
+package-relative path (which is what activates path-scoped rules like
+RLE003).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.lint.baseline import partition
+from repro.analysis.lint.model import ModuleContext, Rule, Violation, create_rules
+from repro.analysis.lint.suppressions import parse_suppressions
+from repro.errors import LintError
+
+__all__ = ["LintReport", "check_source", "iter_python_files", "lint_paths"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: Violations that fail the run (not suppressed, not baselined).
+    violations: List[Violation] = field(default_factory=list)
+    #: Grandfathered violations matched by the baseline (reported, non-fatal).
+    baselined: List[Violation] = field(default_factory=list)
+    #: Number of Python files analysed.
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def all_violations(self) -> List[Violation]:
+        return sorted(
+            self.violations + self.baselined,
+            key=lambda v: (v.path, v.line, v.column, v.rule),
+        )
+
+
+def _package_relative(path: Path, root: Optional[Path]) -> str:
+    """Best-effort package-relative posix path for rule scoping.
+
+    Paths inside a ``repro`` package directory are expressed relative to
+    it (``core/batched.py``); otherwise relative to the scanned root, so
+    fixture trees laid out like the package classify identically.
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    if "repro" in parts:
+        index = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        tail = parts[index + 1 :]
+        if tail:
+            return "/".join(tail)
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+def check_source(
+    source: str,
+    rel_path: str = "<source>",
+    rules: Optional[Sequence[Rule]] = None,
+    respect_suppressions: bool = True,
+) -> List[Violation]:
+    """Lint one in-memory module under a package-relative path."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise LintError(f"{rel_path}: cannot parse: {exc}") from exc
+    module = ModuleContext(rel_path, source, tree)
+    active = tuple(rules) if rules is not None else create_rules()
+    found: List[Violation] = []
+    for rule in active:
+        found.extend(rule.check(module))
+    if respect_suppressions:
+        suppressions = parse_suppressions(source, rel_path)
+        found = [
+            violation
+            for violation in found
+            if not suppressions.is_suppressed(violation.rule, violation.line)
+        ]
+    return sorted(found, key=lambda v: (v.line, v.column, v.rule))
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated module list."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                seen.setdefault(found.resolve(), None)
+        elif path.suffix == ".py":
+            seen.setdefault(path.resolve(), None)
+        else:
+            raise LintError(f"not a Python file: {path}")
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files and/or directory trees.
+
+    Parameters
+    ----------
+    baseline:
+        Loaded baseline mapping (see :func:`~repro.analysis.lint.baseline.
+        load_baseline`); ``None`` means nothing is grandfathered.
+    select:
+        Restrict to these rule codes (default: every registered rule).
+    """
+    rules = create_rules(select)
+    paths = [Path(path) for path in paths]
+    roots = [path for path in paths if path.is_dir()]
+    root = roots[0] if len(roots) == 1 and len(paths) == 1 else None
+    report = LintReport()
+    found: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        rel = _package_relative(file_path, root)
+        source = file_path.read_text(encoding="utf-8")
+        found.extend(check_source(source, rel, rules=rules))
+        report.files_checked += 1
+    found.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    report.violations, report.baselined = partition(found, baseline or {})
+    return report

@@ -1,0 +1,157 @@
+"""Core data model of ``rlelint``: violations, rules, and the registry.
+
+A *rule* inspects one module's AST and yields :class:`Violation` records;
+the engine (:mod:`repro.analysis.lint.engine`) handles file walking,
+suppression comments and the baseline, so rules stay pure functions of
+the parsed source.  Rules register themselves with the :func:`register`
+decorator, which keys them by their ``RLE###`` code — the same code used
+in suppression comments, baseline entries and ``--select`` filters.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import LintError
+
+__all__ = [
+    "Violation",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rule_classes",
+    "create_rules",
+    "rule_codes",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    #: Rule code, e.g. ``"RLE002"``.
+    rule: str
+    #: Package-relative posix path, e.g. ``"core/pipeline.py"``.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    column: int
+    #: Human explanation, including the suggested fix.
+    message: str
+    #: The stripped source line — the stable part of the fingerprint.
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-drift-tolerant identity used by the baseline.
+
+        Keyed on (rule, path, snippet) rather than the line number, so
+        unrelated edits above a grandfathered violation do not un-baseline
+        it; editing the offending line itself does.
+        """
+        material = f"{self.rule}:{self.path}:{self.snippet}"
+        return hashlib.sha1(material.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class ModuleContext:
+    """Everything a rule may ask about one module under analysis."""
+
+    def __init__(self, rel_path: str, source: str, tree: Optional[ast.Module] = None) -> None:
+        #: Posix path relative to the ``repro`` package root (used for
+        #: hot-path / allowlist classification).
+        self.rel_path = rel_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = tree if tree is not None else ast.parse(source)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Violation(
+            rule=rule.code,
+            path=self.rel_path,
+            line=line,
+            column=column,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+class Rule:
+    """Base class for checkers.  Subclasses set the class attributes and
+    implement :meth:`check`; :func:`register` adds them to the registry."""
+
+    #: ``RLE###`` code — the identity used everywhere (output, suppressions,
+    #: baseline, ``--select``).
+    code: str = ""
+    #: Short kebab-case name shown by ``--list-rules``.
+    name: str = ""
+    #: One-line rationale shown by ``--list-rules``.
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # Rules are stateless; one instance may be reused across files.
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry by its code."""
+    if not cls.code:
+        raise LintError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise LintError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rule_classes() -> Tuple[Type[Rule], ...]:
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def rule_codes() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def create_rules(select: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+    """Instantiate the selected rules (all of them by default).
+
+    Raises
+    ------
+    LintError
+        If ``select`` names a code no registered rule carries.
+    """
+    if select is None:
+        return tuple(cls() for cls in all_rule_classes())
+    unknown = sorted(set(select) - set(_REGISTRY))
+    if unknown:
+        raise LintError(
+            f"unknown rule code(s) {', '.join(unknown)} — "
+            f"known: {', '.join(rule_codes())}"
+        )
+    return tuple(_REGISTRY[code]() for code in sorted(set(select)))

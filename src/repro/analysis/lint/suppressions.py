@@ -1,0 +1,117 @@
+"""``# rlelint: disable=...`` comment parsing.
+
+Two directive forms, both only recognised inside real comment tokens
+(the source is tokenized, so string literals mentioning the syntax do
+not count):
+
+``# rlelint: disable=RLE001,RLE003``
+    Suppresses the listed rules on the physical line carrying the
+    comment (for multi-line statements, put it on the line the rule
+    reports — the node's first line).
+
+``# rlelint: disable-file=RLE003``
+    Suppresses the listed rules for the whole file, wherever the
+    comment appears.
+
+``all`` is accepted in place of a code list.  Malformed directives (a
+recognisable ``rlelint:`` comment whose codes do not parse) raise
+:class:`~repro.errors.LintError` rather than being silently ignored —
+a suppression that does not suppress is worse than a lint failure.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.errors import LintError
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*rlelint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[^#]*)"
+)
+_CODE = re.compile(r"^RLE\d{3}$")
+
+
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    def __init__(
+        self,
+        file_level: FrozenSet[str],
+        by_line: Dict[int, FrozenSet[str]],
+        file_all: bool = False,
+        line_all: FrozenSet[int] = frozenset(),
+    ) -> None:
+        self._file_level = file_level
+        self._by_line = by_line
+        self._file_all = file_all
+        self._line_all = line_all
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if self._file_all or code in self._file_level:
+            return True
+        if line in self._line_all:
+            return True
+        return code in self._by_line.get(line, frozenset())
+
+
+def _parse_codes(raw: str, rel_path: str, line: int) -> Tuple[bool, FrozenSet[str]]:
+    """Return ``(is_all, codes)`` for the directive payload."""
+    text = raw.strip()
+    if text == "all":
+        return True, frozenset()
+    codes: Set[str] = set()
+    for part in re.split(r"[\s,]+", text):
+        if not part:
+            continue
+        if not _CODE.match(part):
+            raise LintError(
+                f"{rel_path}:{line}: malformed rlelint directive — "
+                f"{part!r} is not a rule code (expected RLE###, or 'all')"
+            )
+        codes.add(part)
+    if not codes:
+        raise LintError(
+            f"{rel_path}:{line}: rlelint directive lists no rule codes"
+        )
+    return False, frozenset(codes)
+
+
+def parse_suppressions(source: str, rel_path: str = "<source>") -> Suppressions:
+    """Extract every directive from the file's comment tokens."""
+    file_level: Set[str] = set()
+    by_line: Dict[int, FrozenSet[str]] = {}
+    file_all = False
+    line_all: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # the caller reports unparsable files through ast.parse; no
+        # comments are extractable, so nothing is suppressed
+        comments = []
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        is_all, codes = _parse_codes(match.group("codes"), rel_path, line)
+        if match.group("kind") == "disable-file":
+            if is_all:
+                file_all = True
+            file_level |= codes
+        else:
+            if is_all:
+                line_all.add(line)
+            else:
+                by_line[line] = by_line.get(line, frozenset()) | codes
+    return Suppressions(
+        frozenset(file_level), by_line, file_all=file_all, line_all=frozenset(line_all)
+    )

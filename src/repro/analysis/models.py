@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.analysis.runner import Record
+from repro.errors import AnalysisError
 
 __all__ = [
     "iteration_bounds",
@@ -73,7 +74,7 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     x = np.asarray(xs, dtype=float)
     y = np.asarray(ys, dtype=float)
     if x.size < 2:
-        raise ValueError("need at least two points to fit a line")
+        raise AnalysisError("need at least two points to fit a line")
     slope, intercept = np.polyfit(x, y, 1)
     predicted = slope * x + intercept
     ss_res = float(np.sum((y - predicted) ** 2))

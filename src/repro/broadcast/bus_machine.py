@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import CapacityError, SystolicError
+from repro.errors import CapacityError, InvariantViolation, SystolicError
 from repro.rle.row import RLERow
 from repro.rle.run import Run
 from repro.core.machine import XorRunResult, default_cell_count
@@ -169,7 +169,11 @@ class BusXorMachine:
         for src, _dst, _payload in plans:
             self.big[src] = _EMPTY
         for src, dst, payload in plans:
-            assert not _occupied(self.big[dst]), "landing collision"
+            if _occupied(self.big[dst]):
+                raise InvariantViolation(
+                    "bus-landing-collision",
+                    f"jump from cell {src} landed on occupied cell {dst}",
+                )
             self.big[dst] = payload
         bus_cycles = self.bus.transfer_round(self.iterations + 1, plans)
         self.stats.bump("bus_transfers", len(plans))

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple, TypeVar
 
+from repro.errors import GeometryError, SystolicError
+
 __all__ = ["ReconfigurableMesh"]
 
 T = TypeVar("T")
@@ -34,7 +36,7 @@ class ReconfigurableMesh:
 
     def __init__(self, n: int) -> None:
         if n < 1:
-            raise ValueError(f"mesh needs at least one processor, got {n}")
+            raise SystolicError(f"mesh needs at least one processor, got {n}")
         self.n = n
         #: Total bus cycles charged so far.
         self.cycles = 0
@@ -51,7 +53,7 @@ class ReconfigurableMesh:
         of every leader.  Costs 1 cycle.
         """
         if len(leaders) != self.n:
-            raise ValueError(f"expected {self.n} slots, got {len(leaders)}")
+            raise GeometryError(f"expected {self.n} slots, got {len(leaders)}")
         out: List[Optional[T]] = [None] * self.n
         current: Optional[T] = None
         for i, value in enumerate(leaders):
@@ -69,7 +71,7 @@ class ReconfigurableMesh:
         is conservative.)
         """
         if len(bits) != self.n:
-            raise ValueError(f"expected {self.n} bits, got {len(bits)}")
+            raise GeometryError(f"expected {self.n} bits, got {len(bits)}")
         out: List[int] = []
         acc = 0
         for b in bits:

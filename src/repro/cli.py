@@ -9,6 +9,8 @@ Commands
 ``inspect``    synthetic PCB inspection end-to-end demo
 ``bench-engines``  time the engines on one Figure-5-style image and
                cross-check their results against the sequential baseline
+``lint``       run ``rlelint``, the domain-aware static analyzer
+               (see docs/STATIC_ANALYSIS.md)
 """
 
 from __future__ import annotations
@@ -92,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched,vectorized,sequential",
         help="comma-separated engine list (first engine's runtime is the baseline)",
     )
+
+    from repro.analysis.lint.cli import configure_parser as configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: invariant, exception, hot-path and typing rules",
+    )
+    configure_lint_parser(lint)
 
     return parser
 
@@ -428,6 +438,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench_engines(
             args.rows, args.width, args.error_fraction, args.seed, args.engines
         )
+    if args.command == "lint":
+        from repro.analysis.lint.cli import run as run_lint
+
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

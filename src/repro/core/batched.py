@@ -63,7 +63,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import CapacityError, SystolicError
+from repro.errors import CapacityError, GeometryError, SystolicError
 from repro.rle.row import RLERow
 from repro.rle.run import Run
 from repro.core.machine import XorRunResult, default_cell_count
@@ -121,7 +121,7 @@ class BatchedXorEngine:
         """The paper's initial load, for every lane at once: run *i* of
         each image row into cell *i* of that row's lane."""
         if len(rows_a) != len(rows_b):
-            raise ValueError(
+            raise GeometryError(
                 f"batch sides differ: {len(rows_a)} vs {len(rows_b)} rows"
             )
         n_rows = len(rows_a)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Tuple
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
@@ -86,7 +86,7 @@ def parallel_diff_images(
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        raise SystolicError(f"workers must be >= 1, got {workers}")
     if workers == 1 or image_a.height == 0:
         from repro.core.pipeline import diff_images
 

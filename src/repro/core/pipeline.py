@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
@@ -119,7 +119,7 @@ def diff_images(
                 n_cells=0,
             )
     else:
-        raise ValueError(f"unknown engine {engine!r}")
+        raise SystolicError(f"unknown engine {engine!r}")
 
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []

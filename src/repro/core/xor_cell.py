@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.errors import SystolicError
 from repro.rle.run import Run
 from repro.systolic.cell import Cell
 from repro.systolic.stats import ActivityStats
@@ -76,7 +77,7 @@ class XorCell(Cell):
         elif name == PHASE_XOR:
             self.step2_xor()
         else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown phase {name!r}")
+            raise SystolicError(f"unknown phase {name!r}")
 
     def step1_normalize(self) -> None:
         """Step 1: smaller run into ``RegSmall``, bigger into ``RegBig``."""

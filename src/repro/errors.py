@@ -47,5 +47,16 @@ class WorkloadError(ReproError):
     """A workload specification is invalid or cannot be satisfied."""
 
 
+class AnalysisError(ReproError):
+    """An analysis/evaluation routine was given unusable data (e.g. too
+    few points to fit a model)."""
+
+
+class LintError(ReproError):
+    """The :mod:`repro.analysis.lint` tooling was misconfigured (bad
+    path, malformed suppression directive or baseline file, unknown rule
+    code)."""
+
+
 class FormatError(ReproError):
     """A file being read is not in the expected format (PBM, RLE text...)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Tuple
 
+from repro.errors import GeometryError
 from repro.rle.image import RLEImage
 from repro.rle.run import Run
 
@@ -137,7 +138,7 @@ def label_components(
         Components ordered by first appearance (top-to-bottom scan).
     """
     if connectivity not in (4, 8):
-        raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
+        raise GeometryError(f"connectivity must be 4 or 8, got {connectivity}")
 
     # adjacent runs in one row are one region: work on the canonical form
     image = image.canonical()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, InvariantViolation
 from repro.rle.run import Run
 from repro.rle.row import RLERow
 
@@ -66,7 +66,11 @@ def xor_rows(a: RLERow, b: RLERow) -> RLERow:
         if (j - i) % 2 == 1:
             surviving.append(merged[i])
         i = j
-    assert len(surviving) % 2 == 0, "toggle positions must pair up"
+    if len(surviving) % 2 != 0:
+        raise InvariantViolation(
+            "xor-toggle-parity",
+            f"toggle positions must pair up, got {len(surviving)} survivors",
+        )
     runs = [
         Run.from_endpoints(surviving[t], surviving[t + 1] - 1)
         for t in range(0, len(surviving), 2)
@@ -84,7 +88,7 @@ def merge_boolean(
     faster special-case above.  Output is canonical.
     """
     if op(False, False):
-        raise ValueError("merge_boolean requires op(False, False) == False")
+        raise GeometryError("merge_boolean requires op(False, False) == False")
     width = _common_width(a, b)
     points = sorted(set(_boundaries(a)) | set(_boundaries(b)))
     if not points:

@@ -149,7 +149,7 @@ class RLERow:
     @overload
     def __getitem__(self, index: slice) -> "RLERow": ...
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Union[Run, "RLERow"]:
         if isinstance(index, slice):
             return RLERow(self._runs[index], width=self._width)
         return self._runs[index]

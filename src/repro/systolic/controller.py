@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import SystolicError
 from repro.systolic.cell import Cell
 
 __all__ = ["TerminationController"]
@@ -35,7 +36,7 @@ class TerminationController:
 
     def __init__(self, latency: int = 0) -> None:
         if latency < 0:
-            raise ValueError(f"latency must be >= 0, got {latency}")
+            raise SystolicError(f"latency must be >= 0, got {latency}")
         self.latency = latency
         self._pending = 0
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
+from repro.errors import SystolicError
+
 __all__ = [
     "Expr",
     "Sig",
@@ -180,7 +182,7 @@ def _eval(expr: Expr, env: Dict[str, int]) -> int:
         return 1 if (a and b) else 0
     if expr.op == "or":
         return 1 if (a or b) else 0
-    raise ValueError(f"unknown op {expr.op!r}")
+    raise SystolicError(f"unknown op {expr.op!r}")
 
 
 def _gates(expr: Expr) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro._typing import SeedLike
+from repro.errors import WorkloadError
 from repro.rle.ops import xor_rows
 from repro.rle.row import RLERow
 from repro.rle.run import Run
@@ -30,7 +31,7 @@ def flip_error_runs(
     from repro.workloads.random_rows import generate_error_mask
 
     if row.width is None:
-        raise ValueError("row needs a width for error injection")
+        raise WorkloadError("row needs a width for error injection")
     mask = generate_error_mask(spec, row.width, seed)
     return xor_rows(row, mask), mask
 
@@ -41,7 +42,7 @@ def salt_pepper(
     """Independent per-pixel flips — the worst case for RLE (isolated
     flips each add up to two runs).  Returns ``(degraded_row, mask)``."""
     if row.width is None:
-        raise ValueError("row needs a width for error injection")
+        raise WorkloadError("row needs a width for error injection")
     rng = as_generator(seed)
     flips = rng.random(row.width) < flip_probability
     mask = RLERow.from_bits(flips)
@@ -58,7 +59,7 @@ def edge_jitter(
     would collide with a neighbour (or vanish) are clamped.
     """
     if max_shift < 0:
-        raise ValueError(f"max_shift must be >= 0, got {max_shift}")
+        raise WorkloadError(f"max_shift must be >= 0, got {max_shift}")
     rng = as_generator(seed)
     width = row.width
     jittered = []

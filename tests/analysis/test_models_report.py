@@ -9,6 +9,7 @@ from repro.analysis.models import (
     observed_bound_violations,
 )
 from repro.analysis.report import format_table, format_value, to_csv, to_markdown
+from repro.errors import AnalysisError
 from repro.analysis.runner import Record
 from repro.analysis.asciiplot import ascii_plot
 
@@ -34,7 +35,7 @@ class TestModels:
         assert fit.slope == pytest.approx(0.0)
 
     def test_linear_fit_needs_two_points(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             linear_fit([1], [2])
 
     def test_violations_filter(self):

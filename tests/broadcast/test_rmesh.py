@@ -3,6 +3,7 @@
 import pytest
 
 from repro.broadcast.rmesh import ReconfigurableMesh
+from repro.errors import GeometryError, SystolicError
 
 
 class TestSegmentedBroadcast:
@@ -13,7 +14,7 @@ class TestSegmentedBroadcast:
         assert mesh.cycles == 1
 
     def test_wrong_length_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             ReconfigurableMesh(3).segmented_broadcast([None])
 
     def test_no_leaders(self):
@@ -32,7 +33,7 @@ class TestPrefixSum:
         assert mesh.cycles == 11  # ceil(log2 1024) + 1
 
     def test_wrong_length_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             ReconfigurableMesh(2).prefix_sum([1])
 
 
@@ -61,5 +62,5 @@ class TestMergeAdjacentRuns:
         assert out == [(0, 1), (5, 6), None, None]
 
     def test_invalid_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SystolicError):
             ReconfigurableMesh(0)

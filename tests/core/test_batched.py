@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import CapacityError, SystolicError
+from repro.errors import CapacityError, GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.ops import xor_rows
 from repro.rle.row import RLERow
@@ -177,7 +177,7 @@ class TestGuards:
         assert BatchedXorEngine().diff_rows([], []) == []
 
     def test_mismatched_batch_sides(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             BatchedXorEngine().diff_rows([RLERow.empty(4)], [])
 
     def test_empty_rows_lane(self):

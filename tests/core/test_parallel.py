@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.core.parallel import parallel_diff_images
 from repro.core.pipeline import diff_images
@@ -69,7 +69,7 @@ class TestValidation:
 
     def test_bad_worker_count(self):
         a, b = images(6)
-        with pytest.raises(ValueError):
+        with pytest.raises(SystolicError):
             parallel_diff_images(a, b, workers=0)
 
     def test_empty_image(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GeometryError, ReproError
+from repro.errors import GeometryError, ReproError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.api import image_diff, row_diff
@@ -66,7 +66,7 @@ class TestImageDiff:
 
     def test_unknown_engine(self):
         a, b = random_images(4)
-        with pytest.raises(ValueError):
+        with pytest.raises(SystolicError):
             diff_images(a, b, engine="bogus")
 
     def test_canonical_output(self):

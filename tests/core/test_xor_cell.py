@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.xor_cell import XorCell
+from repro.errors import SystolicError
 from repro.rle.run import Run
 from repro.systolic.stats import ActivityStats
 
@@ -188,5 +189,5 @@ class TestTermination:
         assert c.snapshot() == snap
 
     def test_unknown_phase_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SystolicError):
             cell().run_phase("bogus")

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 from scipy import ndimage
 
+from repro.errors import GeometryError
 from repro.rle.components import UnionFind, label_components
 from repro.rle.image import RLEImage
 
@@ -71,7 +72,7 @@ class TestLabeling:
         assert label_components(RLEImage.blank(4, 4)) == []
 
     def test_bad_connectivity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             label_components(RLEImage.blank(1, 1), connectivity=6)  # type: ignore[arg-type]
 
     def test_adjacent_fragments_in_same_row_are_one_component(self):

@@ -119,7 +119,7 @@ class TestMergeBoolean:
         assert merge_boolean(a, b, lambda x, y: x and y).same_pixels(and_rows(a, b))
 
     def test_rejects_ops_true_on_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             merge_boolean(
                 RLERow.empty(4), RLERow.empty(4), lambda x, y: not x and not y
             )

@@ -168,7 +168,7 @@ class TestController:
         assert array.run() == 2
 
     def test_negative_latency_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SystolicError):
             TerminationController(latency=-1)
 
     def test_pending_resets_when_not_done(self):

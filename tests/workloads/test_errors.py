@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import WorkloadError
 from repro.rle.ops import xor_rows
 from repro.rle.row import RLERow
 from repro.workloads.errors import edge_jitter, flip_error_runs, salt_pepper
@@ -21,7 +22,7 @@ class TestFlipErrorRuns:
         assert xor_rows(row, degraded).same_pixels(mask)
 
     def test_needs_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             flip_error_runs(RLERow.from_pairs([(0, 1)]), ErrorSpec(fraction=0.1))
 
 
@@ -42,7 +43,7 @@ class TestSaltPepper:
         assert xor_rows(row, degraded).same_pixels(mask)
 
     def test_needs_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             salt_pepper(RLERow.from_pairs([(0, 1)]), 0.1)
 
 
@@ -76,5 +77,5 @@ class TestEdgeJitter:
         assert diff < row.pixel_count // 2
 
     def test_negative_shift_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             edge_jitter(base_row(), -1)
