@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke obs-smoke examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -33,6 +33,15 @@ bench:
 # diverge from the sequential baseline (no timing, no artifacts)
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_engines.py -q --benchmark-disable
+
+# observability smoke: run `repro profile` on a small Figure-5 workload
+# with schema validation on, then pin the null-tracer overhead bounds
+# (see docs/OBSERVABILITY.md)
+obs-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro profile \
+		--rows 16 --width 500 --out-dir results/profile --validate
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_obs_overhead.py -q --benchmark-disable
 
 # regenerate every paper artifact into results/
 artifacts: bench

@@ -10,7 +10,8 @@ The sequential merge is the "no special hardware" comparison.
 Outputs: pytest-benchmark's comparison table, plus
 ``results/engines.txt`` with the per-engine iteration counts and the
 measured batched-vs-row-loop speedup on a 512-row Figure 5 image
-(asserted ≥5× — the tentpole claim).
+(asserted ≥5× — the tentpole claim), and ``results/engines.json`` with
+the same numbers machine-readable.
 
 Smoke mode: ``REPRO_BENCH_SMOKE=1`` shrinks the image workload to a
 tiny configuration and skips the artifact write and the speedup floor,
@@ -32,7 +33,7 @@ from repro.workloads.spec import BaseRowSpec, ErrorSpec
 from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.suite import get_row_workload
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 WORKLOAD = "paper-figure5-5pct"
 
@@ -167,6 +168,30 @@ def test_batched_image_speedup_and_equivalence(image_rows, results_dir):
                 f"speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
             ]
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "engines.json",
+        {
+            "row_workload": {
+                "name": WORKLOAD,
+                "k1": ref.k1,
+                "k2": ref.k2,
+                "systolic_iterations": ref.iterations,
+                "sequential_iterations": seq.iterations,
+                "k3": ref.k3,
+            },
+            "image_workload": {
+                "rows": IMAGE_ROWS,
+                "width": IMAGE_WIDTH,
+                "density": 0.30,
+                "error_fraction": IMAGE_ERROR_FRACTION,
+            },
+            "row_loop_vectorized_s": loop_s,
+            "batched_whole_image_s": batch_s,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"batched engine only {speedup:.2f}x over the row loop "

@@ -22,7 +22,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_table, to_csv
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 WIDTH = 10_000
 REPETITIONS = 10
@@ -83,6 +83,15 @@ def test_figure5_regenerate(benchmark, figure5_rows, results_dir):
         xlabel="fraction of pixels differing",
     )
     write_artifact(results_dir, "figure5.txt", table + "\n\n" + plot)
+    write_json_artifact(
+        results_dir,
+        "figure5.json",
+        {
+            "width": WIDTH,
+            "repetitions": REPETITIONS,
+            "rows": figure5_rows,
+        },
+    )
 
     # ---- the paper's shape claims ---------------------------------- #
     by_f = {r["error_fraction"]: r for r in figure5_rows}

@@ -1,0 +1,114 @@
+"""A11 — observability must be free when it is off.
+
+Every hot call site takes ``tracer=None`` and branches once on it; the
+:data:`~repro.obs.tracing.NULL_TRACER` object exists for callers that
+thread a tracer unconditionally.  This bench pins both disabled paths:
+
+* the per-call cost of a ``NULL_TRACER`` span (one attribute lookup plus
+  returning a preallocated object — asserted under a generous absolute
+  ceiling so a regression to per-call allocation is caught), and
+* whole-image ``diff_images`` throughput with ``tracer=None`` vs
+  ``tracer=NULL_TRACER`` — the instrumented call sites may not slow the
+  uninstrumented run (asserted under a deliberately loose ratio so the
+  gate never flakes on a noisy CI box; the printed number is the claim).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload but keeps
+both assertions — CI runs this on every push.
+"""
+
+import os
+import time
+
+from repro.core.pipeline import diff_images
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.rle.image import RLEImage
+from repro.workloads.random_rows import generate_row_pair
+from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROWS = 16 if SMOKE else 128
+WIDTH = 500 if SMOKE else 4_000
+
+#: A null span may not cost more than this per call — orders of
+#: magnitude above the real cost (~100 ns), far below a real span.
+NULL_SPAN_CEILING_S = 5e-6
+
+#: tracer=NULL_TRACER may not exceed tracer=None by more than this
+#: factor on a whole-image diff.  The measured ratio is ~1.0; the
+#: slack absorbs CI noise.
+DISABLED_OVERHEAD_RATIO = 1.15
+
+
+def _image_pair():
+    base = BaseRowSpec(width=WIDTH, density=0.30)
+    errors = ErrorSpec(fraction=0.05)
+    rows_a, rows_b = [], []
+    for y in range(ROWS):
+        a, b, _mask = generate_row_pair(base, errors, seed=4_000 + y)
+        rows_a.append(a)
+        rows_b.append(b)
+    return RLEImage(rows_a, width=WIDTH), RLEImage(rows_b, width=WIDTH)
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_span_per_call_cost(benchmark):
+    """One disabled span = one attribute lookup + a preallocated object."""
+
+    def open_and_close_spans():
+        for i in range(1_000):
+            with NULL_TRACER.span("step", index=i) as span:
+                span.set_attribute("iterations", i)
+
+    benchmark(open_and_close_spans)
+    per_call = _best_of(open_and_close_spans, 5) / 1_000
+    assert per_call < NULL_SPAN_CEILING_S, (
+        f"null span costs {per_call * 1e9:.0f} ns/call "
+        f"(ceiling {NULL_SPAN_CEILING_S * 1e9:.0f} ns)"
+    )
+
+
+def test_disabled_tracing_image_diff_overhead(benchmark):
+    """tracer=NULL_TRACER must run at tracer=None speed on a real diff."""
+    image_a, image_b = _image_pair()
+    rounds = 3 if SMOKE else 5
+
+    benchmark.pedantic(
+        lambda: diff_images(image_a, image_b, tracer=NULL_TRACER),
+        rounds=rounds,
+        iterations=1,
+    )
+    off_s = _best_of(lambda: diff_images(image_a, image_b), rounds)
+    null_s = _best_of(
+        lambda: diff_images(image_a, image_b, tracer=NULL_TRACER), rounds
+    )
+    ratio = null_s / off_s if off_s else 1.0
+    print(
+        f"\nimage_diff {ROWS}x{WIDTH}: tracer=None {off_s:.4f}s, "
+        f"tracer=NULL_TRACER {null_s:.4f}s, ratio {ratio:.3f}"
+    )
+    assert ratio < DISABLED_OVERHEAD_RATIO, (
+        f"disabled tracing costs {ratio:.3f}x "
+        f"(ceiling {DISABLED_OVERHEAD_RATIO}x)"
+    )
+
+
+def test_enabled_tracing_still_correct():
+    """Sanity: a live tracer records the expected span tree and the
+    result is bit-identical to the untraced run."""
+    image_a, image_b = _image_pair()
+    tracer = Tracer()
+    traced = diff_images(image_a, image_b, tracer=tracer)
+    plain = diff_images(image_a, image_b)
+    assert [r.to_pairs() for r in traced.image] == [
+        r.to_pairs() for r in plain.image
+    ]
+    names = {s.name for s in tracer.spans}
+    assert {"image_diff", "row_batch", "step"} <= names

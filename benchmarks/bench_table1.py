@@ -15,7 +15,7 @@ from repro.analysis.experiments import table1_sweep, table1_trial
 from repro.analysis.models import linear_fit
 from repro.analysis.report import format_table, to_csv
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 REPETITIONS = 30
 
@@ -46,6 +46,11 @@ def test_table1_regenerate(benchmark, table1_rows, results_dir):
     )
     to_csv(table1_rows, results_dir / "table1.csv", columns=columns)
     write_artifact(results_dir, "table1.txt", rendered)
+    write_json_artifact(
+        results_dir,
+        "table1.json",
+        {"repetitions": REPETITIONS, "rows": table1_rows},
+    )
 
     # ---- the paper's shape claims ---------------------------------- #
     def series(errors, metric):

@@ -16,7 +16,7 @@ from repro.rle.image import RLEImage
 from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 FRACTIONS = (0.005, 0.02, 0.05, 0.10, 0.20)
 ROWS = 64
@@ -81,6 +81,11 @@ def test_timing_regenerate(benchmark, timing_rows, results_dir):
                 "single vs double buffering"
             ),
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "timing.json",
+        {"rows_per_image": ROWS, "width": WIDTH, "rows": timing_rows},
     )
 
     by = {(r["error_fraction"], r["ports"]): r for r in timing_rows}

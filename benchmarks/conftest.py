@@ -3,10 +3,14 @@
 Every bench regenerates its paper artifact (table rows / figure series)
 into ``results/`` as CSV + rendered text, so EXPERIMENTS.md numbers are
 reproducible byte-for-byte from ``pytest benchmarks/ --benchmark-only``.
+Benches with structured data also emit a machine-readable JSON artifact
+via :func:`write_json_artifact`, so dashboards and regression tooling
+can diff runs without scraping the rendered text.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -23,3 +27,11 @@ def results_dir() -> Path:
 def write_artifact(results_dir: Path, name: str, text: str) -> None:
     """Save a rendered table/plot next to its CSV."""
     (results_dir / name).write_text(text + "\n", encoding="utf-8")
+
+
+def write_json_artifact(results_dir: Path, name: str, payload: object) -> None:
+    """Save a machine-readable artifact (stable key order, one trailing
+    newline) next to the rendered-text version."""
+    (results_dir / name).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -56,8 +56,11 @@ __all__ = [
 # Module classification                                                 #
 # --------------------------------------------------------------------- #
 
-#: Directories (package-relative) whose modules are hot paths.
-HOT_PATH_PREFIXES: Tuple[str, ...] = ("core/", "systolic/")
+#: Directories (package-relative) whose modules are hot paths.  ``obs/``
+#: is included because its helpers (counter bumps, span bookkeeping,
+#: per-step probes) run inside the engines' step loops — an accidental
+#: decompression there would silently dominate every instrumented run.
+HOT_PATH_PREFIXES: Tuple[str, ...] = ("core/", "systolic/", "obs/")
 
 #: Individual hot-path modules outside those directories.
 HOT_PATH_GLOBS: Tuple[str, ...] = ("rle/ops*.py",)

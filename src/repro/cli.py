@@ -9,6 +9,10 @@ Commands
 ``inspect``    synthetic PCB inspection end-to-end demo
 ``bench-engines``  time the engines on one Figure-5-style image and
                cross-check their results against the sequential baseline
+``profile``    run one instrumented diff and export the observability
+               documents: metrics JSON + Prometheus text, Chrome trace,
+               and the per-iteration convergence profile
+               (see docs/OBSERVABILITY.md)
 ``lint``       run ``rlelint``, the domain-aware static analyzer
                (see docs/STATIC_ANALYSIS.md)
 """
@@ -93,6 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="batched,vectorized,sequential",
         help="comma-separated engine list (first engine's runtime is the baseline)",
+    )
+
+    pf = sub.add_parser(
+        "profile",
+        help="instrumented diff: export metrics, Chrome trace and convergence profile",
+    )
+    pf.add_argument("--rows", type=int, default=64, help="image height")
+    pf.add_argument("--width", type=int, default=2_000, help="row width in pixels")
+    pf.add_argument(
+        "--error-fraction", type=float, default=0.05, help="fraction of differing pixels"
+    )
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument(
+        "--out-dir", type=str, default="results/profile", help="artifact directory"
+    )
+    pf.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-validate every emitted document (exit 1 on violation)",
     )
 
     from repro.analysis.lint.cli import configure_parser as configure_lint_parser
@@ -416,6 +439,102 @@ def _cmd_bench_engines(
     return 0
 
 
+def _cmd_profile(
+    rows: int,
+    width: int,
+    error_fraction: float,
+    seed: int,
+    out_dir: str,
+    validate: bool,
+) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.pipeline import diff_images
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.tracing import Tracer
+    from repro.rle.image import RLEImage
+    from repro.workloads.random_rows import generate_row_pair
+    from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+    base = BaseRowSpec(width=width, density=0.30)
+    errors = ErrorSpec(fraction=error_fraction)
+    rows_a, rows_b = [], []
+    for y in range(rows):
+        ra, rb, _mask = generate_row_pair(base, errors, seed=seed * 100_003 + y)
+        rows_a.append(ra)
+        rows_b.append(rb)
+    image_a = RLEImage(rows_a, width=width)
+    image_b = RLEImage(rows_b, width=width)
+    print(
+        f"image: {rows} rows x {width} px, density 0.30, "
+        f"{error_fraction:.0%} differing pixels, seed {seed}"
+    )
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    probe = EngineProfiler()
+    result = diff_images(
+        image_a, image_b, engine="batched",
+        tracer=tracer, metrics=registry, probe=probe,
+    )
+    print(
+        f"diff: {result.total_iterations} total iterations over {rows} rows "
+        f"(max {result.max_iterations}, mean {result.mean_iterations:.1f}); "
+        f"{result.difference_pixels} differing pixels"
+    )
+    print()
+    print("convergence (Corollary 1.1 — the RegBig front drains left to right):")
+    print(probe.render_table())
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    metrics_doc = registry.to_json()
+    trace_doc = tracer.to_chrome_trace()
+    profile_doc = probe.to_dict()
+    written = []
+    for name, payload in (
+        ("metrics.json", metrics_doc),
+        ("trace.json", trace_doc),
+        ("profile.json", profile_doc),
+    ):
+        path = out / name
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        written.append(path)
+    prom_path = out / "metrics.prom"
+    prom_path.write_text(registry.to_prometheus_text(), encoding="utf-8")
+    written.append(prom_path)
+    print()
+    for path in written:
+        print(f"wrote {path}")
+
+    if validate:
+        from repro.errors import ObservabilityError
+        from repro.obs.schema import (
+            validate_chrome_trace,
+            validate_metrics_json,
+            validate_nested,
+            validate_profile_json,
+        )
+
+        try:
+            validate_metrics_json(metrics_doc)
+            validate_chrome_trace(
+                trace_doc, required_names=("image_diff", "row_batch", "step")
+            )
+            validate_nested(trace_doc, "image_diff", "row_batch")
+            validate_nested(trace_doc, "row_batch", "step")
+            validate_profile_json(profile_doc)
+        except ObservabilityError as exc:
+            print(f"VALIDATION FAILED: {exc}")
+            return 1
+        print("validation: all documents conform to their schemas")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -437,6 +556,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench-engines":
         return _cmd_bench_engines(
             args.rows, args.width, args.error_fraction, args.seed, args.engines
+        )
+    if args.command == "profile":
+        return _cmd_profile(
+            args.rows,
+            args.width,
+            args.error_fraction,
+            args.seed,
+            args.out_dir,
+            args.validate,
         )
     if args.command == "lint":
         from repro.analysis.lint.cli import run as run_lint

@@ -25,7 +25,7 @@ Engines
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import TYPE_CHECKING, Literal, Optional
 
 from repro.errors import ReproError
 from repro.rle.image import RLEImage
@@ -34,6 +34,12 @@ from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine, XorRunResult
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import ImageDiffResult
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.tracing import Tracer
 
 __all__ = ["row_diff", "image_diff", "EngineName"]
 
@@ -47,6 +53,7 @@ def row_diff(
     paranoid: bool = False,
     record_trace: bool = False,
     n_cells: Optional[int] = None,
+    tracer: "Optional[Tracer]" = None,
 ) -> XorRunResult:
     """Difference (XOR) of two RLE rows.
 
@@ -54,8 +61,23 @@ def row_diff(
     engine, so callers can swap engines without touching downstream code.
     For the sequential engine, ``iterations`` carries the merge-loop
     count and the systolic-only fields (``n_cells``, ``stats``) are
-    zeroed/empty.
+    zeroed/empty.  A ``tracer`` wraps the dispatch in a ``row_diff``
+    span (``None`` costs nothing).
     """
+    if tracer is not None:
+        with tracer.span(
+            "row_diff", engine=engine, k1=row_a.run_count, k2=row_b.run_count
+        ) as span:
+            result = row_diff(
+                row_a,
+                row_b,
+                engine=engine,
+                paranoid=paranoid,
+                record_trace=record_trace,
+                n_cells=n_cells,
+            )
+            span.set_attribute("iterations", result.iterations)
+            return result
     if engine == "systolic":
         machine = SystolicXorMachine(
             n_cells=n_cells, paranoid=paranoid, record_trace=record_trace
@@ -82,6 +104,9 @@ def image_diff(
     image_b: RLEImage,
     engine: EngineName = "batched",
     canonical: bool = True,
+    tracer: "Optional[Tracer]" = None,
+    metrics: "Optional[MetricsRegistry]" = None,
+    probe: "Optional[EngineProfiler]" = None,
 ) -> "ImageDiffResult":
     """Difference of two whole images.
 
@@ -90,7 +115,20 @@ def image_diff(
     :mod:`repro.core.pipeline` for the underlying dispatch and the
     returned :class:`~repro.core.pipeline.ImageDiffResult` (which
     carries per-row iteration counts — the quantity the paper reports).
+
+    ``tracer``, ``metrics`` and ``probe`` hook the run into the
+    :mod:`repro.obs` observability layer (span trace, metrics registry,
+    per-iteration convergence sampling); all default to ``None``, which
+    costs the hot path nothing.
     """
     from repro.core.pipeline import diff_images
 
-    return diff_images(image_a, image_b, engine=engine, canonical=canonical)
+    return diff_images(
+        image_a,
+        image_b,
+        engine=engine,
+        canonical=canonical,
+        tracer=tracer,
+        metrics=metrics,
+        probe=probe,
+    )

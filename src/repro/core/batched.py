@@ -59,7 +59,7 @@ loops over rows and cells are gone, the state evolution is identical.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +69,10 @@ from repro.rle.run import Run
 from repro.core.machine import XorRunResult, default_cell_count
 from repro.core.xor_cell import CellSnapshot
 from repro.systolic.stats import ActivityStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.tracing import Tracer
 
 __all__ = ["BatchedXorEngine"]
 
@@ -93,11 +97,29 @@ class BatchedXorEngine:
     collect_stats:
         Accumulate the reference machine's activity counters per lane
         (a few extra axis-1 reductions per step).
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`; when set, batch runs
+        record nested ``row_batch`` → ``step`` spans.  The default
+        ``None`` keeps the hot loop untouched (one attribute lookup per
+        ``run`` call decides which loop executes).
+    probe:
+        Optional :class:`repro.obs.profile.EngineProfiler`; when set,
+        every iteration records active-lane count, busy cells and the
+        Corollary-1.1 empty-prefix front (a few extra reductions per
+        step — opt-in profiling, not for benchmark runs).
     """
 
-    def __init__(self, n_cells: Optional[int] = None, collect_stats: bool = True) -> None:
+    def __init__(
+        self,
+        n_cells: Optional[int] = None,
+        collect_stats: bool = True,
+        tracer: Optional["Tracer"] = None,
+        probe: Optional["EngineProfiler"] = None,
+    ) -> None:
         self.n_cells = n_cells
         self.collect_stats = collect_stats
+        self.tracer = tracer
+        self.probe = probe
         shape = (0, 0)
         self.ss = np.zeros(shape, dtype=np.int64)
         self.se = np.zeros(shape, dtype=np.int64)
@@ -378,20 +400,72 @@ class BatchedXorEngine:
         self.active = active & lane_alive
         self._lo, self._hi = new_lo, new_hi
 
+        if self.probe is not None:
+            self._sample_probe()
+
+    def _sample_probe(self) -> None:
+        """Feed one iteration's convergence measurements to the probe.
+
+        Reduces over the full register planes (not the column window) so
+        the samples stay meaningful regardless of windowing internals.
+        """
+        has_s = self.se >= self.ss
+        has_b = self.be >= self.bs
+        n = self.batch_cells
+        lane_has_big = has_b.any(axis=1)
+        # per-lane Corollary-1.1 front: first column still holding a
+        # RegBig run (lanes with an empty bank have front n)
+        first_big = np.where(lane_has_big, np.argmax(has_b, axis=1), n)
+        active = self.active
+        if active.any():
+            mean_front = float(first_big[active].mean())
+        else:
+            mean_front = float(n)
+        self.probe.on_step(
+            step=self._step_count,
+            active_lanes=int(active.sum()),
+            busy_cells=int((has_s | has_b).sum()),
+            empty_prefix=int(first_big.min()) if self.n_rows else n,
+            empty_prefix_mean=mean_front,
+        )
+
+    def _check_bound(self, max_iterations: Optional[int]) -> None:
+        if max_iterations is not None and self._step_count >= max_iterations:
+            raise SystolicError(
+                f"{int(self.active.sum())} lanes still active after "
+                f"{self._step_count} iterations (cap {max_iterations})"
+            )
+
     def run(self, max_iterations: Optional[int] = None) -> None:
         """Step until every lane terminates.
 
         Theorem 1 is enforced per lane: a lane still active past its own
         ``k1 + k2`` bound raises :class:`~repro.errors.SystolicError`
         (``max_iterations`` optionally caps the whole batch instead).
+
+        With a tracer attached, the whole run is one ``row_batch`` span
+        and every iteration a nested ``step`` span; the untraced loop is
+        kept separate so tracing disabled costs a single attribute
+        lookup here.
         """
-        while not self.is_done:
-            if max_iterations is not None and self._step_count >= max_iterations:
-                raise SystolicError(
-                    f"{int(self.active.sum())} lanes still active after "
-                    f"{self._step_count} iterations (cap {max_iterations})"
-                )
-            self.step()
+        tracer = self.tracer
+        if tracer is None:
+            while not self.is_done:
+                self._check_bound(max_iterations)
+                self.step()
+            return
+        with tracer.span(
+            "row_batch", rows=self.n_rows, cells=self.batch_cells
+        ) as batch_span:
+            while not self.is_done:
+                self._check_bound(max_iterations)
+                with tracer.span(
+                    "step",
+                    index=self._step_count,
+                    active_lanes=int(self.active.sum()),
+                ):
+                    self.step()
+            batch_span.set_attribute("iterations", self._step_count)
 
     # ------------------------------------------------------------------ #
     # One-shot drivers                                                   #

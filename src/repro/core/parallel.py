@@ -15,12 +15,23 @@ keeping IPC cheap.  For images that fit comfortably in one batch the
 serial ``engine="batched"`` path usually wins outright — prefer this
 pool only when the per-image work is large enough to amortize process
 start-up and pickling.
+
+Observability crosses the process boundary the same way the row data
+does: each worker records its chunk into a private
+:class:`~repro.obs.metrics.MetricsRegistry`, ships the frozen
+:class:`~repro.obs.metrics.MetricsSnapshot` back with the rows, and the
+parent merges the snapshots into the caller's registry.  The recorded
+quantities are chunking-invariant, so the merged totals equal a serial
+run's exactly (asserted in the equivalence tests).  Worker wall time is
+measured in-process and re-recorded on the parent's tracer as ``chunk``
+spans under a ``parallel_diff`` root.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
@@ -29,6 +40,10 @@ from repro.core.batched import BatchedXorEngine
 from repro.core.machine import XorRunResult
 from repro.core.pipeline import ImageDiffResult
 from repro.systolic.stats import ActivityStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+    from repro.obs.tracing import Tracer
 
 __all__ = ["parallel_diff_images"]
 
@@ -39,18 +54,29 @@ RunPairs = List[Tuple[int, int]]
 #: tuples — builtin types only, so pickling stays cheap.
 RowOut = Tuple[RunPairs, int, int, int, int, Tuple[Tuple[str, int], ...]]
 
+#: Whole-chunk payload: chunk index, rows, the worker's metrics snapshot
+#: (a frozen dataclass of builtins — picklable), and the worker-measured
+#: chunk wall time in seconds.
+ChunkOut = Tuple[int, List["RowOut"], "MetricsSnapshot", float]
+
 
 def _diff_chunk(
     payload: Tuple[int, List[Tuple[RunPairs, RunPairs]], int]
-) -> Tuple[int, List[RowOut]]:
+) -> ChunkOut:
     """Worker: diff a chunk of row pairs as one batch.
 
-    Runs in a separate process — only builtin types cross the boundary.
+    Runs in a separate process — only builtin types and frozen snapshot
+    dataclasses cross the boundary.
     """
+    from repro.obs.metrics import MetricsRegistry, record_image_diff
+
     chunk_index, rows, width = payload
+    started = time.perf_counter()
     rows_a = [RLERow.from_pairs(pa, width=width) for pa, _ in rows]
     rows_b = [RLERow.from_pairs(pb, width=width) for _, pb in rows]
     results = BatchedXorEngine(collect_stats=True).diff_rows(rows_a, rows_b)
+    registry = MetricsRegistry()
+    record_image_diff(registry, "batched", results)
     out: List[RowOut] = [
         (
             r.result.to_pairs(),
@@ -58,11 +84,11 @@ def _diff_chunk(
             r.k1,
             r.k2,
             r.n_cells,
-            tuple(sorted(r.stats.as_dict().items())),
+            r.stats.items(),
         )
         for r in results
     ]
-    return chunk_index, out
+    return chunk_index, out, registry.snapshot(), time.perf_counter() - started
 
 
 def parallel_diff_images(
@@ -71,6 +97,8 @@ def parallel_diff_images(
     workers: int = 2,
     canonical: bool = True,
     chunk_rows: Optional[int] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ImageDiffResult:
     """Difference two images using a pool of worker processes.
 
@@ -82,6 +110,15 @@ def parallel_diff_images(
     chunk_rows:
         Rows per work unit; default splits into ~4 chunks per worker to
         balance stragglers.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; each worker
+        records into a private registry and the parent merges the
+        snapshots here.  The merged totals match a serial
+        ``engine="batched"`` run exactly.
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`; the fan-out is
+        wrapped in a ``parallel_diff`` span, with one ``chunk`` span per
+        work unit carrying the worker-measured wall time.
     """
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
@@ -90,7 +127,14 @@ def parallel_diff_images(
     if workers == 1 or image_a.height == 0:
         from repro.core.pipeline import diff_images
 
-        return diff_images(image_a, image_b, engine="batched", canonical=canonical)
+        return diff_images(
+            image_a,
+            image_b,
+            engine="batched",
+            canonical=canonical,
+            metrics=metrics,
+            tracer=tracer,
+        )
 
     height, width = image_a.shape
     if chunk_rows is None:
@@ -104,10 +148,13 @@ def parallel_diff_images(
         ]
         payloads.append((chunk_index, rows, width))
 
-    results_by_chunk: dict = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for chunk_index, rows_out in pool.map(_diff_chunk, payloads):
-            results_by_chunk[chunk_index] = rows_out
+    if tracer is None:
+        results_by_chunk = _run_pool(payloads, workers, metrics, None)
+    else:
+        with tracer.span(
+            "parallel_diff", workers=workers, chunks=len(payloads), rows=height
+        ):
+            results_by_chunk = _run_pool(payloads, workers, metrics, tracer)
 
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []
@@ -116,16 +163,13 @@ def parallel_diff_images(
             chunk_index
         ]:
             row = RLERow.from_pairs(pairs, width=width)
-            stats = ActivityStats()
-            for name, count in stat_items:
-                stats.bump(name, count)
             result = XorRunResult(
                 result=row,
                 iterations=iterations,
                 k1=k1,
                 k2=k2,
                 n_cells=n_cells,
-                stats=stats,
+                stats=ActivityStats.from_items(stat_items),
             )
             row_results.append(result)
             out_rows.append(row.canonical() if canonical else row)
@@ -134,3 +178,28 @@ def parallel_diff_images(
         image=RLEImage(out_rows, width=width),
         row_results=row_results,
     )
+
+
+def _run_pool(
+    payloads: List[Tuple[int, List[Tuple[RunPairs, RunPairs]], int]],
+    workers: int,
+    metrics: Optional["MetricsRegistry"],
+    tracer: Optional["Tracer"],
+) -> dict:
+    """Fan the payloads out, merging observability as chunks land."""
+    results_by_chunk: dict = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for chunk_index, rows_out, snapshot, chunk_seconds in pool.map(
+            _diff_chunk, payloads
+        ):
+            results_by_chunk[chunk_index] = rows_out
+            if metrics is not None:
+                metrics.merge_snapshot(snapshot)
+            if tracer is not None:
+                tracer.record_span(
+                    "chunk",
+                    chunk_seconds,
+                    chunk=chunk_index,
+                    rows=len(rows_out),
+                )
+    return results_by_chunk

@@ -11,7 +11,7 @@ quantities the evaluation reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
@@ -21,6 +21,11 @@ from repro.core.machine import SystolicXorMachine, XorRunResult
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 from repro.systolic.stats import ActivityStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.tracing import Tracer
 
 __all__ = ["ImageDiffResult", "diff_images"]
 
@@ -71,6 +76,9 @@ def diff_images(
     engine: str = "batched",
     canonical: bool = True,
     n_cells: Optional[int] = None,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    probe: Optional["EngineProfiler"] = None,
 ) -> ImageDiffResult:
     """Difference two equal-shape images.
 
@@ -86,14 +94,55 @@ def diff_images(
     n_cells:
         Fixed array size reused for every row (and every batch lane);
         ``None`` sizes per row (per batch).
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`; records an
+        ``image_diff`` span wrapping the run, with ``row_batch`` →
+        ``step`` spans nested inside for the batched engine (``row``
+        spans for the per-row engines).  ``None`` (default) adds no
+        work to the hot path.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; the run's
+        row/iteration/activity totals are recorded under the standard
+        ``repro_*`` names (:func:`repro.obs.metrics.record_image_diff`).
+    probe:
+        Optional :class:`repro.obs.profile.EngineProfiler` for
+        per-iteration convergence sampling (batched and vectorized
+        engines only).
     """
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
 
-    if engine == "batched":
-        row_results = BatchedXorEngine(n_cells=n_cells).diff_rows(
-            list(image_a), list(image_b)
+    if tracer is None:
+        result = _diff_images_inner(
+            image_a, image_b, engine, canonical, n_cells, tracer, probe
         )
+    else:
+        with tracer.span(
+            "image_diff", engine=engine, rows=image_a.height, width=image_a.width
+        ):
+            result = _diff_images_inner(
+                image_a, image_b, engine, canonical, n_cells, tracer, probe
+            )
+    if metrics is not None:
+        from repro.obs.metrics import record_image_diff
+
+        record_image_diff(metrics, engine, result.row_results)
+    return result
+
+
+def _diff_images_inner(
+    image_a: RLEImage,
+    image_b: RLEImage,
+    engine: str,
+    canonical: bool,
+    n_cells: Optional[int],
+    tracer: Optional["Tracer"],
+    probe: Optional["EngineProfiler"],
+) -> ImageDiffResult:
+    if engine == "batched":
+        row_results = BatchedXorEngine(
+            n_cells=n_cells, tracer=tracer, probe=probe
+        ).diff_rows(list(image_a), list(image_b))
         return ImageDiffResult(
             image=RLEImage(
                 (r.canonical_result if canonical else r.result for r in row_results),
@@ -106,7 +155,7 @@ def diff_images(
         machine = SystolicXorMachine(n_cells=n_cells)
         run = machine.diff
     elif engine == "vectorized":
-        vec = VectorizedXorEngine(n_cells=n_cells)
+        vec = VectorizedXorEngine(n_cells=n_cells, probe=probe)
         run = vec.diff
     elif engine == "sequential":
         def run(ra: RLERow, rb: RLERow) -> XorRunResult:
@@ -123,8 +172,13 @@ def diff_images(
 
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []
-    for ra, rb in zip(image_a, image_b):
-        result = run(ra, rb)
+    for i, (ra, rb) in enumerate(zip(image_a, image_b)):
+        if tracer is None:
+            result = run(ra, rb)
+        else:
+            with tracer.span("row", index=i) as span:
+                result = run(ra, rb)
+                span.set_attribute("iterations", result.iterations)
         row_results.append(result)
         out_rows.append(result.canonical_result if canonical else result.result)
 

@@ -22,11 +22,14 @@ an observation the paper's real-time framing invites).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
-from repro.core.vectorized import VectorizedXorEngine
+from repro.core.batched import BatchedXorEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Tracer
 
 __all__ = ["RowPhases", "PipelineTiming", "measure_row_phases", "pipeline_timing"]
 
@@ -97,16 +100,29 @@ def measure_row_phases(
     image_a: RLEImage,
     image_b: RLEImage,
     ports: int = 1,
+    tracer: Optional["Tracer"] = None,
 ) -> List[RowPhases]:
-    """Run every row on the fast engine and derive its phase costs."""
+    """Run every row on the fast engine and derive its phase costs.
+
+    All rows compute as one :class:`BatchedXorEngine` batch (no per-row
+    Python loop); the phase derivation then reads each row's run counts
+    and iteration total.  Per-row phase costs are engine-independent —
+    the cross-engine equivalence test pins them against a per-row
+    vectorized sweep.
+    """
     if image_a.shape != image_b.shape:
-        raise ReproError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
+        raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
     if ports < 1:
-        raise ReproError(f"ports must be >= 1, got {ports}")
-    engine = VectorizedXorEngine(collect_stats=False)
+        raise SystolicError(f"ports must be >= 1, got {ports}")
+    if tracer is not None:
+        with tracer.span(
+            "measure_row_phases", rows=image_a.height, ports=ports
+        ):
+            return measure_row_phases(image_a, image_b, ports=ports)
+    engine = BatchedXorEngine(collect_stats=False)
+    results = engine.diff_rows(list(image_a), list(image_b))
     rows: List[RowPhases] = []
-    for i, (ra, rb) in enumerate(zip(image_a, image_b)):
-        result = engine.diff(ra, rb)
+    for i, (ra, rb, result) in enumerate(zip(image_a, image_b, results)):
         load = _ceil_div(max(ra.run_count, rb.run_count), ports)
         drain = _ceil_div(result.result.run_count, ports)
         rows.append(

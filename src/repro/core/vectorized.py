@@ -16,11 +16,14 @@ Empty registers use the same ``(0, -1)`` sentinel as
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import CapacityError, SystolicError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import EngineProfiler
 from repro.rle.row import RLERow
 from repro.rle.run import Run
 from repro.core.machine import XorRunResult, default_cell_count
@@ -53,11 +56,21 @@ class VectorizedXorEngine:
     collect_stats:
         Accumulate the same activity counters as the reference machine
         (a few extra reductions per step; disable for raw sweep speed).
+    probe:
+        Optional :class:`repro.obs.profile.EngineProfiler` sampling
+        per-iteration convergence (single lane: ``active_lanes`` is 0/1
+        and both empty-prefix measures coincide).
     """
 
-    def __init__(self, n_cells: Optional[int] = None, collect_stats: bool = True) -> None:
+    def __init__(
+        self,
+        n_cells: Optional[int] = None,
+        collect_stats: bool = True,
+        probe: Optional["EngineProfiler"] = None,
+    ) -> None:
         self.n_cells = n_cells
         self.collect_stats = collect_stats
+        self.probe = probe
         self.small: np.ndarray = np.empty((0, 2), dtype=np.int64)
         self.big: np.ndarray = np.empty((0, 2), dtype=np.int64)
         self.stats = ActivityStats()
@@ -172,6 +185,19 @@ class VectorizedXorEngine:
         if self.collect_stats:
             busy = (small[:, 1] >= small[:, 0]) | (big[:, 1] >= big[:, 0])
             self.stats.bump("busy_cells", int(busy.sum()))
+
+        if self.probe is not None:
+            has_s = small[:, 1] >= small[:, 0]
+            has_b = big[:, 1] >= big[:, 0]
+            n = big.shape[0]
+            front = int(np.argmax(has_b)) if has_b.any() else n
+            self.probe.on_step(
+                step=self.iterations,
+                active_lanes=int(has_b.any()),
+                busy_cells=int((has_s | has_b).sum()),
+                empty_prefix=front,
+                empty_prefix_mean=float(front),
+            )
 
     # ------------------------------------------------------------------ #
     # One-shot driver                                                    #

@@ -60,3 +60,9 @@ class LintError(ReproError):
 
 class FormatError(ReproError):
     """A file being read is not in the expected format (PBM, RLE text...)."""
+
+
+class ObservabilityError(ReproError):
+    """The :mod:`repro.obs` layer was misused (metric re-registered with a
+    different type, label mismatch, unbalanced span exit) or an emitted
+    metrics/trace document failed schema validation."""

@@ -1,0 +1,40 @@
+"""repro.obs — the unified observability layer.
+
+Three pillars, one import:
+
+* :mod:`repro.obs.metrics` — a labelled metrics registry (counters,
+  gauges, fixed-bucket histograms) with picklable snapshot/merge and
+  JSON + Prometheus-textfile exporters;
+* :mod:`repro.obs.tracing` — nested span tracing with JSONL and Chrome
+  trace-event (Perfetto) export, plus a no-op null tracer whose
+  disabled path costs one attribute lookup;
+* :mod:`repro.obs.profile` — opt-in per-iteration engine sampling that
+  turns Corollary 1.1's empty-prefix front into convergence curves.
+
+Every later scaling PR (sharding, async serving) reports through this
+layer; see docs/OBSERVABILITY.md for metric names, the span taxonomy
+and exporter formats.
+"""
+
+from repro.obs.metrics import (
+    CounterBag,
+    MetricsRegistry,
+    MetricsSnapshot,
+    record_image_diff,
+)
+from repro.obs.profile import EngineProfiler, IterationSample
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "CounterBag",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "record_image_diff",
+    "EngineProfiler",
+    "IterationSample",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "NullTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,530 @@
+"""Metrics: named counters, gauges and fixed-bucket histograms.
+
+The paper's claims are quantitative — Theorem 1's ``k1 + k2`` iteration
+bound, Table 1's run counts — so the repo measures everything it does
+through one registry instead of ad-hoc counter bags and scattered
+``perf_counter`` calls.  Three metric kinds, all label-aware:
+
+``counter``
+    Monotonically increasing totals (rows differenced, iterations run,
+    activity events).
+``gauge``
+    Last-written values (batch width, active worker count).
+``histogram``
+    Fixed-bucket distributions (per-row iteration counts) — buckets are
+    upper bounds, cumulated only at export time.
+
+Design constraints inherited from the rest of the repo:
+
+* **Picklable snapshots.**  :meth:`MetricsRegistry.snapshot` returns a
+  :class:`MetricsSnapshot` built from frozen dataclasses of builtin
+  types, so :mod:`repro.core.parallel` workers can export their metrics
+  across the process boundary and the pool merges them
+  (:meth:`MetricsRegistry.merge_snapshot`) — totals match the serial
+  path exactly, which the equivalence tests assert.
+* **No ambient global registry.**  Registries are always passed
+  explicitly (rule RLE005: module-level mutable state diverges silently
+  between forked workers).
+* **Zero cost when off.**  Every producer takes ``metrics=None`` and
+  records only behind an ``is not None`` check.
+
+Exporters: :meth:`MetricsRegistry.to_json` (machine-readable document,
+validated by :func:`repro.obs.schema.validate_metrics_json`) and
+:meth:`MetricsRegistry.to_prometheus_text` (Prometheus textfile format
+for node-exporter style scraping).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "ITERATION_BUCKETS",
+    "CounterBag",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "SeriesSnapshot",
+    "FamilySnapshot",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+    "record_image_diff",
+]
+
+#: General-purpose histogram buckets (upper bounds; +inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+#: Buckets sized for per-row systolic iteration counts: Figure 5 rows
+#: terminate in a handful of iterations, Table 1's densest pairings in a
+#: few hundred.
+ITERATION_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class CounterBag:
+    """A minimal named-counter bag — the primitive under both
+    :class:`~repro.systolic.stats.ActivityStats` and the labelled
+    counters here.
+
+    Dict-backed, picklable, and cheap enough for the engines' per-step
+    accounting.  Zero increments are dropped so a counter that never
+    fired is *absent* — keeps bags comparable across engines that
+    evaluate counters eagerly (vectorized reductions) vs. lazily (per
+    event).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Mapping[str, int]] = None) -> None:
+        self._counts: Dict[str, int] = dict(counts) if counts else {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (no-op when 0)."""
+        if amount:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def items(self) -> Tuple[Tuple[str, int], ...]:
+        """Sorted ``(name, count)`` tuples — the picklable wire form."""
+        return tuple(sorted(self._counts.items()))
+
+    def merge_into(self, other: "CounterBag") -> None:
+        """Add ``other``'s counts into this bag in place."""
+        for name, count in other._counts.items():
+            self.bump(name, count)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+# --------------------------------------------------------------------- #
+# Snapshots — frozen builtin-typed wire forms                            #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """One labelled series.  ``value`` carries counters/gauges;
+    histograms use ``bucket_counts``/``sum``/``count``."""
+
+    labels: Tuple[str, ...]
+    value: float = 0.0
+    bucket_counts: Tuple[int, ...] = ()
+    sum: float = 0.0
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """One metric family: kind, metadata and its sorted series."""
+
+    kind: str
+    name: str
+    help: str
+    labelnames: Tuple[str, ...]
+    buckets: Tuple[float, ...] = ()
+    series: Tuple[SeriesSnapshot, ...] = ()
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A picklable, mergeable point-in-time copy of a registry."""
+
+    families: Tuple[FamilySnapshot, ...] = ()
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Sum two snapshots (counters and histograms add; gauges take
+        ``other``'s value, last-write-wins)."""
+        registry = MetricsRegistry.from_snapshot(self)
+        registry.merge_snapshot(other)
+        return registry.snapshot()
+
+
+# --------------------------------------------------------------------- #
+# Live metric instances                                                 #
+# --------------------------------------------------------------------- #
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; inc({amount}) is negative"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket distribution.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +inf
+    bucket catches the overflow.  Counts are stored per bucket
+    (non-cumulative) and cumulated only by the Prometheus exporter.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {bounds}"
+            )
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricFamily:
+    """All series of one metric name, keyed by label values.
+
+    Obtain series with :meth:`labels`; a label-less family proxies the
+    single unlabelled series' mutators directly (``family.inc(...)``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _make(self) -> object:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: str):
+        """The series for one label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = self._make()
+        return series
+
+    # Label-less convenience proxies ----------------------------------- #
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    # Snapshot --------------------------------------------------------- #
+    def snapshot(self) -> FamilySnapshot:
+        series: List[SeriesSnapshot] = []
+        for key in sorted(self._series):
+            inst = self._series[key]
+            if isinstance(inst, Histogram):
+                series.append(
+                    SeriesSnapshot(
+                        labels=key,
+                        bucket_counts=tuple(inst.bucket_counts),
+                        sum=inst.sum,
+                        count=inst.count,
+                    )
+                )
+            else:
+                series.append(SeriesSnapshot(labels=key, value=inst.value))  # type: ignore[union-attr]
+        return FamilySnapshot(
+            kind=self.kind,
+            name=self.name,
+            help=self.help,
+            labelnames=self.labelnames,
+            buckets=self.buckets if self.kind == "histogram" else (),
+            series=tuple(series),
+        )
+
+
+class MetricsRegistry:
+    """The one place metrics live for a run.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family, provided kind and label names agree (a mismatch
+    raises :class:`~repro.errors.ObservabilityError` — silent type
+    drift between producers is how metrics rot).
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # Registration ----------------------------------------------------- #
+    def _register(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}; cannot re-register "
+                    f"as {kind} with labels {tuple(labelnames)}"
+                )
+            return existing
+        family = MetricFamily(kind, name, help, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register("counter", name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register("gauge", name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register("histogram", name, help, labelnames, buckets)
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    # Snapshot / merge ------------------------------------------------- #
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            families=tuple(
+                self._families[name].snapshot() for name in sorted(self._families)
+            )
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: MetricsSnapshot) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_snapshot(snap)
+        return registry
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a (possibly remote) snapshot into this registry.
+
+        Counters and histogram cells add; gauges take the snapshot's
+        value.  This is how :func:`repro.core.parallel.parallel_diff_images`
+        reassembles worker metrics — merged totals match the serial path.
+        """
+        for fam in snap.families:
+            family = self._register(
+                fam.kind, fam.name, fam.help, fam.labelnames,
+                fam.buckets or DEFAULT_BUCKETS,
+            )
+            for series in fam.series:
+                labels = dict(zip(fam.labelnames, series.labels))
+                inst = family.labels(**labels)
+                if fam.kind == "counter":
+                    inst.inc(series.value)
+                elif fam.kind == "gauge":
+                    inst.set(series.value)
+                else:
+                    if len(series.bucket_counts) != len(inst.bucket_counts):
+                        raise ObservabilityError(
+                            f"histogram {fam.name!r}: snapshot has "
+                            f"{len(series.bucket_counts)} buckets, registry "
+                            f"has {len(inst.bucket_counts)}"
+                        )
+                    for i, c in enumerate(series.bucket_counts):
+                        inst.bucket_counts[i] += c
+                    inst.sum += series.sum
+                    inst.count += series.count
+
+    # Exporters -------------------------------------------------------- #
+    def to_json(self) -> Dict:
+        """The machine-readable metrics document (see
+        :func:`repro.obs.schema.validate_metrics_json`)."""
+        metrics: List[Dict] = []
+        for fam in self.snapshot().families:
+            series: List[Dict] = []
+            for s in fam.series:
+                entry: Dict = {"labels": dict(zip(fam.labelnames, s.labels))}
+                if fam.kind == "histogram":
+                    entry["buckets"] = [
+                        {"le": le, "count": c}
+                        for le, c in zip(list(fam.buckets) + ["+Inf"], s.bucket_counts)
+                    ]
+                    entry["sum"] = s.sum
+                    entry["count"] = s.count
+                else:
+                    entry["value"] = s.value
+                series.append(entry)
+            metrics.append(
+                {
+                    "name": fam.name,
+                    "kind": fam.kind,
+                    "help": fam.help,
+                    "labelnames": list(fam.labelnames),
+                    "series": series,
+                }
+            )
+        return {"schema": "repro.metrics/v1", "metrics": metrics}
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus textfile exposition format."""
+        lines: List[str] = []
+        for fam in self.snapshot().families:
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            for s in fam.series:
+                base = dict(zip(fam.labelnames, s.labels))
+                if fam.kind == "histogram":
+                    cumulative = 0
+                    for le, c in zip(
+                        [_format_value(b) for b in fam.buckets] + ["+Inf"],
+                        s.bucket_counts,
+                    ):
+                        cumulative += c
+                        lines.append(
+                            f"{fam.name}_bucket"
+                            f"{_format_labels({**base, 'le': le})} {cumulative}"
+                        )
+                    lines.append(
+                        f"{fam.name}_sum{_format_labels(base)} "
+                        f"{_format_value(s.sum)}"
+                    )
+                    lines.append(f"{fam.name}_count{_format_labels(base)} {s.count}")
+                else:
+                    lines.append(
+                        f"{fam.name}{_format_labels(base)} {_format_value(s.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# --------------------------------------------------------------------- #
+# The engine recording convention                                        #
+# --------------------------------------------------------------------- #
+def record_image_diff(registry: MetricsRegistry, engine: str, row_results) -> None:
+    """Record one image differencing run under the standard metric names.
+
+    Called by the serial pipeline and by every pool worker with the
+    *same* names and labels, so merged worker snapshots are directly
+    comparable to (and must equal) the serial registry.  Only quantities
+    that are invariant to chunking are recorded — ``n_cells`` depends on
+    the batch width, so it is deliberately absent.
+    """
+    rows = registry.counter(
+        "repro_rows_total", "image rows differenced", ("engine",)
+    )
+    iters = registry.counter(
+        "repro_iterations_total", "systolic iterations executed", ("engine",)
+    )
+    runs_out = registry.counter(
+        "repro_output_runs_total",
+        "raw runs produced (the paper's k3, pre-compaction)",
+        ("engine",),
+    )
+    hist = registry.histogram(
+        "repro_row_iterations",
+        "per-row systolic iteration distribution",
+        ("engine",),
+        buckets=ITERATION_BUCKETS,
+    )
+    activity = registry.counter(
+        "repro_activity_total",
+        "cell activity events (swaps, moves, xor_splits, shifts, busy_cells)",
+        ("engine", "counter"),
+    )
+    rows.labels(engine=engine).inc(len(row_results))
+    row_iters = hist.labels(engine=engine)
+    total_iters = iters.labels(engine=engine)
+    total_runs = runs_out.labels(engine=engine)
+    for result in row_results:
+        row_iters.observe(result.iterations)
+        total_iters.inc(result.iterations)
+        total_runs.inc(result.result.run_count)
+        for name, count in result.stats:
+            activity.labels(engine=engine, counter=name).inc(count)

@@ -1,0 +1,246 @@
+"""Structural schema validation for the observability documents.
+
+The container bakes in no JSON-schema library, so the three document
+shapes the layer emits — metrics JSON, Chrome trace-event JSON and the
+profile convergence JSON — are validated by hand-rolled structural
+checkers.  They are deliberately strict: CI runs them against the
+output of ``repro profile`` on every push, so a producer that drifts
+from the documented shape fails the build rather than silently breaking
+downstream dashboards.
+
+All validators raise :class:`~repro.errors.ObservabilityError` with a
+JSON-pointer-style path to the offending node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "validate_metrics_json",
+    "validate_chrome_trace",
+    "validate_nested",
+    "validate_profile_json",
+]
+
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _fail(path: str, message: str) -> None:
+    raise ObservabilityError(f"schema violation at {path}: {message}")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _require_keys(obj: Dict, keys: Sequence[str], path: str) -> None:
+    _require(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    missing = [k for k in keys if k not in obj]
+    _require(not missing, path, f"missing keys {missing}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# --------------------------------------------------------------------- #
+# Metrics JSON (MetricsRegistry.to_json)                                #
+# --------------------------------------------------------------------- #
+def validate_metrics_json(doc: Dict) -> None:
+    """Validate a ``repro.metrics/v1`` document."""
+    _require_keys(doc, ("schema", "metrics"), "$")
+    _require(
+        doc["schema"] == "repro.metrics/v1",
+        "$.schema",
+        f"expected 'repro.metrics/v1', got {doc['schema']!r}",
+    )
+    metrics = doc["metrics"]
+    _require(isinstance(metrics, list), "$.metrics", "expected array")
+    seen: set = set()
+    for i, fam in enumerate(metrics):
+        path = f"$.metrics[{i}]"
+        _require_keys(fam, ("name", "kind", "help", "labelnames", "series"), path)
+        _require(
+            isinstance(fam["name"], str) and fam["name"],
+            f"{path}.name", "expected non-empty string",
+        )
+        _require(
+            fam["name"] not in seen, f"{path}.name", f"duplicate metric {fam['name']!r}"
+        )
+        seen.add(fam["name"])
+        _require(
+            fam["kind"] in _METRIC_KINDS,
+            f"{path}.kind", f"expected one of {_METRIC_KINDS}, got {fam['kind']!r}",
+        )
+        labelnames = fam["labelnames"]
+        _require(
+            isinstance(labelnames, list)
+            and all(isinstance(n, str) for n in labelnames),
+            f"{path}.labelnames", "expected array of strings",
+        )
+        _require(isinstance(fam["series"], list), f"{path}.series", "expected array")
+        for j, series in enumerate(fam["series"]):
+            _validate_series(series, fam["kind"], labelnames, f"{path}.series[{j}]")
+
+
+def _validate_series(series: Dict, kind: str, labelnames: List[str], path: str) -> None:
+    _require_keys(series, ("labels",), path)
+    labels = series["labels"]
+    _require(isinstance(labels, dict), f"{path}.labels", "expected object")
+    _require(
+        sorted(labels) == sorted(labelnames),
+        f"{path}.labels",
+        f"label keys {sorted(labels)} != declared {sorted(labelnames)}",
+    )
+    if kind == "histogram":
+        _require_keys(series, ("buckets", "sum", "count"), path)
+        buckets = series["buckets"]
+        _require(
+            isinstance(buckets, list) and buckets, f"{path}.buckets", "expected non-empty array"
+        )
+        total = 0
+        for k, bucket in enumerate(buckets):
+            bpath = f"{path}.buckets[{k}]"
+            _require_keys(bucket, ("le", "count"), bpath)
+            _require(
+                _is_number(bucket["le"]) or bucket["le"] == "+Inf",
+                f"{bpath}.le", "expected number or '+Inf'",
+            )
+            _require(
+                isinstance(bucket["count"], int) and bucket["count"] >= 0,
+                f"{bpath}.count", "expected non-negative integer",
+            )
+            total += bucket["count"]
+        _require(
+            buckets[-1]["le"] == "+Inf", f"{path}.buckets[-1].le", "last bucket must be '+Inf'"
+        )
+        _require(_is_number(series["sum"]), f"{path}.sum", "expected number")
+        _require(
+            isinstance(series["count"], int) and series["count"] == total,
+            f"{path}.count",
+            f"count {series['count']!r} != sum of bucket counts {total}",
+        )
+    else:
+        _require_keys(series, ("value",), path)
+        _require(_is_number(series["value"]), f"{path}.value", "expected number")
+        if kind == "counter":
+            _require(series["value"] >= 0, f"{path}.value", "counter went negative")
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace-event JSON (Tracer.to_chrome_trace)                      #
+# --------------------------------------------------------------------- #
+def validate_chrome_trace(doc: Dict, required_names: Sequence[str] = ()) -> None:
+    """Validate a ``repro.trace/v1`` Chrome trace-event document.
+
+    ``required_names`` optionally asserts that specific span names are
+    present — the CI smoke check requires the nested
+    ``image_diff`` → ``row_batch`` → ``step`` chain.
+    """
+    _require_keys(doc, ("schema", "traceEvents"), "$")
+    _require(
+        doc["schema"] == "repro.trace/v1",
+        "$.schema", f"expected 'repro.trace/v1', got {doc['schema']!r}",
+    )
+    events = doc["traceEvents"]
+    _require(isinstance(events, list), "$.traceEvents", "expected array")
+    for i, event in enumerate(events):
+        path = f"$.traceEvents[{i}]"
+        _require_keys(event, ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"), path)
+        _require(
+            isinstance(event["name"], str) and event["name"],
+            f"{path}.name", "expected non-empty string",
+        )
+        _require(event["ph"] == "X", f"{path}.ph", "expected complete event ('X')")
+        for key in ("ts", "dur"):
+            _require(
+                _is_number(event[key]) and event[key] >= 0,
+                f"{path}.{key}", "expected non-negative number (microseconds)",
+            )
+        for key in ("pid", "tid"):
+            _require(
+                isinstance(event[key], int), f"{path}.{key}", "expected integer"
+            )
+        _require(isinstance(event["args"], dict), f"{path}.args", "expected object")
+    names = {e["name"] for e in events}
+    for name in required_names:
+        _require(
+            name in names, "$.traceEvents", f"no span named {name!r} in trace"
+        )
+
+
+def validate_nested(doc: Dict, outer: str, inner: str) -> None:
+    """Assert at least one ``inner`` span lies within an ``outer`` span's
+    interval — how the smoke check proves image → row-batch → step
+    nesting from a rendered trace alone."""
+    events = doc["traceEvents"]
+    outers = [e for e in events if e["name"] == outer]
+    inners = [e for e in events if e["name"] == inner]
+    for child in inners:
+        for parent in outers:
+            if (
+                child["ts"] >= parent["ts"] - 1e-6
+                and child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+            ):
+                return
+    _fail("$.traceEvents", f"no {inner!r} span nested inside a {outer!r} span")
+
+
+# --------------------------------------------------------------------- #
+# Profile convergence JSON (EngineProfiler.to_dict)                     #
+# --------------------------------------------------------------------- #
+def validate_profile_json(doc: Dict) -> None:
+    """Validate a ``repro.profile/v1`` convergence document.
+
+    Beyond shape, this checks the paper-derived monotonicity
+    properties: steps strictly increase, lanes only terminate
+    (``active_lanes`` non-increasing), and the Corollary-1.1 front
+    (``empty_prefix``) never moves left.
+    """
+    _require_keys(doc, ("schema", "iterations", "samples"), "$")
+    _require(
+        doc["schema"] == "repro.profile/v1",
+        "$.schema", f"expected 'repro.profile/v1', got {doc['schema']!r}",
+    )
+    samples = doc["samples"]
+    _require(isinstance(samples, list), "$.samples", "expected array")
+    _require(
+        doc["iterations"] == len(samples),
+        "$.iterations", f"iterations {doc['iterations']!r} != {len(samples)} samples",
+    )
+    previous = None
+    for i, sample in enumerate(samples):
+        path = f"$.samples[{i}]"
+        _require_keys(
+            sample,
+            ("step", "active_lanes", "busy_cells", "empty_prefix", "empty_prefix_mean"),
+            path,
+        )
+        for key in ("step", "active_lanes", "busy_cells", "empty_prefix"):
+            _require(
+                isinstance(sample[key], int) and sample[key] >= 0,
+                f"{path}.{key}", "expected non-negative integer",
+            )
+        _require(
+            _is_number(sample["empty_prefix_mean"]) and sample["empty_prefix_mean"] >= 0,
+            f"{path}.empty_prefix_mean", "expected non-negative number",
+        )
+        if previous is not None:
+            _require(
+                sample["step"] > previous["step"], f"{path}.step", "steps must increase"
+            )
+            _require(
+                sample["active_lanes"] <= previous["active_lanes"],
+                f"{path}.active_lanes",
+                "lanes only terminate — active_lanes may never grow",
+            )
+            _require(
+                sample["empty_prefix"] >= previous["empty_prefix"],
+                f"{path}.empty_prefix",
+                "the Corollary-1.1 front never moves left",
+            )
+        previous = sample

@@ -1,0 +1,277 @@
+"""Span tracing with JSONL and Chrome trace-event export.
+
+A :class:`Tracer` records nested, attributed spans around the hot
+operations — ``image_diff`` dispatch, the batched engine's step loop,
+``measure_row_phases``, pool worker chunks, and the inspection
+pipeline's align/diff/extract stages.  Finished spans export as JSONL
+(one object per line, grep-friendly) or as Chrome trace-event JSON
+(complete ``"X"`` events) that loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+
+The disabled path must cost nothing: every instrumented call site takes
+``tracer=None`` and branches once on it, and :data:`NULL_TRACER` — for
+callers that want to thread a tracer unconditionally — answers
+:meth:`span` with a shared no-op span, so a disabled span costs one
+attribute lookup and one call.  ``benchmarks/bench_obs_overhead.py``
+keeps that claim honest.
+
+Span taxonomy (see docs/OBSERVABILITY.md for the full catalogue):
+
+====================  ================================================
+``image_diff``        one whole-image differencing call
+``row_batch``         one :class:`BatchedXorEngine` batch run
+``step``              one systolic iteration of a batch
+``row``               one row diffed by a per-row engine loop
+``measure_row_phases``  the timing model's measurement pass
+``parallel_diff``     one pool-parallel image diff (parent side)
+``chunk``             one worker chunk (duration measured in-worker)
+``inspect`` / ``align`` / ``diff`` / ``extract``  inspection stages
+====================  ================================================
+
+Tracers are single-process, single-threaded objects; worker processes
+measure durations locally and the parent re-records them via
+:meth:`Tracer.record_span`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.  Times are seconds relative to the tracer's
+    epoch (its construction time)."""
+
+    span_id: int
+    parent_id: int  # -1 = root
+    name: str
+    start: float
+    duration: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Span:
+    """A live span; use as a context manager.
+
+    Attributes set at open time (``tracer.span("step", index=3)``) or
+    later via :meth:`set_attribute` land in the record's ``attributes``.
+    """
+
+    __slots__ = ("_tracer", "_span_id", "_parent_id", "name", "attributes", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int,
+        name: str,
+        attributes: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self._span_id = span_id
+        self._parent_id = parent_id
+        self.name = name
+        self.attributes = attributes
+        self._start = 0.0
+
+    def set_attribute(self, name: str, value: object) -> None:
+        self.attributes[name] = value
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._stack.append(self._span_id)
+        self._start = tracer._clock() - tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock() - tracer._epoch
+        if not tracer._stack or tracer._stack[-1] != self._span_id:
+            raise ObservabilityError(
+                f"span {self.name!r} exited out of order (spans must nest)"
+            )
+        tracer._stack.pop()
+        tracer.spans.append(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self.name,
+                start=self._start,
+                duration=end - self._start,
+                attributes=self.attributes,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans for one process/run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic second-resolution clock; defaults to
+        :func:`time.perf_counter`.  Injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self._next_id = 0
+        self._stack: List[int] = []
+        self.spans: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attributes: object) -> Span:
+        """Open a nested span: ``with tracer.span("step", index=i): ...``"""
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else -1
+        return Span(self, span_id, parent_id, name, dict(attributes))
+
+    def record_span(
+        self, name: str, duration_s: float, **attributes: object
+    ) -> SpanRecord:
+        """Record an already-measured span (ending now).
+
+        Pool workers time their chunks with a local clock; the parent
+        re-records the reported durations here so they appear on the
+        main trace timeline.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        end = self._clock() - self._epoch
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=self._stack[-1] if self._stack else -1,
+            name=name,
+            start=max(0.0, end - duration_s),
+            duration=duration_s,
+            attributes=dict(attributes),
+        )
+        self.spans.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    def durations(self, *names: str) -> Dict[str, float]:
+        """Total recorded seconds per span name (filtered to ``names``
+        when given) — how the inspection pipeline derives its
+        ``stage_seconds`` without hand-rolled timing."""
+        totals: Dict[str, float] = {}
+        for record in self.spans:
+            if names and record.name not in names:
+                continue
+            totals[record.name] = totals.get(record.name, 0.0) + record.duration
+        return totals
+
+    # Exporters -------------------------------------------------------- #
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, in completion order."""
+        lines = [
+            json.dumps(
+                {
+                    "span_id": r.span_id,
+                    "parent_id": r.parent_id,
+                    "name": r.name,
+                    "start_s": r.start,
+                    "duration_s": r.duration,
+                    "attributes": r.attributes,
+                },
+                sort_keys=True,
+            )
+            for r in self.spans
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> Dict:
+        """Chrome trace-event JSON (complete events), Perfetto-loadable.
+
+        Timestamps and durations are microseconds per the trace-event
+        spec; all spans share one process/thread lane so nesting renders
+        from the intervals themselves.
+        """
+        events = [
+            {
+                "name": r.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": r.duration * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": dict(r.attributes),
+            }
+            for r in self.spans
+        ]
+        return {"schema": "repro.trace/v1", "traceEvents": events}
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+class NullSpan:
+    """The shared do-nothing span."""
+
+    __slots__ = ()
+
+    def set_attribute(self, name: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer:
+    """Tracing disabled: every call answers the shared no-op span.
+
+    ``span()`` is one attribute access plus returning a preallocated
+    object — the overhead benchmark pins this.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    _NULL_SPAN = NullSpan()
+
+    def span(self, name: str, **attributes: object) -> NullSpan:
+        return self._NULL_SPAN
+
+    def record_span(self, name: str, duration_s: float, **attributes: object) -> None:
+        return None
+
+    def durations(self, *names: str) -> Dict[str, float]:
+        return {}
+
+
+#: The shared disabled tracer — thread this where ``None`` is awkward.
+NULL_TRACER = NullTracer()

@@ -15,50 +15,47 @@ the totals.  Counter names used by the XOR machine:
 ``busy_cells``
     cells holding at least one run, accumulated per iteration
     (divide by iterations × cells for mean occupancy).
+
+Since the observability PR, :class:`ActivityStats` is a thin adapter
+over :class:`repro.obs.metrics.CounterBag` — the same dict-backed
+primitive the metrics registry's labelled counters use.  The bag is
+picklable, so :mod:`repro.core.parallel` workers ship their per-row
+stats back whole (``items()`` / :meth:`from_items`), and
+:func:`repro.obs.metrics.record_image_diff` republishes the totals as
+``repro_activity_total{engine,counter}`` registry counters.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterable, Tuple
+
+from repro.obs.metrics import CounterBag
 
 __all__ = ["ActivityStats"]
 
 
-@dataclass
-class ActivityStats:
-    """A named-counter bag with a few derived metrics."""
+class ActivityStats(CounterBag):
+    """A named-counter bag with a few derived metrics.
 
-    counters: Counter = field(default_factory=Counter)
+    All the counting machinery (``bump``, ``get``, ``as_dict``,
+    ``items``, iteration) comes from :class:`CounterBag`; this adapter
+    adds the merge/round-trip API the engines and the parallel path use
+    plus the paper-specific ``utilization`` derivation.
+    """
 
-    def bump(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` by ``amount``.
-
-        Zero increments are dropped so that a counter that never fired is
-        *absent* — keeps stats comparable across engines that evaluate
-        counters eagerly (vectorized reductions) vs. lazily (per event).
-        """
-        if amount:
-            self.counters[name] += amount
-
-    def get(self, name: str) -> int:
-        return self.counters.get(name, 0)
-
-    def __getitem__(self, name: str) -> int:
-        return self.counters.get(name, 0)
-
-    def __iter__(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self.counters.items()))
+    __slots__ = ()
 
     def merge(self, other: "ActivityStats") -> "ActivityStats":
         """Sum two stats bags (used when pipelining rows of an image)."""
-        merged = ActivityStats()
-        merged.counters = self.counters + other.counters
+        merged = ActivityStats(self.as_dict())
+        merged.merge_into(other)
         return merged
 
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self.counters)
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[str, int]]) -> "ActivityStats":
+        """Rebuild a bag from :meth:`CounterBag.items` output — the
+        builtin-typed wire form the pool workers return."""
+        return cls(dict(items))
 
     def utilization(self, iterations: int, n_cells: int) -> float:
         """Mean fraction of cells holding data per iteration."""
@@ -67,7 +64,12 @@ class ActivityStats:
         return self.get("busy_cells") / (iterations * n_cells)
 
     def reset(self) -> None:
-        self.counters.clear()
+        self.clear()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CounterBag):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(f"{k}={v}" for k, v in self)

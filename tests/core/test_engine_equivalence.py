@@ -98,6 +98,31 @@ class TestAllEnginesAgree:
         assert result.iterations == result.k1 + result.k2 == 2
         assert result.iterations == SystolicXorMachine().diff(a, b).iterations
 
+    def test_metrics_snapshots_chunking_invariant(self):
+        """The recorded observability metrics are engine-state facts, not
+        simulation-strategy facts: a parallel pool run (several worker
+        chunks, snapshots merged across process boundaries) must produce
+        the exact same registry as one serial whole-image batch."""
+        from repro.rle.image import RLEImage
+        from repro.core.parallel import parallel_diff_images
+        from repro.core.pipeline import diff_images
+        from repro.obs.metrics import MetricsRegistry
+
+        width = 64
+        pairs = [(a, b) for a, b in ALL_PAIRS[:48] if (a.width or 0) <= width]
+        image_a = RLEImage([a.with_width(width) for a, _ in pairs], width=width)
+        image_b = RLEImage([b.with_width(width) for _, b in pairs], width=width)
+
+        serial = MetricsRegistry()
+        serial_result = diff_images(image_a, image_b, metrics=serial)
+        merged = MetricsRegistry()
+        parallel_result = parallel_diff_images(
+            image_a, image_b, workers=2, chunk_rows=5, metrics=merged
+        )
+        assert parallel_result.image == serial_result.image
+        assert merged.snapshot() == serial.snapshot()
+        assert merged.to_prometheus_text() == serial.to_prometheus_text()
+
     def test_stats_agree_on_random_sample(self):
         """Activity counters, not just results: spot-check a slice of the
         sweep against the reference machine's event-driven counters."""

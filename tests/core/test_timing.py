@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.core.timing import (
     PipelineTiming,
@@ -11,6 +11,7 @@ from repro.core.timing import (
     measure_row_phases,
     pipeline_timing,
 )
+from repro.core.vectorized import VectorizedXorEngine
 
 
 def images(seed=0, h=16, w=96, errors=4):
@@ -51,11 +52,40 @@ class TestMeasurement:
             assert p4.compute == p1.compute  # compute unaffected
 
     def test_validation(self):
+        """The typed-exception contract: shape mismatches are geometry
+        problems, bad port counts are systolic-configuration problems —
+        not generic ``ReproError``."""
         a, b = images(3)
-        with pytest.raises(ReproError):
+        with pytest.raises(GeometryError):
             measure_row_phases(a, RLEImage.blank(1, 1))
-        with pytest.raises(ReproError):
+        with pytest.raises(SystolicError):
             measure_row_phases(a, b, ports=0)
+
+    def test_phase_costs_engine_independent(self):
+        """``measure_row_phases`` computes on the batched engine; a
+        hand-rolled per-row vectorized sweep must derive identical
+        load/compute/drain costs (phase costs are properties of the
+        inputs and the algorithm, not of the simulation strategy)."""
+        a, b = images(8)
+        measured = measure_row_phases(a, b, ports=2)
+        engine = VectorizedXorEngine(collect_stats=False)
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            result = engine.diff(ra, rb)
+            expect_load = -(-max(ra.run_count, rb.run_count) // 2)
+            expect_drain = -(-result.result.run_count // 2)
+            assert measured[i].load == expect_load
+            assert measured[i].compute == result.iterations
+            assert measured[i].drain == expect_drain
+
+    def test_tracer_records_span(self):
+        from repro.obs.tracing import Tracer
+
+        a, b = images(9)
+        tracer = Tracer()
+        traced = measure_row_phases(a, b, tracer=tracer)
+        assert traced == measure_row_phases(a, b)
+        names = [s.name for s in tracer.spans]
+        assert "measure_row_phases" in names
 
 
 class TestPipeline:

@@ -1,0 +1,218 @@
+"""Tests for the metrics registry: counters, gauges, histograms,
+snapshots, cross-process merge semantics and both exporters."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    CounterBag,
+    ITERATION_BUCKETS,
+    MetricsRegistry,
+    record_image_diff,
+)
+from repro.obs.schema import validate_metrics_json
+
+
+class TestCounterBag:
+    def test_bump_and_get(self):
+        bag = CounterBag()
+        bag.bump("swaps")
+        bag.bump("swaps", 4)
+        assert bag.get("swaps") == 5
+        assert bag.get("missing") == 0
+        assert bag["swaps"] == 5
+
+    def test_zero_increment_not_stored(self):
+        bag = CounterBag()
+        bag.bump("noop", 0)
+        assert bag.as_dict() == {}
+
+    def test_items_sorted_and_builtin(self):
+        bag = CounterBag({"b": 2, "a": 1})
+        items = bag.items()
+        assert items == (("a", 1), ("b", 2))
+        assert isinstance(items, tuple)
+
+    def test_merge_into(self):
+        bag = CounterBag({"a": 1})
+        bag.merge_into(CounterBag({"a": 2, "b": 3}))
+        assert bag.as_dict() == {"a": 3, "b": 3}
+
+    def test_iteration_order(self):
+        bag = CounterBag({"z": 1, "a": 2})
+        assert [name for name, _ in bag] == ["a", "z"]
+
+
+class TestCounter:
+    def test_inc_with_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_rows_total", "rows", ("engine",))
+        c.labels(engine="batched").inc(3)
+        c.labels(engine="batched").inc()
+        c.labels(engine="systolic").inc(1)
+        snap = reg.snapshot()
+        fam = snap.families[0]
+        values = {s.labels: s.value for s in fam.series}
+        assert values == {("batched",): 4.0, ("systolic",): 1.0}
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "c", ("engine",))
+        with pytest.raises(ObservabilityError):
+            c.labels(engine="x").inc(-1)
+
+    def test_label_name_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "c", ("engine",))
+        with pytest.raises(ObservabilityError):
+            c.labels(workload="x")
+
+    def test_labelless_metric(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "events")
+        c.inc(7)
+        snap = reg.snapshot()
+        assert snap.families[0].series[0].value == 7.0
+
+
+class TestRegistryRegistration:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x", ("engine",))
+        b = reg.counter("x_total", "x", ("engine",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x", ("engine",))
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total", "x", ("engine",))
+
+    def test_labelnames_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x", ("engine",))
+        with pytest.raises(ObservabilityError):
+            reg.counter("x_total", "x", ("engine", "phase"))
+
+
+class TestHistogram:
+    def test_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", (), buckets=(1, 2, 4))
+        for v in (0, 1, 2, 3, 5, 100):
+            h.observe(v)
+        snap = reg.snapshot().families[0].series[0]
+        # non-cumulative cells: <=1, <=2, <=4, +Inf overflow
+        assert snap.bucket_counts == (2, 1, 1, 2)
+        assert snap.count == 6
+        assert snap.sum == 111
+
+    def test_prometheus_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", (), buckets=(1, 2))
+        for v in (0, 1, 5):
+            h.observe(v)
+        text = reg.to_prometheus_text()
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestSnapshotMergeAndPickle:
+    def _loaded_registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "n", ("engine",))
+        c.labels(engine="batched").inc(5)
+        g = reg.gauge("level", "level", ())
+        g.set(2.5)
+        h = reg.histogram("iters", "iters", ("engine",), buckets=ITERATION_BUCKETS)
+        h.labels(engine="batched").observe(3)
+        return reg
+
+    def test_snapshot_is_picklable(self):
+        snap = self._loaded_registry().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+    def test_from_snapshot_round_trip(self):
+        reg = self._loaded_registry()
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert rebuilt.snapshot() == reg.snapshot()
+        assert rebuilt.to_prometheus_text() == reg.to_prometheus_text()
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._loaded_registry()
+        b = self._loaded_registry()
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        by_name = {f.name: f for f in snap.families}
+        assert by_name["n_total"].series[0].value == 10.0
+        assert by_name["iters"].series[0].count == 2
+        # gauges take the incoming value, they don't add
+        assert by_name["level"].series[0].value == 2.5
+
+    def test_merge_into_empty_registry_equals_source(self):
+        src = self._loaded_registry()
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_snapshot_merge_object(self):
+        a = self._loaded_registry().snapshot()
+        b = self._loaded_registry().snapshot()
+        merged = a.merge(b)
+        reg = MetricsRegistry.from_snapshot(merged)
+        by_name = {f.name: f for f in reg.snapshot().families}
+        assert by_name["n_total"].series[0].value == 10.0
+
+
+class TestExporters:
+    def test_json_document_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a", ("engine",)).labels(engine="x").inc(1)
+        reg.histogram("h", "h", (), buckets=(1, 2)).observe(1)
+        doc = reg.to_json()
+        validate_metrics_json(doc)
+        # and it's actually JSON-serializable
+        json.loads(json.dumps(doc))
+
+    def test_prometheus_text_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "things", ("engine",)).labels(engine="x").inc(2)
+        text = reg.to_prometheus_text()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert 'a_total{engine="x"} 2' in text
+        assert text.endswith("\n")
+
+
+class TestRecordImageDiff:
+    def test_records_expected_families(self):
+        from repro.rle.row import RLERow
+        from repro.core.batched import BatchedXorEngine
+
+        a = RLERow.from_pairs([(0, 2), (5, 3)], width=12)
+        b = RLERow.from_pairs([(1, 2), (8, 2)], width=12)
+        results = BatchedXorEngine().diff_rows([a], [b])
+        reg = MetricsRegistry()
+        record_image_diff(reg, "batched", results)
+        doc = reg.to_json()
+        validate_metrics_json(doc)
+        names = {fam["name"] for fam in doc["metrics"]}
+        assert names == {
+            "repro_rows_total",
+            "repro_iterations_total",
+            "repro_output_runs_total",
+            "repro_row_iterations",
+            "repro_activity_total",
+        }
+        by_name = {fam["name"]: fam for fam in doc["metrics"]}
+        assert by_name["repro_rows_total"]["series"][0]["value"] == 1
+        assert (
+            by_name["repro_iterations_total"]["series"][0]["value"]
+            == results[0].iterations
+        )

@@ -2,7 +2,7 @@
 
 from repro.rle.row import RLERow
 from repro.core.machine import SystolicXorMachine
-from repro.systolic.trace import TraceRecorder, render_trace_table
+from repro.systolic.trace import TraceEntry, TraceRecorder, render_trace_table
 from tests.conftest import PAPER_ROW_1, PAPER_ROW_2
 
 
@@ -74,3 +74,28 @@ class TestRendering:
         result = run_paper_example()
         table = render_trace_table(result.trace.entries, max_cells=1, cell_label="PE")
         assert "PE0" in table.splitlines()[0]
+
+    def test_zero_cell_array(self):
+        """A degenerate trace from a zero-cell array (both inputs empty)
+        still renders: a Step column, no cell columns, no crash from the
+        per-column width reduction."""
+        entries = [
+            TraceEntry(label="initial", phase_name="initial", displays=(), snapshots=())
+        ]
+        table = render_trace_table(entries)
+        lines = table.splitlines()
+        assert lines[0].strip() == "Step"
+        assert lines[-1].strip() == "initial"
+        assert "Cell0" not in table
+
+    def test_max_cells_larger_than_array_is_harmless(self):
+        result = run_paper_example()
+        full = render_trace_table(result.trace.entries)
+        assert render_trace_table(result.trace.entries, max_cells=10_000) == full
+
+    def test_max_cells_zero_keeps_step_column(self):
+        result = run_paper_example()
+        table = render_trace_table(result.trace.entries, max_cells=0)
+        lines = table.splitlines()
+        assert lines[0].strip() == "Step"
+        assert all("(" not in line for line in lines)  # no register pairs

@@ -87,3 +87,40 @@ class TestCommands:
         assert main(["rtl", "verilog"]) == 0
         out = capsys.readouterr().out
         assert "module systolic_xor_cell" in out and "endmodule" in out
+
+    def test_profile_writes_validated_artifacts(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "prof"
+        assert (
+            main(
+                [
+                    "profile",
+                    "--rows", "8",
+                    "--width", "300",
+                    "--out-dir", str(out_dir),
+                    "--validate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "convergence" in out
+        assert "all documents conform" in out
+        for name in ("metrics.json", "trace.json", "profile.json"):
+            assert (out_dir / name).exists()
+            json.loads((out_dir / name).read_text())
+        prom = (out_dir / "metrics.prom").read_text()
+        assert "# TYPE repro_rows_total counter" in prom
+        assert 'repro_rows_total{engine="batched"} 8' in prom
+
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        names = {fam["name"] for fam in metrics["metrics"]}
+        assert {
+            "repro_rows_total",
+            "repro_iterations_total",
+            "repro_row_iterations",
+        } <= names
+        trace = json.loads((out_dir / "trace.json").read_text())
+        span_names = {e["name"] for e in trace["traceEvents"]}
+        assert {"image_diff", "row_batch", "step"} <= span_names
