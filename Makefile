@@ -1,13 +1,14 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke obs-smoke examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke obs-smoke service-smoke examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
 	src/repro/errors.py \
 	src/repro/rle/run.py \
 	src/repro/rle/row.py \
-	src/repro/core/api.py
+	src/repro/core/api.py \
+	src/repro/core/options.py
 
 install:
 	pip install -e '.[test]'
@@ -42,6 +43,16 @@ obs-smoke:
 		--rows 16 --width 500 --out-dir results/profile --validate
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_obs_overhead.py -q --benchmark-disable
+
+# service smoke: replay a synthetic clip through the cached DiffService
+# and gate on the cache hit rate (repeated frames must mostly hit), then
+# run the service benchmark in smoke mode (cache-identity + hit-rate
+# assertions, no timing)
+service-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 8 --passes 4 --min-hit-rate 0.9
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_service.py -q --benchmark-disable
 
 # regenerate every paper artifact into results/
 artifacts: bench

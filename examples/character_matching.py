@@ -12,6 +12,7 @@ Run:  python examples/character_matching.py
 """
 
 from repro.core.api import row_diff
+from repro.core.options import DiffOptions
 from repro.rle.ops2d import xor_images
 from repro.workloads.characters import (
     degrade_image,
@@ -44,7 +45,7 @@ def main() -> None:
         template = render_glyph(best, scale=scale)
         iters = 0
         for row_n, row_t in zip(noisy, template):
-            iters += row_diff(row_n, row_t, engine="vectorized").iterations
+            iters += row_diff(row_n, row_t, options=DiffOptions(engine="vectorized")).iterations
         print(
             f"  {char}    ->  {best}         {best_score:>4}   "
             f"{second} ({second_score:>3})           {iters:>3}"

@@ -10,6 +10,7 @@ spot.
 Run:  python examples/map_revision.py
 """
 
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 from repro.rle.components import label_components
 from repro.rle.geometry import bounding_box
@@ -28,7 +29,7 @@ def main() -> None:
     print(f"revision similarity: {1 - error_fraction(original, revised):.4f}")
     print()
 
-    diff = diff_images(original, revised, engine="vectorized")
+    diff = diff_images(original, revised, options=DiffOptions(engine="vectorized"))
     print(f"differing pixels: {diff.difference_pixels}")
     print(f"systolic iterations over all {height} rows: {diff.total_iterations}")
     print(f"worst row: {diff.max_iterations} iterations")

@@ -13,6 +13,7 @@ Run:  python examples/pcb_inspection.py [seed]
 
 import sys
 
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 from repro.inspection.pipeline import InspectionSystem
 from repro.rle.ops2d import crop_image
@@ -52,7 +53,7 @@ def main(seed: int = 7) -> None:
 
     # the paper's comparison: systolic vs sequential cost for this board
     systolic = report.total_systolic_iterations
-    sequential = diff_images(reference, scanned, engine="sequential").total_iterations
+    sequential = diff_images(reference, scanned, options=DiffOptions(engine="sequential")).total_iterations
     print(f"systolic iterations (all {reference.height} rows): {systolic}")
     print(f"sequential merge iterations (same work):           {sequential}")
     print(f"advantage on this highly-similar pair: {sequential / max(systolic, 1):.1f}x")

@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import RLEImage, RLERow, image_diff, row_diff
+from repro import DiffOptions, RLEImage, RLERow, image_diff, row_diff
 
 
 def main() -> None:
@@ -27,7 +27,7 @@ def main() -> None:
 
     # every engine computes the same function
     for engine in ("systolic", "vectorized", "batched", "sequential"):
-        r = row_diff(row1, row2, engine=engine)
+        r = row_diff(row1, row2, options=DiffOptions(engine=engine))
         print(f"  {engine:<11} -> {r.result.to_pairs()}")
 
     # ------------------------------------------------------------- #

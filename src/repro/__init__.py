@@ -23,10 +23,11 @@ Quickstart
 from repro.rle import RLEImage, RLERow, Run
 from repro.core.api import image_diff, row_diff
 from repro.core.machine import SystolicXorMachine
+from repro.core.options import ENGINE_NAMES, DiffOptions, EngineName
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Run",
@@ -34,6 +35,9 @@ __all__ = [
     "RLEImage",
     "row_diff",
     "image_diff",
+    "DiffOptions",
+    "EngineName",
+    "ENGINE_NAMES",
     "SystolicXorMachine",
     "VectorizedXorEngine",
     "sequential_xor",

@@ -60,7 +60,10 @@ __all__ = [
 #: is included because its helpers (counter bumps, span bookkeeping,
 #: per-step probes) run inside the engines' step loops — an accidental
 #: decompression there would silently dominate every instrumented run.
-HOT_PATH_PREFIXES: Tuple[str, ...] = ("core/", "systolic/", "obs/")
+#: ``service/`` runs per *request*: fingerprinting and cache lookups sit
+#: in front of every engine batch, so a decompression there would undo
+#: exactly the O(k) cheapness the cache is built on.
+HOT_PATH_PREFIXES: Tuple[str, ...] = ("core/", "systolic/", "obs/", "service/")
 
 #: Individual hot-path modules outside those directories.
 HOT_PATH_GLOBS: Tuple[str, ...] = ("rle/ops*.py",)

@@ -13,6 +13,10 @@ Commands
                documents: metrics JSON + Prometheus text, Chrome trace,
                and the per-iteration convergence profile
                (see docs/OBSERVABILITY.md)
+``serve``      run a repeated-frame clip through the cached
+               :class:`~repro.service.DiffService` and report cache
+               hit rate / batching stats (see docs/API.md); with
+               ``--min-hit-rate`` it doubles as the CI smoke gate
 ``lint``       run ``rlelint``, the domain-aware static analyzer
                (see docs/STATIC_ANALYSIS.md)
 """
@@ -116,6 +120,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         action="store_true",
         help="schema-validate every emitted document (exit 1 on violation)",
+    )
+
+    from repro.core.options import ENGINE_NAMES
+
+    sv = sub.add_parser(
+        "serve",
+        help="run a synthetic clip through the cached DiffService; "
+        "report hit rate and batching stats",
+    )
+    sv.add_argument("--height", type=int, default=96, help="frame height")
+    sv.add_argument("--width", type=int, default=96, help="frame width")
+    sv.add_argument("--frames", type=int, default=8, help="frames in the clip")
+    sv.add_argument(
+        "--passes", type=int, default=2, help="times the clip is replayed"
+    )
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="batched", help="engine to serve with"
+    )
+    sv.add_argument(
+        "--cache-mb", type=float, default=32.0, help="cache budget in MiB (0 disables)"
+    )
+    sv.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="exit 1 if the final cache hit rate is below this fraction",
     )
 
     from repro.analysis.lint.cli import configure_parser as configure_lint_parser
@@ -386,6 +417,7 @@ def _cmd_bench_engines(
 ) -> int:
     import time
 
+    from repro.core.options import ENGINE_NAMES, DiffOptions
     from repro.core.pipeline import diff_images
     from repro.rle.image import RLEImage
     from repro.workloads.random_rows import generate_row_pair
@@ -406,21 +438,20 @@ def _cmd_bench_engines(
     )
 
     names = [name.strip() for name in engines.split(",") if name.strip()]
-    known = ("batched", "systolic", "vectorized", "sequential")
-    bad = [name for name in names if name not in known]
+    bad = [name for name in names if name not in ENGINE_NAMES]
     if bad or not names:
         print(
             f"error: unknown engine(s) {', '.join(bad) or '(none given)'} — "
-            f"choose from {', '.join(known)}"
+            f"choose from {', '.join(ENGINE_NAMES)}"
         )
         return 2
-    baseline = diff_images(image_a, image_b, engine="sequential")
+    baseline = diff_images(image_a, image_b, options=DiffOptions(engine="sequential"))
     baseline_pixels = [r.to_pairs() for r in baseline.image]
     timings = []
     diverged = False
     for name in names:
         t0 = time.perf_counter()
-        result = diff_images(image_a, image_b, engine=name)
+        result = diff_images(image_a, image_b, options=DiffOptions(engine=name))
         elapsed = time.perf_counter() - t0
         ok = [r.to_pairs() for r in result.image] == baseline_pixels
         diverged |= not ok
@@ -450,6 +481,7 @@ def _cmd_profile(
     import json
     from pathlib import Path
 
+    from repro.core.options import DiffOptions
     from repro.core.pipeline import diff_images
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import EngineProfiler
@@ -476,8 +508,11 @@ def _cmd_profile(
     tracer = Tracer()
     probe = EngineProfiler()
     result = diff_images(
-        image_a, image_b, engine="batched",
-        tracer=tracer, metrics=registry, probe=probe,
+        image_a,
+        image_b,
+        options=DiffOptions(
+            engine="batched", tracer=tracer, metrics=registry, probe=probe
+        ),
     )
     print(
         f"diff: {result.total_iterations} total iterations over {rows} rows "
@@ -535,6 +570,62 @@ def _cmd_profile(
     return 0
 
 
+def _cmd_serve(
+    height: int,
+    width: int,
+    frames: int,
+    passes: int,
+    seed: int,
+    engine: str,
+    cache_mb: float,
+    min_hit_rate: Optional[float],
+) -> int:
+    from repro.core.options import DiffOptions, validate_engine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import DiffService
+    from repro.workloads.motion import generate_sequence
+
+    clip = generate_sequence(height=height, width=width, n_frames=frames, seed=seed)
+    registry = MetricsRegistry()
+    options = DiffOptions(engine=validate_engine(engine), metrics=registry)
+    cache_bytes = int(cache_mb * 1024 * 1024)
+    print(
+        f"clip: {frames} frames of {height}x{width}, {passes} pass(es), "
+        f"engine {engine}, cache "
+        + (f"{cache_mb:g} MiB" if cache_bytes > 0 else "disabled")
+    )
+    total_pixels = 0
+    with DiffService(options, cache_bytes=cache_bytes) as service:
+        for _ in range(passes):
+            for prev, cur in zip(clip, clip[1:]):
+                total_pixels += service.diff_images(prev, cur).difference_pixels
+        stats = service.stats()
+    pairs = passes * max(frames - 1, 0)
+    print(f"served {pairs} frame pairs ({int(stats['requests'])} row requests)")
+    print(f"motion pixels flagged: {total_pixels}")
+    print(
+        f"cache: {int(stats.get('hits', 0))} hits / "
+        f"{int(stats.get('misses', 0))} misses "
+        f"(hit rate {stats['hit_rate']:.1%}), "
+        f"{int(stats.get('entries', 0))} entries, "
+        f"{int(stats.get('bytes', 0))} bytes, "
+        f"{int(stats.get('evictions', 0))} evictions"
+    )
+    print(
+        f"batching: {int(stats['batches'])} engine batches "
+        f"({stats['requests'] / stats['batches']:.1f} requests/batch)"
+        if stats["batches"]
+        else "batching: no batches ran"
+    )
+    if min_hit_rate is not None and stats["hit_rate"] < min_hit_rate:
+        print(
+            f"ERROR: hit rate {stats['hit_rate']:.1%} below required "
+            f"{min_hit_rate:.1%}"
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -565,6 +656,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed,
             args.out_dir,
             args.validate,
+        )
+    if args.command == "serve":
+        return _cmd_serve(
+            args.height,
+            args.width,
+            args.frames,
+            args.passes,
+            args.seed,
+            args.engine,
+            args.cache_mb,
+            args.min_hit_rate,
         )
     if args.command == "lint":
         from repro.analysis.lint.cli import run as run_lint

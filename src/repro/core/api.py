@@ -4,6 +4,11 @@ Most users want one call: *give me the difference of these two rows (or
 images) and tell me how long the systolic array took*.  These wrappers
 select an engine and normalize the result type.
 
+Every entry point accepts one :class:`~repro.core.options.DiffOptions`
+bundle (``row_diff(a, b, options=DiffOptions(engine="batched"))``); the
+pre-``DiffOptions`` keyword arguments keep working through the
+deprecation shim (see ``docs/API.md`` for the policy).
+
 Engines
 -------
 ``"systolic"``
@@ -25,13 +30,21 @@ Engines
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Literal, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.errors import ReproError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine, XorRunResult
+from repro.core.options import (
+    ENGINE_NAMES,
+    IMAGE_DEFAULTS,
+    ROW_DEFAULTS,
+    DiffOptions,
+    EngineName,
+    resolve_options,
+    validate_engine,
+)
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 
@@ -41,69 +54,120 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profile import EngineProfiler
     from repro.obs.tracing import Tracer
 
-__all__ = ["row_diff", "image_diff", "EngineName"]
+__all__ = [
+    "row_diff",
+    "image_diff",
+    "DiffOptions",
+    "EngineName",
+    "ENGINE_NAMES",
+    "validate_engine",
+]
 
-EngineName = Literal["systolic", "vectorized", "batched", "sequential"]
+
+def _dispatch_row(row_a: RLERow, row_b: RLERow, opts: DiffOptions) -> XorRunResult:
+    """Run one row pair on the engine ``opts`` selects.
+
+    ``opts.engine`` is already validated (at :class:`DiffOptions`
+    construction / coercion time), so this never sees an unknown name.
+    """
+    engine = opts.engine
+    if engine == "systolic":
+        machine = SystolicXorMachine(
+            n_cells=opts.n_cells,
+            paranoid=opts.paranoid,
+            record_trace=opts.record_trace,
+        )
+        return machine.diff(row_a, row_b)
+    if engine == "vectorized":
+        return VectorizedXorEngine(n_cells=opts.n_cells, probe=opts.probe).diff(
+            row_a, row_b
+        )
+    if engine == "batched":
+        return BatchedXorEngine(n_cells=opts.n_cells, probe=opts.probe).diff(
+            row_a, row_b
+        )
+    seq = sequential_xor(row_a, row_b)
+    return XorRunResult(
+        result=seq.result,
+        iterations=seq.iterations,
+        k1=row_a.run_count,
+        k2=row_b.run_count,
+        n_cells=0,
+    )
 
 
 def row_diff(
     row_a: RLERow,
     row_b: RLERow,
-    engine: EngineName = "systolic",
-    paranoid: bool = False,
-    record_trace: bool = False,
+    options: Union[DiffOptions, str, None] = None,
+    *,
+    engine: Optional[EngineName] = None,
+    paranoid: Optional[bool] = None,
+    record_trace: Optional[bool] = None,
     n_cells: Optional[int] = None,
     tracer: "Optional[Tracer]" = None,
+    metrics: "Optional[MetricsRegistry]" = None,
+    probe: "Optional[EngineProfiler]" = None,
 ) -> XorRunResult:
     """Difference (XOR) of two RLE rows.
 
+    Pass ``options`` (a :class:`DiffOptions`) to configure the run; with
+    no options the historical defaults apply (reference ``"systolic"``
+    engine, per-row sizing).  The individual keyword arguments are the
+    deprecated pre-``DiffOptions`` spellings — still honoured, still
+    overriding the matching ``options`` field, but new code should build
+    a :class:`DiffOptions` (see ``docs/API.md``).
+
     Returns a :class:`~repro.core.machine.XorRunResult` whatever the
-    engine, so callers can swap engines without touching downstream code.
-    For the sequential engine, ``iterations`` carries the merge-loop
-    count and the systolic-only fields (``n_cells``, ``stats``) are
-    zeroed/empty.  A ``tracer`` wraps the dispatch in a ``row_diff``
-    span (``None`` costs nothing).
+    engine, so callers can swap engines without touching downstream
+    code.  For the sequential engine, ``iterations`` carries the
+    merge-loop count and the systolic-only fields (``n_cells``,
+    ``stats``) are zeroed/empty.  ``options.tracer`` wraps the dispatch
+    in a ``row_diff`` span, ``options.metrics`` records the run under
+    the standard ``repro_*`` families, and ``options.probe`` samples
+    convergence on the NumPy engines; all ``None`` by default, which
+    costs the hot path nothing.
     """
-    if tracer is not None:
-        with tracer.span(
-            "row_diff", engine=engine, k1=row_a.run_count, k2=row_b.run_count
-        ) as span:
-            result = row_diff(
-                row_a,
-                row_b,
-                engine=engine,
-                paranoid=paranoid,
-                record_trace=record_trace,
-                n_cells=n_cells,
-            )
-            span.set_attribute("iterations", result.iterations)
-            return result
-    if engine == "systolic":
-        machine = SystolicXorMachine(
-            n_cells=n_cells, paranoid=paranoid, record_trace=record_trace
-        )
-        return machine.diff(row_a, row_b)
-    if engine == "vectorized":
-        return VectorizedXorEngine(n_cells=n_cells).diff(row_a, row_b)
-    if engine == "batched":
-        return BatchedXorEngine(n_cells=n_cells).diff(row_a, row_b)
-    if engine == "sequential":
-        seq = sequential_xor(row_a, row_b)
-        return XorRunResult(
-            result=seq.result,
-            iterations=seq.iterations,
+    opts = resolve_options(
+        options,
+        {
+            "engine": engine,
+            "paranoid": paranoid,
+            "record_trace": record_trace,
+            "n_cells": n_cells,
+            "tracer": tracer,
+            "metrics": metrics,
+            "probe": probe,
+        },
+        ROW_DEFAULTS,
+        "row_diff",
+    )
+    if opts.tracer is None:
+        result = _dispatch_row(row_a, row_b, opts)
+    else:
+        with opts.tracer.span(
+            "row_diff",
+            engine=opts.engine,
             k1=row_a.run_count,
             k2=row_b.run_count,
-            n_cells=0,
-        )
-    raise ReproError(f"unknown engine {engine!r}")
+        ) as span:
+            result = _dispatch_row(row_a, row_b, opts)
+            span.set_attribute("iterations", result.iterations)
+    if opts.metrics is not None:
+        from repro.obs.metrics import record_image_diff
+
+        record_image_diff(opts.metrics, opts.engine, [result])
+    return result
 
 
 def image_diff(
     image_a: RLEImage,
     image_b: RLEImage,
-    engine: EngineName = "batched",
-    canonical: bool = True,
+    options: Union[DiffOptions, str, None] = None,
+    *,
+    engine: Optional[EngineName] = None,
+    canonical: Optional[bool] = None,
+    n_cells: Optional[int] = None,
     tracer: "Optional[Tracer]" = None,
     metrics: "Optional[MetricsRegistry]" = None,
     probe: "Optional[EngineProfiler]" = None,
@@ -116,19 +180,26 @@ def image_diff(
     returned :class:`~repro.core.pipeline.ImageDiffResult` (which
     carries per-row iteration counts — the quantity the paper reports).
 
-    ``tracer``, ``metrics`` and ``probe`` hook the run into the
-    :mod:`repro.obs` observability layer (span trace, metrics registry,
-    per-iteration convergence sampling); all default to ``None``, which
-    costs the hot path nothing.
+    Configuration comes in one :class:`DiffOptions` bundle; the
+    individual keyword arguments are the deprecated spellings kept
+    working by the shim.  ``options.tracer``, ``options.metrics`` and
+    ``options.probe`` hook the run into the :mod:`repro.obs`
+    observability layer; all default to ``None``, which costs the hot
+    path nothing.
     """
     from repro.core.pipeline import diff_images
 
-    return diff_images(
-        image_a,
-        image_b,
-        engine=engine,
-        canonical=canonical,
-        tracer=tracer,
-        metrics=metrics,
-        probe=probe,
+    opts = resolve_options(
+        options,
+        {
+            "engine": engine,
+            "canonical": canonical,
+            "n_cells": n_cells,
+            "tracer": tracer,
+            "metrics": metrics,
+            "probe": probe,
+        },
+        IMAGE_DEFAULTS,
+        "image_diff",
     )
+    return diff_images(image_a, image_b, options=opts)

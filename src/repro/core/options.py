@@ -1,0 +1,199 @@
+"""One options object for every differencing entry point.
+
+Three PRs of feature growth left the public entry points with drifted
+signatures: :func:`repro.core.api.row_diff` grew ``paranoid`` and
+``record_trace``, :func:`repro.core.pipeline.diff_images` grew
+``canonical`` and the observability handles, and
+:func:`repro.core.parallel.parallel_diff_images` hard-coded the batched
+engine and silently dropped the rest.  Every new capability had to pick
+one signature to land on, and callers could not move between entry
+points without rewriting their keyword soup.
+
+:class:`DiffOptions` is the fix: a frozen, validated bundle of every
+knob the differencing stack understands, accepted uniformly by
+``row_diff``, ``diff_images``, ``parallel_diff_images`` and the
+:class:`repro.service.DiffService` request layer.  The old keyword
+arguments keep working through :func:`resolve_options` (the deprecation
+shim — see ``docs/API.md`` for the policy); explicit keywords take
+precedence over fields of a passed ``options`` object so call sites can
+migrate incrementally.
+
+Engine names are validated *here*, at construction / coercion time, so
+an unknown engine raises :class:`~repro.errors.UnknownEngineError` at
+the API boundary instead of surfacing as a dispatch failure deep inside
+an engine loop.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Literal,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+    cast,
+    get_args,
+)
+
+from repro.errors import CapacityError, UnknownEngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.tracing import Tracer
+
+__all__ = [
+    "EngineName",
+    "ENGINE_NAMES",
+    "validate_engine",
+    "DiffOptions",
+    "ROW_DEFAULTS",
+    "IMAGE_DEFAULTS",
+    "resolve_options",
+]
+
+#: The engine dispatch vocabulary (see :mod:`repro.core.api` for what
+#: each name selects).
+EngineName = Literal["systolic", "vectorized", "batched", "sequential"]
+
+#: Runtime view of :data:`EngineName` — the single source of truth for
+#: boundary validation and CLI choice lists.
+ENGINE_NAMES: Tuple[str, ...] = tuple(get_args(EngineName))
+
+
+def validate_engine(name: str) -> EngineName:
+    """Check ``name`` against :data:`ENGINE_NAMES`.
+
+    Returns the (now narrowed) name so callers can write
+    ``engine = validate_engine(user_input)``; raises
+    :class:`~repro.errors.UnknownEngineError` otherwise.
+    """
+    if name not in ENGINE_NAMES:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; choose one of "
+            f"{', '.join(ENGINE_NAMES)}"
+        )
+    return cast(EngineName, name)
+
+
+@dataclass(frozen=True)
+class DiffOptions:
+    """Every knob of a differencing run, as one immutable value.
+
+    Semantic fields (``engine``, ``n_cells``, ``canonical``,
+    ``paranoid``, ``record_trace``) select *what* is computed;
+    observability handles (``tracer``, ``metrics``, ``probe``) attach
+    instrumentation and never change the result.  Only the semantic
+    fields participate in :meth:`cache_key`, so two runs that differ
+    only in instrumentation share cache entries.
+
+    Instances validate on construction: an unknown ``engine`` raises
+    :class:`~repro.errors.UnknownEngineError`, a non-positive
+    ``n_cells`` raises :class:`~repro.errors.CapacityError`.
+    """
+
+    #: Which simulator computes the diff (see :mod:`repro.core.api`).
+    engine: EngineName = "batched"
+    #: Fixed array size shared by every row, or ``None`` to size per
+    #: row / per batch via :func:`repro.core.machine.default_cell_count`.
+    n_cells: Optional[int] = None
+    #: Merge adjacent runs in image outputs (the paper's optional final
+    #: compression pass).  Row-level results are always raw.
+    canonical: bool = True
+    #: Run invariant checks every iteration (systolic engine only).
+    paranoid: bool = False
+    #: Record a phase-by-phase trace (systolic engine only).
+    record_trace: bool = False
+    #: Optional :class:`repro.obs.tracing.Tracer` span sink.
+    tracer: "Optional[Tracer]" = None
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry` to record into.
+    metrics: "Optional[MetricsRegistry]" = None
+    #: Optional :class:`repro.obs.profile.EngineProfiler` convergence probe.
+    probe: "Optional[EngineProfiler]" = None
+
+    def __post_init__(self) -> None:
+        validate_engine(self.engine)
+        if self.n_cells is not None and self.n_cells < 1:
+            raise CapacityError(
+                f"n_cells must be >= 1 (or None for per-row sizing), "
+                f"got {self.n_cells}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def cache_key(self) -> Tuple[str, Optional[int], bool, bool]:
+        """The options component of a content-addressed cache key.
+
+        Only fields that can change a cached
+        :class:`~repro.core.machine.XorRunResult` are included:
+        ``canonical`` is applied at image-assembly time (row results are
+        always raw) and the observability handles are instrumentation,
+        so neither belongs in the key.
+        """
+        return (self.engine, self.n_cells, self.paranoid, self.record_trace)
+
+    def replace(self, **changes: Any) -> "DiffOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def without_observability(self) -> "DiffOptions":
+        """A copy with all instrumentation handles detached — what the
+        service layer stores alongside cached results."""
+        if self.tracer is None and self.metrics is None and self.probe is None:
+            return self
+        return replace(self, tracer=None, metrics=None, probe=None)
+
+
+#: Defaults preserved from the pre-``DiffOptions`` signatures:
+#: ``row_diff`` defaulted to the reference machine, whole-image paths to
+#: the batched engine.
+ROW_DEFAULTS = DiffOptions(engine="systolic")
+IMAGE_DEFAULTS = DiffOptions(engine="batched")
+
+
+def resolve_options(
+    options: Union[DiffOptions, str, None],
+    legacy: Mapping[str, Any],
+    defaults: DiffOptions,
+    caller: str,
+) -> DiffOptions:
+    """The deprecation shim: coerce ``(options, legacy kwargs)`` to one
+    validated :class:`DiffOptions`.
+
+    ``options`` may be a :class:`DiffOptions`, ``None`` (use
+    ``defaults``) or — for callers that used to pass the engine in this
+    position — a bare engine name string.  ``legacy`` maps keyword names
+    to values; ``None`` marks keywords the caller did not pass (every
+    legacy keyword's no-op value).  Passed legacy keywords emit a
+    :class:`DeprecationWarning` and override the corresponding
+    ``options``/``defaults`` field, so call sites can migrate one
+    keyword at a time (see ``docs/API.md``).
+    """
+    given = {k: v for k, v in legacy.items() if v is not None}
+    positional_engine = isinstance(options, str)
+    if positional_engine:
+        if "engine" in given:
+            raise UnknownEngineError(
+                f"{caller}: engine given both positionally ({options!r}) "
+                f"and as a keyword ({given['engine']!r})"
+            )
+        given["engine"] = options
+        options = None
+    base = defaults if options is None else options
+    if not given:
+        return base
+    if positional_engine and len(given) == 1:
+        what = "passing the engine as a bare string is"
+    else:
+        what = f"keyword argument(s) {', '.join(sorted(given))} are"
+    warnings.warn(
+        f"{caller}: {what} deprecated; pass options=DiffOptions(...) "
+        f"instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return replace(base, **given)

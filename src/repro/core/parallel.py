@@ -8,8 +8,12 @@ per-row results — identical output to :func:`repro.core.pipeline.diff_images`
 (asserted in the tests), with near-linear speedup on multicore hosts for
 large images.
 
-Each worker diffs its whole chunk as one :class:`BatchedXorEngine`
-batch (no per-row Python loop), with activity counters on; workers
+Configuration travels as one
+:class:`~repro.core.options.DiffOptions` — the same bundle
+``diff_images`` takes, so the parallel path no longer hard-codes the
+batched engine or drops ``n_cells``/``probe``: each worker runs the
+*requested* engine over its chunk (one :class:`BatchedXorEngine` batch
+per chunk for the default, a per-row loop for the others).  Workers
 receive plain run-pair lists and return plain tuples (small, picklable),
 keeping IPC cheap.  For images that fit comfortably in one batch the
 serial ``engine="batched"`` path usually wins outright — prefer this
@@ -24,25 +28,38 @@ parent merges the snapshots into the caller's registry.  The recorded
 quantities are chunking-invariant, so the merged totals equal a serial
 run's exactly (asserted in the equivalence tests).  Worker wall time is
 measured in-process and re-recorded on the parent's tracer as ``chunk``
-spans under a ``parallel_diff`` root.
+spans under a ``parallel_diff`` root.  A convergence ``probe`` is
+likewise honoured per worker and the samples re-recorded on the
+caller's profiler in chunk order with globally renumbered steps — note
+the Corollary-1.1 front resets at every chunk boundary (each chunk is
+its own batch), unlike a serial whole-image run.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
-from repro.core.machine import XorRunResult
+from repro.core.machine import SystolicXorMachine, XorRunResult
+from repro.core.options import (
+    IMAGE_DEFAULTS,
+    DiffOptions,
+    EngineName,
+    resolve_options,
+)
 from repro.core.pipeline import ImageDiffResult
+from repro.core.sequential import sequential_xor
+from repro.core.vectorized import VectorizedXorEngine
 from repro.systolic.stats import ActivityStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+    from repro.obs.profile import EngineProfiler
     from repro.obs.tracing import Tracer
 
 __all__ = ["parallel_diff_images"]
@@ -54,29 +71,63 @@ RunPairs = List[Tuple[int, int]]
 #: tuples — builtin types only, so pickling stays cheap.
 RowOut = Tuple[RunPairs, int, int, int, int, Tuple[Tuple[str, int], ...]]
 
+#: Per-iteration probe samples in wire form: ``(step, active_lanes,
+#: busy_cells, empty_prefix, empty_prefix_mean)`` tuples.
+ProbeOut = Tuple[Tuple[int, int, int, int, float], ...]
+
 #: Whole-chunk payload: chunk index, rows, the worker's metrics snapshot
-#: (a frozen dataclass of builtins — picklable), and the worker-measured
-#: chunk wall time in seconds.
-ChunkOut = Tuple[int, List["RowOut"], "MetricsSnapshot", float]
+#: (a frozen dataclass of builtins — picklable), the worker-measured
+#: chunk wall time in seconds, and the probe samples (empty when the
+#: caller did not profile).
+ChunkOut = Tuple[int, List["RowOut"], "MetricsSnapshot", float, ProbeOut]
+
+#: What each worker needs besides its rows: chunk index, row pairs,
+#: width, engine name, fixed cell count, and whether to profile.
+ChunkPayload = Tuple[
+    int, List[Tuple[RunPairs, RunPairs]], int, str, Optional[int], bool
+]
 
 
-def _diff_chunk(
-    payload: Tuple[int, List[Tuple[RunPairs, RunPairs]], int]
-) -> ChunkOut:
-    """Worker: diff a chunk of row pairs as one batch.
+def _diff_chunk(payload: ChunkPayload) -> ChunkOut:
+    """Worker: diff a chunk of row pairs on the requested engine.
 
     Runs in a separate process — only builtin types and frozen snapshot
-    dataclasses cross the boundary.
+    dataclasses cross the boundary.  The default ``"batched"`` engine
+    diffs the whole chunk as one batch; the per-row engines loop.
     """
     from repro.obs.metrics import MetricsRegistry, record_image_diff
+    from repro.obs.profile import EngineProfiler
 
-    chunk_index, rows, width = payload
+    chunk_index, rows, width, engine, n_cells, probe_on = payload
     started = time.perf_counter()
+    probe = EngineProfiler() if probe_on else None
     rows_a = [RLERow.from_pairs(pa, width=width) for pa, _ in rows]
     rows_b = [RLERow.from_pairs(pb, width=width) for _, pb in rows]
-    results = BatchedXorEngine(collect_stats=True).diff_rows(rows_a, rows_b)
+    if engine == "batched":
+        results = BatchedXorEngine(
+            n_cells=n_cells, collect_stats=True, probe=probe
+        ).diff_rows(rows_a, rows_b)
+    elif engine == "vectorized":
+        vec = VectorizedXorEngine(n_cells=n_cells, probe=probe)
+        results = [vec.diff(ra, rb) for ra, rb in zip(rows_a, rows_b)]
+    elif engine == "systolic":
+        machine = SystolicXorMachine(n_cells=n_cells)
+        results = [machine.diff(ra, rb) for ra, rb in zip(rows_a, rows_b)]
+    else:  # sequential — validated upstream, so nothing else reaches here
+        results = []
+        for ra, rb in zip(rows_a, rows_b):
+            seq = sequential_xor(ra, rb)
+            results.append(
+                XorRunResult(
+                    result=seq.result,
+                    iterations=seq.iterations,
+                    k1=ra.run_count,
+                    k2=rb.run_count,
+                    n_cells=0,
+                )
+            )
     registry = MetricsRegistry()
-    record_image_diff(registry, "batched", results)
+    record_image_diff(registry, engine, results)
     out: List[RowOut] = [
         (
             r.result.to_pairs(),
@@ -88,38 +139,65 @@ def _diff_chunk(
         )
         for r in results
     ]
-    return chunk_index, out, registry.snapshot(), time.perf_counter() - started
+    samples: ProbeOut = ()
+    if probe is not None:
+        samples = tuple(
+            (s.step, s.active_lanes, s.busy_cells, s.empty_prefix, s.empty_prefix_mean)
+            for s in probe.samples
+        )
+    return chunk_index, out, registry.snapshot(), time.perf_counter() - started, samples
 
 
 def parallel_diff_images(
     image_a: RLEImage,
     image_b: RLEImage,
     workers: int = 2,
-    canonical: bool = True,
+    options: Union[DiffOptions, str, None] = None,
+    *,
     chunk_rows: Optional[int] = None,
+    engine: Optional[EngineName] = None,
+    canonical: Optional[bool] = None,
+    n_cells: Optional[int] = None,
     metrics: Optional["MetricsRegistry"] = None,
     tracer: Optional["Tracer"] = None,
+    probe: Optional["EngineProfiler"] = None,
 ) -> ImageDiffResult:
     """Difference two images using a pool of worker processes.
+
+    Accepts the same :class:`~repro.core.options.DiffOptions` as
+    :func:`~repro.core.pipeline.diff_images` (the individual keyword
+    arguments are the deprecated spellings, kept working by the shim),
+    plus the two pool-only knobs ``workers`` and ``chunk_rows``.
 
     Parameters
     ----------
     workers:
         Process count.  ``1`` short-circuits to the serial path (no pool
-        start-up cost).
+        start-up cost) with every option passed through.
     chunk_rows:
         Rows per work unit; default splits into ~4 chunks per worker to
         balance stragglers.
-    metrics:
-        Optional :class:`repro.obs.metrics.MetricsRegistry`; each worker
-        records into a private registry and the parent merges the
-        snapshots here.  The merged totals match a serial
-        ``engine="batched"`` run exactly.
-    tracer:
-        Optional :class:`repro.obs.tracing.Tracer`; the fan-out is
-        wrapped in a ``parallel_diff`` span, with one ``chunk`` span per
-        work unit carrying the worker-measured wall time.
+    options:
+        Engine selection, ``n_cells``, ``canonical`` and the
+        observability handles.  Worker metrics are merged into
+        ``options.metrics`` (totals match a serial run exactly), worker
+        wall times land on ``options.tracer`` as ``chunk`` spans, and
+        worker convergence samples are re-recorded on ``options.probe``
+        in chunk order.
     """
+    opts = resolve_options(
+        options,
+        {
+            "engine": engine,
+            "canonical": canonical,
+            "n_cells": n_cells,
+            "metrics": metrics,
+            "tracer": tracer,
+            "probe": probe,
+        },
+        IMAGE_DEFAULTS,
+        "parallel_diff_images",
+    )
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
     if workers < 1:
@@ -127,39 +205,34 @@ def parallel_diff_images(
     if workers == 1 or image_a.height == 0:
         from repro.core.pipeline import diff_images
 
-        return diff_images(
-            image_a,
-            image_b,
-            engine="batched",
-            canonical=canonical,
-            metrics=metrics,
-            tracer=tracer,
-        )
+        return diff_images(image_a, image_b, options=opts)
 
     height, width = image_a.shape
     if chunk_rows is None:
         chunk_rows = max(1, height // (workers * 4))
 
-    payloads = []
+    payloads: List[ChunkPayload] = []
     for chunk_index, start in enumerate(range(0, height, chunk_rows)):
         rows = [
             (image_a[y].to_pairs(), image_b[y].to_pairs())
             for y in range(start, min(start + chunk_rows, height))
         ]
-        payloads.append((chunk_index, rows, width))
+        payloads.append(
+            (chunk_index, rows, width, opts.engine, opts.n_cells, opts.probe is not None)
+        )
 
-    if tracer is None:
-        results_by_chunk = _run_pool(payloads, workers, metrics, None)
+    if opts.tracer is None:
+        results_by_chunk = _run_pool(payloads, workers, opts, None)
     else:
-        with tracer.span(
+        with opts.tracer.span(
             "parallel_diff", workers=workers, chunks=len(payloads), rows=height
         ):
-            results_by_chunk = _run_pool(payloads, workers, metrics, tracer)
+            results_by_chunk = _run_pool(payloads, workers, opts, opts.tracer)
 
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []
     for chunk_index in range(len(payloads)):
-        for pairs, iterations, k1, k2, n_cells, stat_items in results_by_chunk[
+        for pairs, iterations, k1, k2, row_cells, stat_items in results_by_chunk[
             chunk_index
         ]:
             row = RLERow.from_pairs(pairs, width=width)
@@ -168,11 +241,11 @@ def parallel_diff_images(
                 iterations=iterations,
                 k1=k1,
                 k2=k2,
-                n_cells=n_cells,
+                n_cells=row_cells,
                 stats=ActivityStats.from_items(stat_items),
             )
             row_results.append(result)
-            out_rows.append(row.canonical() if canonical else row)
+            out_rows.append(row.canonical() if opts.canonical else row)
 
     return ImageDiffResult(
         image=RLEImage(out_rows, width=width),
@@ -181,20 +254,22 @@ def parallel_diff_images(
 
 
 def _run_pool(
-    payloads: List[Tuple[int, List[Tuple[RunPairs, RunPairs]], int]],
+    payloads: List[ChunkPayload],
     workers: int,
-    metrics: Optional["MetricsRegistry"],
+    opts: DiffOptions,
     tracer: Optional["Tracer"],
 ) -> dict:
     """Fan the payloads out, merging observability as chunks land."""
     results_by_chunk: dict = {}
+    probe_by_chunk: dict = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for chunk_index, rows_out, snapshot, chunk_seconds in pool.map(
+        for chunk_index, rows_out, snapshot, chunk_seconds, samples in pool.map(
             _diff_chunk, payloads
         ):
             results_by_chunk[chunk_index] = rows_out
-            if metrics is not None:
-                metrics.merge_snapshot(snapshot)
+            probe_by_chunk[chunk_index] = samples
+            if opts.metrics is not None:
+                opts.metrics.merge_snapshot(snapshot)
             if tracer is not None:
                 tracer.record_span(
                     "chunk",
@@ -202,4 +277,21 @@ def _run_pool(
                     chunk=chunk_index,
                     rows=len(rows_out),
                 )
+    if opts.probe is not None:
+        # Replay worker samples chunk by chunk with globally renumbered
+        # steps, after the pool drains, so the caller's profiler sees a
+        # deterministic order regardless of worker scheduling.
+        offset = 0
+        for chunk_index in range(len(payloads)):
+            last = 0
+            for step, active, busy, prefix, prefix_mean in probe_by_chunk[chunk_index]:
+                opts.probe.on_step(
+                    step=offset + step,
+                    active_lanes=active,
+                    busy_cells=busy,
+                    empty_prefix=prefix,
+                    empty_prefix_mean=prefix_mean,
+                )
+                last = step
+            offset += last
     return results_by_chunk

@@ -11,13 +11,19 @@ quantities the evaluation reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
-from repro.errors import GeometryError, SystolicError
+from repro.errors import GeometryError, UnknownEngineError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine, XorRunResult
+from repro.core.options import (
+    IMAGE_DEFAULTS,
+    DiffOptions,
+    EngineName,
+    resolve_options,
+)
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 from repro.systolic.stats import ActivityStats
@@ -73,8 +79,10 @@ class ImageDiffResult:
 def diff_images(
     image_a: RLEImage,
     image_b: RLEImage,
-    engine: str = "batched",
-    canonical: bool = True,
+    options: Union[DiffOptions, str, None] = None,
+    *,
+    engine: Optional[EngineName] = None,
+    canonical: Optional[bool] = None,
     n_cells: Optional[int] = None,
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
@@ -82,8 +90,16 @@ def diff_images(
 ) -> ImageDiffResult:
     """Difference two equal-shape images.
 
-    Parameters
-    ----------
+    Configuration comes as one :class:`~repro.core.options.DiffOptions`
+    (``options=``); the individual keyword arguments are the deprecated
+    pre-``DiffOptions`` spellings, kept working by the shim and
+    overriding the matching ``options`` field.  Unknown engine names are
+    rejected here, at the API boundary, with
+    :class:`~repro.errors.UnknownEngineError` — never from deep inside
+    dispatch.
+
+    Option fields used by this entry point
+    --------------------------------------
     engine:
         ``"batched"`` (default — one NumPy batch over all rows at once),
         or the per-row engines ``"systolic"``, ``"vectorized"``,
@@ -109,36 +125,43 @@ def diff_images(
         per-iteration convergence sampling (batched and vectorized
         engines only).
     """
+    opts = resolve_options(
+        options,
+        {
+            "engine": engine,
+            "canonical": canonical,
+            "n_cells": n_cells,
+            "tracer": tracer,
+            "metrics": metrics,
+            "probe": probe,
+        },
+        IMAGE_DEFAULTS,
+        "diff_images",
+    )
     if image_a.shape != image_b.shape:
         raise GeometryError(f"image shapes differ: {image_a.shape} vs {image_b.shape}")
 
-    if tracer is None:
-        result = _diff_images_inner(
-            image_a, image_b, engine, canonical, n_cells, tracer, probe
-        )
+    if opts.tracer is None:
+        result = _diff_images_inner(image_a, image_b, opts)
     else:
-        with tracer.span(
-            "image_diff", engine=engine, rows=image_a.height, width=image_a.width
+        with opts.tracer.span(
+            "image_diff", engine=opts.engine, rows=image_a.height, width=image_a.width
         ):
-            result = _diff_images_inner(
-                image_a, image_b, engine, canonical, n_cells, tracer, probe
-            )
-    if metrics is not None:
+            result = _diff_images_inner(image_a, image_b, opts)
+    if opts.metrics is not None:
         from repro.obs.metrics import record_image_diff
 
-        record_image_diff(metrics, engine, result.row_results)
+        record_image_diff(opts.metrics, opts.engine, result.row_results)
     return result
 
 
 def _diff_images_inner(
     image_a: RLEImage,
     image_b: RLEImage,
-    engine: str,
-    canonical: bool,
-    n_cells: Optional[int],
-    tracer: Optional["Tracer"],
-    probe: Optional["EngineProfiler"],
+    opts: DiffOptions,
 ) -> ImageDiffResult:
+    engine, n_cells = opts.engine, opts.n_cells
+    tracer, probe, canonical = opts.tracer, opts.probe, opts.canonical
     if engine == "batched":
         row_results = BatchedXorEngine(
             n_cells=n_cells, tracer=tracer, probe=probe
@@ -152,7 +175,7 @@ def _diff_images_inner(
         )
 
     if engine == "systolic":
-        machine = SystolicXorMachine(n_cells=n_cells)
+        machine = SystolicXorMachine(n_cells=n_cells, paranoid=opts.paranoid)
         run = machine.diff
     elif engine == "vectorized":
         vec = VectorizedXorEngine(n_cells=n_cells, probe=probe)
@@ -167,8 +190,8 @@ def _diff_images_inner(
                 k2=rb.run_count,
                 n_cells=0,
             )
-    else:
-        raise SystolicError(f"unknown engine {engine!r}")
+    else:  # pragma: no cover - options validation rejects this upstream
+        raise UnknownEngineError(f"unknown engine {engine!r}")
 
     row_results: List[XorRunResult] = []
     out_rows: List[RLERow] = []

@@ -28,6 +28,33 @@ class CapacityError(SystolicError):
     """An input does not fit in the configured number of cells."""
 
 
+class UnknownEngineError(SystolicError):
+    """An engine name outside :data:`repro.core.options.ENGINE_NAMES` was
+    requested.
+
+    Raised at the public API boundary (:func:`repro.core.api.row_diff`,
+    :func:`repro.core.pipeline.diff_images`, ...) before any dispatch
+    happens, so callers see the full list of valid names instead of a
+    failure from deep inside an engine loop.  Subclasses
+    :class:`SystolicError` for backward compatibility with callers that
+    caught the old dispatch-time error.
+    """
+
+
+class ServiceError(ReproError):
+    """The :mod:`repro.service` layer was misconfigured or misused
+    (non-positive cache budget, submit after close, ...)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The :class:`repro.service.DiffService` request queue is full.
+
+    Backpressure signal: the batcher's bounded queue rejected a new
+    request rather than growing without limit.  Callers should retry
+    later or shed load.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant derived from the paper's theorems failed.
 

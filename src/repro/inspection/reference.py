@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.errors import GeometryError
 from repro.rle.image import RLEImage
 from repro.rle.ops2d import translate_image, xor_images
+from repro.core.options import DiffOptions, validate_engine
 from repro.core.pipeline import ImageDiffResult, diff_images
 
 __all__ = ["ComparisonReport", "ReferenceComparator"]
@@ -87,7 +88,9 @@ class ReferenceComparator:
         """
         dy, dx = offset if offset is not None else self.align(scan)
         aligned = translate_image(scan, dy, dx) if (dy or dx) else scan
-        diff_result = diff_images(self.reference, aligned, engine=self.engine)
+        diff_result = diff_images(
+            self.reference, aligned, options=DiffOptions(engine=validate_engine(self.engine))
+        )
         return ComparisonReport(
             difference=diff_result.image,
             offset=(dy, dx),

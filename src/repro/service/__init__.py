@@ -1,0 +1,34 @@
+"""Long-lived differencing service: cache + batcher behind one door.
+
+The functional API (:func:`repro.core.api.row_diff`,
+:func:`repro.core.pipeline.diff_images`) treats every call as new work.
+This package is for the other deployment shape — a resident service fed
+a stream of frames, where most content repeats:
+
+- :mod:`repro.service.cache` — content-addressed LRU of row-diff
+  results, keyed by BLAKE2b row fingerprints plus the semantic
+  :meth:`~repro.core.options.DiffOptions.cache_key`, byte-budgeted,
+  collision-safe (verbatim-input verification).
+- :mod:`repro.service.batcher` — bounded request queue whose worker
+  coalesces concurrent submissions into single
+  :class:`~repro.core.batched.BatchedXorEngine` batches, with
+  :class:`~repro.errors.ServiceOverloadError` backpressure.
+- :mod:`repro.service.service` — the :class:`DiffService` facade tying
+  the two together.
+
+See ``docs/API.md`` for the service contract and
+``docs/OBSERVABILITY.md`` for the ``repro_cache_*`` /
+``repro_service_*`` metric families.
+"""
+
+from repro.service.batcher import RowDiffBatcher, compute_row_diffs
+from repro.service.cache import DiffCache, row_fingerprint
+from repro.service.service import DiffService
+
+__all__ = [
+    "DiffService",
+    "DiffCache",
+    "RowDiffBatcher",
+    "compute_row_diffs",
+    "row_fingerprint",
+]

@@ -1,0 +1,352 @@
+"""Request coalescing: many callers, one batch per tick.
+
+The batched engine's whole advantage is width — stepping many lanes per
+NumPy operation — but a *service* receives rows one request at a time.
+:class:`RowDiffBatcher` closes that gap: submissions land in a bounded
+queue, a single worker thread drains it once per tick (up to
+``max_batch`` requests, waiting at most ``max_latency`` seconds for
+stragglers), serves what it can from the :class:`~repro.service.cache.DiffCache`,
+dedupes identical pending pairs, and runs the remainder as **one**
+:class:`~repro.core.batched.BatchedXorEngine` batch.  Callers get
+:class:`concurrent.futures.Future` objects back, so a hundred threads
+submitting concurrently cost one batch, not a hundred row runs.
+
+Backpressure is explicit: the queue is bounded (``max_pending``) and a
+full queue raises :class:`~repro.errors.ServiceOverloadError` instead of
+buffering without limit — callers retry or shed load.
+
+Determinism note: a batched run sizes its lanes to the *widest* pair in
+the batch, so the raw per-row ``n_cells`` would depend on which requests
+happened to share a tick.  :func:`compute_row_diffs` therefore rewrites
+``n_cells`` to the per-row :func:`~repro.core.machine.default_cell_count`
+whenever the options leave sizing automatic.  Iterations, stats and the
+result row are already batch-width-invariant (the engine's active-lane
+mask guarantees it; the equivalence tests assert it), so after this
+rewrite a result is a pure function of ``(row_a, row_b, options)`` —
+exactly what a content-addressed cache requires.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.rle.row import RLERow
+from repro.core.api import row_diff
+from repro.core.batched import BatchedXorEngine
+from repro.core.machine import XorRunResult, default_cell_count
+from repro.core.options import DiffOptions
+from repro.service.cache import CacheKey, DiffCache, row_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["compute_row_diffs", "RowDiffBatcher"]
+
+#: Default coalescing window: how long the worker waits for more
+#: requests after the first one of a tick arrives.
+DEFAULT_MAX_LATENCY = 0.002
+
+#: Default maximum requests per engine batch.
+DEFAULT_MAX_BATCH = 256
+
+#: Default bound on queued-but-unserved requests before
+#: :class:`~repro.errors.ServiceOverloadError` fires.
+DEFAULT_MAX_PENDING = 4096
+
+
+def compute_row_diffs(
+    options: DiffOptions,
+    rows_a: Sequence[RLERow],
+    rows_b: Sequence[RLERow],
+) -> List[XorRunResult]:
+    """Fresh (uncached) diffs for ``len(rows_a)`` row pairs.
+
+    The ``"batched"`` engine runs all pairs as one batch; the per-row
+    engines loop.  Observability handles are stripped first — the
+    service records through its own cache/batch metrics, and results
+    must not depend on who was watching.  With automatic sizing
+    (``options.n_cells is None``) the batched engine's per-row
+    ``n_cells`` is rewritten to
+    :func:`~repro.core.machine.default_cell_count` so the result is
+    independent of batch composition (see the module docstring).
+    """
+    opts = options.without_observability()
+    if opts.engine == "batched":
+        results = BatchedXorEngine(n_cells=opts.n_cells).diff_rows(
+            list(rows_a), list(rows_b)
+        )
+        if opts.n_cells is None:
+            results = [
+                replace(r, n_cells=default_cell_count(r.k1, r.k2)) for r in results
+            ]
+        return results
+    return [row_diff(ra, rb, options=opts) for ra, rb in zip(rows_a, rows_b)]
+
+
+class _Request:
+    """One pending row pair and the future its caller is waiting on."""
+
+    __slots__ = ("row_a", "row_b", "future")
+
+    def __init__(self, row_a: RLERow, row_b: RLERow) -> None:
+        self.row_a = row_a
+        self.row_b = row_b
+        self.future: "Future[XorRunResult]" = Future()
+
+
+class RowDiffBatcher:
+    """A worker thread that coalesces row-diff requests into batches.
+
+    Parameters
+    ----------
+    options:
+        The :class:`~repro.core.options.DiffOptions` every request in
+        this batcher runs under (one batcher = one options bundle; the
+        :class:`~repro.service.DiffService` owns the mapping).
+    cache:
+        Optional :class:`~repro.service.cache.DiffCache` consulted
+        before computing and updated after.  ``None`` disables caching
+        (every request computes).
+    max_batch:
+        Hard cap on requests per engine batch.
+    max_latency:
+        Seconds the worker waits for more requests after a tick's first
+        arrival — the latency cost of coalescing, bounded and
+        configurable.
+    max_pending:
+        Queue bound; :meth:`submit` past it raises
+        :class:`~repro.errors.ServiceOverloadError`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; batch
+        sizes land in the ``repro_service_batch_size`` histogram and
+        request outcomes in ``repro_service_requests_total``
+        (``outcome`` = ``hit`` / ``computed`` / ``coalesced``).
+    """
+
+    def __init__(
+        self,
+        options: DiffOptions,
+        cache: Optional[DiffCache] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency < 0:
+            raise ServiceError(f"max_latency must be >= 0, got {max_latency}")
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        self.options = options.without_observability()
+        self.cache = cache
+        self.max_batch = max_batch
+        self.max_latency = max_latency
+        self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(
+            maxsize=max_pending
+        )
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self.batches = 0
+        self.requests = 0
+        self._metrics = metrics
+        if metrics is not None:
+            outcomes = metrics.counter(
+                "repro_service_requests_total",
+                "row-diff service requests by outcome",
+                ("outcome",),
+            )
+            self._m_hit = outcomes.labels(outcome="hit")
+            self._m_computed = outcomes.labels(outcome="computed")
+            self._m_coalesced = outcomes.labels(outcome="coalesced")
+            self._m_batch_size = metrics.histogram(
+                "repro_service_batch_size",
+                "requests coalesced per engine batch",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            ).labels()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-diff-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission                                                         #
+    # ------------------------------------------------------------------ #
+    def submit(self, row_a: RLERow, row_b: RLERow) -> "Future[XorRunResult]":
+        """Enqueue one row pair; the returned future resolves to the
+        same :class:`~repro.core.machine.XorRunResult` a direct
+        :func:`~repro.core.api.row_diff` call would produce.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` when the
+        queue is full and :class:`~repro.errors.ServiceError` after
+        :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceError("submit() after close()")
+        request = _Request(row_a, row_b)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise ServiceOverloadError(
+                f"request queue full ({self._queue.maxsize} pending); "
+                f"retry later or raise max_pending"
+            ) from None
+        return request.future
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, drain the queue, join the worker.
+
+        Idempotent.  Already-queued requests complete; their futures
+        resolve normally.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=timeout)
+        # A submit() racing close() can slip a request in behind the
+        # sentinel; fail it explicitly rather than strand its future.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if leftover is not None:
+                leftover.future.set_exception(ServiceError("service closed"))
+
+    def __enter__(self) -> "RowDiffBatcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Accounting shared with the service's bulk (whole-image) path       #
+    # ------------------------------------------------------------------ #
+    def record_outcomes(
+        self, hit: int = 0, computed: int = 0, coalesced: int = 0
+    ) -> None:
+        """Fold externally served requests into this batcher's totals
+        and metric families.
+
+        :meth:`DiffService.diff_images <repro.service.DiffService.diff_images>`
+        serves whole images as one bulk cache pass + engine batch
+        (no queue round-trip per row) but reports through the same
+        counters, so ``stats()`` and ``repro_service_requests_total``
+        cover every request however it was served.
+        """
+        self.requests += hit + computed + coalesced
+        if computed:
+            self.batches += 1
+        if self._metrics is not None:
+            if hit:
+                self._m_hit.inc(hit)
+            if computed:
+                self._m_computed.inc(computed)
+                self._m_batch_size.observe(float(computed))
+            if coalesced:
+                self._m_coalesced.inc(coalesced)
+
+    # ------------------------------------------------------------------ #
+    # Worker                                                             #
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is None:
+                return
+            batch = [head]
+            deadline = time.monotonic() + self.max_latency
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+            # the tick is over — take whatever already queued, without waiting
+            while not stop and len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+            self._serve(batch)
+            if stop:
+                return
+
+    def _serve(self, batch: List[_Request]) -> None:
+        try:
+            self._serve_inner(batch)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _serve_inner(self, batch: List[_Request]) -> None:
+        self.batches += 1
+        self.requests += len(batch)
+        if self._metrics is not None:
+            self._m_batch_size.observe(float(len(batch)))
+        # 1. cache hits resolve immediately; misses queue for compute,
+        #    deduped so identical pending pairs cost one lane.
+        pending: "Dict[CacheKey, List[_Request]]" = {}
+        order: List[Tuple[CacheKey, _Request]] = []
+        for request in batch:
+            key = self._key(request.row_a, request.row_b)
+            if self.cache is not None:
+                hit = self.cache.get(key, request.row_a, request.row_b)
+                if hit is not None:
+                    if self._metrics is not None:
+                        self._m_hit.inc()
+                    request.future.set_result(hit)
+                    continue
+            waiters = pending.get(key)
+            if waiters is None:
+                pending[key] = [request]
+                order.append((key, request))
+                if self._metrics is not None:
+                    self._m_computed.inc()
+            else:
+                waiters.append(request)
+                if self._metrics is not None:
+                    self._m_coalesced.inc()
+        if not order:
+            return
+        # 2. one engine batch over the unique misses.
+        results = compute_row_diffs(
+            self.options,
+            [request.row_a for _, request in order],
+            [request.row_b for _, request in order],
+        )
+        # 3. store and resolve every waiter.
+        for (key, request), result in zip(order, results):
+            if self.cache is not None:
+                self.cache.put(key, request.row_a, request.row_b, result)
+            for waiter in pending[key]:
+                waiter.future.set_result(result)
+
+    def _key(self, row_a: RLERow, row_b: RLERow) -> CacheKey:
+        if self.cache is not None:
+            return self.cache.key_for(row_a, row_b, self.options)
+        return (
+            row_fingerprint(row_a),
+            row_fingerprint(row_b),
+            self.options.cache_key(),
+        )

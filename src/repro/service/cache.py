@@ -1,0 +1,316 @@
+"""Content-addressed row-diff caching.
+
+The paper's whole premise is that compressed rows are *cheap to key and
+compare*: a row is a short tuple list, so hashing it costs O(k) — tiny
+next to even one systolic run — and identical rows are everywhere in
+real workloads (static backgrounds between surveillance frames, golden
+reference rows in PCB inspection, repeated scan lines in documents).
+:class:`DiffCache` exploits that redundancy: results are keyed by
+``(fingerprint(row_a), fingerprint(row_b), options)`` so *any* caller
+presenting the same content gets the stored
+:class:`~repro.core.machine.XorRunResult` back, byte-identical to a
+fresh computation (asserted by the service invariant tests).
+
+Correctness before speed: fingerprints are 128-bit BLAKE2b digests, but
+the cache never *trusts* them — every entry stores the verbatim input
+run pairs and a hit is only served after an exact comparison.  A
+fingerprint collision therefore degrades to a counted miss
+(``repro_cache_collisions_total``), never a wrong answer; the collision
+tests inject a deliberately truncated fingerprint function to exercise
+exactly that path.
+
+Eviction is byte-budgeted LRU: every entry's footprint is estimated
+from its run counts, and inserts evict least-recently-used entries
+until the configured ``max_bytes`` is respected again.  Hit/miss/
+eviction/collision counts mirror into an optional
+:class:`~repro.obs.metrics.MetricsRegistry` under the ``repro_cache_*``
+families (see ``docs/OBSERVABILITY.md``).
+
+All operations are thread-safe — the batcher's worker thread and any
+number of submitting threads share one cache.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import DiffOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["row_fingerprint", "DiffCache", "CacheKey"]
+
+#: Default cache budget: 32 MiB of estimated entry footprint.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: A cache key: the two content fingerprints plus the semantic options
+#: key (:meth:`repro.core.options.DiffOptions.cache_key`).
+CacheKey = Tuple[bytes, bytes, Tuple[str, Optional[int], bool, bool]]
+
+#: Verbatim inputs stored for collision verification: the two rows'
+#: run pairs and widths, as builtin tuples.
+_Inputs = Tuple[Tuple[Tuple[int, int], ...], Optional[int], Tuple[Tuple[int, int], ...], Optional[int]]
+
+#: Fixed per-entry overhead estimate (key, dict slot, dataclass, result
+#: object shells) in bytes.
+_ENTRY_OVERHEAD = 512
+
+#: Estimated bytes per stored run: one (start, length) int pair in the
+#: verbatim inputs or the result row, plus tuple/Run object overhead.
+_RUN_BYTES = 96
+
+
+def row_fingerprint(row: RLERow) -> bytes:
+    """A 128-bit content digest of one RLE row.
+
+    Covers the width and every ``(start, length)`` pair, so two rows
+    fingerprint equal iff they are structurally identical (same runs,
+    same declared width — ``None`` widths are distinguished from every
+    concrete width).  O(k) in the run count: this is the "compressed
+    rows are cheap to key" dividend the service layer is built on.
+    """
+    digest = blake2b(digest_size=16)
+    width = -1 if row.width is None else row.width
+    runs = row.runs
+    flat = [0] * (2 * len(runs) + 1)
+    flat[0] = width
+    i = 1
+    for run in runs:
+        flat[i] = run.start
+        flat[i + 1] = run.length
+        i += 2
+    digest.update(struct.pack(f"<{len(flat)}q", *flat))
+    return digest.digest()
+
+
+def _verbatim(row_a: RLERow, row_b: RLERow) -> _Inputs:
+    return (
+        tuple((r.start, r.length) for r in row_a.runs),
+        row_a.width,
+        tuple((r.start, r.length) for r in row_b.runs),
+        row_b.width,
+    )
+
+
+@dataclass
+class _CacheEntry:
+    inputs: _Inputs
+    result: XorRunResult
+    nbytes: int
+
+
+def _entry_nbytes(inputs: _Inputs, result: XorRunResult) -> int:
+    runs = len(inputs[0]) + len(inputs[2]) + result.result.run_count
+    return _ENTRY_OVERHEAD + _RUN_BYTES * runs
+
+
+class DiffCache:
+    """A byte-budgeted, content-addressed LRU of row-diff results.
+
+    Parameters
+    ----------
+    max_bytes:
+        Eviction budget for the *estimated* total entry footprint.
+        Inserting past it evicts least-recently-used entries; a single
+        entry larger than the whole budget is simply not stored (and
+        counted as an eviction).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; hit /
+        miss / eviction / collision counters and the byte/entry gauges
+        mirror into it under the ``repro_cache_*`` families, labelled
+        with this cache's ``name``.
+    fingerprint:
+        Row digest function (default :func:`row_fingerprint`).  The
+        tests inject deliberately colliding functions here; because
+        entries verify verbatim inputs on every hit, a weak fingerprint
+        only costs hit rate, never correctness.
+    name:
+        The ``cache`` label value used in the metric families.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: "Optional[MetricsRegistry]" = None,
+        fingerprint: Optional[Callable[[RLERow], bytes]] = None,
+        name: str = "row-diff",
+    ) -> None:
+        if max_bytes < 1:
+            raise ServiceError(f"cache max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.name = name
+        self._fingerprint = fingerprint if fingerprint is not None else row_fingerprint
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.collisions = 0
+        self._metrics = metrics
+        if metrics is not None:
+            labels = ("cache",)
+            self._m_hits = metrics.counter(
+                "repro_cache_hits_total", "row-diff cache hits", labels
+            ).labels(cache=name)
+            self._m_misses = metrics.counter(
+                "repro_cache_misses_total", "row-diff cache misses", labels
+            ).labels(cache=name)
+            self._m_evictions = metrics.counter(
+                "repro_cache_evictions_total",
+                "row-diff cache entries evicted under the byte budget",
+                labels,
+            ).labels(cache=name)
+            self._m_collisions = metrics.counter(
+                "repro_cache_collisions_total",
+                "fingerprint collisions detected by verbatim-input verification",
+                labels,
+            ).labels(cache=name)
+            self._m_bytes = metrics.gauge(
+                "repro_cache_bytes", "estimated cached bytes", labels
+            ).labels(cache=name)
+            self._m_entries = metrics.gauge(
+                "repro_cache_entries", "live cache entries", labels
+            ).labels(cache=name)
+
+    # ------------------------------------------------------------------ #
+    # Keys                                                               #
+    # ------------------------------------------------------------------ #
+    def key_for(self, row_a: RLERow, row_b: RLERow, options: DiffOptions) -> CacheKey:
+        """The content-addressed key of one request — compute it once
+        and pass it to :meth:`get` / :meth:`put` to avoid re-hashing."""
+        return (
+            self._fingerprint(row_a),
+            self._fingerprint(row_b),
+            options.cache_key(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store                                                     #
+    # ------------------------------------------------------------------ #
+    def get(
+        self, key: CacheKey, row_a: RLERow, row_b: RLERow
+    ) -> Optional[XorRunResult]:
+        """The cached result for ``key``, or ``None``.
+
+        The rows are required so the stored verbatim inputs can be
+        compared — a fingerprint collision is counted and reported as a
+        miss, never served.
+        """
+        inputs = _verbatim(row_a, row_b)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if self._metrics is not None:
+                    self._m_misses.inc()
+                return None
+            if entry.inputs != inputs:
+                self.collisions += 1
+                self.misses += 1
+                if self._metrics is not None:
+                    self._m_collisions.inc()
+                    self._m_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self._metrics is not None:
+                self._m_hits.inc()
+            return entry.result
+
+    def lookup(
+        self, row_a: RLERow, row_b: RLERow, options: DiffOptions
+    ) -> Optional[XorRunResult]:
+        """Convenience: :meth:`key_for` + :meth:`get` in one call."""
+        return self.get(self.key_for(row_a, row_b, options), row_a, row_b)
+
+    def put(
+        self, key: CacheKey, row_a: RLERow, row_b: RLERow, result: XorRunResult
+    ) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries past the
+        byte budget.  Idempotent: re-storing an existing key refreshes
+        its recency and replaces the entry."""
+        inputs = _verbatim(row_a, row_b)
+        nbytes = _entry_nbytes(inputs, result)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            if nbytes > self.max_bytes:
+                # would evict the whole cache and still not fit
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._m_evictions.inc()
+                self._sync_gauges()
+                return
+            self._entries[key] = _CacheEntry(inputs, result, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._m_evictions.inc()
+            self._sync_gauges()
+
+    def store(
+        self, row_a: RLERow, row_b: RLERow, options: DiffOptions, result: XorRunResult
+    ) -> None:
+        """Convenience: :meth:`key_for` + :meth:`put` in one call."""
+        self.put(self.key_for(row_a, row_b, options), row_a, row_b, result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated footprint of all live entries."""
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` over the cache's lifetime
+        (``0.0`` before the first lookup)."""
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+    def info(self) -> Dict[str, float]:
+        """Counters and budget as one plain dict (for logs and the CLI)."""
+        with self._lock:
+            return {
+                "entries": float(len(self._entries)),
+                "bytes": float(self._bytes),
+                "max_bytes": float(self.max_bytes),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "collisions": float(self.collisions),
+                "hit_rate": self.hit_rate,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are lifetime totals and remain)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._sync_gauges()
+
+    def _sync_gauges(self) -> None:
+        # caller holds the lock
+        if self._metrics is not None:
+            self._m_bytes.set(float(self._bytes))
+            self._m_entries.set(float(len(self._entries)))

@@ -1,0 +1,221 @@
+"""The long-lived differencing service.
+
+A deployment of the paper's array is not a function call — it is a
+fixture: one physical array, loaded row pair after row pair, serving
+whatever the host pipeline sends.  :class:`DiffService` is the software
+analogue.  Construct it once with a
+:class:`~repro.core.options.DiffOptions`, keep it alive, and push row or
+image diffs through it; behind the single entry point sit the
+content-addressed result cache (:class:`~repro.service.cache.DiffCache`)
+and the request batcher (:class:`~repro.service.batcher.RowDiffBatcher`),
+so repeated content is never recomputed and concurrent submissions share
+engine batches.
+
+The contract is strict: a served result is **byte-identical** to what
+the same service would compute with caching disabled (the property tests
+assert it field by field).  With an explicit ``n_cells`` it is also
+identical to a direct :func:`~repro.core.pipeline.diff_images` call;
+with automatic sizing the only difference is the documented ``n_cells``
+normalization (see :mod:`repro.service.batcher`).
+
+Usage::
+
+    from repro.core.options import DiffOptions
+    from repro.service import DiffService
+
+    with DiffService(DiffOptions(engine="batched")) as svc:
+        first = svc.diff_images(frame0, frame1)
+        again = svc.diff_images(frame0, frame1)   # served from cache
+        print(svc.cache.hit_rate)                 # 1.0 second time round
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from concurrent.futures import Future
+
+from repro.errors import GeometryError
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import IMAGE_DEFAULTS, DiffOptions, resolve_options
+from repro.core.pipeline import ImageDiffResult
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_MAX_PENDING,
+    RowDiffBatcher,
+    compute_row_diffs,
+)
+from repro.service.cache import DEFAULT_CACHE_BYTES, CacheKey, DiffCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["DiffService"]
+
+
+class DiffService:
+    """Cached, batched row/image differencing behind one entry point.
+
+    Parameters
+    ----------
+    options:
+        The :class:`~repro.core.options.DiffOptions` every request runs
+        under (default: the image defaults — batched engine, automatic
+        sizing).  A bare engine-name string is accepted the same way the
+        functional API accepts one.  The ``metrics`` handle, if set, is
+        where the service's cache and batch metric families land; the
+        other observability handles are stripped (results served from a
+        shared cache cannot depend on one caller's tracer or probe —
+        instrument the service, not individual requests).
+    cache_bytes:
+        Byte budget of the result cache; ``0`` disables caching
+        entirely.
+    max_batch / max_latency / max_pending:
+        Coalescing knobs, forwarded to
+        :class:`~repro.service.batcher.RowDiffBatcher`.
+    """
+
+    def __init__(
+        self,
+        options: Union[DiffOptions, str, None] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        opts = resolve_options(options, {}, IMAGE_DEFAULTS, "DiffService")
+        self.options = opts.without_observability()
+        self._metrics: "Optional[MetricsRegistry]" = opts.metrics
+        self.cache: Optional[DiffCache] = (
+            DiffCache(max_bytes=cache_bytes, metrics=opts.metrics)
+            if cache_bytes > 0
+            else None
+        )
+        self._batcher = RowDiffBatcher(
+            self.options,
+            cache=self.cache,
+            max_batch=max_batch,
+            max_latency=max_latency,
+            max_pending=max_pending,
+            metrics=opts.metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Row requests                                                       #
+    # ------------------------------------------------------------------ #
+    def submit_row_diff(
+        self, row_a: RLERow, row_b: RLERow
+    ) -> "Future[XorRunResult]":
+        """Asynchronous row diff — returns a future so many submissions
+        can coalesce into one engine batch.  Raises
+        :class:`~repro.errors.ServiceOverloadError` under backpressure.
+        """
+        return self._batcher.submit(row_a, row_b)
+
+    def row_diff(self, row_a: RLERow, row_b: RLERow) -> XorRunResult:
+        """Synchronous row diff (submit + wait)."""
+        return self.submit_row_diff(row_a, row_b).result()
+
+    # ------------------------------------------------------------------ #
+    # Image requests                                                     #
+    # ------------------------------------------------------------------ #
+    def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> ImageDiffResult:
+        """Difference two equal-shape images through the service.
+
+        An image is already a batch, so this path skips the request
+        queue entirely: one bulk pass over the cache (repeated frames
+        and static background rows are served without touching an
+        engine), then one
+        :func:`~repro.service.batcher.compute_row_diffs` batch over the
+        deduplicated misses.  Outcomes land in the same counters as
+        queued row requests.  The assembled
+        :class:`~repro.core.pipeline.ImageDiffResult` matches the
+        functional API's, honouring ``options.canonical``.
+        """
+        if image_a.shape != image_b.shape:
+            raise GeometryError(
+                f"image shapes differ: {image_a.shape} vs {image_b.shape}"
+            )
+        rows_a, rows_b = list(image_a), list(image_b)
+        row_results = self._serve_bulk(rows_a, rows_b)
+        return ImageDiffResult(
+            image=RLEImage(
+                (
+                    r.canonical_result if self.options.canonical else r.result
+                    for r in row_results
+                ),
+                width=image_a.width,
+            ),
+            row_results=row_results,
+        )
+
+    def _serve_bulk(
+        self, rows_a: List[RLERow], rows_b: List[RLERow]
+    ) -> List[XorRunResult]:
+        """Cache-check every pair, compute the deduped misses as one
+        engine batch, store, and return results in input order."""
+        if not rows_a:
+            return []
+        if self.cache is None:
+            results = compute_row_diffs(self.options, rows_a, rows_b)
+            self._batcher.record_outcomes(computed=len(results))
+            return results
+        served: List[Optional[XorRunResult]] = [None] * len(rows_a)
+        waiters: Dict[CacheKey, List[int]] = {}
+        order: List[Tuple[CacheKey, int]] = []
+        hits = coalesced = 0
+        for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+            key = self.cache.key_for(ra, rb, self.options)
+            hit = self.cache.get(key, ra, rb)
+            if hit is not None:
+                served[i] = hit
+                hits += 1
+                continue
+            indices = waiters.get(key)
+            if indices is None:
+                waiters[key] = [i]
+                order.append((key, i))
+            else:
+                indices.append(i)
+                coalesced += 1
+        if order:
+            computed = compute_row_diffs(
+                self.options,
+                [rows_a[i] for _, i in order],
+                [rows_b[i] for _, i in order],
+            )
+            for (key, i), result in zip(order, computed):
+                self.cache.put(key, rows_a[i], rows_b[i], result)
+                for j in waiters[key]:
+                    served[j] = result
+        self._batcher.record_outcomes(
+            hit=hits, computed=len(order), coalesced=coalesced
+        )
+        return [r for r in served if r is not None]
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle                                          #
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Cache counters plus batcher totals, as one plain dict."""
+        info: Dict[str, float] = (
+            self.cache.info() if self.cache is not None else {"hit_rate": 0.0}
+        )
+        info["batches"] = float(self._batcher.batches)
+        info["requests"] = float(self._batcher.requests)
+        return info
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain pending requests and stop the worker thread.
+        Idempotent; further submissions raise
+        :class:`~repro.errors.ServiceError`."""
+        self._batcher.close(timeout=timeout)
+
+    def __enter__(self) -> "DiffService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

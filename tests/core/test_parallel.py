@@ -126,6 +126,62 @@ class TestObservability:
                 )
 
 
+class TestOptionsPassThrough:
+    """The pool honours the full DiffOptions bundle instead of
+    hard-coding the batched engine and dropping n_cells/probe."""
+
+    @pytest.mark.parametrize("engine", ["systolic", "vectorized", "sequential"])
+    def test_requested_engine_runs_in_workers(self, engine):
+        from repro.core.options import DiffOptions
+
+        a, b = images(12, h=12, w=64)
+        opts = DiffOptions(engine=engine)
+        parallel = parallel_diff_images(a, b, workers=2, chunk_rows=4, options=opts)
+        serial = diff_images(a, b, options=opts)
+        assert parallel.image == serial.image
+        assert [r.iterations for r in parallel.row_results] == [
+            r.iterations for r in serial.row_results
+        ]
+        assert [r.n_cells for r in parallel.row_results] == [
+            r.n_cells for r in serial.row_results
+        ]
+
+    def test_n_cells_reaches_workers(self):
+        from repro.core.options import DiffOptions
+
+        a, b = images(13, h=12, w=64)
+        opts = DiffOptions(engine="systolic", n_cells=48)
+        parallel = parallel_diff_images(a, b, workers=2, chunk_rows=4, options=opts)
+        assert all(r.n_cells == 48 for r in parallel.row_results)
+
+    def test_unknown_engine_rejected_at_boundary(self):
+        from repro.errors import UnknownEngineError
+
+        a, b = images(14, h=4)
+        with pytest.raises(UnknownEngineError):
+            parallel_diff_images(a, b, workers=2, options="warp")
+
+    def test_probe_samples_replayed_from_workers(self):
+        from repro.core.options import DiffOptions
+        from repro.obs.profile import EngineProfiler
+
+        a, b = images(15, h=16, w=64)
+        probe = EngineProfiler()
+        parallel_diff_images(
+            a,
+            b,
+            workers=2,
+            chunk_rows=4,
+            options=DiffOptions(engine="batched", probe=probe),
+        )
+        assert probe.samples  # the workers' convergence data came home
+        steps = [s.step for s in probe.samples]
+        assert steps == sorted(steps)  # chunk-order replay, renumbered
+        # Corollary 1.1: within a batch the active-lane count only falls;
+        # it may jump back up at a chunk boundary (a new batch starts)
+        assert all(s.active_lanes >= 0 for s in probe.samples)
+
+
 class TestValidation:
     def test_shape_mismatch(self):
         a, _ = images(5)

@@ -1,0 +1,199 @@
+"""DiffService: the cache-identity invariant, equivalence with the
+functional API, and end-to-end behaviour on realistic workloads."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GeometryError, ServiceError
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import ENGINE_NAMES, DiffOptions
+from repro.core.pipeline import diff_images
+from repro.obs.metrics import MetricsRegistry
+from repro.service import DiffService
+from tests.conftest import row_pairs
+
+FAST = {"max_latency": 0.0}  # no coalescing wait — keeps tests snappy
+
+
+def assert_identical(a: XorRunResult, b: XorRunResult) -> None:
+    """Byte-identical across every field of the run result."""
+    assert a.result.to_pairs() == b.result.to_pairs()
+    assert a.result.width == b.result.width
+    assert a.iterations == b.iterations
+    assert a.k1 == b.k1 and a.k2 == b.k2
+    assert a.n_cells == b.n_cells
+    assert a.stats.items() == b.stats.items()
+
+
+class TestCacheIdentityInvariant:
+    """The tentpole contract: cached results are byte-identical to
+    fresh ones — cache on vs cache off can never disagree."""
+
+    @given(pairs=row_pairs(max_width=96))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cache_on_off_identical(self, pairs):
+        a, b = pairs
+        opts = DiffOptions(engine="batched")
+        with DiffService(opts, **FAST) as cached, DiffService(
+            opts, cache_bytes=0, **FAST
+        ) as uncached:
+            fresh_first = cached.row_diff(a, b)
+            from_cache = cached.row_diff(a, b)  # second time: a hit
+            no_cache = uncached.row_diff(a, b)
+        assert from_cache is fresh_first or from_cache == fresh_first
+        assert_identical(from_cache, no_cache)
+        assert_identical(fresh_first, no_cache)
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_every_engine_upholds_the_invariant(self, engine, paper_rows):
+        a, b, _ = paper_rows
+        opts = DiffOptions(engine=engine)
+        with DiffService(opts, **FAST) as cached, DiffService(
+            opts, cache_bytes=0, **FAST
+        ) as uncached:
+            cached.row_diff(a, b)
+            hit = cached.row_diff(a, b)
+            fresh = uncached.row_diff(a, b)
+        assert_identical(hit, fresh)
+
+    def test_hit_is_identical_under_eviction_pressure(self):
+        # a tiny cache churning under pressure must still never serve a
+        # result that differs from a fresh computation
+        opts = DiffOptions(engine="batched")
+        with DiffService(opts, cache_bytes=2048, **FAST) as service, DiffService(
+            opts, cache_bytes=0, **FAST
+        ) as reference:
+            for wave in range(3):
+                for i in range(20):
+                    a = RLERow.from_pairs([(i, 2), (i + 20, 3)], width=64)
+                    b = RLERow.from_pairs([(i + 1, 2)], width=64)
+                    assert_identical(
+                        service.row_diff(a, b), reference.row_diff(a, b)
+                    )
+            assert service.cache is not None
+            assert service.cache.evictions > 0
+
+
+class TestImageEquivalence:
+    def test_matches_functional_api_with_fixed_n_cells(self):
+        rows_a = [RLERow.from_pairs([(i % 5, 3), (20, 2)], width=48) for i in range(12)]
+        rows_b = [RLERow.from_pairs([(i % 3 + 1, 4)], width=48) for i in range(12)]
+        image_a, image_b = RLEImage(rows_a, width=48), RLEImage(rows_b, width=48)
+        opts = DiffOptions(engine="batched", n_cells=32)
+        direct = diff_images(image_a, image_b, options=opts)
+        with DiffService(opts, **FAST) as service:
+            served = service.diff_images(image_a, image_b)
+        assert [r.to_pairs() for r in served.image] == [
+            r.to_pairs() for r in direct.image
+        ]
+        for s, d in zip(served.row_results, direct.row_results):
+            assert_identical(s, d)
+
+    def test_matches_functional_api_modulo_n_cells_normalization(self):
+        # with automatic sizing the service reports the per-row default
+        # n_cells instead of the shared batch width — everything else
+        # (result, iterations, stats) is identical
+        rows_a = [RLERow.from_pairs([(i % 5, 3), (20, 2)], width=48) for i in range(8)]
+        rows_b = [RLERow.from_pairs([(i % 3 + 1, 4)], width=48) for i in range(8)]
+        image_a, image_b = RLEImage(rows_a, width=48), RLEImage(rows_b, width=48)
+        opts = DiffOptions(engine="batched")
+        direct = diff_images(image_a, image_b, options=opts)
+        with DiffService(opts, **FAST) as service:
+            served = service.diff_images(image_a, image_b)
+        assert [r.to_pairs() for r in served.image] == [
+            r.to_pairs() for r in direct.image
+        ]
+        for s, d in zip(served.row_results, direct.row_results):
+            assert s.result.to_pairs() == d.result.to_pairs()
+            assert s.iterations == d.iterations
+            assert s.stats.items() == d.stats.items()
+
+    def test_canonical_option_respected(self, paper_rows):
+        a, b, _ = paper_rows
+        image_a = RLEImage([a], width=a.width)
+        image_b = RLEImage([b], width=b.width)
+        with DiffService(
+            DiffOptions(engine="batched", canonical=False), **FAST
+        ) as raw_svc:
+            raw = raw_svc.diff_images(image_a, image_b)
+        with DiffService(DiffOptions(engine="batched"), **FAST) as canon_svc:
+            canon = canon_svc.diff_images(image_a, image_b)
+        assert [r.to_pairs() for r in canon.image] == [
+            r.canonical().to_pairs() for r in raw.image
+        ]
+
+    def test_shape_mismatch_rejected(self):
+        a = RLEImage([RLERow.from_pairs([], width=8)], width=8)
+        b = RLEImage([RLERow.from_pairs([], width=9)], width=9)
+        with DiffService(**FAST) as service:
+            with pytest.raises(GeometryError):
+                service.diff_images(a, b)
+
+
+class TestServiceBehaviour:
+    def test_repeated_frames_mostly_hit(self):
+        from repro.workloads.motion import generate_sequence
+
+        clip = generate_sequence(height=48, width=48, n_frames=6, seed=11)
+        with DiffService(DiffOptions(engine="batched"), **FAST) as service:
+            for _ in range(2):
+                for prev, cur in zip(clip, clip[1:]):
+                    service.diff_images(prev, cur)
+            stats = service.stats()
+        assert stats["hit_rate"] >= 0.5  # static rows + full second pass
+
+    def test_stats_shape(self):
+        with DiffService(**FAST) as service:
+            a, b = RLERow.from_pairs([(0, 3)], width=16), RLERow.from_pairs(
+                [(1, 3)], width=16
+            )
+            service.row_diff(a, b)
+            stats = service.stats()
+        for key in ("hit_rate", "batches", "requests", "entries", "bytes"):
+            assert key in stats
+
+    def test_cache_disabled_has_no_cache(self):
+        with DiffService(cache_bytes=0, **FAST) as service:
+            assert service.cache is None
+            a = RLERow.from_pairs([(0, 3)], width=16)
+            b = RLERow.from_pairs([(1, 3)], width=16)
+            first = service.row_diff(a, b)
+            second = service.row_diff(a, b)
+            assert first is not second  # recomputed, not served
+            assert_identical(first, second)
+
+    def test_bare_engine_string_accepted(self, paper_rows):
+        a, b, expected = paper_rows
+        with DiffService("systolic", **FAST) as service:
+            result = service.row_diff(a, b)
+        assert result.result.to_pairs() == expected.to_pairs()
+
+    def test_metrics_flow_through(self, paper_rows):
+        a, b, _ = paper_rows
+        registry = MetricsRegistry()
+        with DiffService(
+            DiffOptions(engine="batched", metrics=registry), **FAST
+        ) as service:
+            service.row_diff(a, b)
+            service.row_diff(a, b)
+        assert "repro_cache_hits_total" in registry
+        assert "repro_service_batch_size" in registry
+
+    def test_submit_after_close(self):
+        service = DiffService(**FAST)
+        service.close()
+        a = RLERow.from_pairs([(0, 3)], width=16)
+        with pytest.raises(ServiceError):
+            service.submit_row_diff(a, a)
+
+    def test_results_are_observability_independent(self, paper_rows):
+        # a caller's tracer/probe must not leak into (or alter) what the
+        # shared service computes and caches
+        a, b, _ = paper_rows
+        opts = DiffOptions(engine="batched", metrics=MetricsRegistry())
+        with DiffService(opts, **FAST) as instrumented, DiffService(
+            DiffOptions(engine="batched"), cache_bytes=0, **FAST
+        ) as bare:
+            assert_identical(instrumented.row_diff(a, b), bare.row_diff(a, b))
