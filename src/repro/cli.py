@@ -148,6 +148,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit 1 if the final cache hit rate is below this fraction",
     )
+    sv.add_argument(
+        "--resilient",
+        action="store_true",
+        help="serve through ResilientDiffService (deadlines, retries, breaker)",
+    )
+    sv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (implies --resilient)",
+    )
+    sv.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="engine batch retries before giving up (with --resilient)",
+    )
+    sv.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        help="inject faults into this fraction of engine batches "
+        "(seeded by --chaos-seed; implies --resilient)",
+    )
+    sv.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault schedule",
+    )
+    sv.add_argument(
+        "--max-shed",
+        type=int,
+        default=None,
+        help="exit 1 if more than this many requests were shed "
+        "(with --resilient; default: no gate)",
+    )
+    sv.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        help="exit 1 if the served fraction of frame pairs falls below "
+        "this floor (default: no gate)",
+    )
 
     from repro.analysis.lint.cli import configure_parser as configure_lint_parser
 
@@ -579,12 +623,27 @@ def _cmd_serve(
     engine: str,
     cache_mb: float,
     min_hit_rate: Optional[float],
+    resilient: bool = False,
+    deadline: Optional[float] = None,
+    max_retries: int = 2,
+    chaos_rate: float = 0.0,
+    chaos_seed: int = 0,
+    max_shed: Optional[int] = None,
+    min_availability: Optional[float] = None,
 ) -> int:
+    from repro.errors import ReproError, ServiceOverloadError
     from repro.core.options import DiffOptions, validate_engine
     from repro.obs.metrics import MetricsRegistry
-    from repro.service import DiffService
+    from repro.service import (
+        ChaosEngine,
+        ChaosSchedule,
+        DiffService,
+        ResiliencePolicy,
+        ResilientDiffService,
+    )
     from repro.workloads.motion import generate_sequence
 
+    resilient = resilient or deadline is not None or chaos_rate > 0
     clip = generate_sequence(height=height, width=width, n_frames=frames, seed=seed)
     registry = MetricsRegistry()
     options = DiffOptions(engine=validate_engine(engine), metrics=registry)
@@ -593,12 +652,36 @@ def _cmd_serve(
         f"clip: {frames} frames of {height}x{width}, {passes} pass(es), "
         f"engine {engine}, cache "
         + (f"{cache_mb:g} MiB" if cache_bytes > 0 else "disabled")
+        + (", resilient" if resilient else "")
+        + (f", chaos rate {chaos_rate:g} (seed {chaos_seed})" if chaos_rate else "")
     )
-    total_pixels = 0
-    with DiffService(options, cache_bytes=cache_bytes) as service:
+    chaos = (
+        ChaosEngine(ChaosSchedule.bernoulli(seed=chaos_seed, rate=chaos_rate))
+        if chaos_rate
+        else None
+    )
+    if resilient:
+        policy = ResiliencePolicy(deadline=deadline, max_retries=max_retries)
+        service = ResilientDiffService(
+            options,
+            policy=policy,
+            cache_bytes=cache_bytes,
+            compute=chaos,
+        )
+    else:
+        service = DiffService(options, cache_bytes=cache_bytes)
+    total_pixels = served = failed = 0
+    with service:
         for _ in range(passes):
             for prev, cur in zip(clip, clip[1:]):
-                total_pixels += service.diff_images(prev, cur).difference_pixels
+                try:
+                    total_pixels += service.diff_images(prev, cur).difference_pixels
+                    served += 1
+                except ServiceOverloadError:
+                    failed += 1  # shed by the breaker; already counted in stats
+                except ReproError as exc:
+                    failed += 1
+                    print(f"  pair failed: {type(exc).__name__}: {exc}")
         stats = service.stats()
     pairs = passes * max(frames - 1, 0)
     print(f"served {pairs} frame pairs ({int(stats['requests'])} row requests)")
@@ -617,10 +700,41 @@ def _cmd_serve(
         if stats["batches"]
         else "batching: no batches ran"
     )
+    availability = served / (served + failed) if served + failed else 1.0
+    if resilient:
+        print(
+            f"resilience: {served}/{served + failed} pairs served "
+            f"({availability:.1%} availability), "
+            f"{int(stats['resilience_retries'])} retries, "
+            f"{int(stats['resilience_deadline_expirations'])} deadline "
+            f"expirations, {int(stats['resilience_degraded_serves'])} "
+            f"degraded serves, {int(stats['resilience_shed'])} shed, "
+            f"breaker state {stats['breaker_state']:g} "
+            f"({int(stats['breaker_transitions'])} transitions)"
+        )
+        if chaos is not None:
+            injected = chaos.stats()
+            calls = injected.pop("calls", 0)
+            print(
+                f"chaos: {sum(injected.values())} faults injected over "
+                f"{calls} engine batches ({injected})"
+            )
     if min_hit_rate is not None and stats["hit_rate"] < min_hit_rate:
         print(
             f"ERROR: hit rate {stats['hit_rate']:.1%} below required "
             f"{min_hit_rate:.1%}"
+        )
+        return 1
+    if max_shed is not None and stats.get("resilience_shed", 0) > max_shed:
+        print(
+            f"ERROR: {int(stats['resilience_shed'])} requests shed, "
+            f"more than the allowed {max_shed}"
+        )
+        return 1
+    if min_availability is not None and availability < min_availability:
+        print(
+            f"ERROR: availability {availability:.1%} below required "
+            f"{min_availability:.1%}"
         )
         return 1
     return 0
@@ -667,6 +781,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.engine,
             args.cache_mb,
             args.min_hit_rate,
+            args.resilient,
+            args.deadline,
+            args.max_retries,
+            args.chaos_rate,
+            args.chaos_seed,
+            args.max_shed,
+            args.min_availability,
         )
     if args.command == "lint":
         from repro.analysis.lint.cli import run as run_lint

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import EngineProfiler
     from repro.obs.tracing import Tracer
+    from repro.service.resilience import ResiliencePolicy
 
 __all__ = [
     "EngineName",
@@ -115,6 +116,13 @@ class DiffOptions:
     metrics: "Optional[MetricsRegistry]" = None
     #: Optional :class:`repro.obs.profile.EngineProfiler` convergence probe.
     probe: "Optional[EngineProfiler]" = None
+    #: Optional :class:`repro.service.resilience.ResiliencePolicy` —
+    #: deadlines, retries, breaker thresholds and degraded modes for the
+    #: service layer.  Read by
+    #: :class:`repro.service.resilience.ResilientDiffService` at
+    #: construction; like the observability handles it never changes a
+    #: computed result, so it is excluded from :meth:`cache_key`.
+    resilience: "Optional[ResiliencePolicy]" = None
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -141,11 +149,17 @@ class DiffOptions:
         return replace(self, **changes)
 
     def without_observability(self) -> "DiffOptions":
-        """A copy with all instrumentation handles detached — what the
+        """A copy with all non-semantic handles detached
+        (instrumentation *and* the resilience policy) — what the
         service layer stores alongside cached results."""
-        if self.tracer is None and self.metrics is None and self.probe is None:
+        if (
+            self.tracer is None
+            and self.metrics is None
+            and self.probe is None
+            and self.resilience is None
+        ):
             return self
-        return replace(self, tracer=None, metrics=None, probe=None)
+        return replace(self, tracer=None, metrics=None, probe=None, resilience=None)
 
 
 #: Defaults preserved from the pre-``DiffOptions`` signatures:

@@ -51,7 +51,49 @@ class ServiceOverloadError(ServiceError):
 
     Backpressure signal: the batcher's bounded queue rejected a new
     request rather than growing without limit.  Callers should retry
-    later or shed load.
+    later or shed load.  Also raised by
+    :class:`repro.service.resilience.ResilientDiffService` when the
+    circuit breaker is open and the request cannot be served from the
+    cache (deliberate load shedding).
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before a complete result was ready.
+
+    Raised by the :mod:`repro.service.resilience` layer.  A deadline
+    expiry never returns partial runs — the caller either gets a full
+    :class:`~repro.core.machine.XorRunResult` or this error.
+    """
+
+
+class RetryExhaustedError(ServiceError):
+    """Every retry attempt permitted by the
+    :class:`~repro.service.resilience.ResiliencePolicy` failed.
+
+    The final underlying failure is chained as ``__cause__``.  Raised in
+    place of non-:class:`ReproError` engine exceptions so nothing
+    untyped ever escapes the service boundary.
+    """
+
+
+class CorruptResultError(ReproError):
+    """An engine (or cache entry) produced a result that fails the
+    resilience layer's structural validation — mismatched ``k1``/``k2``,
+    impossible iteration counts, or an inconsistent output width.
+
+    Treated as a *transient* failure: the resilience layer retries (and
+    invalidates the offending cache entry) before surfacing it.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by
+    :class:`repro.service.chaos.ChaosEngine`.
+
+    Only raised by the chaos tooling; seeing it in production means a
+    chaos schedule was left attached.  Transient by definition — the
+    resilience layer retries it.
     """
 
 

@@ -362,6 +362,23 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._families
 
+    def family(self, name: str) -> MetricFamily:
+        """The registered family called ``name``.
+
+        Raises :class:`~repro.errors.ObservabilityError` for unknown
+        names — reading a metric that nothing registered is a test or
+        wiring bug, not an empty result.  (The resilience suites use
+        this to assert on ``repro_resilience_*`` series without
+        re-registering the families themselves.)
+        """
+        family = self._families.get(name)
+        if family is None:
+            raise ObservabilityError(
+                f"no metric family named {name!r} is registered "
+                f"({len(self._families)} families present)"
+            )
+        return family
+
     # Snapshot / merge ------------------------------------------------- #
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(

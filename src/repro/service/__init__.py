@@ -15,14 +15,29 @@ a stream of frames, where most content repeats:
   :class:`~repro.errors.ServiceOverloadError` backpressure.
 - :mod:`repro.service.service` — the :class:`DiffService` facade tying
   the two together.
+- :mod:`repro.service.resilience` — :class:`ResilientDiffService`:
+  deadlines, retries with jittered backoff, an error-rate circuit
+  breaker, and degraded cache-only / load-shedding modes, all
+  configured by one frozen :class:`ResiliencePolicy`.
+- :mod:`repro.service.chaos` — seeded fault injection for the serving
+  path (:class:`ChaosEngine` / :class:`ChaosSchedule`); every
+  resilience behaviour is proven against reproducible fault schedules.
 
-See ``docs/API.md`` for the service contract and
+See ``docs/API.md`` for the service contract, ``docs/RESILIENCE.md``
+for the failure policies and breaker state machine, and
 ``docs/OBSERVABILITY.md`` for the ``repro_cache_*`` /
-``repro_service_*`` metric families.
+``repro_service_*`` / ``repro_resilience_*`` metric families.
 """
 
 from repro.service.batcher import RowDiffBatcher, compute_row_diffs
 from repro.service.cache import DiffCache, row_fingerprint
+from repro.service.chaos import ChaosEngine, ChaosSchedule
+from repro.service.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientDiffService,
+    validate_result,
+)
 from repro.service.service import DiffService
 
 __all__ = [
@@ -31,4 +46,10 @@ __all__ = [
     "RowDiffBatcher",
     "compute_row_diffs",
     "row_fingerprint",
+    "ResilientDiffService",
+    "ResiliencePolicy",
+    "CircuitBreaker",
+    "validate_result",
+    "ChaosEngine",
+    "ChaosSchedule",
 ]

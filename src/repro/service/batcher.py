@@ -33,7 +33,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.rle.row import RLERow
@@ -46,7 +46,17 @@ from repro.service.cache import CacheKey, DiffCache, row_fingerprint
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["compute_row_diffs", "RowDiffBatcher"]
+__all__ = ["ComputeFn", "compute_row_diffs", "RowDiffBatcher"]
+
+#: Signature of the engine-batch compute hook: ``(options, rows_a,
+#: rows_b) -> results``.  :func:`compute_row_diffs` is the default;
+#: :class:`~repro.service.chaos.ChaosEngine` and the retry wrapper of
+#: :class:`~repro.service.resilience.ResilientDiffService` are drop-in
+#: replacements, which is how faults and recovery policies reach the
+#: serving path without mocks.
+ComputeFn = Callable[
+    [DiffOptions, Sequence[RLERow], Sequence[RLERow]], List[XorRunResult]
+]
 
 #: Default coalescing window: how long the worker waits for more
 #: requests after the first one of a tick arrives.
@@ -127,6 +137,10 @@ class RowDiffBatcher:
         sizes land in the ``repro_service_batch_size`` histogram and
         request outcomes in ``repro_service_requests_total``
         (``outcome`` = ``hit`` / ``computed`` / ``coalesced``).
+    compute:
+        The :data:`ComputeFn` run per engine batch (default
+        :func:`compute_row_diffs`).  Injection point for the chaos and
+        resilience layers.
     """
 
     def __init__(
@@ -137,6 +151,7 @@ class RowDiffBatcher:
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
         metrics: "Optional[MetricsRegistry]" = None,
+        compute: Optional[ComputeFn] = None,
     ) -> None:
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
@@ -146,6 +161,9 @@ class RowDiffBatcher:
             raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
         self.options = options.without_observability()
         self.cache = cache
+        self._compute: ComputeFn = (
+            compute if compute is not None else compute_row_diffs
+        )
         self.max_batch = max_batch
         self.max_latency = max_latency
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(
@@ -330,7 +348,7 @@ class RowDiffBatcher:
         if not order:
             return
         # 2. one engine batch over the unique misses.
-        results = compute_row_diffs(
+        results = self._compute(
             self.options,
             [request.row_a for _, request in order],
             [request.row_b for _, request in order],

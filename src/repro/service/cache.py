@@ -302,6 +302,27 @@ class DiffCache:
                 "hit_rate": self.hit_rate,
             }
 
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop the entry stored under ``key``, if any.
+
+        Returns whether an entry was removed.  Used by the resilience
+        layer to self-heal: a cached result that fails structural
+        validation (see :mod:`repro.service.resilience`) is invalidated
+        and recomputed instead of being served again.  Counted as an
+        eviction — the entry left under pressure, just not *byte*
+        pressure.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            self.evictions += 1
+            if self._metrics is not None:
+                self._m_evictions.inc()
+            self._sync_gauges()
+            return True
+
     def clear(self) -> None:
         """Drop every entry (counters are lifetime totals and remain)."""
         with self._lock:

@@ -1,0 +1,303 @@
+"""Service-level fault injection: the chaos counterpart of
+:mod:`repro.systolic.faults`.
+
+The systolic fault injector corrupts *simulated hardware cells* so the
+invariant checkers can prove they detect broken executions.  This module
+does the same one layer up: it corrupts the *serving path*, so the
+resilience layer (:mod:`repro.service.resilience`) can prove it
+tolerates broken executions.  A :class:`ChaosEngine` wraps any
+:data:`~repro.service.batcher.ComputeFn` and injects faults on a
+deterministic, seeded :class:`ChaosSchedule` — every resilience
+behaviour in the test suite is driven by a reproducible fault scenario,
+never a hand-rolled mock.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``error``
+    Raise :class:`~repro.errors.InjectedFaultError` instead of
+    computing — a typed transient engine failure.
+``crash``
+    Raise an *untyped* (non-:class:`~repro.errors.ReproError`)
+    exception — proves the resilience boundary wraps whatever an engine
+    throws into a typed error.
+``latency``
+    Sleep for ``latency`` seconds before computing — a slow batch, the
+    raw material of deadline expirations.
+``corrupt``
+    Compute normally, then corrupt the first result's metadata
+    (mismatched ``k1``, negative iteration count, or inconsistent
+    output width, cycling deterministically) — detectable by
+    :func:`repro.service.resilience.validate_result`.  Payload
+    corruption that yields a *plausible but wrong* row is deliberately
+    out of scope: no online validator can catch it without recomputing,
+    which is what the trace verifier (:mod:`repro.core.verifier`) is
+    for.
+
+Usage::
+
+    schedule = ChaosSchedule.bernoulli(seed=7, rate=0.1)
+    chaos = ChaosEngine(schedule)
+    with ResilientDiffService(options, compute=chaos) as svc:
+        ...   # ~10% of engine batches now fail transiently
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import replace
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import InjectedFaultError, ServiceError
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import DiffOptions
+from repro.service.batcher import ComputeFn, compute_row_diffs
+from repro.service.cache import DiffCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosSchedule",
+    "ChaosEngine",
+    "corrupt_cached_result",
+]
+
+#: The injectable fault vocabulary, in schedule-plan order.
+FAULT_KINDS: Tuple[str, ...] = ("error", "crash", "latency", "corrupt")
+
+#: Default injected latency spike, in seconds.
+DEFAULT_LATENCY_SPIKE = 0.05
+
+
+class _ChaosCrash(Exception):
+    """The ``crash`` fault: deliberately *not* a ReproError, so tests
+    can prove the resilience boundary types whatever escapes an
+    engine."""
+
+
+class ChaosSchedule:
+    """A deterministic per-call fault plan.
+
+    Two shapes:
+
+    - **Explicit**: ``ChaosSchedule(["error", None, "latency"])`` —
+      call *i* gets ``plan[i]``; calls past the end are fault-free
+      (or cycle with ``cycle=True``).
+    - **Seeded Bernoulli**: :meth:`bernoulli` draws each call's fault
+      from ``random.Random(seed)``, so the same seed always produces
+      the same fault sequence — chaos runs are replayable bug reports.
+
+    Thread-safe: the batcher worker and bulk image callers may consume
+    one schedule concurrently; draws are serialized under a lock.
+    """
+
+    def __init__(
+        self,
+        plan: Sequence[Optional[str]] = (),
+        cycle: bool = False,
+    ) -> None:
+        for kind in plan:
+            if kind is not None and kind not in FAULT_KINDS:
+                raise ServiceError(
+                    f"unknown chaos fault kind {kind!r}; choose from "
+                    f"{', '.join(FAULT_KINDS)} (or None)"
+                )
+        if cycle and not plan:
+            raise ServiceError("cannot cycle an empty chaos plan")
+        self._plan: Tuple[Optional[str], ...] = tuple(plan)
+        self._cycle = cycle
+        self._rng: Optional[random.Random] = None
+        self._rate = 0.0
+        self._kinds: Tuple[str, ...] = FAULT_KINDS
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    @classmethod
+    def bernoulli(
+        cls,
+        seed: int,
+        rate: float,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "ChaosSchedule":
+        """Each call independently faults with probability ``rate``,
+        the kind drawn uniformly from ``kinds`` — all from
+        ``random.Random(seed)``, so the schedule is a pure function of
+        the seed."""
+        if not 0.0 <= rate <= 1.0:
+            raise ServiceError(f"chaos rate must be in [0, 1], got {rate}")
+        bad = [k for k in kinds if k not in FAULT_KINDS]
+        if bad or not kinds:
+            raise ServiceError(
+                f"unknown chaos fault kind(s) {', '.join(bad) or '(none given)'}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        schedule = cls()
+        schedule._rng = random.Random(seed)
+        schedule._rate = rate
+        schedule._kinds = tuple(kinds)
+        return schedule
+
+    def next_fault(self) -> Optional[str]:
+        """The fault for the next call (``None`` = compute normally)."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            if self._rng is not None:
+                if self._rng.random() >= self._rate:
+                    return None
+                return self._kinds[self._rng.randrange(len(self._kinds))]
+            if not self._plan:
+                return None
+            if self._cycle:
+                return self._plan[index % len(self._plan)]
+            if index < len(self._plan):
+                return self._plan[index]
+            return None
+
+
+class ChaosEngine:
+    """A :data:`~repro.service.batcher.ComputeFn` that injects faults.
+
+    Wraps ``base`` (default
+    :func:`~repro.service.batcher.compute_row_diffs`) and consults the
+    schedule once per engine batch.  Injection counts land in
+    :attr:`injected` and, when a registry is given, in the
+    ``repro_resilience_chaos_injected_total`` counter (labelled by
+    ``kind``).
+
+    Parameters
+    ----------
+    schedule:
+        The :class:`ChaosSchedule` deciding each call's fate.
+    base:
+        The wrapped compute function.
+    latency:
+        Seconds a ``latency`` fault sleeps before computing.
+    sleep:
+        Injectable sleep (tests pass a recorder instead of waiting).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        base: Optional[ComputeFn] = None,
+        latency: float = DEFAULT_LATENCY_SPIKE,
+        sleep: Callable[[float], None] = time.sleep,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        if latency < 0:
+            raise ServiceError(f"chaos latency must be >= 0, got {latency}")
+        self.schedule = schedule
+        self._base: ComputeFn = base if base is not None else compute_row_diffs
+        self.latency = latency
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.injected: Dict[str, int] = {}
+        self._corruptions = 0
+        self._metrics = metrics
+        self._m_injected = (
+            metrics.counter(
+                "repro_resilience_chaos_injected_total",
+                "faults injected into the serving path by ChaosEngine",
+                ("kind",),
+            )
+            if metrics is not None
+            else None
+        )
+
+    def _record(self, kind: str) -> int:
+        with self._lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+            total = sum(self.injected.values())
+        if self._m_injected is not None:
+            self._m_injected.labels(kind=kind).inc()
+        return total
+
+    def __call__(
+        self,
+        options: DiffOptions,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+    ) -> List[XorRunResult]:
+        kind = self.schedule.next_fault()
+        if kind is None:
+            return self._base(options, rows_a, rows_b)
+        nth = self._record(kind)
+        if kind == "error":
+            raise InjectedFaultError(
+                f"chaos: injected transient engine fault #{nth}"
+            )
+        if kind == "crash":
+            raise _ChaosCrash(f"chaos: injected untyped engine crash #{nth}")
+        if kind == "latency":
+            self._sleep(self.latency)
+            return self._base(options, rows_a, rows_b)
+        # "corrupt": compute normally, then break the first result's
+        # metadata in one of three detectable ways, cycling so a seeded
+        # schedule exercises every flavour.
+        results = self._base(options, rows_a, rows_b)
+        if results:
+            with self._lock:
+                flavour = self._corruptions % 3
+                self._corruptions += 1
+            results[0] = _corrupt_result(results[0], flavour)
+        return results
+
+    def stats(self) -> Dict[str, int]:
+        """Injection counts by kind plus the schedule's call total."""
+        with self._lock:
+            info = dict(self.injected)
+        info["calls"] = self.schedule.calls
+        return info
+
+
+def _corrupt_result(result: XorRunResult, flavour: int) -> XorRunResult:
+    """One detectably-corrupt copy of ``result``."""
+    if flavour == 0:
+        return replace(result, k1=result.k1 + 1)
+    if flavour == 1:
+        return replace(result, iterations=-1)
+    wrong_width = (
+        result.result.width + 1 if result.result.width is not None else 1
+    )
+    # same runs, inconsistent declared width (runs still fit: wider)
+    return replace(
+        result, result=RLERow(result.result.runs, width=wrong_width)
+    )
+
+
+def corrupt_cached_result(
+    cache: DiffCache,
+    row_a: RLERow,
+    row_b: RLERow,
+    options: DiffOptions,
+    flavour: int = 0,
+) -> bool:
+    """Corrupt the cache entry for ``(row_a, row_b, options)`` in place.
+
+    The cache-rot scenario: a stored result's metadata goes bad while
+    its verbatim-input check still passes, so a plain ``DiffService``
+    would happily serve it.  Returns whether an entry was found.  Test
+    tooling only — reaches into the cache's internals on purpose.
+    """
+    key = cache.key_for(row_a, row_b, options)
+    with cache._lock:
+        entry = cache._entries.get(key)
+        if entry is None:
+            return False
+        entry.result = _corrupt_result(entry.result, flavour)
+        return True

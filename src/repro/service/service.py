@@ -45,6 +45,7 @@ from repro.service.batcher import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_LATENCY,
     DEFAULT_MAX_PENDING,
+    ComputeFn,
     RowDiffBatcher,
     compute_row_diffs,
 )
@@ -76,6 +77,15 @@ class DiffService:
     max_batch / max_latency / max_pending:
         Coalescing knobs, forwarded to
         :class:`~repro.service.batcher.RowDiffBatcher`.
+    compute:
+        The :data:`~repro.service.batcher.ComputeFn` every engine batch
+        runs through (default
+        :func:`~repro.service.batcher.compute_row_diffs`).  Both the
+        queued row path and the bulk image path use it — this is where
+        :class:`~repro.service.chaos.ChaosEngine` and the retry wrapper
+        of :class:`~repro.service.resilience.ResilientDiffService` plug
+        in, *upstream* of the cache so only results that survived the
+        wrapper are ever stored.
     """
 
     def __init__(
@@ -85,10 +95,14 @@ class DiffService:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
+        compute: Optional[ComputeFn] = None,
     ) -> None:
         opts = resolve_options(options, {}, IMAGE_DEFAULTS, "DiffService")
         self.options = opts.without_observability()
         self._metrics: "Optional[MetricsRegistry]" = opts.metrics
+        self._compute: ComputeFn = (
+            compute if compute is not None else compute_row_diffs
+        )
         self.cache: Optional[DiffCache] = (
             DiffCache(max_bytes=cache_bytes, metrics=opts.metrics)
             if cache_bytes > 0
@@ -101,6 +115,7 @@ class DiffService:
             max_latency=max_latency,
             max_pending=max_pending,
             metrics=opts.metrics,
+            compute=self._compute,
         )
 
     # ------------------------------------------------------------------ #
@@ -160,7 +175,7 @@ class DiffService:
         if not rows_a:
             return []
         if self.cache is None:
-            results = compute_row_diffs(self.options, rows_a, rows_b)
+            results = self._compute(self.options, rows_a, rows_b)
             self._batcher.record_outcomes(computed=len(results))
             return results
         served: List[Optional[XorRunResult]] = [None] * len(rows_a)
@@ -182,7 +197,7 @@ class DiffService:
                 indices.append(i)
                 coalesced += 1
         if order:
-            computed = compute_row_diffs(
+            computed = self._compute(
                 self.options,
                 [rows_a[i] for _, i in order],
                 [rows_b[i] for _, i in order],

@@ -40,8 +40,8 @@ class TestHistogram:
 
 
 class TestBootstrap:
-    def test_ci_contains_true_mean_usually(self):
-        rng = np.random.default_rng(0)
+    def test_ci_contains_true_mean_usually(self, np_rng):
+        rng = np_rng
         hits = 0
         for trial in range(20):
             sample = rng.normal(10.0, 2.0, size=50)

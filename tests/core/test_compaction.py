@@ -64,8 +64,8 @@ class TestCycleModels:
         snaps = [(E, E)] * 60 + [((5, 6), E), (E, E), ((9, 9), E)]
         assert bus_compaction_cycles(snaps) < systolic_compaction_cycles(snaps)
 
-    def test_on_real_machine_final_state(self):
-        rng = np.random.default_rng(0)
+    def test_on_real_machine_final_state(self, np_rng):
+        rng = np_rng
         a = RLERow.from_bits(rng.random(400) < 0.3)
         b = RLERow.from_bits(rng.random(400) < 0.3)
         engine = VectorizedXorEngine()

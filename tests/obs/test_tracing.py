@@ -136,22 +136,19 @@ class TestNullTracer:
 
 
 class TestEngineWiring:
-    def _images(self):
-        import numpy as np
-
+    def _images(self, rng):
         from repro.rle.image import RLEImage
 
-        rng = np.random.default_rng(5)
         a = rng.random((6, 64)) < 0.3
         b = a.copy()
         b[2, 10:14] ^= True
         b[4, 30:33] ^= True
         return RLEImage.from_array(a), RLEImage.from_array(b)
 
-    def test_batched_span_tree(self):
+    def test_batched_span_tree(self, np_rng):
         from repro.core.pipeline import diff_images
 
-        a, b = self._images()
+        a, b = self._images(np_rng)
         tracer = Tracer()
         result = diff_images(a, b, engine="batched", tracer=tracer)
         doc = tracer.to_chrome_trace()
@@ -165,10 +162,10 @@ class TestEngineWiring:
         batch = next(s for s in tracer.spans if s.name == "row_batch")
         assert batch.attributes["iterations"] == result.max_iterations
 
-    def test_row_engine_span_tree(self):
+    def test_row_engine_span_tree(self, np_rng):
         from repro.core.pipeline import diff_images
 
-        a, b = self._images()
+        a, b = self._images(np_rng)
         tracer = Tracer()
         result = diff_images(a, b, engine="vectorized", tracer=tracer)
         doc = tracer.to_chrome_trace()
@@ -191,10 +188,10 @@ class TestEngineWiring:
         assert span.attributes["iterations"] == result.iterations
         assert span.attributes["k1"] == a.run_count
 
-    def test_traced_result_identical_to_untraced(self):
+    def test_traced_result_identical_to_untraced(self, np_rng):
         from repro.core.pipeline import diff_images
 
-        a, b = self._images()
+        a, b = self._images(np_rng)
         traced = diff_images(a, b, tracer=Tracer())
         plain = diff_images(a, b)
         assert traced.image == plain.image

@@ -68,30 +68,29 @@ class TestRowMetrics:
 
 
 class TestImageMetrics:
-    def _images(self):
-        rng = np.random.default_rng(0)
+    def _images(self, rng):
         a = rng.random((6, 12)) < 0.4
         b = a.copy()
         b[2, 3:6] ^= True
         return RLEImage.from_array(a), RLEImage.from_array(b)
 
-    def test_image_hamming(self):
-        a, b = self._images()
+    def test_image_hamming(self, np_rng):
+        a, b = self._images(np_rng)
         assert hamming_distance(a, b) == 3
 
-    def test_image_error_fraction(self):
-        a, b = self._images()
+    def test_image_error_fraction(self, np_rng):
+        a, b = self._images(np_rng)
         assert error_fraction(a, b) == pytest.approx(3 / 72)
 
-    def test_image_run_difference(self):
-        a, b = self._images()
+    def test_image_run_difference(self, np_rng):
+        a, b = self._images(np_rng)
         expected = sum(
             abs(ra.run_count - rb.run_count) for ra, rb in zip(a, b)
         )
         assert run_count_difference(a, b) == expected
 
-    def test_image_total_runs(self):
-        a, b = self._images()
+    def test_image_total_runs(self, np_rng):
+        a, b = self._images(np_rng)
         assert total_runs(a, b) == a.total_runs + b.total_runs
 
     def test_empty_image_fraction(self):

@@ -1,0 +1,161 @@
+"""The chaos module itself: schedules, injection, corruption tooling.
+
+These tests pin down the *fault generator* before the resilience suite
+uses it to prove the service: a chaos schedule must be deterministic,
+its faults must be the documented kinds, and its corruptions must be
+exactly the ones :func:`repro.service.resilience.validate_result` can
+catch — otherwise the resilience proofs would be proving against the
+wrong adversary.
+"""
+
+import pytest
+
+from repro.errors import InjectedFaultError, ReproError, ServiceError
+from repro.rle.row import RLERow
+from repro.core.options import DiffOptions
+from repro.obs.metrics import MetricsRegistry
+from repro.service.batcher import compute_row_diffs
+from repro.service.cache import DiffCache
+from repro.service.chaos import (
+    FAULT_KINDS,
+    ChaosEngine,
+    ChaosSchedule,
+    corrupt_cached_result,
+)
+from repro.service.resilience import validate_result
+from repro.errors import CorruptResultError
+
+OPTS = DiffOptions(engine="batched")
+
+ROW_A = RLERow.from_pairs([(0, 4), (8, 2)], width=16)
+ROW_B = RLERow.from_pairs([(2, 4)], width=16)
+
+
+def compute_one(chaos):
+    return chaos(OPTS, [ROW_A], [ROW_B])
+
+
+class TestChaosSchedule:
+    def test_explicit_plan_in_order_then_clean(self):
+        sched = ChaosSchedule(["error", None, "latency"])
+        assert [sched.next_fault() for _ in range(5)] == [
+            "error", None, "latency", None, None,
+        ]
+        assert sched.calls == 5
+
+    def test_cycling_plan_repeats(self):
+        sched = ChaosSchedule(["error", None], cycle=True)
+        assert [sched.next_fault() for _ in range(6)] == [
+            "error", None, "error", None, "error", None,
+        ]
+
+    def test_bernoulli_same_seed_same_sequence(self):
+        a = ChaosSchedule.bernoulli(seed=42, rate=0.5)
+        b = ChaosSchedule.bernoulli(seed=42, rate=0.5)
+        assert [a.next_fault() for _ in range(64)] == [
+            b.next_fault() for _ in range(64)
+        ]
+
+    def test_bernoulli_rate_extremes(self):
+        never = ChaosSchedule.bernoulli(seed=1, rate=0.0)
+        always = ChaosSchedule.bernoulli(seed=1, rate=1.0)
+        assert all(never.next_fault() is None for _ in range(32))
+        drawn = {always.next_fault() for _ in range(64)}
+        assert drawn and drawn <= set(FAULT_KINDS)
+
+    def test_bernoulli_restricted_kinds(self):
+        sched = ChaosSchedule.bernoulli(seed=3, rate=1.0, kinds=["error"])
+        assert {sched.next_fault() for _ in range(16)} == {"error"}
+
+    def test_rejects_unknown_kind_and_bad_rate(self):
+        with pytest.raises(ServiceError):
+            ChaosSchedule(["meteor"])
+        with pytest.raises(ServiceError):
+            ChaosSchedule.bernoulli(seed=0, rate=1.5)
+        with pytest.raises(ServiceError):
+            ChaosSchedule.bernoulli(seed=0, rate=0.5, kinds=["meteor"])
+        with pytest.raises(ServiceError):
+            ChaosSchedule((), cycle=True)
+
+
+class TestChaosEngine:
+    def test_clean_schedule_is_transparent(self):
+        chaos = ChaosEngine(ChaosSchedule())
+        [faulty] = compute_one(chaos)
+        [clean] = compute_row_diffs(OPTS, [ROW_A], [ROW_B])
+        assert faulty.result.to_pairs() == clean.result.to_pairs()
+        assert faulty.iterations == clean.iterations
+        assert chaos.stats() == {"calls": 1}
+
+    def test_error_kind_raises_typed_fault(self):
+        chaos = ChaosEngine(ChaosSchedule(["error"]))
+        with pytest.raises(InjectedFaultError):
+            compute_one(chaos)
+        assert chaos.injected == {"error": 1}
+
+    def test_crash_kind_is_untyped(self):
+        chaos = ChaosEngine(ChaosSchedule(["crash"]))
+        with pytest.raises(Exception) as excinfo:
+            compute_one(chaos)
+        assert not isinstance(excinfo.value, ReproError)
+
+    def test_latency_kind_sleeps_then_computes(self):
+        slept = []
+        chaos = ChaosEngine(
+            ChaosSchedule(["latency"]), latency=0.123, sleep=slept.append
+        )
+        [result] = compute_one(chaos)
+        [clean] = compute_row_diffs(OPTS, [ROW_A], [ROW_B])
+        assert slept == [0.123]
+        assert result.result.to_pairs() == clean.result.to_pairs()
+
+    def test_corrupt_kind_is_always_detectable(self):
+        # all three corruption flavours, via the cycling counter
+        chaos = ChaosEngine(ChaosSchedule(["corrupt"] * 3, cycle=False))
+        for _ in range(3):
+            [result] = compute_one(chaos)
+            with pytest.raises(CorruptResultError):
+                validate_result(OPTS, ROW_A, ROW_B, result)
+        assert chaos.injected == {"corrupt": 3}
+
+    def test_corrupt_never_mutates_the_clean_result_object(self):
+        [clean] = compute_row_diffs(OPTS, [ROW_A], [ROW_B])
+        chaos = ChaosEngine(ChaosSchedule(["corrupt"]))
+        compute_one(chaos)
+        # the original computation path stays intact on the next call
+        [after] = compute_one(chaos)
+        assert after.result.to_pairs() == clean.result.to_pairs()
+
+    def test_injection_counts_land_in_metrics(self):
+        registry = MetricsRegistry()
+        chaos = ChaosEngine(
+            ChaosSchedule(["error", "latency"]),
+            sleep=lambda _s: None,
+            metrics=registry,
+        )
+        with pytest.raises(InjectedFaultError):
+            compute_one(chaos)
+        compute_one(chaos)
+        family = registry.family("repro_resilience_chaos_injected_total")
+        assert family.labels(kind="error").value == 1.0
+        assert family.labels(kind="latency").value == 1.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ServiceError):
+            ChaosEngine(ChaosSchedule(), latency=-1.0)
+
+
+class TestCacheCorruptionTooling:
+    def test_corrupt_cached_result_flags_stored_entry(self):
+        cache = DiffCache()
+        [result] = compute_row_diffs(OPTS, [ROW_A], [ROW_B])
+        cache.store(ROW_A, ROW_B, OPTS, result)
+        assert corrupt_cached_result(cache, ROW_A, ROW_B, OPTS)
+        served = cache.lookup(ROW_A, ROW_B, OPTS)
+        assert served is not None
+        with pytest.raises(CorruptResultError):
+            validate_result(OPTS, ROW_A, ROW_B, served)
+
+    def test_corrupt_cached_result_reports_missing_entry(self):
+        cache = DiffCache()
+        assert not corrupt_cached_result(cache, ROW_A, ROW_B, OPTS)

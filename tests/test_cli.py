@@ -124,3 +124,61 @@ class TestCommands:
         trace = json.loads((out_dir / "trace.json").read_text())
         span_names = {e["name"] for e in trace["traceEvents"]}
         assert {"image_diff", "row_batch", "step"} <= span_names
+
+
+SERVE_SMALL = ["serve", "--height", "32", "--width", "32", "--frames", "4"]
+
+
+class TestServeResilient:
+    def test_plain_serve_reports_cache(self, capsys):
+        assert main(SERVE_SMALL + ["--passes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "resilience:" not in out
+
+    def test_resilient_serve_reports_policy_outcomes(self, capsys):
+        assert main(SERVE_SMALL + ["--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "100.0% availability" in out
+        assert "breaker state 0" in out
+
+    def test_chaos_rate_implies_resilient_and_reports_injections(self, capsys):
+        assert (
+            main(SERVE_SMALL + ["--chaos-rate", "0.2", "--chaos-seed", "7"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "resilient" in out
+        assert "chaos:" in out and "faults injected" in out
+
+    def test_min_availability_gate_fails_under_total_chaos(self, capsys):
+        """Every engine batch faults and the retry budget is too small
+        to absorb that, so the availability floor must turn the lost
+        pairs into exit 1 (latency faults still serve, so availability
+        lands between zero and the floor)."""
+        exit_code = main(
+            SERVE_SMALL
+            + [
+                "--chaos-rate", "1.0",
+                "--max-retries", "1",
+                "--min-availability", "0.9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "ERROR: availability" in out
+        assert "below required 90.0%" in out
+
+    def test_min_availability_gate_passes_when_faults_absorbed(self, capsys):
+        assert (
+            main(
+                SERVE_SMALL
+                + [
+                    "--chaos-rate", "0.2",
+                    "--chaos-seed", "7",
+                    "--max-shed", "0",
+                    "--min-availability", "0.9",
+                ]
+            )
+            == 0
+        )
+        assert "ERROR" not in capsys.readouterr().out
