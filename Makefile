@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke obs-smoke service-smoke resilience-smoke coverage examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke obs-smoke service-smoke resilience-smoke serve-smoke coverage examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -64,6 +64,19 @@ resilience-smoke:
 		--chaos-seed 7 --max-shed 0 --min-availability 0.9
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_resilience.py -q --benchmark-disable
+
+# sharded-tier smoke: bring up a 2-worker front-end on an ephemeral
+# port, round-trip the clip through the TCP client (byte-identity vs a
+# local DiffService, merged metrics == summed worker stats, hit-rate
+# gate), then run the sharded benchmark gates in smoke mode
+# (see docs/SERVING.md)
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 6 --passes 2 --workers 2 --listen 127.0.0.1:0 \
+		--selftest --min-hit-rate 0.4
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_service.py -q --benchmark-disable \
+		-k "Sharded"
 
 # line coverage over the service layer, gated at 90% (pytest-cov ships
 # in the [test] extra; skipped with a notice when not installed)

@@ -33,7 +33,7 @@ import pytest
 
 from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
-from repro.service import DiffService
+from repro.service import DiffService, ShardedDiffService
 from repro.workloads.motion import generate_sequence
 
 from conftest import write_artifact, write_json_artifact
@@ -168,3 +168,248 @@ class TestServiceThroughput:
         assert stats["hit_rate"] >= HIT_RATE_FLOOR
         # the warmed service must not be slower than recomputing
         assert speedup > 1.0
+
+
+# --------------------------------------------------------------------- #
+# The sharded tier (see docs/SERVING.md)                                 #
+# --------------------------------------------------------------------- #
+#: Speedup floor for the multi-worker bench.  Only enforced when the
+#: host actually has enough cores to parallelize — on a smaller box the
+#: bench still runs every correctness gate and reports the measured
+#: number, it just cannot demand physics the hardware does not have.
+SHARDED_SPEEDUP_FLOOR = 2.5
+
+SHARDED_WORKERS = 4
+SHARDED_ROWS = 512 if SMOKE else 4096
+SHARDED_WIDTH = 512
+SHARDED_CHUNK = 1024  # pairs per request, the serving-shaped unit
+
+
+def make_unique_pairs(n_rows, width, seed):
+    """Non-repeating row pairs: every request misses, so the bench
+    measures engine throughput across shards, not cache luck."""
+    from repro.workloads.random_rows import generate_row_pair
+    from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+    base = BaseRowSpec(width=width, density=0.30)
+    errors = ErrorSpec(fraction=0.05)
+    rows_a, rows_b = [], []
+    for y in range(n_rows):
+        ra, rb, _mask = generate_row_pair(base, errors, seed=seed * 100_003 + y)
+        rows_a.append(ra)
+        rows_b.append(rb)
+    return rows_a, rows_b
+
+
+def assert_row_results_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.result.to_pairs() == w.result.to_pairs()
+        assert g.iterations == w.iterations
+        assert g.n_cells == w.n_cells
+        assert g.stats.items() == w.stats.items()
+
+
+def fold_snapshots(snapshots):
+    folded = snapshots[0]
+    for snapshot in snapshots[1:]:
+        folded = folded.merge(snapshot)
+    return folded
+
+
+def run_sharded_bench(workers, n_rows, width, seed=SEED, chunk=SHARDED_CHUNK):
+    """Single-process vs sharded throughput on identical traffic.
+
+    Returns the results payload.  Raises AssertionError if the sharded
+    results are not byte-identical to the single-process service's, or
+    if the merged cross-worker snapshot differs from the fold of the
+    per-worker snapshots.
+    """
+    rows_a, rows_b = make_unique_pairs(n_rows, width, seed)
+    chunks = [
+        (rows_a[i : i + chunk], rows_b[i : i + chunk])
+        for i in range(0, n_rows, chunk)
+    ]
+
+    with DiffService(OPTIONS, cache_bytes=0, max_latency=0.0) as single:
+        single.diff_rows(rows_a[:8], rows_b[:8])  # warm the worker thread
+        t0 = time.perf_counter()
+        reference = []
+        for ca, cb in chunks:
+            reference.extend(single.diff_rows(ca, cb))
+        single_seconds = time.perf_counter() - t0
+
+    with ShardedDiffService(OPTIONS, workers=workers, cache_bytes=0) as sharded:
+        sharded.ping()  # workers up before the clock starts
+        sharded.diff_rows(rows_a[:8], rows_b[:8])
+        t0 = time.perf_counter()
+        served = []
+        for ca, cb in chunks:
+            served.extend(sharded.diff_rows(ca, cb))
+        sharded_seconds = time.perf_counter() - t0
+        per_worker = sharded.worker_snapshots()
+        merged = sharded.merged_snapshot()
+        stats = sharded.stats()
+
+    assert_row_results_identical(served, reference)
+    assert fold_snapshots(per_worker) == merged, (
+        "merged cross-worker snapshot differs from the fold of the "
+        "per-worker snapshots"
+    )
+    merged_requests = merged.counter_total("repro_service_requests_total")
+    # the warmup rows ride in the counters too
+    assert merged_requests == stats["requests"], (
+        f"merged metrics report {merged_requests:g} requests, "
+        f"stats report {stats['requests']:g}"
+    )
+
+    speedup = single_seconds / sharded_seconds if sharded_seconds else 0.0
+    return {
+        "workload": {
+            "rows": n_rows,
+            "width": width,
+            "chunk": chunk,
+            "seed": seed,
+            "unique_content": True,
+        },
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "throughput": {
+            "single_seconds": single_seconds,
+            "sharded_seconds": sharded_seconds,
+            "single_rows_per_second": n_rows / single_seconds,
+            "sharded_rows_per_second": n_rows / sharded_seconds,
+            "speedup": speedup,
+        },
+        "merged_requests": merged_requests,
+        "speedup_floor": SHARDED_SPEEDUP_FLOOR,
+        "speedup_floor_enforced": (os.cpu_count() or 1) >= workers,
+    }
+
+
+class TestShardedGates:
+    """Correctness gates for the sharded tier — run in smoke mode too."""
+
+    def test_sharded_identity_on_clip(self, clip):
+        """Whole-image diffs through 2 shard workers, byte-identical to
+        the single-process service on the same clip."""
+        pairs = list(zip(clip, clip[1:]))
+        with DiffService(OPTIONS, max_latency=0.0) as single:
+            reference = [single.diff_images(a, b) for a, b in pairs]
+        with ShardedDiffService(OPTIONS, workers=2) as sharded:
+            served = [sharded.diff_images(a, b) for a, b in pairs]
+        for s_res, r_res in zip(served, reference):
+            assert [r.to_pairs() for r in s_res.image] == [
+                r.to_pairs() for r in r_res.image
+            ]
+            assert_row_results_identical(s_res.row_results, r_res.row_results)
+
+    def test_merged_snapshot_equals_worker_fold(self, clip):
+        """The front-end's merged registry must equal the fold of the
+        per-worker snapshots — no lost or double-counted series."""
+        pairs = list(zip(clip, clip[1:]))
+        with ShardedDiffService(OPTIONS, workers=2) as sharded:
+            for a, b in pairs:
+                sharded.diff_images(a, b)
+            per_worker = sharded.worker_snapshots()
+            merged = sharded.merged_snapshot()
+            stats = sharded.stats()
+        assert fold_snapshots(per_worker) == merged
+        total = merged.counter_total("repro_service_requests_total")
+        assert total == stats["requests"] > 0
+
+
+@pytest.mark.skipif(SMOKE, reason="timing skipped in smoke mode")
+class TestShardedThroughput:
+    def test_sharded_artifact(self, results_dir):
+        payload = run_sharded_bench(SHARDED_WORKERS, SHARDED_ROWS, SHARDED_WIDTH)
+        write_json_artifact(results_dir, "sharded.json", payload)
+        through = payload["throughput"]
+        lines = [
+            f"Sharded serving tier: {payload['workers']} workers vs one process",
+            f"  {payload['workload']['rows']} unique row pairs x "
+            f"{payload['workload']['width']} px, "
+            f"{payload['workload']['chunk']} pairs/request",
+            f"  single-process : {through['single_rows_per_second']:,.0f} rows/s "
+            f"({through['single_seconds']:.3f}s)",
+            f"  sharded        : {through['sharded_rows_per_second']:,.0f} rows/s "
+            f"({through['sharded_seconds']:.3f}s)",
+            f"  speedup        : {through['speedup']:.2f}x "
+            f"(floor {SHARDED_SPEEDUP_FLOOR}x, "
+            + (
+                "enforced"
+                if payload["speedup_floor_enforced"]
+                else f"not enforced: host has {payload['host_cpus']} CPU(s))"
+            ),
+        ]
+        write_artifact(results_dir, "sharded.txt", "\n".join(lines))
+        if payload["speedup_floor_enforced"]:
+            assert through["speedup"] >= SHARDED_SPEEDUP_FLOOR, (
+                f"sharded speedup {through['speedup']:.2f}x below the "
+                f"{SHARDED_SPEEDUP_FLOOR}x floor on a "
+                f"{payload['host_cpus']}-core host"
+            )
+
+
+def _sharded_main(argv=None):
+    """``python benchmarks/bench_service.py --sharded --workers 4``: the
+    acceptance entry point — run the multi-process bench directly,
+    write ``results/sharded.json``, and gate on the speedup floor
+    (enforced by default only when the host has >= workers cores; force
+    it with ``--min-speedup``)."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sharded", action="store_true", required=True)
+    parser.add_argument("--workers", type=int, default=SHARDED_WORKERS)
+    parser.add_argument("--rows", type=int, default=SHARDED_ROWS)
+    parser.add_argument("--width", type=int, default=SHARDED_WIDTH)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this speedup (default: 2.5 when the host has "
+        ">= workers cores, otherwise report-only)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_sharded_bench(args.workers, args.rows, args.width)
+    results = Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "sharded.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    through = payload["throughput"]
+    print(
+        f"single-process : {through['single_rows_per_second']:,.0f} rows/s "
+        f"({through['single_seconds']:.3f}s)"
+    )
+    print(
+        f"sharded ({args.workers}w)   : {through['sharded_rows_per_second']:,.0f} "
+        f"rows/s ({through['sharded_seconds']:.3f}s)"
+    )
+    print(f"speedup        : {through['speedup']:.2f}x")
+    print("results identical, merged snapshot == per-worker fold")
+    floor = args.min_speedup
+    if floor is None and payload["speedup_floor_enforced"]:
+        floor = SHARDED_SPEEDUP_FLOOR
+    if floor is not None and through["speedup"] < floor:
+        print(
+            f"ERROR: speedup {through['speedup']:.2f}x below the "
+            f"{floor}x floor"
+        )
+        return 1
+    if floor is None:
+        print(
+            f"(speedup floor not enforced: host has "
+            f"{payload['host_cpus']} CPU(s) for {args.workers} workers)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_sharded_main())

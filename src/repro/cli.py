@@ -16,7 +16,12 @@ Commands
 ``serve``      run a repeated-frame clip through the cached
                :class:`~repro.service.DiffService` and report cache
                hit rate / batching stats (see docs/API.md); with
-               ``--min-hit-rate`` it doubles as the CI smoke gate
+               ``--min-hit-rate`` it doubles as the CI smoke gate.
+               ``--workers N`` shards the service over N processes
+               routed by row fingerprint, ``--listen HOST:PORT`` serves
+               it over TCP, and ``--selftest`` round-trips the clip
+               through a client and gates on byte-identity and merged
+               metrics (see docs/SERVING.md)
 ``lint``       run ``rlelint``, the domain-aware static analyzer
                (see docs/STATIC_ANALYSIS.md)
 """
@@ -191,6 +196,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit 1 if the served fraction of frame pairs falls below "
         "this floor (default: no gate)",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the service over this many worker processes routed "
+        "by row fingerprint (0 = in-process; see docs/SERVING.md)",
+    )
+    sv.add_argument(
+        "--listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="with --workers: serve the sharded tier over TCP on this "
+        "address (port 0 picks a free port)",
+    )
+    sv.add_argument(
+        "--selftest",
+        action="store_true",
+        help="with --listen: round-trip the clip through a TCP client, "
+        "verify byte-identity with a single-process DiffService and "
+        "merged-metrics sanity, then exit (the CI smoke mode)",
     )
 
     from repro.analysis.lint.cli import configure_parser as configure_lint_parser
@@ -740,6 +767,143 @@ def _cmd_serve(
     return 0
 
 
+def _parse_listen(listen: str) -> Optional[tuple]:
+    host, sep, port = listen.rpartition(":")
+    if not sep or not port.isdigit():
+        return None
+    return (host or "127.0.0.1", int(port))
+
+
+def _cmd_serve_sharded(
+    height: int,
+    width: int,
+    frames: int,
+    passes: int,
+    seed: int,
+    engine: str,
+    cache_mb: float,
+    min_hit_rate: Optional[float],
+    workers: int,
+    listen: Optional[str],
+    selftest: bool,
+) -> int:
+    from repro.core.options import DiffOptions, validate_engine
+    from repro.service import (
+        DiffService,
+        ServerThread,
+        ShardClient,
+        ShardedDiffService,
+    )
+    from repro.workloads.motion import generate_sequence
+
+    address = None
+    if listen is not None:
+        address = _parse_listen(listen)
+        if address is None:
+            print(f"error: --listen expects HOST:PORT, got {listen!r}")
+            return 2
+    if selftest and address is None:
+        print("error: --selftest requires --listen")
+        return 2
+
+    clip = generate_sequence(height=height, width=width, n_frames=frames, seed=seed)
+    options = DiffOptions(engine=validate_engine(engine))
+    cache_bytes = int(cache_mb * 1024 * 1024)
+    print(
+        f"clip: {frames} frames of {height}x{width}, {passes} pass(es), "
+        f"engine {engine}, cache "
+        + (f"{cache_mb:g} MiB/worker" if cache_bytes > 0 else "disabled")
+        + f", {workers} shard worker(s)"
+    )
+    with ShardedDiffService(
+        options, workers=workers, cache_bytes=cache_bytes
+    ) as service:
+        service.ping()
+        total_pixels = pairs_served = 0
+        if address is None:
+            # no TCP: drive the clip straight through the sharded service
+            for _ in range(passes):
+                for prev, cur in zip(clip, clip[1:]):
+                    total_pixels += service.diff_images(prev, cur).difference_pixels
+                    pairs_served += 1
+        else:
+            with ServerThread(service, host=address[0], port=address[1]) as server:
+                print(f"listening on {server.host}:{server.port}")
+                if not selftest:
+                    import threading
+
+                    try:
+                        threading.Event().wait()  # serve until interrupted
+                    except KeyboardInterrupt:
+                        print("interrupted — shutting down")
+                    return 0
+                mismatches = 0
+                with ShardClient(server.host, server.port) as client, DiffService(
+                    options, cache_bytes=cache_bytes
+                ) as reference:
+                    if client.ping() != workers:
+                        print("ERROR: ping did not reach every worker")
+                        return 1
+                    for _ in range(passes):
+                        for prev, cur in zip(clip, clip[1:]):
+                            remote = client.diff_rows(list(prev), list(cur))
+                            local = reference.diff_images(prev, cur)
+                            pairs_served += 1
+                            total_pixels += local.difference_pixels
+                            for r, l in zip(remote, local.row_results):
+                                if (
+                                    r.result.to_pairs() != l.result.to_pairs()
+                                    or r.iterations != l.iterations
+                                    or r.stats.items() != l.stats.items()
+                                ):
+                                    mismatches += 1
+                if mismatches:
+                    print(
+                        f"ERROR: {mismatches} row result(s) diverged from the "
+                        f"single-process DiffService"
+                    )
+                    return 1
+                print(
+                    f"selftest: {pairs_served} frame pairs round-tripped over "
+                    f"TCP, byte-identical to the single-process service"
+                )
+        stats = service.stats()
+        merged = service.merged_snapshot()
+        per_worker = service.worker_snapshots()
+    folded = per_worker[0]
+    for snapshot in per_worker[1:]:
+        folded = folded.merge(snapshot)
+    if folded != merged:
+        print("ERROR: merged snapshot differs from the per-worker fold")
+        return 1
+    merged_requests = merged.counter_total("repro_service_requests_total")
+    if merged_requests != stats["requests"]:
+        print(
+            f"ERROR: merged metrics report {merged_requests:g} requests, "
+            f"stats report {stats['requests']:g}"
+        )
+        return 1
+    print(f"served {pairs_served} frame pairs ({int(stats['requests'])} row requests)")
+    print(f"motion pixels flagged: {total_pixels}")
+    print(
+        f"cache (all shards): {int(stats.get('hits', 0))} hits / "
+        f"{int(stats.get('misses', 0))} misses "
+        f"(hit rate {stats['hit_rate']:.1%}), "
+        f"{int(stats.get('entries', 0))} entries"
+    )
+    print(
+        f"merged metrics: {merged_requests:g} requests across "
+        f"{int(stats['workers'])} workers — consistent with stats"
+    )
+    if min_hit_rate is not None and stats["hit_rate"] < min_hit_rate:
+        print(
+            f"ERROR: hit rate {stats['hit_rate']:.1%} below required "
+            f"{min_hit_rate:.1%}"
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -772,6 +936,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.validate,
         )
     if args.command == "serve":
+        if args.workers:
+            if args.resilient or args.deadline is not None or args.chaos_rate:
+                # workers already serve through ResilientDiffService;
+                # chaos hooks are in-process only
+                print(
+                    "error: --workers is incompatible with --resilient/"
+                    "--deadline/--chaos-rate (each shard worker already "
+                    "serves through ResilientDiffService; chaos injection "
+                    "is in-process only)"
+                )
+                return 2
+            return _cmd_serve_sharded(
+                args.height,
+                args.width,
+                args.frames,
+                args.passes,
+                args.seed,
+                args.engine,
+                args.cache_mb,
+                args.min_hit_rate,
+                args.workers,
+                args.listen,
+                args.selftest,
+            )
+        if args.listen is not None or args.selftest:
+            print("error: --listen/--selftest require --workers N (N >= 1)")
+            return 2
         return _cmd_serve(
             args.height,
             args.width,

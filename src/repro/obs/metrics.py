@@ -156,6 +156,26 @@ class MetricsSnapshot:
         registry.merge_snapshot(other)
         return registry.snapshot()
 
+    def counter_total(self, name: str, **labels: str) -> float:
+        """Sum of counter family ``name``'s series whose labels include
+        the given subset (all series when no labels are given).
+
+        The cross-process sanity check of the sharded tier: the
+        front-end's merged snapshot must report the same totals as the
+        sum over per-worker snapshots, and this is the accessor both
+        sides use.  Returns ``0.0`` for absent families — a worker that
+        never fired a counter simply contributes nothing.
+        """
+        total = 0.0
+        for family in self.families:
+            if family.name != name or family.kind != "counter":
+                continue
+            for series in family.series:
+                have = dict(zip(family.labelnames, series.labels))
+                if all(have.get(key) == value for key, value in labels.items()):
+                    total += series.value
+        return total
+
 
 # --------------------------------------------------------------------- #
 # Live metric instances                                                 #

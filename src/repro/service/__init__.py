@@ -22,9 +22,17 @@ a stream of frames, where most content repeats:
 - :mod:`repro.service.chaos` — seeded fault injection for the serving
   path (:class:`ChaosEngine` / :class:`ChaosSchedule`); every
   resilience behaviour is proven against reproducible fault schedules.
+- :mod:`repro.service.shard` — consistent-hash routing of row
+  fingerprints (:class:`ShardRing`), the builtin-typed wire codecs, and
+  the worker process loop.
+- :mod:`repro.service.frontend` — the multi-process serving tier:
+  :class:`ShardedDiffService` (N resilient workers behind the ring),
+  the asyncio TCP :class:`ShardedServer` (+ :class:`ServerThread`), and
+  the blocking :class:`ShardClient`.
 
 See ``docs/API.md`` for the service contract, ``docs/RESILIENCE.md``
-for the failure policies and breaker state machine, and
+for the failure policies and breaker state machine, ``docs/SERVING.md``
+for the sharded tier (routing, worker protocol, failure semantics), and
 ``docs/OBSERVABILITY.md`` for the ``repro_cache_*`` /
 ``repro_service_*`` / ``repro_resilience_*`` metric families.
 """
@@ -32,6 +40,12 @@ for the failure policies and breaker state machine, and
 from repro.service.batcher import RowDiffBatcher, compute_row_diffs
 from repro.service.cache import DiffCache, row_fingerprint
 from repro.service.chaos import ChaosEngine, ChaosSchedule
+from repro.service.frontend import (
+    ServerThread,
+    ShardClient,
+    ShardedDiffService,
+    ShardedServer,
+)
 from repro.service.resilience import (
     CircuitBreaker,
     ResiliencePolicy,
@@ -39,6 +53,7 @@ from repro.service.resilience import (
     validate_result,
 )
 from repro.service.service import DiffService
+from repro.service.shard import ShardRing
 
 __all__ = [
     "DiffService",
@@ -52,4 +67,9 @@ __all__ = [
     "validate_result",
     "ChaosEngine",
     "ChaosSchedule",
+    "ShardRing",
+    "ShardedDiffService",
+    "ShardedServer",
+    "ServerThread",
+    "ShardClient",
 ]

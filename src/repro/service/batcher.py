@@ -171,6 +171,11 @@ class RowDiffBatcher:
         )
         self._closed = False
         self._close_lock = threading.Lock()
+        #: Guards the ``batches``/``requests`` totals: they are bumped
+        #: from the worker thread (queued path) *and* from caller
+        #: threads (:meth:`record_outcomes`, the service's bulk path),
+        #: and unsynchronized ``+=`` loses increments under concurrency.
+        self._stats_lock = threading.Lock()
         self.batches = 0
         self.requests = 0
         self._metrics = metrics
@@ -185,7 +190,8 @@ class RowDiffBatcher:
             self._m_coalesced = outcomes.labels(outcome="coalesced")
             self._m_batch_size = metrics.histogram(
                 "repro_service_batch_size",
-                "requests coalesced per engine batch",
+                "unique misses computed per engine batch (cache hits and "
+                "coalesced duplicates excluded)",
                 buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
             ).labels()
         self._worker = threading.Thread(
@@ -260,9 +266,10 @@ class RowDiffBatcher:
         counters, so ``stats()`` and ``repro_service_requests_total``
         cover every request however it was served.
         """
-        self.requests += hit + computed + coalesced
-        if computed:
-            self.batches += 1
+        with self._stats_lock:
+            self.requests += hit + computed + coalesced
+            if computed:
+                self.batches += 1
         if self._metrics is not None:
             if hit:
                 self._m_hit.inc(hit)
@@ -318,10 +325,8 @@ class RowDiffBatcher:
                     request.future.set_exception(exc)
 
     def _serve_inner(self, batch: List[_Request]) -> None:
-        self.batches += 1
-        self.requests += len(batch)
-        if self._metrics is not None:
-            self._m_batch_size.observe(float(len(batch)))
+        with self._stats_lock:
+            self.requests += len(batch)
         # 1. cache hits resolve immediately; misses queue for compute,
         #    deduped so identical pending pairs cost one lane.
         pending: "Dict[CacheKey, List[_Request]]" = {}
@@ -348,11 +353,26 @@ class RowDiffBatcher:
         if not order:
             return
         # 2. one engine batch over the unique misses.
+        with self._stats_lock:
+            self.batches += 1
+        if self._metrics is not None:
+            self._m_batch_size.observe(float(len(order)))
         results = self._compute(
             self.options,
             [request.row_a for _, request in order],
             [request.row_b for _, request in order],
         )
+        # A ComputeFn that returns the wrong number of results would
+        # silently drop the trailing requests under zip — their futures
+        # would never resolve and callers would block forever.  Fail the
+        # whole batch with a typed error instead (the _serve wrapper
+        # forwards it to every unresolved future).
+        if len(results) != len(order):
+            raise ServiceError(
+                f"compute returned {len(results)} result(s) for "
+                f"{len(order)} unique miss(es); refusing to serve a "
+                f"mismatched batch"
+            )
         # 3. store and resolve every waiter.
         for (key, request), result in zip(order, results):
             if self.cache is not None:

@@ -284,13 +284,24 @@ class DiffCache:
     @property
     def hit_rate(self) -> float:
         """``hits / (hits + misses)`` over the cache's lifetime
-        (``0.0`` before the first lookup)."""
-        seen = self.hits + self.misses
-        return self.hits / seen if seen else 0.0
+        (``0.0`` before the first lookup).
+
+        Reads both counters under the lock — an unsynchronized read can
+        pair a fresh ``hits`` with a stale ``misses`` (or vice versa)
+        mid-lookup and report a rate above 1.0 or below its true value,
+        which matters because the CLI's ``--min-hit-rate`` gate trusts
+        this number.
+        """
+        with self._lock:
+            seen = self.hits + self.misses
+            return self.hits / seen if seen else 0.0
 
     def info(self) -> Dict[str, float]:
         """Counters and budget as one plain dict (for logs and the CLI)."""
         with self._lock:
+            # hit_rate recomputed inline: the property takes the same
+            # non-reentrant lock.
+            seen = self.hits + self.misses
             return {
                 "entries": float(len(self._entries)),
                 "bytes": float(self._bytes),
@@ -299,7 +310,7 @@ class DiffCache:
                 "misses": float(self.misses),
                 "evictions": float(self.evictions),
                 "collisions": float(self.collisions),
-                "hit_rate": self.hit_rate,
+                "hit_rate": self.hits / seen if seen else 0.0,
             }
 
     def invalidate(self, key: CacheKey) -> bool:

@@ -1,0 +1,726 @@
+"""The sharded serving front-end: worker pool, router, and TCP server.
+
+Three layers, each usable on its own:
+
+:class:`ShardedDiffService`
+    N worker processes, each running a private
+    :class:`~repro.service.resilience.ResilientDiffService`, behind the
+    :class:`~repro.service.shard.ShardRing`.  ``diff_rows`` routes every
+    pair by ``row_fingerprint(row_a)``, scatters one bulk request per
+    shard, and reassembles results in input order — byte-identical to a
+    single-process :class:`~repro.service.DiffService` (asserted by the
+    integration tests and the sharded benchmark).  Worker errors come
+    back as the same typed :mod:`repro.errors` classes the in-process
+    services raise, and per-worker
+    :class:`~repro.obs.metrics.MetricsSnapshot`\\ s merge into one
+    registry for the existing JSON/Prometheus exporters.
+
+:class:`ShardedServer` / :class:`ServerThread`
+    An asyncio TCP front-end speaking newline-delimited JSON (one
+    request object per line, one response per line), dispatching into a
+    :class:`ShardedDiffService` via the event loop's executor so the
+    loop never blocks on a compute.  ``ServerThread`` hosts the loop in
+    a daemon thread for the CLI and the tests.
+
+:class:`ShardClient`
+    A small blocking client for the same protocol (the CLI selftest and
+    the integration tests drive the server with it).
+
+Failure semantics across the boundary (see ``docs/SERVING.md``):
+a worker's backpressure (``ServiceOverloadError``), breaker trips,
+deadline expiries and validation failures all arrive typed; a worker
+process dying mid-request fails that request's future with
+:class:`~repro.errors.ServiceError` rather than hanging the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GeometryError, ReproError, ServiceError
+from repro.rle.image import RLEImage
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import IMAGE_DEFAULTS, DiffOptions, resolve_options
+from repro.core.pipeline import ImageDiffResult
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.service.cache import DEFAULT_CACHE_BYTES
+from repro.service.resilience import ResiliencePolicy
+from repro.service.shard import (
+    DEFAULT_REPLICAS,
+    OptionsWire,
+    ShardRing,
+    decode_error,
+    decode_result,
+    encode_options,
+    encode_result,
+    worker_main,
+)
+
+__all__ = [
+    "ShardedDiffService",
+    "ShardedServer",
+    "ServerThread",
+    "ShardClient",
+]
+
+
+# --------------------------------------------------------------------- #
+# One worker process, seen from the front-end                           #
+# --------------------------------------------------------------------- #
+class _WorkerHandle:
+    """A shard worker: the child process, its pipe, and the receiver
+    thread that resolves request futures by sequence number.
+
+    ``request`` may be called from any thread (sends are serialized
+    under a lock); replies are read by the single receiver thread, so
+    the pipe never sees concurrent reads.  If the worker process dies,
+    every pending future fails with a typed
+    :class:`~repro.errors.ServiceError` — no caller is left hanging.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        options_wire: OptionsWire,
+        policy: Optional[ResiliencePolicy],
+        cache_bytes: int,
+        ctx: Any,
+    ) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._process = ctx.Process(
+            target=worker_main,
+            args=(child_conn, worker_id, options_wire, policy, cache_bytes),
+            name=f"repro-shard-{worker_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()  # the child owns its end now
+        self._lock = threading.Lock()
+        self._pending: Dict[int, "Future[Any]"] = {}
+        self._next_seq = 0
+        self._closed = False
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"repro-shard-recv-{worker_id}",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    # -- request/reply -------------------------------------------------- #
+    def request(self, kind: str, payload: Any = None) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        with self._lock:
+            if self._closed:
+                raise ServiceError(
+                    f"shard worker {self.worker_id} is closed; no further "
+                    f"requests accepted"
+                )
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending[seq] = future
+            try:
+                self._conn.send((kind, seq, payload))
+            except (OSError, BrokenPipeError) as exc:
+                self._pending.pop(seq, None)
+                raise ServiceError(
+                    f"shard worker {self.worker_id} pipe is broken "
+                    f"({type(exc).__name__}) — worker presumed dead"
+                ) from exc
+        return future
+
+    def call(self, kind: str, payload: Any = None, timeout: Optional[float] = None) -> Any:
+        """Synchronous request (submit + wait)."""
+        return self.request(kind, payload).result(timeout=timeout)
+
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                status, seq, payload = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._lock:
+                future = self._pending.pop(seq, None)
+            if future is None:  # cancelled/duplicate — nothing to resolve
+                continue
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(decode_error(payload))
+        # the pipe is gone: fail everything still in flight
+        with self._lock:
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(
+                    ServiceError(
+                        f"shard worker {self.worker_id} exited with the "
+                        f"request still pending"
+                    )
+                )
+
+    # -- lifecycle ------------------------------------------------------ #
+    @property
+    def alive(self) -> bool:
+        return bool(self._process.is_alive())
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Ask the worker to drain and exit; escalate to terminate if it
+        does not comply within ``timeout`` seconds.  Idempotent."""
+        future: "Optional[Future[Any]]" = None
+        with self._lock:
+            already_closed = self._closed
+        if not already_closed:
+            try:
+                future = self.request("close")
+            except ServiceError:
+                future = None
+        if future is not None:
+            try:
+                future.result(timeout=timeout)
+            except (ReproError, Exception):  # worker died mid-close: fine
+                pass
+        with self._lock:
+            self._closed = True
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=timeout)
+        try:
+            self._conn.close()
+        except OSError:  # already closed by the receiver's EOF
+            pass
+
+
+# --------------------------------------------------------------------- #
+# The sharded service                                                   #
+# --------------------------------------------------------------------- #
+class ShardedDiffService:
+    """N shard workers behind a consistent-hash router.
+
+    Parameters
+    ----------
+    options:
+        The :class:`~repro.core.options.DiffOptions` every worker serves
+        under.  Observability handles are stripped before crossing the
+        process boundary — each worker records into a private registry;
+        use :meth:`merged_registry` / :meth:`merged_snapshot` for the
+        fleet-wide view.
+    workers:
+        Shard count (one process per shard).
+    policy:
+        :class:`~repro.service.resilience.ResiliencePolicy` for every
+        worker's resilient service; falls back to ``options.resilience``
+        then to the defaults.
+    cache_bytes:
+        Per-worker cache budget.  Shards cache disjoint content slices,
+        so the effective fleet budget is ``workers * cache_bytes``.
+    replicas:
+        Virtual nodes per shard on the ring.
+    """
+
+    def __init__(
+        self,
+        options: Union[DiffOptions, str, None] = None,
+        workers: int = 2,
+        policy: Optional[ResiliencePolicy] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        opts = resolve_options(options, {}, IMAGE_DEFAULTS, "ShardedDiffService")
+        self.options = opts.without_observability()
+        if policy is None:
+            policy = opts.resilience
+        self.policy = policy
+        self.ring = ShardRing(workers, replicas)
+        ctx = multiprocessing.get_context()
+        wire = encode_options(self.options)
+        self._workers = [
+            _WorkerHandle(i, wire, policy, cache_bytes, ctx)
+            for i in range(workers)
+        ]
+        self._closed = False
+
+    # -- introspection -------------------------------------------------- #
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    def ping(self, timeout: Optional[float] = 10.0) -> List[int]:
+        """Round-trip every worker; returns their ids (readiness probe)."""
+        futures = [handle.request("ping") for handle in self._workers]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def worker_stats(self, timeout: Optional[float] = 10.0) -> List[Dict[str, float]]:
+        """Each worker's ``stats()`` dict, in shard order."""
+        futures = [handle.request("stats") for handle in self._workers]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def stats(self, timeout: Optional[float] = 10.0) -> Dict[str, float]:
+        """Fleet-wide stats: worker counters summed, ``hit_rate``
+        recomputed from the summed hit/miss totals (a mean of per-shard
+        rates would weight idle shards equally with hot ones)."""
+        per_worker = self.worker_stats(timeout=timeout)
+        totals: Dict[str, float] = {"workers": float(len(per_worker))}
+        for stats in per_worker:
+            for key, value in stats.items():
+                if key == "hit_rate":
+                    continue
+                totals[key] = totals.get(key, 0.0) + value
+        seen = totals.get("hits", 0.0) + totals.get("misses", 0.0)
+        totals["hit_rate"] = totals.get("hits", 0.0) / seen if seen else 0.0
+        return totals
+
+    def worker_snapshots(
+        self, timeout: Optional[float] = 10.0
+    ) -> List[MetricsSnapshot]:
+        """Each worker's cumulative metrics snapshot, in shard order."""
+        futures = [handle.request("snapshot") for handle in self._workers]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def merged_registry(
+        self, timeout: Optional[float] = 10.0
+    ) -> MetricsRegistry:
+        """A *fresh* registry holding every worker's snapshot merged.
+
+        Fresh on every call because worker snapshots are cumulative —
+        merging them into a long-lived registry twice would double every
+        counter.  Export with the registry's existing ``to_json()`` /
+        ``to_prometheus_text()``.
+        """
+        registry = MetricsRegistry()
+        for snapshot in self.worker_snapshots(timeout=timeout):
+            registry.merge_snapshot(snapshot)
+        return registry
+
+    def merged_snapshot(
+        self, timeout: Optional[float] = 10.0
+    ) -> MetricsSnapshot:
+        """The fleet-wide :class:`~repro.obs.metrics.MetricsSnapshot`
+        (equals the fold of the per-worker snapshots under
+        :meth:`MetricsSnapshot.merge` — asserted by the benchmark)."""
+        return self.merged_registry(timeout=timeout).snapshot()
+
+    # -- requests ------------------------------------------------------- #
+    def diff_rows(
+        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+    ) -> List[XorRunResult]:
+        """Scatter the pairs over the shards by content, gather, and
+        reassemble in input order.
+
+        All scattered slices are drained even when one fails, so no
+        worker is left computing into an abandoned pipe; the first
+        failure (in shard order) is then re-raised, typed.
+        """
+        rows_a, rows_b = list(rows_a), list(rows_b)
+        if len(rows_a) != len(rows_b):
+            raise GeometryError(
+                f"row sequences differ in length: {len(rows_a)} vs {len(rows_b)}"
+            )
+        if self._closed:
+            raise ServiceError("ShardedDiffService is closed")
+        if not rows_a:
+            return []
+        by_shard: Dict[int, List[int]] = {}
+        for index, row_a in enumerate(rows_a):
+            by_shard.setdefault(self.ring.shard_for_row(row_a), []).append(index)
+        scattered: List[Tuple[int, List[int], "Future[Any]"]] = []
+        for shard, indices in sorted(by_shard.items()):
+            payload = (
+                tuple(_encode_row(rows_a[i]) for i in indices),
+                tuple(_encode_row(rows_b[i]) for i in indices),
+            )
+            scattered.append(
+                (shard, indices, self._workers[shard].request("diff_rows", payload))
+            )
+        served: List[Optional[XorRunResult]] = [None] * len(rows_a)
+        first_error: Optional[BaseException] = None
+        for shard, indices, future in scattered:
+            try:
+                wires = future.result()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            if len(wires) != len(indices):
+                if first_error is None:
+                    first_error = ServiceError(
+                        f"shard {shard} returned {len(wires)} result(s) for "
+                        f"{len(indices)} routed pair(s)"
+                    )
+                continue
+            for index, wire in zip(indices, wires):
+                served[index] = decode_result(wire)
+        if first_error is not None:
+            raise first_error
+        # every index was routed exactly once and every shard returned a
+        # full slice, so nothing can be unserved here — but the bulk
+        # path's contract is checked, not assumed
+        unfilled = [i for i, r in enumerate(served) if r is None]
+        if unfilled:
+            raise ServiceError(
+                f"sharded serve left {len(unfilled)} of {len(served)} rows "
+                f"unserved (first unfilled index {unfilled[0]})"
+            )
+        return [r for r in served if r is not None]
+
+    def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> ImageDiffResult:
+        """Whole-image diff through the shards; same assembly contract
+        as :meth:`DiffService.diff_images` (honours ``canonical``)."""
+        if image_a.shape != image_b.shape:
+            raise GeometryError(
+                f"image shapes differ: {image_a.shape} vs {image_b.shape}"
+            )
+        row_results = self.diff_rows(list(image_a), list(image_b))
+        return ImageDiffResult(
+            image=RLEImage(
+                (
+                    r.canonical_result if self.options.canonical else r.result
+                    for r in row_results
+                ),
+                width=image_a.width,
+            ),
+            row_results=row_results,
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain and stop every worker.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            handle.close(timeout=timeout)
+
+    def __enter__(self) -> "ShardedDiffService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _encode_row(row: RLERow) -> Tuple[Tuple[Tuple[int, int], ...], Optional[int]]:
+    return (tuple((r.start, r.length) for r in row.runs), row.width)
+
+
+# --------------------------------------------------------------------- #
+# The TCP front-end (newline-delimited JSON)                            #
+# --------------------------------------------------------------------- #
+class ShardedServer:
+    """An asyncio TCP server over a :class:`ShardedDiffService`.
+
+    Protocol: one JSON object per line in, one per line out.  Requests
+    carry an ``op``; responses carry ``ok`` plus either the result
+    fields or ``error``/``message`` (the error name matching the typed
+    :mod:`repro.errors` class a local caller would have caught):
+
+    ``{"op": "ping"}``
+        ``{"ok": true, "workers": N}``
+    ``{"op": "diff_rows", "rows_a": [[pairs, width], ...], "rows_b": ...}``
+        ``{"ok": true, "results": [[pairs, width, iterations, k1, k2,
+        n_cells, stats_items], ...]}``
+    ``{"op": "stats"}``
+        ``{"ok": true, "stats": {...}}`` (fleet-wide, counters summed)
+    ``{"op": "metrics", "format": "json" | "prometheus"}``
+        the merged cross-worker registry through the existing exporters
+
+    Dispatch runs in the loop's default executor so a long engine batch
+    never blocks other connections' reads.
+    """
+
+    def __init__(
+        self,
+        service: ShardedDiffService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # server shutdown cancels handlers parked on a read or a
+            # close; ending the task normally (instead of cancelled)
+            # keeps asyncio's stream callback from logging a traceback
+            pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = _error_response(
+                        ServiceError(f"request is not valid JSON: {exc}")
+                    )
+                else:
+                    response = await loop.run_in_executor(
+                        None, self._dispatch, request
+                    )
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # peer already gone
+                pass
+
+    def _dispatch(self, request: Any) -> Dict[str, Any]:
+        try:
+            if not isinstance(request, dict):
+                raise ServiceError(
+                    f"request must be a JSON object, got {type(request).__name__}"
+                )
+            op = request.get("op")
+            if op == "ping":
+                self.service.ping()
+                return {"ok": True, "workers": self.service.workers}
+            if op == "diff_rows":
+                rows_a = [_row_from_json(w) for w in request.get("rows_a", ())]
+                rows_b = [_row_from_json(w) for w in request.get("rows_b", ())]
+                results = self.service.diff_rows(rows_a, rows_b)
+                return {
+                    "ok": True,
+                    "results": [encode_result(r) for r in results],
+                }
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            if op == "metrics":
+                registry = self.service.merged_registry()
+                if request.get("format") == "prometheus":
+                    return {"ok": True, "prometheus": registry.to_prometheus_text()}
+                return {"ok": True, "metrics": registry.to_json()}
+            raise ServiceError(f"unknown op {op!r}")
+        except ReproError as exc:
+            return _error_response(exc)
+        except Exception as exc:  # nothing untyped crosses the socket
+            return _error_response(
+                ServiceError(f"untyped {type(exc).__name__}: {exc}")
+            )
+
+
+def _error_response(exc: ReproError) -> Dict[str, Any]:
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+def _row_from_json(wire: Any) -> RLERow:
+    pairs, width = wire
+    return RLERow.from_pairs(
+        [(int(start), int(length)) for start, length in pairs], width=width
+    )
+
+
+class ServerThread:
+    """A :class:`ShardedServer` hosted on a background event loop.
+
+    ``start()`` blocks until the listening socket is bound (so the
+    caller can read ``port`` immediately); ``stop()`` shuts down the
+    server, the loop and the thread.  The service itself is *not*
+    closed — the owner constructed it, the owner closes it.
+    """
+
+    def __init__(
+        self,
+        service: ShardedDiffService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = ShardedServer(service, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-shard-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=timeout):
+            raise ServiceError(
+                f"server did not start listening within {timeout:g}s"
+            )
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            # connection handlers may still be parked on a readline();
+            # cancel them so the loop closes clean
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------- #
+# A blocking client for the line-JSON protocol                          #
+# --------------------------------------------------------------------- #
+class ShardClient:
+    """A minimal synchronous client for :class:`ShardedServer`.
+
+    One persistent connection, requests answered in order.  Worker-side
+    typed errors are re-raised locally via
+    :func:`~repro.service.shard.decode_error`, so remote and in-process
+    callers handle the same exception classes.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise decode_error(
+                (response.get("error", "ServiceError"), response.get("message", ""))
+            )
+        return response
+
+    def ping(self) -> int:
+        """Round-trip the server and every worker; returns worker count."""
+        return int(self._roundtrip({"op": "ping"})["workers"])
+
+    def diff_rows(
+        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+    ) -> List[XorRunResult]:
+        response = self._roundtrip(
+            {
+                "op": "diff_rows",
+                "rows_a": [_encode_row(r) for r in rows_a],
+                "rows_b": [_encode_row(r) for r in rows_b],
+            }
+        )
+        return [_result_from_json(wire) for wire in response["results"]]
+
+    def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> List[XorRunResult]:
+        """Row results for two equal-shape images (the caller assembles
+        an image if it wants one — the wire carries row results)."""
+        if image_a.shape != image_b.shape:
+            raise GeometryError(
+                f"image shapes differ: {image_a.shape} vs {image_b.shape}"
+            )
+        return self.diff_rows(list(image_a), list(image_b))
+
+    def stats(self) -> Dict[str, float]:
+        return dict(self._roundtrip({"op": "stats"})["stats"])
+
+    def metrics_json(self) -> Dict[str, Any]:
+        return dict(self._roundtrip({"op": "metrics", "format": "json"})["metrics"])
+
+    def metrics_prometheus(self) -> str:
+        return str(
+            self._roundtrip({"op": "metrics", "format": "prometheus"})["prometheus"]
+        )
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _result_from_json(wire: Any) -> XorRunResult:
+    pairs, width, iterations, k1, k2, n_cells, stat_items = wire
+    return decode_result(
+        (
+            tuple((int(s), int(l)) for s, l in pairs),
+            width,
+            int(iterations),
+            int(k1),
+            int(k2),
+            int(n_cells),
+            tuple((str(name), int(count)) for name, count in stat_items),
+        )
+    )

@@ -649,6 +649,56 @@ class ResilientDiffService:
         self.breaker.record_success()
         return result
 
+    def diff_rows(
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        deadline: Optional[float] = None,
+    ) -> List[XorRunResult]:
+        """Bulk row-pair diff under the full policy.
+
+        The request unit of the sharded tier
+        (:mod:`repro.service.shard`): a worker serves each routed slice
+        through this method, so backpressure, breaker admission,
+        degraded cache-only serving and validation all apply per slice
+        exactly as :meth:`diff_images` applies them per image.
+        """
+        budget = deadline if deadline is not None else self.policy.deadline
+        start = self._clock()
+        if not self.breaker.allow():
+            return self._degraded_rows_lookup(rows_a, rows_b)
+        try:
+            results = self._service.diff_rows(rows_a, rows_b)
+            if self.policy.validate_results:
+                results = self._heal_rows(rows_a, rows_b, results)
+        except _CALLER_ERRORS:
+            raise
+        except ServiceOverloadError:
+            raise
+        except DeadlineExceededError:
+            self._count_deadline()
+            self.breaker.record_failure()
+            raise
+        except ReproError:
+            self._count_outcome("failed")
+            self.breaker.record_failure()
+            raise
+        except Exception as exc:
+            self._count_outcome("failed")
+            self.breaker.record_failure()
+            raise RetryExhaustedError(
+                f"bulk row diff failed with untyped {type(exc).__name__}: {exc}"
+            ) from exc
+        if budget is not None and self._clock() - start > budget:
+            self._count_deadline()
+            self.breaker.record_failure()
+            raise DeadlineExceededError(
+                f"bulk row diff completed after its {budget:g}s deadline"
+            )
+        self._count_outcome("ok")
+        self.breaker.record_success()
+        return results
+
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
     # ------------------------------------------------------------------ #
@@ -816,6 +866,36 @@ class ResilientDiffService:
             validate_result(self.options, row_a, row_b, row_result)
         return fresh
 
+    def _heal_rows(
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        results: List[XorRunResult],
+    ) -> List[XorRunResult]:
+        """Validate every served row result; invalidate any corrupt
+        cache entries and recompute the batch once (the bulk analogue
+        of :meth:`_heal_image`)."""
+        cache = self._service.cache
+        if cache is None:
+            # no cache, no rot: every row came straight out of the
+            # validated compute chain — don't pay for a second pass
+            return results
+        corrupt = [
+            (row_a, row_b)
+            for row_a, row_b, result in zip(rows_a, rows_b, results)
+            if not _is_valid(self.options, row_a, row_b, result)
+        ]
+        if not corrupt:
+            return results
+        for row_a, row_b in corrupt:
+            cache.invalidate(cache.key_for(row_a, row_b, self.options))
+        self._count_retry()
+        self._count_healed()
+        fresh = self._service.diff_rows(rows_a, rows_b)
+        for row_a, row_b, result in zip(rows_a, rows_b, fresh):
+            validate_result(self.options, row_a, row_b, result)
+        return fresh
+
     # ------------------------------------------------------------------ #
     # Degraded modes (breaker open / out of probes)                      #
     # ------------------------------------------------------------------ #
@@ -832,6 +912,31 @@ class ResilientDiffService:
             "missed the cache — shedding load, retry after "
             f"{self.policy.breaker_reset_timeout:g}s"
         )
+
+    def _degraded_rows_lookup(
+        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+    ) -> List[XorRunResult]:
+        if len(rows_a) != len(rows_b):
+            raise GeometryError(
+                f"row sequences differ in length: {len(rows_a)} vs {len(rows_b)}"
+            )
+        cache = self._service.cache
+        served: List[XorRunResult] = []
+        if cache is not None:
+            for row_a, row_b in zip(rows_a, rows_b):
+                hit = cache.lookup(row_a, row_b, self.options)
+                if hit is None or not _is_valid(self.options, row_a, row_b, hit):
+                    break
+                served.append(hit)
+        if cache is None or len(served) < len(rows_a):
+            self._count_degraded("shed")
+            raise ServiceOverloadError(
+                "circuit breaker open: engine path disabled and the batch "
+                "is not fully cached — shedding load, retry after "
+                f"{self.policy.breaker_reset_timeout:g}s"
+            )
+        self._count_degraded("cache_only")
+        return served
 
     def _degraded_image_lookup(
         self, image_a: RLEImage, image_b: RLEImage

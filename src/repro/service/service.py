@@ -31,11 +31,11 @@ Usage::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from concurrent.futures import Future
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, ServiceError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
@@ -55,6 +55,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["DiffService"]
+
+
+def _check_computed(got: int, expected: int) -> None:
+    """The ComputeFn contract: exactly one result per unique miss.
+
+    A short return silently truncates the batch under ``zip``; a long
+    one silently discards work.  Both indicate a broken compute hook
+    (or a fault injector left attached), so both fail the request with
+    a typed error instead of serving a wrong-shaped answer.
+    """
+    if got != expected:
+        raise ServiceError(
+            f"compute returned {got} result(s) for {expected} unique "
+            f"miss(es); refusing to serve a mismatched batch"
+        )
 
 
 class DiffService:
@@ -154,8 +169,7 @@ class DiffService:
             raise GeometryError(
                 f"image shapes differ: {image_a.shape} vs {image_b.shape}"
             )
-        rows_a, rows_b = list(image_a), list(image_b)
-        row_results = self._serve_bulk(rows_a, rows_b)
+        row_results = self.diff_rows(list(image_a), list(image_b))
         return ImageDiffResult(
             image=RLEImage(
                 (
@@ -167,6 +181,23 @@ class DiffService:
             row_results=row_results,
         )
 
+    def diff_rows(
+        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+    ) -> List[XorRunResult]:
+        """Difference ``len(rows_a)`` row pairs as one bulk request.
+
+        The bulk path under :meth:`diff_images`, exposed directly: one
+        cache pass over every pair, one engine batch over the deduped
+        misses, results in input order.  This is the request unit the
+        sharded tier's workers serve (see :mod:`repro.service.shard`).
+        """
+        rows_a, rows_b = list(rows_a), list(rows_b)
+        if len(rows_a) != len(rows_b):
+            raise GeometryError(
+                f"row sequences differ in length: {len(rows_a)} vs {len(rows_b)}"
+            )
+        return self._serve_bulk(rows_a, rows_b)
+
     def _serve_bulk(
         self, rows_a: List[RLERow], rows_b: List[RLERow]
     ) -> List[XorRunResult]:
@@ -176,6 +207,7 @@ class DiffService:
             return []
         if self.cache is None:
             results = self._compute(self.options, rows_a, rows_b)
+            _check_computed(len(results), len(rows_a))
             self._batcher.record_outcomes(computed=len(results))
             return results
         served: List[Optional[XorRunResult]] = [None] * len(rows_a)
@@ -202,6 +234,11 @@ class DiffService:
                 [rows_a[i] for _, i in order],
                 [rows_b[i] for _, i in order],
             )
+            # A short compute used to be masked here: zip dropped the
+            # trailing misses and the leftover None slots were filtered
+            # out of the return, yielding an image with fewer rows than
+            # its inputs.  Validate the count and raise instead.
+            _check_computed(len(computed), len(order))
             for (key, i), result in zip(order, computed):
                 self.cache.put(key, rows_a[i], rows_b[i], result)
                 for j in waiters[key]:
@@ -209,6 +246,13 @@ class DiffService:
         self._batcher.record_outcomes(
             hit=hits, computed=len(order), coalesced=coalesced
         )
+        unfilled = [i for i, r in enumerate(served) if r is None]
+        if unfilled:
+            raise ServiceError(
+                f"bulk serve left {len(unfilled)} of {len(served)} rows "
+                f"unserved (first unfilled index {unfilled[0]}); refusing "
+                f"to return a short image"
+            )
         return [r for r in served if r is not None]
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,317 @@
+"""Sharding primitives: the consistent-hash ring, the wire codecs, and
+the worker process loop.
+
+The paper's premise — compressed rows are cheap to fingerprint — is
+what makes scale-out routing nearly free: the front-end already pays
+O(k) to key a row for the cache, and the same 128-bit
+:func:`~repro.service.cache.row_fingerprint` digest doubles as the
+routing key.  Requests are placed on a consistent-hash ring keyed by
+``row_fingerprint(row_a)``, so
+
+* identical content always lands on the same worker — each shard's
+  :class:`~repro.service.cache.DiffCache` stays hot on *its slice* of
+  the content space instead of every worker caching everything;
+* adding or removing a worker remaps only ``~1/N`` of the key space
+  (the classic consistent-hashing property), preserved here by the
+  virtual-node ring.
+
+Everything that crosses the process boundary is builtin-typed wire
+tuples, mirroring :mod:`repro.core.parallel`: rows travel as
+``(pairs, width)``, results as ``(pairs, width, iterations, k1, k2,
+n_cells, stats_items)``, and errors as ``(class_name, message)`` pairs
+rehydrated into the same typed :mod:`repro.errors` hierarchy on the
+other side — a worker's ``ServiceOverloadError`` (queue full, breaker
+open) is a ``ServiceOverloadError`` to the front-end's caller too.
+Metrics cross the boundary the same way they do in the process pool: a
+worker snapshots its private registry into a picklable
+:class:`~repro.obs.metrics.MetricsSnapshot` on demand and the front-end
+merges them (see :class:`repro.service.frontend.ShardedDiffService`).
+
+The protocol itself is deliberately tiny: length-ordered request/reply
+over a :func:`multiprocessing.Pipe`, messages are ``(kind, seq,
+payload)`` tuples, and every request gets exactly one reply tagged with
+its ``seq`` (``"ok"`` or ``"err"``).  See ``docs/SERVING.md`` for the
+message table.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.rle.row import RLERow
+from repro.core.machine import XorRunResult
+from repro.core.options import DiffOptions
+from repro.service.cache import row_fingerprint
+from repro.systolic.stats import ActivityStats
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "ShardRing",
+    "OptionsWire",
+    "RowWire",
+    "ResultWire",
+    "ErrorWire",
+    "encode_options",
+    "decode_options",
+    "encode_row",
+    "decode_row",
+    "encode_result",
+    "decode_result",
+    "encode_error",
+    "decode_error",
+    "worker_main",
+]
+
+#: Virtual nodes per shard on the ring.  More replicas smooth the key
+#: distribution (stddev ~ 1/sqrt(replicas)); 64 keeps the imbalance a
+#: few percent while the ring stays tiny (N*64 points).
+DEFAULT_REPLICAS = 64
+
+#: Semantic options in wire form: ``(engine, n_cells, canonical,
+#: paranoid, record_trace)``.  Observability handles never cross the
+#: boundary — each worker owns a private registry.
+OptionsWire = Tuple[str, Optional[int], bool, bool, bool]
+
+#: One row on the wire: its run pairs and declared width.
+RowWire = Tuple[Tuple[Tuple[int, int], ...], Optional[int]]
+
+#: One result on the wire: output run pairs, width, iterations, k1, k2,
+#: n_cells, and the activity counters as sorted (name, count) tuples.
+ResultWire = Tuple[
+    Tuple[Tuple[int, int], ...],
+    Optional[int],
+    int,
+    int,
+    int,
+    int,
+    Tuple[Tuple[str, int], ...],
+]
+
+#: One error on the wire: the :mod:`repro.errors` class name and the
+#: message.  :func:`decode_error` rehydrates it.
+ErrorWire = Tuple[str, str]
+
+
+# --------------------------------------------------------------------- #
+# The consistent-hash ring                                              #
+# --------------------------------------------------------------------- #
+class ShardRing:
+    """A consistent-hash ring mapping content digests to shard indices.
+
+    Each of the ``n_shards`` shards owns ``replicas`` virtual points,
+    placed by hashing ``shard:<index>:<replica>``; a key is routed to
+    the first point clockwise from its own position (wrapping).  The
+    placement is deterministic — every front-end computes the same
+    ring, and the routing tests pin the distribution.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (worker processes) on the ring.
+    replicas:
+        Virtual nodes per shard.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
+        if n_shards < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                digest = blake2b(
+                    f"shard:{shard}:{replica}".encode("ascii"), digest_size=8
+                ).digest()
+                points.append((int.from_bytes(digest, "big"), shard))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    def shard_for_digest(self, digest: bytes) -> int:
+        """The shard owning ``digest`` (any byte string; the first 8
+        bytes place it on the ring)."""
+        position = int.from_bytes(digest[:8], "big")
+        index = bisect_left(self._keys, position)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._points[index][1]
+
+    def shard_for_row(self, row: RLERow) -> int:
+        """The shard owning ``row``'s content — the routing key is
+        :func:`~repro.service.cache.row_fingerprint`, the same digest
+        the shard's cache will key the result under."""
+        return self.shard_for_digest(row_fingerprint(row))
+
+
+# --------------------------------------------------------------------- #
+# Wire codecs (builtin types only, mirroring repro.core.parallel)       #
+# --------------------------------------------------------------------- #
+def encode_options(options: DiffOptions) -> OptionsWire:
+    """The semantic fields of ``options`` as a wire tuple (the
+    observability handles stay on their side of the boundary)."""
+    return (
+        options.engine,
+        options.n_cells,
+        options.canonical,
+        options.paranoid,
+        options.record_trace,
+    )
+
+
+def decode_options(wire: OptionsWire) -> DiffOptions:
+    engine, n_cells, canonical, paranoid, record_trace = wire
+    return DiffOptions(
+        engine=engine,
+        n_cells=n_cells,
+        canonical=canonical,
+        paranoid=paranoid,
+        record_trace=record_trace,
+    )
+
+
+def encode_row(row: RLERow) -> RowWire:
+    return (tuple((r.start, r.length) for r in row.runs), row.width)
+
+
+def decode_row(wire: RowWire) -> RLERow:
+    pairs, width = wire
+    return RLERow.from_pairs(pairs, width=width)
+
+
+def encode_result(result: XorRunResult) -> ResultWire:
+    return (
+        tuple(result.result.to_pairs()),
+        result.result.width,
+        result.iterations,
+        result.k1,
+        result.k2,
+        result.n_cells,
+        result.stats.items(),
+    )
+
+
+def decode_result(wire: ResultWire) -> XorRunResult:
+    pairs, width, iterations, k1, k2, n_cells, stat_items = wire
+    return XorRunResult(
+        result=RLERow.from_pairs(pairs, width=width),
+        iterations=iterations,
+        k1=k1,
+        k2=k2,
+        n_cells=n_cells,
+        stats=ActivityStats.from_items(stat_items),
+    )
+
+
+def encode_error(exc: BaseException) -> ErrorWire:
+    """``(class_name, message)`` — enough to rehydrate the typed error
+    on the other side of the boundary."""
+    return (type(exc).__name__, str(exc))
+
+
+def decode_error(wire: ErrorWire) -> ReproError:
+    """Rehydrate a worker-side error into the same typed class.
+
+    The name is resolved against :mod:`repro.errors`; anything outside
+    the :class:`~repro.errors.ReproError` hierarchy (or unknown — a
+    version-skewed worker) degrades to :class:`ServiceError` with the
+    original name preserved in the message, so nothing untyped ever
+    escapes the IPC boundary.
+    """
+    import repro.errors as _errors
+
+    name, message = wire
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            # constructors with a different signature (InvariantViolation)
+            return ServiceError(f"{name}: {message}")
+    return ServiceError(f"worker raised {name}: {message}")
+
+
+# --------------------------------------------------------------------- #
+# The worker process                                                    #
+# --------------------------------------------------------------------- #
+def worker_main(
+    conn: Any,
+    worker_id: int,
+    options_wire: OptionsWire,
+    policy: Any,
+    cache_bytes: int,
+) -> None:
+    """One shard: a :class:`~repro.service.resilience.ResilientDiffService`
+    behind a request/reply pipe.  Runs in a child process.
+
+    Messages are ``(kind, seq, payload)`` tuples; every request gets
+    exactly one ``("ok", seq, result)`` or ``("err", seq,
+    (name, message))`` reply:
+
+    ``("diff_rows", seq, (rows_a, rows_b))``
+        Rows in :data:`RowWire` form; the reply payload is a tuple of
+        :data:`ResultWire`.  Failures — including backpressure
+        (``ServiceOverloadError``) and breaker trips — come back as
+        typed :data:`ErrorWire` errors.
+    ``("stats", seq, None)``
+        The service's ``stats()`` dict (plain floats).
+    ``("snapshot", seq, None)``
+        The worker's :class:`~repro.obs.metrics.MetricsSnapshot`
+        (frozen builtin dataclasses — picklable by design).
+    ``("close", seq, None)``
+        Drain, reply, and exit the loop.
+
+    The worker never raises across the pipe: every exception is encoded
+    and the loop continues (except ``close``/EOF, which end it).
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.resilience import ResilientDiffService
+
+    registry = MetricsRegistry()
+    worker_gauge = registry.gauge(
+        "repro_shard_worker", "shard worker identity (value = worker index)",
+        ("worker",),
+    )
+    worker_gauge.labels(worker=str(worker_id)).set(float(worker_id))
+    options = decode_options(options_wire).replace(metrics=registry)
+    service = ResilientDiffService(
+        options, policy=policy, cache_bytes=cache_bytes
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:  # front-end died — nothing left to serve
+                break
+            kind, seq, payload = message
+            if kind == "close":
+                service.close()
+                conn.send(("ok", seq, None))
+                break
+            try:
+                if kind == "diff_rows":
+                    rows_a_wire, rows_b_wire = payload
+                    results = service.diff_rows(
+                        [decode_row(w) for w in rows_a_wire],
+                        [decode_row(w) for w in rows_b_wire],
+                    )
+                    reply: Any = tuple(encode_result(r) for r in results)
+                elif kind == "stats":
+                    reply = service.stats()
+                elif kind == "snapshot":
+                    reply = registry.snapshot()
+                elif kind == "ping":
+                    reply = worker_id
+                else:
+                    raise ServiceError(f"unknown request kind {kind!r}")
+            except BaseException as exc:  # everything crosses as ErrorWire
+                conn.send(("err", seq, encode_error(exc)))
+            else:
+                conn.send(("ok", seq, reply))
+    finally:
+        conn.close()

@@ -179,6 +179,46 @@ class TestBackpressureAndLifecycle:
         with pytest.raises(ServiceError):
             RowDiffBatcher(BATCHED, **kwargs)
 
+    def test_short_compute_fails_every_future(self):
+        # regression: a ComputeFn returning fewer results than unique
+        # misses used to be zip-truncated — the trailing futures never
+        # resolved and callers blocked forever.  Every future must now
+        # fail promptly with a typed error.
+        def short(options, rows_a, rows_b):
+            return compute_row_diffs(options, rows_a, rows_b)[:-1]
+
+        with RowDiffBatcher(BATCHED, max_latency=0.05, compute=short) as batcher:
+            futures = [batcher.submit(make_row(i), make_row(i + 3)) for i in range(6)]
+            for future in futures:
+                with pytest.raises(ServiceError, match="mismatched batch"):
+                    future.result(timeout=10)
+
+    def test_long_compute_fails_every_future(self):
+        def long(options, rows_a, rows_b):
+            results = compute_row_diffs(options, rows_a, rows_b)
+            return results + results[:1]
+
+        with RowDiffBatcher(BATCHED, max_latency=0.05, compute=long) as batcher:
+            futures = [batcher.submit(make_row(i), make_row(i + 3)) for i in range(6)]
+            for future in futures:
+                with pytest.raises(ServiceError, match="mismatched batch"):
+                    future.result(timeout=10)
+
+    def test_worker_survives_contract_violation(self):
+        calls = []
+
+        def flaky(options, rows_a, rows_b):
+            calls.append(len(rows_a))
+            results = compute_row_diffs(options, rows_a, rows_b)
+            return [] if len(calls) == 1 else results
+
+        with RowDiffBatcher(BATCHED, compute=flaky) as batcher:
+            with pytest.raises(ServiceError, match="mismatched batch"):
+                batcher.submit(make_row(0), make_row(3)).result(timeout=10)
+            good = batcher.submit(make_row(1), make_row(4)).result(timeout=10)
+            want = compute_row_diffs(BATCHED, [make_row(1)], [make_row(4)])[0]
+            assert good.result.to_pairs() == want.result.to_pairs()
+
     def test_engine_failure_propagates_to_future(self):
         # capacity overflow inside the engine must surface through the
         # future, not kill the worker thread
@@ -196,3 +236,51 @@ class TestBackpressureAndLifecycle:
             empty = RLERow.from_pairs([], width=64)
             ok = batcher.submit(empty, empty).result(timeout=10)
             assert ok.result.to_pairs() == []
+
+
+class TestCounterIntegrity:
+    """``requests``/``batches`` are bumped from the worker thread (queued
+    path) and from caller threads (``record_outcomes``, the bulk path);
+    the totals must be exact under concurrency — lost ``+=`` increments
+    were a real bug."""
+
+    def test_record_outcomes_lossless_under_threads(self):
+        n_threads, per_thread = 8, 400
+        with RowDiffBatcher(BATCHED, max_latency=0.0) as batcher:
+            def hammer() -> None:
+                for i in range(per_thread):
+                    if i % 2:
+                        batcher.record_outcomes(hit=1)
+                    else:
+                        batcher.record_outcomes(computed=1)
+
+            threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert batcher.requests == n_threads * per_thread
+        assert batcher.batches == n_threads * per_thread // 2
+
+    def test_bulk_recording_races_queued_serving(self):
+        # the actual production interleaving: caller threads folding in
+        # bulk outcomes while the worker thread serves queued requests
+        n_threads, per_thread, queued = 4, 300, 40
+        with RowDiffBatcher(BATCHED, max_latency=0.0) as batcher:
+            def record() -> None:
+                for _ in range(per_thread):
+                    batcher.record_outcomes(hit=1)
+
+            threads = [threading.Thread(target=record) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            futures = [
+                batcher.submit(make_row(i % 16), make_row((i + 3) % 16))
+                for i in range(queued)
+            ]
+            for t in threads:
+                t.join()
+            for f in futures:
+                f.result(timeout=10)
+        assert batcher.requests == n_threads * per_thread + queued
+        assert batcher.batches >= 1

@@ -176,3 +176,43 @@ class TestMetrics:
         hits = by_name["repro_cache_hits_total"]["series"]
         assert hits[0]["labels"] == {"cache": "test"}
         assert hits[0]["value"] == 1.0
+
+
+class TestHitRateThreadSafety:
+    """``hit_rate`` reads two counters that other threads are bumping;
+    it must read them under the cache lock — a torn read could pair a
+    new numerator with a stale denominator."""
+
+    def test_counts_exact_and_ratio_sane_under_threads(self):
+        import threading
+
+        cache = DiffCache()
+        a, b = make_row(1), make_row(5)
+        cache.store(a, b, OPTS, compute(a, b))
+        n_threads, per_thread = 6, 200
+        torn = []
+
+        def hammer(seed: int) -> None:
+            miss_a, miss_b = make_row(10 + seed), make_row(20 + seed)
+            for i in range(per_thread):
+                if i % 2:
+                    assert cache.lookup(a, b, OPTS) is not None  # hit
+                else:
+                    cache.lookup(miss_a, miss_b, OPTS)  # miss
+                rate = cache.hit_rate
+                if not 0.0 <= rate <= 1.0:  # pragma: no cover - failure path
+                    torn.append(rate)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not torn
+        total = n_threads * per_thread
+        # each thread split its lookups 50/50 (store does not count)
+        assert cache.hits == total // 2
+        assert cache.misses == total // 2
+        assert cache.hit_rate == cache.hits / (cache.hits + cache.misses)

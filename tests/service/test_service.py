@@ -197,3 +197,117 @@ class TestServiceBehaviour:
             DiffOptions(engine="batched"), cache_bytes=0, **FAST
         ) as bare:
             assert_identical(instrumented.row_diff(a, b), bare.row_diff(a, b))
+
+
+class TestBulkComputeContract:
+    """The ComputeFn contract on the bulk (whole-image) path: exactly
+    one result per unique miss.  A short return used to be masked by
+    zip truncation plus None-filtering — ``diff_images`` came back with
+    fewer rows than its inputs, silently."""
+
+    @staticmethod
+    def _rows(n: int = 6):
+        rows_a = [RLERow.from_pairs([(i % 7, 3), (16, 2)], width=32) for i in range(n)]
+        rows_b = [RLERow.from_pairs([(i % 5 + 1, 2)], width=32) for i in range(n)]
+        return rows_a, rows_b
+
+    @pytest.mark.parametrize("cache_bytes", [0, 1 << 20])
+    def test_short_compute_raises_not_short_result(self, cache_bytes):
+        from repro.service.batcher import compute_row_diffs
+
+        def short(options, rows_a, rows_b):
+            return compute_row_diffs(options, rows_a, rows_b)[:-1]
+
+        rows_a, rows_b = self._rows()
+        with DiffService(
+            DiffOptions(engine="batched"), cache_bytes=cache_bytes,
+            compute=short, **FAST
+        ) as service:
+            with pytest.raises(ServiceError, match="mismatched batch"):
+                service.diff_rows(rows_a, rows_b)
+
+    @pytest.mark.parametrize("cache_bytes", [0, 1 << 20])
+    def test_long_compute_raises(self, cache_bytes):
+        from repro.service.batcher import compute_row_diffs
+
+        def long(options, rows_a, rows_b):
+            results = compute_row_diffs(options, rows_a, rows_b)
+            return results + results[:1]
+
+        rows_a, rows_b = self._rows()
+        with DiffService(
+            DiffOptions(engine="batched"), cache_bytes=cache_bytes,
+            compute=long, **FAST
+        ) as service:
+            with pytest.raises(ServiceError, match="mismatched batch"):
+                service.diff_rows(rows_a, rows_b)
+
+    def test_image_diff_never_returns_short_image(self):
+        from repro.service.batcher import compute_row_diffs
+
+        def short(options, rows_a, rows_b):
+            return compute_row_diffs(options, rows_a, rows_b)[:-1]
+
+        rows_a, rows_b = self._rows()
+        image_a = RLEImage(rows_a, width=32)
+        image_b = RLEImage(rows_b, width=32)
+        with DiffService(
+            DiffOptions(engine="batched"), compute=short, **FAST
+        ) as service:
+            with pytest.raises(ServiceError):
+                service.diff_images(image_a, image_b)
+
+
+class TestBatchSizeHistogramParity:
+    """``repro_service_batch_size`` observes *computed unique misses*
+    only — hits and coalesced duplicates are excluded — and does so
+    identically on the queued row path and the bulk image path."""
+
+    @staticmethod
+    def _histogram(registry: MetricsRegistry):
+        for family in registry.snapshot().families:
+            if family.name == "repro_service_batch_size":
+                (series,) = family.series
+                return series.sum, series.count
+        raise AssertionError("repro_service_batch_size family missing")
+
+    @staticmethod
+    def _traffic(n_unique: int = 8):
+        pairs = [
+            (
+                RLERow.from_pairs([(i % 9, 3), (20, 2)], width=48),
+                RLERow.from_pairs([(i % 6 + 1, 4)], width=48),
+            )
+            for i in range(n_unique)
+        ]
+        return pairs + pairs[:3]  # the tail repeats become cache hits
+
+    def test_queued_and_bulk_observe_identically(self):
+        queued_reg, bulk_reg = MetricsRegistry(), MetricsRegistry()
+        traffic = self._traffic()
+        with DiffService(
+            DiffOptions(engine="batched", metrics=queued_reg), **FAST
+        ) as queued:
+            for a, b in traffic:
+                queued.row_diff(a, b)
+        with DiffService(
+            DiffOptions(engine="batched", metrics=bulk_reg), **FAST
+        ) as bulk:
+            for a, b in traffic:
+                bulk.diff_rows([a], [b])
+        assert self._histogram(queued_reg) == self._histogram(bulk_reg)
+        # serial single-pair requests: one observation of 1.0 per unique
+        # miss, nothing for the repeated (hit) tail
+        assert self._histogram(bulk_reg) == (8.0, 8)
+
+    def test_coalesced_duplicates_not_observed(self):
+        registry = MetricsRegistry()
+        a = RLERow.from_pairs([(1, 3)], width=32)
+        b = RLERow.from_pairs([(2, 3)], width=32)
+        with DiffService(
+            DiffOptions(engine="batched", metrics=registry), **FAST
+        ) as service:
+            service.diff_rows([a, a, a], [b, b, b])
+        # one unique miss computed, two coalesced waiters: the histogram
+        # sees a single batch of size 1
+        assert self._histogram(registry) == (1.0, 1)
