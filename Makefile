@@ -9,6 +9,10 @@ MYPY_STRICT_FILES = \
 	src/repro/rle/row.py \
 	src/repro/core/api.py \
 	src/repro/core/options.py \
+	src/repro/service/cache.py \
+	src/repro/service/batcher.py \
+	src/repro/service/service.py \
+	src/repro/service/shard.py \
 	src/repro/service/resilience.py
 
 install:
@@ -17,9 +21,10 @@ install:
 test:
 	pytest tests/ -q
 
-# rlelint (RLE001-RLE005, see docs/STATIC_ANALYSIS.md) + the mypy
-# strict typing gate on the seed modules.  mypy is skipped with a
-# notice when not installed (pip install -e '.[lint]').
+# rlelint (RLE001-RLE005 + the RLE101-RLE105 concurrency family, see
+# docs/STATIC_ANALYSIS.md) + the mypy strict typing gate on the seed
+# modules.  mypy is skipped with a notice when not installed
+# (pip install -e '.[lint]').
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro lint src/repro
 	@if python -c "import mypy" >/dev/null 2>&1; then \

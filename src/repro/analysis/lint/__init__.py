@@ -7,6 +7,12 @@ correctness conventions: invariants raise
 subclasses (RLE002), hot paths never decompress RLE data to pixel
 arrays (RLE003), ``np.int32`` coordinate planes sit behind an overflow
 guard (RLE004), and worker-visible mutable state is banned (RLE005).
+The RLE1xx *concurrency* family (selectable as ``--select concurrency``)
+adds flow-aware checks over a per-class lock model: lock-guarded
+attributes never touched bare (RLE101), no unlocked read-modify-writes
+in threaded classes (RLE102), builtin-typed wire payloads (RLE103), no
+blocking calls in ``async def`` bodies (RLE104), and daemon-or-joined
+thread lifecycles (RLE105).
 
 Run it as ``repro lint``, ``python -m repro.analysis.lint`` or
 ``make lint``; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue,
@@ -21,6 +27,7 @@ from repro.analysis.lint.engine import (
     lint_paths,
 )
 from repro.analysis.lint.model import (
+    RULE_GROUPS,
     ModuleContext,
     Rule,
     Violation,
@@ -30,12 +37,14 @@ from repro.analysis.lint.model import (
     rule_codes,
 )
 
-# importing the rules module populates the registry
+# importing the rule modules populates the registry
 from repro.analysis.lint import rules as _rules  # noqa: F401
+from repro.analysis.lint import concurrency as _concurrency  # noqa: F401
 
 __all__ = [
     "LintReport",
     "ModuleContext",
+    "RULE_GROUPS",
     "Rule",
     "Violation",
     "all_rule_classes",

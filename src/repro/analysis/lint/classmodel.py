@@ -1,0 +1,580 @@
+"""Per-class concurrency model backing the RLE1xx rule family.
+
+The RLE1xx rules (``concurrency.py``) need to answer questions like
+"is this ``self._closed`` read protected by the same lock that guards
+its writes?"  Answering that requires more context than a single AST
+node, so this module builds a :class:`ClassModel` per ``ast.ClassDef``
+recording:
+
+* which ``self.*`` attributes are assigned in ``__init__`` and which of
+  them are locks (``threading.Lock()`` / ``RLock()`` / ``Condition()``);
+* every ``self.*`` access in every method, annotated with the set of
+  locks held at that point (``with self._lock:`` blocks, sequential
+  ``acquire()``/``release()`` pairs including the ``try``/``finally``
+  idiom, and local aliases such as ``lock = self._lock; with lock:``);
+* thread lifecycle facts: ``threading.Thread(...)`` spawns, ``daemon``
+  flags, and ``join()`` calls in teardown methods.
+
+Held-lock tracking is intraprocedural with one cross-method refinement:
+for private helpers (single leading underscore, non-dunder) the pass
+computes the set of locks *provably held at every internal call site*
+via a greatest-fixpoint iteration and adds it to the helper's lexical
+set.  This keeps the common "caller holds the lock" idiom
+(``# caller holds self._lock`` helpers like ``DiffCache._sync_gauges``)
+out of the false-positive pile without a full call-graph analysis.
+
+Known limits (documented in docs/STATIC_ANALYSIS.md): the pass is
+per-class, so attributes shared *across* objects (``other._x``) and
+locks passed in from outside are invisible; nested function and lambda
+bodies are not scanned; branch-local ``acquire()`` calls do not escape
+their ``if`` arm.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "AttrAccess",
+    "ClassModel",
+    "ThreadSpawn",
+    "LOCK_FACTORIES",
+    "LIFECYCLE_METHODS",
+    "build_class_models",
+]
+
+#: Constructor names treated as lock factories when assigned to a
+#: ``self.*`` attribute in ``__init__`` (matched on the final attribute
+#: so ``threading.Lock`` and bare ``Lock`` both count).
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+#: Methods where a ``self._thread.join()`` call counts as provable
+#: teardown for RLE105.
+LIFECYCLE_METHODS = frozenset(
+    {"close", "stop", "shutdown", "join", "terminate", "__exit__", "__del__"}
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SKIP_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method body."""
+
+    attr: str
+    method: str
+    node: ast.AST
+    is_write: bool
+    is_rmw: bool
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """One ``threading.Thread(...)`` construction inside a method."""
+
+    method: str
+    node: ast.Call
+    target: Optional[str]
+    is_self_attr: bool
+    daemon: bool
+
+
+@dataclass
+class ClassModel:
+    """Concurrency-relevant facts about one class body."""
+
+    name: str
+    node: ast.ClassDef
+    init_attrs: Set[str] = field(default_factory=set)
+    locks: Set[str] = field(default_factory=set)
+    accesses: List[AttrAccess] = field(default_factory=list)
+    thread_spawns: List[ThreadSpawn] = field(default_factory=list)
+    #: ``self.<attr>.join()`` calls seen in LIFECYCLE_METHODS.
+    joined_attrs: Set[str] = field(default_factory=set)
+    #: ``self.<attr>.daemon = True`` assignments anywhere in the class.
+    daemon_attrs: Set[str] = field(default_factory=set)
+    #: local thread variables joined, keyed ``(method, name)``.
+    local_joins: Set[Tuple[str, str]] = field(default_factory=set)
+    #: local thread variables marked ``<name>.daemon = True``.
+    local_daemons: Set[Tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def spawns_thread(self) -> bool:
+        return bool(self.thread_spawns)
+
+    def guarded_writes(self) -> Dict[str, Set[str]]:
+        """Map attr -> set of locks it is ever written under.
+
+        Lock attributes themselves are excluded: rebinding a lock is a
+        different bug class than tearing the data it guards.
+        """
+        guarded: Dict[str, Set[str]] = {}
+        for access in self.accesses:
+            if access.is_write and access.locks and access.attr not in self.locks:
+                guarded.setdefault(access.attr, set()).update(access.locks)
+        return guarded
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """Return the attribute name for a ``self.<attr>`` node, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _base_self_attr(node: ast.AST) -> Optional[str]:
+    """Resolve the root ``self.<attr>`` of an attribute/subscript chain.
+
+    ``self._series[key]`` and ``self._worker.daemon`` both resolve to
+    their base attribute (``_series`` / ``_worker``).
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        direct = _is_self_attr(node)
+        if direct is not None:
+            return direct
+        node = node.value
+    return None
+
+
+def _is_lock_factory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in LOCK_FACTORIES
+    return False
+
+
+def _is_thread_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Thread"
+    return False
+
+
+def _daemon_kwarg(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "daemon":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _reads_attr(expr: ast.AST, attr: str) -> bool:
+    """Does ``expr`` contain a read of ``self.<attr>``?"""
+    for node in ast.walk(expr):
+        if _is_self_attr(node) == attr:
+            return True
+    return False
+
+
+class _MethodScan:
+    """Single-method scanner with held-lock tracking."""
+
+    def __init__(self, model: ClassModel, method: str) -> None:
+        self.model = model
+        self.method = method
+        #: local name -> lock attribute it aliases.
+        self.aliases: Dict[str, str] = {}
+        #: internal ``self._helper(...)`` call sites: (callee, held).
+        self.self_calls: List[Tuple[str, FrozenSet[str]]] = []
+
+    # -- recording ---------------------------------------------------
+
+    def _record(
+        self,
+        attr: str,
+        node: ast.AST,
+        held: Set[str],
+        *,
+        is_write: bool = False,
+        is_rmw: bool = False,
+    ) -> None:
+        self.model.accesses.append(
+            AttrAccess(
+                attr=attr,
+                method=self.method,
+                node=node,
+                is_write=is_write,
+                is_rmw=is_rmw,
+                locks=frozenset(held),
+            )
+        )
+
+    # -- lock resolution ---------------------------------------------
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        """Resolve a with-item / acquire receiver to a lock attribute."""
+        attr = _is_self_attr(expr)
+        if attr is not None and attr in self.model.locks:
+            return attr
+        if isinstance(expr, ast.Name) and expr.id in self.aliases:
+            return self.aliases[expr.id]
+        return None
+
+    # -- expression scanning -----------------------------------------
+
+    def visit_expr(self, expr: Optional[ast.AST], held: Set[str]) -> None:
+        """Record every ``self.*`` read (and internal call) in ``expr``."""
+        if expr is None:
+            return
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SKIP_NODES):
+                continue  # nested scopes run later / elsewhere
+            if isinstance(node, ast.Call):
+                func = node.func
+                callee = _is_self_attr(func)
+                if callee is not None:
+                    self.self_calls.append((callee, frozenset(held)))
+                if _is_thread_call(node):
+                    self.model.thread_spawns.append(
+                        ThreadSpawn(
+                            method=self.method,
+                            node=node,
+                            target=None,
+                            is_self_attr=False,
+                            daemon=_daemon_kwarg(node),
+                        )
+                    )
+                    # recorded here; still descend for arg reads
+                if isinstance(func, ast.Attribute) and func.attr == "join":
+                    receiver = func.value
+                    join_attr = _is_self_attr(receiver)
+                    if join_attr is not None and self.method in LIFECYCLE_METHODS:
+                        self.model.joined_attrs.add(join_attr)
+                    elif isinstance(receiver, ast.Name):
+                        self.model.local_joins.add((self.method, receiver.id))
+            attr = _is_self_attr(node)
+            if attr is not None:
+                self._record(attr, node, held)
+                continue  # don't also record the bare `self` Name
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- statement scanning ------------------------------------------
+
+    def scan_block(self, stmts: List[ast.stmt], held: Set[str]) -> Set[str]:
+        """Scan statements sequentially, returning the held set after."""
+        held = set(held)
+        for stmt in stmts:
+            held = self.scan_stmt(stmt, held)
+        return held
+
+    def scan_stmt(self, stmt: ast.stmt, held: Set[str]) -> Set[str]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entered = set(held)
+            for item in stmt.items:
+                name = self._lock_name(item.context_expr)
+                self.visit_expr(item.context_expr, held)
+                if name is not None:
+                    entered.add(name)
+                if item.optional_vars is not None and name is not None:
+                    # `with self._lock as l:` aliases l to the lock too
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.aliases[item.optional_vars.id] = name
+            self.scan_block(stmt.body, entered)
+            return held
+
+        if isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test, held)
+            self.scan_block(stmt.body, held)
+            self.scan_block(stmt.orelse, held)
+            return held
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter, held)
+            self.visit_expr(stmt.target, held)
+            self.scan_block(stmt.body, held)
+            self.scan_block(stmt.orelse, held)
+            return held
+
+        if isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test, held)
+            self.scan_block(stmt.body, held)
+            self.scan_block(stmt.orelse, held)
+            return held
+
+        if isinstance(stmt, ast.Try):
+            after = self.scan_block(stmt.body, held)
+            for handler in stmt.handlers:
+                # an exception may fire before any acquire in the body
+                self.scan_block(handler.body, held)
+            after = self.scan_block(stmt.orelse, after)
+            after = self.scan_block(stmt.finalbody, after)
+            return after
+
+        if isinstance(stmt, ast.Expr):
+            call = stmt.value
+            if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+                name = self._lock_name(call.func.value)
+                if name is not None and call.func.attr == "acquire":
+                    self.visit_expr(call, held)
+                    held = set(held)
+                    held.add(name)
+                    return held
+                if name is not None and call.func.attr == "release":
+                    self.visit_expr(call, held)
+                    held = set(held)
+                    held.discard(name)
+                    return held
+            self.visit_expr(stmt.value, held)
+            return held
+
+        if isinstance(stmt, ast.Assign):
+            self._scan_assign(stmt.targets, stmt.value, stmt, held)
+            return held
+
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_assign([stmt.target], stmt.value, stmt, held)
+            return held
+
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_augassign(stmt, held)
+            return held
+
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                base = _base_self_attr(target)
+                if base is not None:
+                    self._record(base, target, held)
+                self.visit_expr(
+                    target.slice if isinstance(target, ast.Subscript) else None, held
+                )
+            return held
+
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                self.visit_expr(value, held)
+            return held
+
+        if isinstance(stmt, _FUNCTION_NODES) or isinstance(stmt, ast.ClassDef):
+            return held  # nested scope: not scanned (documented limit)
+
+        # anything else: record reads in its expressions
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.expr):
+                self.visit_expr(value, held)
+            elif isinstance(value, ast.stmt):
+                held = self.scan_stmt(value, held)
+        return held
+
+    def _scan_assign(
+        self,
+        targets: List[ast.expr],
+        value: ast.AST,
+        stmt: ast.stmt,
+        held: Set[str],
+    ) -> None:
+        # lock aliasing: `lock = self._lock`
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            aliased = _is_self_attr(value)
+            if aliased is not None and aliased in self.model.locks:
+                self.aliases[targets[0].id] = aliased
+
+        # thread spawn with a bindable target
+        if _is_thread_call(value):
+            spawn_target: Optional[str] = None
+            is_self = False
+            if len(targets) == 1:
+                attr = _is_self_attr(targets[0])
+                if attr is not None:
+                    spawn_target, is_self = attr, True
+                elif isinstance(targets[0], ast.Name):
+                    spawn_target = targets[0].id
+            self.model.thread_spawns.append(
+                ThreadSpawn(
+                    method=self.method,
+                    node=value,  # type: ignore[arg-type]
+                    target=spawn_target,
+                    is_self_attr=is_self,
+                    daemon=_daemon_kwarg(value),  # type: ignore[arg-type]
+                )
+            )
+            for child in ast.iter_child_nodes(value):
+                self.visit_expr(child, held)
+        else:
+            self.visit_expr(value, held)
+
+        for target in targets:
+            self._scan_target(target, value, held)
+
+    def _scan_target(self, target: ast.expr, value: ast.AST, held: Set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._scan_target(element, value, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._scan_target(target.value, value, held)
+            return
+
+        # `self._worker.daemon = True` / `t.daemon = True`
+        if isinstance(target, ast.Attribute) and target.attr == "daemon":
+            receiver = target.value
+            attr = _is_self_attr(receiver)
+            truthy = isinstance(value, ast.Constant) and value.value is True
+            if attr is not None and truthy:
+                self.model.daemon_attrs.add(attr)
+            elif isinstance(receiver, ast.Name) and truthy:
+                self.model.local_daemons.add((self.method, receiver.id))
+
+        attr = _is_self_attr(target)
+        if attr is not None:
+            rmw = not _is_thread_call(value) and _reads_attr(value, attr)
+            self._record(attr, target, held, is_write=True, is_rmw=rmw)
+            return
+
+        base = _base_self_attr(target)
+        if base is not None:
+            # `self._d[k] = ...` mutates the object behind the attr: a
+            # read of the attr itself, rmw if the value re-reads it
+            # (`self._d[k] = self._d.get(k, 0) + 1`).
+            rmw = _reads_attr(value, base)
+            self._record(base, target, held, is_write=False, is_rmw=rmw)
+            if isinstance(target, ast.Subscript):
+                self.visit_expr(target.slice, held)
+        else:
+            self.visit_expr(target, held)
+
+    def _scan_augassign(self, stmt: ast.AugAssign, held: Set[str]) -> None:
+        self.visit_expr(stmt.value, held)
+        target = stmt.target
+        attr = _is_self_attr(target)
+        if attr is not None:
+            self._record(attr, target, held, is_write=True, is_rmw=True)
+            return
+        base = _base_self_attr(target)
+        if base is not None:
+            self._record(base, target, held, is_rmw=True)
+            if isinstance(target, ast.Subscript):
+                self.visit_expr(target.slice, held)
+        else:
+            self.visit_expr(target, held)
+
+
+def _is_private_helper(name: str) -> bool:
+    return name.startswith("_") and not (name.startswith("__") and name.endswith("__"))
+
+
+def _propagate_caller_locks(
+    model: ClassModel,
+    scans: Dict[str, _MethodScan],
+) -> Dict[str, FrozenSet[str]]:
+    """Greatest-fixpoint 'caller holds the lock' refinement.
+
+    A private helper is credited with a lock iff *every* internal call
+    site provably holds it (lexically, or transitively via the caller's
+    own credited set).  Starting optimistic (all locks) and iterating
+    down converges even through helper->helper chains like
+    ``CircuitBreaker.record_failure -> _tick -> _transition``.
+    """
+    all_locks = frozenset(model.locks)
+    extra: Dict[str, FrozenSet[str]] = {
+        name: all_locks for name in scans if _is_private_helper(name)
+    }
+    sites: Dict[str, List[Tuple[str, FrozenSet[str]]]] = {}
+    for caller, scan in scans.items():
+        for callee, held in scan.self_calls:
+            if callee in extra:
+                sites.setdefault(callee, []).append((caller, held))
+
+    for _ in range(len(extra) + 1):
+        changed = False
+        for name in extra:
+            call_sites = sites.get(name)
+            if not call_sites:
+                refined: FrozenSet[str] = frozenset()
+            else:
+                refined = all_locks
+                for caller, held in call_sites:
+                    refined &= held | extra.get(caller, frozenset())
+            if refined != extra[name]:
+                extra[name] = refined
+                changed = True
+        if not changed:
+            break
+    return extra
+
+
+def _scan_init(model: ClassModel, init: ast.FunctionDef) -> None:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is None:
+                    continue
+                model.init_attrs.add(attr)
+                if _is_lock_factory_call(node.value):
+                    model.locks.add(attr)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            attr = _is_self_attr(node.target)
+            if attr is not None:
+                model.init_attrs.add(attr)
+                if (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and _is_lock_factory_call(node.value)
+                ):
+                    model.locks.add(attr)
+
+
+def build_class_model(node: ast.ClassDef) -> ClassModel:
+    """Build the concurrency model for one class definition."""
+    model = ClassModel(name=node.name, node=node)
+    methods: List[ast.FunctionDef] = []
+    for stmt in node.body:
+        if isinstance(stmt, _FUNCTION_NODES):
+            if stmt.name == "__init__":
+                _scan_init(model, stmt)
+            methods.append(stmt)  # type: ignore[arg-type]
+
+    scans: Dict[str, _MethodScan] = {}
+    for method in methods:
+        if method.name == "__init__":
+            scan = _MethodScan(model, method.name)
+            # __init__ accesses are single-threaded by convention and
+            # skipped, but thread spawns there still count for RLE105.
+            before = len(model.accesses)
+            scan.scan_block(method.body, set())
+            del model.accesses[before:]
+            scans[method.name] = scan
+            continue
+        scan = _MethodScan(model, method.name)
+        scan.scan_block(method.body, set())
+        scans[method.name] = scan
+
+    extra = _propagate_caller_locks(model, scans)
+    if any(extra.values()):
+        model.accesses = [
+            AttrAccess(
+                attr=a.attr,
+                method=a.method,
+                node=a.node,
+                is_write=a.is_write,
+                is_rmw=a.is_rmw,
+                locks=a.locks | extra.get(a.method, frozenset()),
+            )
+            for a in model.accesses
+        ]
+    return model
+
+
+def build_class_models(tree: ast.AST) -> Iterator[ClassModel]:
+    """Yield a :class:`ClassModel` for every class in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield build_class_model(node)

@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from repro.analysis.lint.baseline import load_baseline, write_baseline
 from repro.analysis.lint.engine import lint_paths
-from repro.analysis.lint.model import all_rule_classes
+from repro.analysis.lint.model import RULE_GROUPS, all_rule_classes
 from repro.errors import LintError
 
 __all__ = ["configure_parser", "run", "main"]
@@ -59,7 +59,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+        help=(
+            "comma-separated rule codes or group aliases to run "
+            f"(groups: {', '.join(sorted(RULE_GROUPS))}; default: all)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -77,6 +80,8 @@ def _list_rules() -> int:
     for cls in all_rule_classes():
         print(f"{cls.code}  {cls.name}")
         print(f"        {cls.description}")
+    for group, members in sorted(RULE_GROUPS.items()):
+        print(f"group {group} = {','.join(members)}")
     return 0
 
 

@@ -1,0 +1,435 @@
+"""The concurrency-discipline rule family, RLE101–RLE105.
+
+PR 6's bug sweep found two lost-update races on ``RowDiffBatcher``
+counters and one torn ``DiffCache.hit_rate`` read — all the same shape:
+an attribute guarded by a lock in one method and touched bare in
+another.  These rules turn that shape (and its neighbours in the
+threaded/multiprocess/asyncio serving tier) into lint-time findings,
+using the per-class :mod:`~repro.analysis.lint.classmodel` pass:
+
+``RLE101`` lock-guarded-attribute
+    An attribute written under a lock anywhere in a class must never be
+    read or written outside that lock elsewhere in the same class.
+
+``RLE102`` atomic-rmw
+    Read-modify-write operations (``+=``, ``x = x + ...``,
+    ``d[k] += ...``) on attributes of classes that own a lock or spawn
+    a ``threading.Thread`` must run inside a ``with <lock>:`` block —
+    ``+=`` is not atomic under the GIL (bytecode interleaving loses
+    increments; that was the PR 6 batcher-counter bug).
+
+``RLE103`` wire-type-builtin
+    Payloads crossing the process boundary — ``conn.send(...)`` /
+    ``sendall(...)`` arguments and ``encode_*`` return values in the
+    wire modules (``service/shard.py``, ``service/frontend.py``) — must
+    be builtin-typed: no NumPy scalars/arrays (pickle ties workers to a
+    NumPy version and hides dtype drift) and no ad-hoc class instances.
+
+``RLE104`` no-blocking-in-async
+    ``async def`` bodies must not call blocking primitives
+    (``time.sleep``, ``Lock.acquire``, ``queue.Queue.get/put``,
+    blocking socket ops) without awaiting an executor — one blocking
+    call stalls the event loop for every connection the front-end is
+    serving.
+
+``RLE105`` thread-lifecycle
+    Every ``threading.Thread`` started in library code must be
+    ``daemon=True`` or provably joined in a lifecycle method
+    (``close``/``stop``/``__exit__``/...) of the same class; otherwise
+    interpreter shutdown hangs on the worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.lint.classmodel import build_class_models
+from repro.analysis.lint.model import ModuleContext, Rule, Violation, register
+
+__all__ = [
+    "WIRE_MODULES",
+    "WIRE_SEND_METHODS",
+    "BLOCKING_MODULE_CALLS",
+    "BLOCKING_ATTR_CALLS",
+]
+
+#: Package-relative modules whose send/encode boundaries RLE103 checks.
+WIRE_MODULES: Tuple[str, ...] = ("service/shard.py", "service/frontend.py")
+
+#: Methods whose arguments cross the pipe/socket boundary.
+WIRE_SEND_METHODS = frozenset({"send", "sendall", "send_bytes"})
+
+#: ``module.function`` calls that block the calling thread.
+BLOCKING_MODULE_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("socket", "create_connection"),
+        ("subprocess", "run"),
+        ("subprocess", "check_output"),
+        ("subprocess", "check_call"),
+    }
+)
+
+#: Method names that block regardless of receiver (lock/socket/pipe
+#: primitives).  ``join`` is deliberately absent: ``", ".join`` is too
+#: common to disambiguate syntactically.
+BLOCKING_ATTR_CALLS = frozenset(
+    {"acquire", "recv", "recv_into", "accept", "sendall", "connect"}
+)
+
+#: Queue methods that block; only flagged when the receiver looks like a
+#: queue (name containing "queue", or a ``_q``/``q`` binding).
+_QUEUE_METHODS = frozenset({"get", "put"})
+
+_ASYNC_SKIP = (ast.FunctionDef, ast.Lambda, ast.ClassDef)
+
+
+# --------------------------------------------------------------------- #
+# RLE101                                                                #
+# --------------------------------------------------------------------- #
+@register
+class LockGuardedAttributeRule(Rule):
+    code = "RLE101"
+    name = "lock-guarded-attribute"
+    description = (
+        "an attribute written under a lock anywhere in a class must never "
+        "be read or written outside that lock elsewhere in the same class "
+        "(torn reads / lost updates — the PR 6 counter-bug shape)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for model in build_class_models(module.tree):
+            if not model.locks:
+                continue
+            guarded = model.guarded_writes()
+            if not guarded:
+                continue
+            for access in model.accesses:
+                guards = guarded.get(access.attr)
+                if guards is None or access.attr in model.locks:
+                    continue
+                if access.locks & guards:
+                    continue
+                kind = "written" if access.is_write else "read"
+                lock = min(guards)  # deterministic pick for the message
+                yield module.violation(
+                    self,
+                    access.node,
+                    f"self.{access.attr} is written under self.{lock} elsewhere "
+                    f"in {model.name} but {kind} here without it; unlocked "
+                    f"access tears reads and loses updates — wrap this in "
+                    f"`with self.{lock}:` (method {access.method})",
+                )
+
+
+# --------------------------------------------------------------------- #
+# RLE102                                                                #
+# --------------------------------------------------------------------- #
+@register
+class AtomicRmwRule(Rule):
+    code = "RLE102"
+    name = "atomic-rmw"
+    description = (
+        "read-modify-write ops (+=, x = x + ..., d[k] += ...) on attributes "
+        "of classes that own a Lock or spawn a Thread must run inside a "
+        "`with <lock>:` block — += is not atomic under the GIL"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for model in build_class_models(module.tree):
+            if not (model.locks or model.spawns_thread):
+                continue
+            for access in model.accesses:
+                if not access.is_rmw or access.locks:
+                    continue
+                if access.attr in model.locks:
+                    continue
+                hint = (
+                    f"`with self.{min(model.locks)}:`"
+                    if model.locks
+                    else "a lock (the class spawns a Thread but owns none)"
+                )
+                yield module.violation(
+                    self,
+                    access.node,
+                    f"read-modify-write of self.{access.attr} outside any lock "
+                    f"in {model.name}.{access.method}; += interleaves under "
+                    f"the GIL and loses updates — guard it with {hint}",
+                )
+
+
+# --------------------------------------------------------------------- #
+# RLE103                                                                #
+# --------------------------------------------------------------------- #
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _wire_payload_offenders(expr: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield (node, reason) for non-builtin values in a wire payload."""
+    stack: List[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id in _NUMPY_NAMES:
+                yield node, f"NumPy object ({node.value.id}.{node.attr})"
+                continue
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id[:1].isupper()
+                and func.id not in ("None", "True", "False")
+            ):
+                yield node, f"class instance ({func.id}(...))"
+                # still scan the arguments for nested offenders
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class WireTypeBuiltinRule(Rule):
+    code = "RLE103"
+    name = "wire-type-builtin"
+    description = (
+        "payloads crossing the worker pipe/socket (conn.send args, encode_* "
+        "returns in service/shard.py + service/frontend.py) must be builtin-"
+        "typed: no NumPy scalars/arrays, no ad-hoc class instances"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if module.rel_path not in WIRE_MODULES:
+            return
+        payloads: List[ast.AST] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in WIRE_SEND_METHODS:
+                    payloads.extend(node.args)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("encode_"):
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Return) and sub.value is not None:
+                        payloads.append(sub.value)
+        for payload in payloads:
+            for offender, reason in _wire_payload_offenders(payload):
+                yield module.violation(
+                    self,
+                    offender,
+                    f"wire payload contains a non-builtin value: {reason}; "
+                    "the (kind, seq, payload) protocol is builtin-typed so "
+                    "workers stay version-independent — convert at the "
+                    "encode boundary (int()/float()/tolist()/astuple)",
+                )
+
+
+# --------------------------------------------------------------------- #
+# RLE104                                                                #
+# --------------------------------------------------------------------- #
+def _looks_like_queue(expr: ast.AST) -> bool:
+    name: Optional[str] = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "queue" in lowered or lowered in ("q", "_q")
+
+
+@register
+class NoBlockingInAsyncRule(Rule):
+    code = "RLE104"
+    name = "no-blocking-in-async"
+    description = (
+        "async def bodies must not call blocking primitives (time.sleep, "
+        "Lock.acquire, queue get/put, blocking socket ops) outside "
+        "run_in_executor — one blocking call stalls every connection"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, node)
+
+    def _check_async_body(
+        self, module: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        awaited: Set[int] = set()
+        for stmt in func.body:
+            for sub in self._walk_scope(stmt):
+                if isinstance(sub, ast.Await) and isinstance(sub.value, ast.Call):
+                    awaited.add(id(sub.value))
+        for stmt in func.body:
+            for sub in self._walk_scope(stmt):
+                if not isinstance(sub, ast.Call) or id(sub) in awaited:
+                    continue
+                label = self._blocking_label(sub)
+                if label is not None:
+                    yield module.violation(
+                        self,
+                        sub,
+                        f"blocking call {label} inside async def {func.name}; "
+                        "it parks the event loop for every in-flight "
+                        "connection — await loop.run_in_executor(...) or use "
+                        "the asyncio equivalent",
+                    )
+
+    @staticmethod
+    def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+        """Walk without descending into nested (non-async) scopes."""
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _ASYNC_SKIP):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if (receiver.id, func.attr) in BLOCKING_MODULE_CALLS:
+                return f"{receiver.id}.{func.attr}()"
+        if func.attr in BLOCKING_ATTR_CALLS:
+            if isinstance(receiver, ast.Constant):
+                return None  # e.g. a string literal method
+            return f".{func.attr}()"
+        if func.attr in _QUEUE_METHODS and _looks_like_queue(receiver):
+            return f"queue .{func.attr}()"
+        return None
+
+
+# --------------------------------------------------------------------- #
+# RLE105                                                                #
+# --------------------------------------------------------------------- #
+@register
+class ThreadLifecycleRule(Rule):
+    code = "RLE105"
+    name = "thread-lifecycle"
+    description = (
+        "every threading.Thread started in library code must be daemon=True "
+        "or provably joined in close()/stop()/__exit__ on the same class — "
+        "otherwise interpreter shutdown hangs on the worker"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        in_class: Set[int] = set()
+        for model in build_class_models(module.tree):
+            for spawn in model.thread_spawns:
+                in_class.add(id(spawn.node))
+                if spawn.daemon:
+                    continue
+                if spawn.is_self_attr and spawn.target is not None:
+                    if spawn.target in model.joined_attrs:
+                        continue
+                    if spawn.target in model.daemon_attrs:
+                        continue
+                elif spawn.target is not None:
+                    if (spawn.method, spawn.target) in model.local_joins:
+                        continue
+                    if (spawn.method, spawn.target) in model.local_daemons:
+                        continue
+                where = (
+                    f"self.{spawn.target}"
+                    if spawn.is_self_attr
+                    else (spawn.target or "<unbound>")
+                )
+                yield module.violation(
+                    self,
+                    spawn.node,
+                    f"Thread bound to {where} in {model.name}.{spawn.method} "
+                    "is neither daemon=True nor joined in a lifecycle method "
+                    "(close/stop/shutdown/__exit__); it outlives the object "
+                    "and hangs interpreter shutdown",
+                )
+        # Threads constructed outside any class: require daemon=True or a
+        # join()/daemon=True on the bound name in the same lexical scope.
+        yield from self._module_level(module, in_class)
+
+    def _module_level(
+        self, module: ModuleContext, in_class: Set[int]
+    ) -> Iterator[Violation]:
+        scopes: List[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            joined, daemoned = self._scope_teardowns(scope)
+            for node in self._scope_walk(scope):
+                if not self._is_thread_call(node) or id(node) in in_class:
+                    continue
+                if self._daemon_kwarg(node):
+                    continue
+                bound = self._bound_name(node, scope)
+                if bound is not None and (bound in joined or bound in daemoned):
+                    continue
+                yield module.violation(
+                    self,
+                    node,
+                    "Thread started outside a class is neither daemon=True "
+                    "nor joined in the same scope; it can outlive the caller "
+                    "and hang interpreter shutdown",
+                )
+
+    @staticmethod
+    def _is_thread_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "Thread"
+        return isinstance(func, ast.Attribute) and func.attr == "Thread"
+
+    @staticmethod
+    def _daemon_kwarg(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "daemon":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is True
+        return False
+
+    @classmethod
+    def _scope_walk(cls, scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes of ``scope`` excluding nested functions and classes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _scope_teardowns(cls, scope: ast.AST) -> Tuple[Set[str], Set[str]]:
+        joined: Set[str] = set()
+        daemoned: Set[str] = set()
+        for node in cls._scope_walk(scope):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "join" and isinstance(node.func.value, ast.Name):
+                    joined.add(node.func.value.id)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "daemon"
+                        and isinstance(target.value, ast.Name)
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value is True
+                    ):
+                        daemoned.add(target.value.id)
+        return joined, daemoned
+
+    @classmethod
+    def _bound_name(cls, call: ast.Call, scope: ast.AST) -> Optional[str]:
+        for node in cls._scope_walk(scope):
+            if isinstance(node, ast.Assign) and node.value is call:
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    return node.targets[0].id
+        return None

@@ -21,11 +21,19 @@ __all__ = [
     "Violation",
     "ModuleContext",
     "Rule",
+    "RULE_GROUPS",
+    "expand_groups",
     "register",
     "all_rule_classes",
     "create_rules",
     "rule_codes",
 ]
+
+#: Named rule groups usable anywhere a code is (``--select concurrency``).
+#: A group expands to its member codes before validation.
+RULE_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "concurrency": ("RLE101", "RLE102", "RLE103", "RLE104", "RLE105"),
+}
 
 
 @dataclass(frozen=True)
@@ -138,8 +146,19 @@ def rule_codes() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def expand_groups(select: Sequence[str]) -> Tuple[str, ...]:
+    """Expand group aliases (``concurrency``) into their member codes."""
+    expanded: List[str] = []
+    for item in select:
+        expanded.extend(RULE_GROUPS.get(item, (item,)))
+    return tuple(expanded)
+
+
 def create_rules(select: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
     """Instantiate the selected rules (all of them by default).
+
+    ``select`` entries may be rule codes or group aliases from
+    :data:`RULE_GROUPS`.
 
     Raises
     ------
@@ -148,10 +167,12 @@ def create_rules(select: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
     """
     if select is None:
         return tuple(cls() for cls in all_rule_classes())
-    unknown = sorted(set(select) - set(_REGISTRY))
+    codes = expand_groups(select)
+    unknown = sorted(set(codes) - set(_REGISTRY))
     if unknown:
         raise LintError(
             f"unknown rule code(s) {', '.join(unknown)} — "
-            f"known: {', '.join(rule_codes())}"
+            f"known: {', '.join(rule_codes())} "
+            f"(groups: {', '.join(sorted(RULE_GROUPS))})"
         )
-    return tuple(_REGISTRY[code]() for code in sorted(set(select)))
+    return tuple(_REGISTRY[code]() for code in sorted(set(codes)))

@@ -36,6 +36,7 @@ for node-exporter style scraping).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -181,39 +182,61 @@ class MetricsSnapshot:
 # Live metric instances                                                 #
 # --------------------------------------------------------------------- #
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("value",)
+    Mutation is locked: series are bumped concurrently — the batcher's
+    worker thread and caller threads share ``repro_service_requests_total``
+    — and an unsynchronized ``+=`` loses increments under bytecode
+    interleaving (RLE102).
+    """
+
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counters only go up; inc({amount}) is negative"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    def read(self) -> float:
+        """The current total, sampled under the lock."""
+        with self._lock:
+            return self.value
 
 
 class Gauge:
-    """A last-written value."""
+    """A last-written value (mutation locked, like :class:`Counter`)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
+
+    def read(self) -> float:
+        """The current value, sampled under the lock."""
+        with self._lock:
+            return self.value
 
 
 class Histogram:
@@ -222,9 +245,11 @@ class Histogram:
     ``buckets`` are strictly increasing upper bounds; an implicit +inf
     bucket catches the overflow.  Counts are stored per bucket
     (non-cumulative) and cumulated only by the Prometheus exporter.
+    Mutation and snapshotting are locked so ``sum``/``count`` and the
+    bucket cells never tear against a concurrent :meth:`observe`.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+    __slots__ = ("buckets", "bucket_counts", "sum", "count", "_lock")
     kind = "histogram"
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -238,11 +263,29 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def merge_series(
+        self, bucket_counts: Sequence[int], sum_: float, count: int
+    ) -> None:
+        """Fold another series' cells into this one atomically."""
+        with self._lock:
+            for i, c in enumerate(bucket_counts):
+                self.bucket_counts[i] += c
+            self.sum += sum_
+            self.count += count
+
+    def snap(self) -> Tuple[Tuple[int, ...], float, int]:
+        """Consistent ``(bucket_counts, sum, count)`` triple."""
+        with self._lock:
+            return tuple(self.bucket_counts), self.sum, self.count
 
 
 class MetricFamily:
@@ -266,6 +309,10 @@ class MetricFamily:
         self.labelnames = tuple(labelnames)
         self.buckets = tuple(float(b) for b in buckets)
         self._series: Dict[Tuple[str, ...], object] = {}
+        # guards lazy series insertion and the snapshot iteration; two
+        # threads racing labels() on a fresh key must not double-create
+        # (one thread's increments would land on the orphaned instance)
+        self._lock = threading.Lock()
 
     def _make(self) -> object:
         if self.kind == "counter":
@@ -282,9 +329,10 @@ class MetricFamily:
                 f"got {tuple(sorted(labels))}"
             )
         key = tuple(str(labels[n]) for n in self.labelnames)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = self._make()
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = self._make()
         return series
 
     # Label-less convenience proxies ----------------------------------- #
@@ -299,20 +347,22 @@ class MetricFamily:
 
     # Snapshot --------------------------------------------------------- #
     def snapshot(self) -> FamilySnapshot:
+        with self._lock:
+            items = sorted(self._series.items())
         series: List[SeriesSnapshot] = []
-        for key in sorted(self._series):
-            inst = self._series[key]
+        for key, inst in items:
             if isinstance(inst, Histogram):
+                bucket_counts, sum_, count = inst.snap()
                 series.append(
                     SeriesSnapshot(
                         labels=key,
-                        bucket_counts=tuple(inst.bucket_counts),
-                        sum=inst.sum,
-                        count=inst.count,
+                        bucket_counts=bucket_counts,
+                        sum=sum_,
+                        count=count,
                     )
                 )
             else:
-                series.append(SeriesSnapshot(labels=key, value=inst.value))  # type: ignore[union-attr]
+                series.append(SeriesSnapshot(labels=key, value=inst.read()))  # type: ignore[union-attr]
         return FamilySnapshot(
             kind=self.kind,
             name=self.name,
@@ -334,6 +384,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: Dict[str, MetricFamily] = {}
+        # guards the family dict: producers register lazily from worker
+        # and caller threads alike (idempotent get-or-create races)
+        self._lock = threading.Lock()
 
     # Registration ----------------------------------------------------- #
     def _register(
@@ -344,18 +397,21 @@ class MetricsRegistry:
         labelnames: Sequence[str],
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> MetricFamily:
-        existing = self._families.get(name)
-        if existing is not None:
-            if existing.kind != kind or existing.labelnames != tuple(labelnames):
-                raise ObservabilityError(
-                    f"metric {name!r} already registered as {existing.kind} "
-                    f"with labels {existing.labelnames}; cannot re-register "
-                    f"as {kind} with labels {tuple(labelnames)}"
-                )
-            return existing
-        family = MetricFamily(kind, name, help, labelnames, buckets)
-        self._families[name] = family
-        return family
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.labelnames}; cannot re-register "
+                        f"as {kind} with labels {tuple(labelnames)}"
+                    )
+                return existing
+            family = MetricFamily(kind, name, help, labelnames, buckets)
+            self._families[name] = family
+            return family
 
     def counter(
         self, name: str, help: str = "", labelnames: Sequence[str] = ()
@@ -377,10 +433,12 @@ class MetricsRegistry:
         return self._register("histogram", name, help, labelnames, buckets)
 
     def __len__(self) -> int:
-        return len(self._families)
+        with self._lock:
+            return len(self._families)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._families
+        with self._lock:
+            return name in self._families
 
     def family(self, name: str) -> MetricFamily:
         """The registered family called ``name``.
@@ -391,20 +449,22 @@ class MetricsRegistry:
         this to assert on ``repro_resilience_*`` series without
         re-registering the families themselves.)
         """
-        family = self._families.get(name)
+        with self._lock:
+            family = self._families.get(name)
+            present = len(self._families)
         if family is None:
             raise ObservabilityError(
                 f"no metric family named {name!r} is registered "
-                f"({len(self._families)} families present)"
+                f"({present} families present)"
             )
         return family
 
     # Snapshot / merge ------------------------------------------------- #
     def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
         return MetricsSnapshot(
-            families=tuple(
-                self._families[name].snapshot() for name in sorted(self._families)
-            )
+            families=tuple(family.snapshot() for family in families)
         )
 
     @classmethod
@@ -433,16 +493,18 @@ class MetricsRegistry:
                 elif fam.kind == "gauge":
                     inst.set(series.value)
                 else:
+                    # bucket structure is fixed at construction, so the
+                    # length check needs no lock; the cell merge itself
+                    # runs atomically inside the series lock
                     if len(series.bucket_counts) != len(inst.bucket_counts):
                         raise ObservabilityError(
                             f"histogram {fam.name!r}: snapshot has "
                             f"{len(series.bucket_counts)} buckets, registry "
                             f"has {len(inst.bucket_counts)}"
                         )
-                    for i, c in enumerate(series.bucket_counts):
-                        inst.bucket_counts[i] += c
-                    inst.sum += series.sum
-                    inst.count += series.count
+                    inst.merge_series(
+                        series.bucket_counts, series.sum, series.count
+                    )
 
     # Exporters -------------------------------------------------------- #
     def to_json(self) -> Dict:

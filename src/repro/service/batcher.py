@@ -211,8 +211,9 @@ class RowDiffBatcher:
         queue is full and :class:`~repro.errors.ServiceError` after
         :meth:`close`.
         """
-        if self._closed:
-            raise ServiceError("submit() after close()")
+        with self._close_lock:
+            if self._closed:
+                raise ServiceError("submit() after close()")
         request = _Request(row_a, row_b)
         try:
             self._queue.put_nowait(request)
@@ -278,6 +279,16 @@ class RowDiffBatcher:
                 self._m_batch_size.observe(float(computed))
             if coalesced:
                 self._m_coalesced.inc(coalesced)
+
+    def totals(self) -> Tuple[int, int]:
+        """Consistent ``(requests, batches)`` snapshot under the stats
+        lock — the read-side counterpart of the locked ``+=`` above.
+        Readers outside this class must use it rather than the bare
+        attributes, or they can observe one total mid-update relative
+        to the other.
+        """
+        with self._stats_lock:
+            return self.requests, self.batches
 
     # ------------------------------------------------------------------ #
     # Worker                                                             #

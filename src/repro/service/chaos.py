@@ -166,6 +166,17 @@ class ChaosSchedule:
                 return self._plan[index]
             return None
 
+    def call_count(self) -> int:
+        """``calls`` sampled under the schedule's lock.
+
+        The attribute stays public (tests pin it) but cross-thread
+        readers — :meth:`ChaosEngine.stats` while worker threads are
+        mid-:meth:`next_fault` — go through this accessor so they never
+        observe the counter between the read and the ``+= 1``.
+        """
+        with self._lock:
+            return self.calls
+
 
 class ChaosEngine:
     """A :data:`~repro.service.batcher.ComputeFn` that injects faults.
@@ -261,7 +272,7 @@ class ChaosEngine:
         """Injection counts by kind plus the schedule's call total."""
         with self._lock:
             info = dict(self.injected)
-        info["calls"] = self.schedule.calls
+        info["calls"] = self.schedule.call_count()
         return info
 
 

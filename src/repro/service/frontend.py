@@ -251,6 +251,7 @@ class ShardedDiffService:
             _WorkerHandle(i, wire, policy, cache_bytes, ctx)
             for i in range(workers)
         ]
+        self._close_lock = threading.Lock()
         self._closed = False
 
     # -- introspection -------------------------------------------------- #
@@ -329,8 +330,9 @@ class ShardedDiffService:
             raise GeometryError(
                 f"row sequences differ in length: {len(rows_a)} vs {len(rows_b)}"
             )
-        if self._closed:
-            raise ServiceError("ShardedDiffService is closed")
+        with self._close_lock:
+            if self._closed:
+                raise ServiceError("ShardedDiffService is closed")
         if not rows_a:
             return []
         by_shard: Dict[int, List[int]] = {}
@@ -398,9 +400,10 @@ class ShardedDiffService:
     # -- lifecycle ------------------------------------------------------ #
     def close(self, timeout: float = 5.0) -> None:
         """Drain and stop every worker.  Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for handle in self._workers:
             handle.close(timeout=timeout)
 

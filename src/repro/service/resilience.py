@@ -315,6 +315,17 @@ class CircuitBreaker:
                 self._transition(BREAKER_OPEN)
                 self._opened_at = self._clock()
 
+    @property
+    def transition_count(self) -> int:
+        """Number of state transitions so far, read under the lock.
+
+        ``transitions`` itself is appended to while the lock is held;
+        external readers (e.g. :meth:`ResilientDiffService.stats`) go
+        through this accessor so the length is never sampled mid-append.
+        """
+        with self._lock:
+            return len(self.transitions)
+
     def trip(self) -> None:
         """Force the breaker open (tests, operational kill switch)."""
         with self._lock:
@@ -528,7 +539,9 @@ class ResilientDiffService:
             info["resilience_healed"] = float(self.healed)
         info["breaker_state"] = BREAKER_STATE_VALUES[self.breaker.state]
         info["breaker_failure_rate"] = self.breaker.failure_rate
-        info["breaker_transitions"] = float(len(self.breaker.transitions))
+        # transition_count reads len() under the breaker's own lock —
+        # sampling the list bare here could race a mid-append resize.
+        info["breaker_transitions"] = float(self.breaker.transition_count)
         return info
 
     # ------------------------------------------------------------------ #

@@ -263,8 +263,13 @@ class DiffService:
         info: Dict[str, float] = (
             self.cache.info() if self.cache is not None else {"hit_rate": 0.0}
         )
-        info["batches"] = float(self._batcher.batches)
-        info["requests"] = float(self._batcher.requests)
+        # totals() snapshots both counters under the batcher's stats
+        # lock; reading the attributes bare here could interleave with a
+        # worker-thread bump and pair a fresh `requests` with a stale
+        # `batches` (RLE101's cross-class blind spot, handled manually).
+        requests, batches = self._batcher.totals()
+        info["batches"] = float(batches)
+        info["requests"] = float(requests)
         return info
 
     def close(self, timeout: Optional[float] = None) -> None:

@@ -43,7 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ReproError, ServiceError
 from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
-from repro.core.options import DiffOptions
+from repro.core.options import DiffOptions, validate_engine
 from repro.service.cache import row_fingerprint
 from repro.systolic.stats import ActivityStats
 
@@ -167,7 +167,10 @@ def encode_options(options: DiffOptions) -> OptionsWire:
 def decode_options(wire: OptionsWire) -> DiffOptions:
     engine, n_cells, canonical, paranoid, record_trace = wire
     return DiffOptions(
-        engine=engine,
+        # The wire carries the engine as a plain string; re-validate it
+        # into the EngineName literal on the way back in (a skewed or
+        # corrupted peer fails typed here rather than deep in dispatch).
+        engine=validate_engine(engine),
         n_cells=n_cells,
         canonical=canonical,
         paranoid=paranoid,

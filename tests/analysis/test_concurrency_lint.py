@@ -1,0 +1,770 @@
+"""Fixture suites for the RLE1xx concurrency rule family.
+
+Every rule gets positives and near-miss negatives, the ClassModel pass
+gets its tricky shapes (lock aliasing, nested ``with``, ``try/finally``
+acquire/release, caller-holds-the-lock private helpers), and the PR 6
+batcher-counter bug is reconstructed as a regression fixture the linter
+must flag.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import check_source, create_rules
+from repro.analysis.lint.baseline import load_baseline, partition, write_baseline
+from repro.analysis.lint.classmodel import build_class_models
+from repro.analysis.lint.cli import main as lint_main
+
+import ast
+
+
+def codes(source, rel_path="service/fixture.py", **kwargs):
+    """Sorted rule codes firing on a dedented snippet."""
+    found = check_source(textwrap.dedent(source), rel_path, **kwargs)
+    return sorted(v.rule for v in found)
+
+
+def one_model(source):
+    tree = ast.parse(textwrap.dedent(source))
+    models = list(build_class_models(tree))
+    assert len(models) == 1
+    return models[0]
+
+
+# --------------------------------------------------------------------- #
+# ClassModel pass                                                       #
+# --------------------------------------------------------------------- #
+class TestClassModel:
+    def test_locks_and_init_attrs_detected(self):
+        model = one_model(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rl = threading.RLock()
+                    self._cv = threading.Condition()
+                    self.count = 0
+            """
+        )
+        assert model.locks == {"_lock", "_rl", "_cv"}
+        assert "count" in model.init_attrs
+
+    def test_accesses_annotated_with_held_locks(self):
+        model = one_model(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+                def peek(self):
+                    return self.n
+            """
+        )
+        by_method = {(a.method, a.attr): a for a in model.accesses if a.attr == "n"}
+        assert by_method[("bump", "n")].locks == frozenset({"_lock"})
+        assert by_method[("bump", "n")].is_rmw
+        assert by_method[("peek", "n")].locks == frozenset()
+
+    def test_private_helper_credited_with_caller_lock(self):
+        # the DiffCache._sync_gauges / CircuitBreaker._tick idiom: the
+        # helper's body is lexically lock-free, but every internal call
+        # site holds the lock — including transitively via _tick.
+        model = one_model(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+                        self._tick()
+                def _tick(self):
+                    self._transition()
+                def _transition(self):
+                    self.n += 1
+            """
+        )
+        locks = {
+            (a.method, a.attr): a.locks for a in model.accesses if a.attr == "n"
+        }
+        assert locks[("_transition", "n")] == frozenset({"_lock"})
+
+    def test_helper_called_unlocked_gets_no_credit(self):
+        model = one_model(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def locked_path(self):
+                    with self._lock:
+                        self._bump()
+                def unlocked_path(self):
+                    self._bump()
+                def _bump(self):
+                    self.n += 1
+            """
+        )
+        locks = [a.locks for a in model.accesses if a.method == "_bump"]
+        assert locks == [frozenset()]
+
+
+# --------------------------------------------------------------------- #
+# RLE101 lock-guarded-attribute                                         #
+# --------------------------------------------------------------------- #
+RLE101_POSITIVE = """
+import threading
+class Batcher:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.batches = 0
+    def bump(self):
+        with self._stats_lock:
+            self.batches += 1
+    def totals(self):
+        return self.batches
+"""
+
+
+class TestRLE101:
+    def test_unlocked_read_fires(self):
+        assert "RLE101" in codes(RLE101_POSITIVE)
+
+    def test_unlocked_write_fires(self):
+        assert "RLE101" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def locked(self):
+                    with self._lock:
+                        self.n = 1
+                def reset(self):
+                    self.n = 0
+            """
+        )
+
+    def test_consistent_locking_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+                def peek(self):
+                    with self._lock:
+                        return self.n
+            """
+        ) == []
+
+    def test_local_lock_alias_recognized(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+                def peek(self):
+                    lock = self._lock
+                    with lock:
+                        return self.n
+            """
+        ) == []
+
+    def test_nested_with_both_locks_held(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self.x = 0
+                    self.y = 0
+                def both(self):
+                    with self._a:
+                        self.x += 1
+                        with self._b:
+                            self.y += 1
+                def reader(self):
+                    with self._b:
+                        with self._a:
+                            return self.x + self.y
+            """
+        ) == []
+
+    def test_try_finally_acquire_release(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    self._lock.acquire()
+                    try:
+                        self.n += 1
+                    finally:
+                        self._lock.release()
+                def peek(self):
+                    with self._lock:
+                        return self.n
+            """
+        ) == []
+
+    def test_access_after_release_fires(self):
+        assert "RLE101" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    self._lock.acquire()
+                    self.n += 1
+                    self._lock.release()
+                    self.n += 1
+            """
+        )
+
+    def test_caller_holds_lock_helper_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+                        self._sync()
+                def _sync(self):
+                    return self.n
+            """
+        ) == []
+
+    def test_init_writes_exempt(self):
+        # __init__ runs before the object is shared; its bare writes to
+        # guarded attributes must not fire.
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+            """
+        ) == []
+
+    def test_lockless_class_ignored(self):
+        assert codes(
+            """
+            class C:
+                def __init__(self):
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+            """
+        ) == []
+
+
+# --------------------------------------------------------------------- #
+# RLE102 atomic-rmw                                                     #
+# --------------------------------------------------------------------- #
+class TestRLE102:
+    def test_augassign_fires(self):
+        assert "RLE102" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+            """
+        )
+
+    def test_x_equals_x_plus_fires(self):
+        assert "RLE102" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    self.n = self.n + 1
+            """
+        )
+
+    def test_dict_rmw_fires(self):
+        assert "RLE102" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.counts = {}
+                def bump(self, k):
+                    self.counts[k] = self.counts.get(k, 0) + 1
+            """
+        )
+
+    def test_thread_spawning_class_without_lock_fires(self):
+        assert "RLE102" in codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self.n = 0
+                    self._t = threading.Thread(target=self._run, daemon=True)
+                    self._t.start()
+                def _run(self):
+                    self.n += 1
+            """
+        )
+
+    def test_locked_rmw_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+            """
+        ) == []
+
+    def test_single_threaded_class_exempt(self):
+        # no lock, no thread: plain += is fine
+        assert codes(
+            """
+            class C:
+                def __init__(self):
+                    self.n = 0
+                def bump(self):
+                    self.n += 1
+            """
+        ) == []
+
+    def test_plain_overwrite_not_rmw(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.last = None
+                def set(self, v):
+                    self.last = v
+            """
+        ) == []
+
+
+# --------------------------------------------------------------------- #
+# RLE103 wire-type-builtin                                              #
+# --------------------------------------------------------------------- #
+class TestRLE103:
+    def test_numpy_scalar_in_send_fires(self):
+        snippet = """
+        import numpy as np
+        def reply(conn, seq, total):
+            conn.send(("ok", seq, np.int64(total)))
+        """
+        assert codes(snippet, rel_path="service/shard.py") == ["RLE103"]
+
+    def test_class_instance_in_encode_return_fires(self):
+        snippet = """
+        def encode_result(result):
+            return (result.iterations, Payload(result))
+        """
+        assert codes(snippet, rel_path="service/shard.py") == ["RLE103"]
+
+    def test_builtin_payload_clean(self):
+        snippet = """
+        def encode_result(result):
+            return (int(result.iterations), tuple(result.runs), None)
+        def reply(conn, seq, payload):
+            conn.send(("ok", seq, payload))
+        """
+        assert codes(snippet, rel_path="service/shard.py") == []
+
+    def test_scope_limited_to_wire_modules(self):
+        snippet = """
+        import numpy as np
+        def reply(conn, seq, total):
+            conn.send(("ok", seq, np.int64(total)))
+        """
+        assert codes(snippet, rel_path="workloads/gen.py") == []
+
+    def test_frontend_is_a_wire_module(self):
+        snippet = """
+        import numpy as np
+        def push(sock, arr):
+            sock.sendall(np.asarray(arr))
+        """
+        assert codes(snippet, rel_path="service/frontend.py") == ["RLE103"]
+
+
+# --------------------------------------------------------------------- #
+# RLE104 no-blocking-in-async                                           #
+# --------------------------------------------------------------------- #
+class TestRLE104:
+    def test_time_sleep_fires(self):
+        assert codes(
+            """
+            import time
+            async def handler():
+                time.sleep(1)
+            """
+        ) == ["RLE104"]
+
+    def test_lock_acquire_fires(self):
+        assert codes(
+            """
+            async def handler(lock):
+                lock.acquire()
+            """
+        ) == ["RLE104"]
+
+    def test_queue_get_fires(self):
+        assert codes(
+            """
+            async def handler(request_queue):
+                return request_queue.get()
+            """
+        ) == ["RLE104"]
+
+    def test_socket_recv_fires(self):
+        assert codes(
+            """
+            async def handler(sock):
+                return sock.recv(4096)
+            """
+        ) == ["RLE104"]
+
+    def test_run_in_executor_clean(self):
+        assert codes(
+            """
+            import asyncio
+            async def handler(loop, dispatch, request):
+                return await loop.run_in_executor(None, dispatch, request)
+            """
+        ) == []
+
+    def test_awaited_acquire_clean(self):
+        # asyncio primitives are awaited; only bare (sync) calls block
+        assert codes(
+            """
+            async def handler(lock):
+                await lock.acquire()
+            """
+        ) == []
+
+    def test_sync_function_exempt(self):
+        assert codes(
+            """
+            import time
+            def handler():
+                time.sleep(1)
+            """
+        ) == []
+
+    def test_nested_sync_def_not_scanned(self):
+        assert codes(
+            """
+            import time
+            async def handler():
+                def blocking_helper():
+                    time.sleep(1)
+                return blocking_helper
+            """
+        ) == []
+
+    def test_string_join_not_flagged(self):
+        assert codes(
+            """
+            async def handler(lines):
+                return ", ".join(lines)
+            """
+        ) == []
+
+
+# --------------------------------------------------------------------- #
+# RLE105 thread-lifecycle                                               #
+# --------------------------------------------------------------------- #
+class TestRLE105:
+    def test_non_daemon_unjoined_fires(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._t = threading.Thread(target=self._run)
+                    self._t.start()
+                def _run(self):
+                    pass
+            """
+        ) == ["RLE105"]
+
+    def test_daemon_true_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._t = threading.Thread(target=self._run, daemon=True)
+                    self._t.start()
+                def _run(self):
+                    pass
+            """
+        ) == []
+
+    def test_joined_in_close_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._t = threading.Thread(target=self._run)
+                    self._t.start()
+                def _run(self):
+                    pass
+                def close(self):
+                    self._t.join()
+            """
+        ) == []
+
+    def test_join_outside_lifecycle_method_fires(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._t = threading.Thread(target=self._run)
+                    self._t.start()
+                def _run(self):
+                    pass
+                def poke(self):
+                    self._t.join()
+            """
+        ) == ["RLE105"]
+
+    def test_daemon_attribute_assignment_clean(self):
+        assert codes(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._t = threading.Thread(target=self._run)
+                    self._t.daemon = True
+                    self._t.start()
+                def _run(self):
+                    pass
+            """
+        ) == []
+
+    def test_function_local_thread_joined_clean(self):
+        assert codes(
+            """
+            import threading
+            def run_all(tasks):
+                t = threading.Thread(target=tasks.pop)
+                t.start()
+                t.join()
+            """
+        ) == []
+
+    def test_function_local_thread_unjoined_fires(self):
+        assert codes(
+            """
+            import threading
+            def fire_and_forget(task):
+                t = threading.Thread(target=task)
+                t.start()
+            """
+        ) == ["RLE105"]
+
+
+# --------------------------------------------------------------------- #
+# PR 6 regression: the batcher-counter bug, reconstructed               #
+# --------------------------------------------------------------------- #
+PR6_BATCHER_BUG = """
+import threading
+
+class RowDiffBatcher:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.batches = 0
+        self.requests = 0
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def _run(self):
+        with self._stats_lock:
+            self.batches += 1
+
+    def record_outcomes(self, hit, computed):
+        self.requests += hit + computed
+
+    def totals(self):
+        return self.requests, self.batches
+"""
+
+
+class TestPR6Regression:
+    def test_unlocked_counter_bug_is_flagged(self):
+        found = codes(PR6_BATCHER_BUG, rel_path="service/batcher.py")
+        # the bare += on requests (worker + caller threads) and the bare
+        # reads in totals() — the exact PR 6 bug shape
+        assert "RLE102" in found
+        assert "RLE101" in found
+
+    def test_fixed_version_is_clean(self):
+        fixed = PR6_BATCHER_BUG.replace(
+            """
+    def record_outcomes(self, hit, computed):
+        self.requests += hit + computed
+
+    def totals(self):
+        return self.requests, self.batches
+""",
+            """
+    def record_outcomes(self, hit, computed):
+        with self._stats_lock:
+            self.requests += hit + computed
+
+    def totals(self):
+        with self._stats_lock:
+            return self.requests, self.batches
+""",
+        )
+        assert codes(fixed, rel_path="service/batcher.py") == []
+
+
+# --------------------------------------------------------------------- #
+# Suppression / baseline / CLI interaction                              #
+# --------------------------------------------------------------------- #
+class TestSuppressionInteraction:
+    def test_line_suppression_silences_rle102(self):
+        snippet = """
+        import threading
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+            def bump(self):
+                self.n += 1  # rlelint: disable=RLE102
+        """
+        assert codes(snippet) == []
+
+    def test_file_suppression_silences_family(self):
+        snippet = """
+        # rlelint: disable-file=RLE101,RLE102
+        import threading
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+            def locked(self):
+                with self._lock:
+                    self.n += 1
+            def bare(self):
+                self.n += 1
+        """
+        assert codes(snippet) == []
+
+    def test_suppression_is_per_code(self):
+        snippet = """
+        import threading
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+            def locked(self):
+                with self._lock:
+                    self.n += 1
+            def bare(self):
+                self.n += 1  # rlelint: disable=RLE101
+        """
+        assert codes(snippet) == ["RLE102"]
+
+    def test_baseline_grandfathers_concurrency_findings(self, tmp_path):
+        found = check_source(
+            textwrap.dedent(RLE101_POSITIVE), "service/old.py"
+        )
+        assert found
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, found)
+        baseline = load_baseline(baseline_path)
+        new, grandfathered = partition(found, baseline)
+        assert new == [] and len(grandfathered) == len(found)
+
+
+class TestCliIntegration:
+    def _write_fixture(self, tmp_path):
+        pkg = tmp_path / "service"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(textwrap.dedent(RLE101_POSITIVE))
+        return tmp_path
+
+    def test_select_concurrency_group(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        assert lint_main([str(root), "--select", "concurrency"]) == 1
+        out = capsys.readouterr().out
+        assert "RLE101" in out
+
+    def test_group_excludes_other_families(self, tmp_path, capsys):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("raise ValueError('x')\n")
+        assert lint_main([str(tmp_path), "--select", "concurrency"]) == 0
+
+    def test_unknown_group_exits_two(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        assert lint_main([str(root), "--select", "parallelism"]) == 2
+        assert "rlelint: error" in capsys.readouterr().err
+
+    def test_list_rules_includes_family(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RLE101", "RLE102", "RLE103", "RLE104", "RLE105"):
+            assert code in out
+        assert "concurrency" in out
+
+    def test_json_output_carries_concurrency_rules(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        assert lint_main([str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {v["rule"] for v in payload["violations"]}
+        assert "RLE101" in rules

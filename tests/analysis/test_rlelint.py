@@ -31,8 +31,19 @@ def codes(source, rel_path="core/fixture.py", **kwargs):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert rule_codes() == ("RLE001", "RLE002", "RLE003", "RLE004", "RLE005")
+    def test_all_rules_registered(self):
+        assert rule_codes() == (
+            "RLE001",
+            "RLE002",
+            "RLE003",
+            "RLE004",
+            "RLE005",
+            "RLE101",
+            "RLE102",
+            "RLE103",
+            "RLE104",
+            "RLE105",
+        )
 
     def test_unknown_select_rejected(self):
         with pytest.raises(LintError):
@@ -41,6 +52,27 @@ class TestRegistry:
     def test_select_subset(self):
         rules = create_rules(["RLE002"])
         assert [r.code for r in rules] == ["RLE002"]
+
+    def test_concurrency_group_alias(self):
+        rules = create_rules(["concurrency"])
+        assert [r.code for r in rules] == [
+            "RLE101",
+            "RLE102",
+            "RLE103",
+            "RLE104",
+            "RLE105",
+        ]
+
+    def test_group_mixes_with_codes(self):
+        rules = create_rules(["concurrency", "RLE002"])
+        assert [r.code for r in rules] == [
+            "RLE002",
+            "RLE101",
+            "RLE102",
+            "RLE103",
+            "RLE104",
+            "RLE105",
+        ]
 
 
 class TestRLE001BareAssert:
