@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke obs-smoke service-smoke resilience-smoke serve-smoke coverage examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke bench-trend obs-smoke service-smoke resilience-smoke serve-smoke coverage examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -41,14 +41,26 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_engines.py -q --benchmark-disable
 
+# perf trend gate: diff the regenerated results/*.json artifacts
+# against the committed baselines and fail on >15% regressions in the
+# bad direction (run `make bench` first to regenerate)
+bench-trend:
+	python benchmarks/trend.py --threshold 0.15
+
 # observability smoke: run `repro profile` on a small Figure-5 workload
-# with schema validation on, then pin the null-tracer overhead bounds
+# with schema validation on, pin the null-tracer overhead bounds, then
+# bring up a 2-worker sharded server over TCP and gate on the health
+# op, a stitched cross-process trace (one request id spanning >= 2
+# process lanes) and structured-log schema validity via --selftest
 # (see docs/OBSERVABILITY.md)
 obs-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro profile \
 		--rows 16 --width 500 --out-dir results/profile --validate
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_obs_overhead.py -q --benchmark-disable
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 4 --passes 2 --height 32 --width 48 \
+		--workers 2 --listen 127.0.0.1:0 --selftest
 
 # service smoke: replay a synthetic clip through the cached DiffService
 # and gate on the cache hit rate (repeated frames must mostly hit), then

@@ -5,7 +5,8 @@ shifts more efficiently thus significantly decreasing the running time".
 This bench quantifies the conjecture over the Figure 5 error axis and
 prices both design points with the hardware cost model.
 
-Outputs: ``results/ablation_bus.csv``, ``results/ablation_bus.txt``.
+Outputs: ``results/ablation_bus.csv``, ``results/ablation_bus.txt``,
+``results/ablation_bus.json``.
 """
 
 import pytest
@@ -18,7 +19,7 @@ from repro.core.vectorized import VectorizedXorEngine
 from repro.systolic.cost import CostModel
 from repro.workloads.suite import get_row_workload
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 FRACTIONS = (0.01, 0.035, 0.10, 0.20, 0.40)
 WIDTH = 2048
@@ -75,6 +76,18 @@ def test_bus_ablation_regenerate(benchmark, ablation_rows, results_dir):
     rendered += f"  pure systolic : {pure_cost}\n"
     rendered += f"  broadcast bus : {bus_cost}\n"
     write_artifact(results_dir, "ablation_bus.txt", rendered)
+    write_json_artifact(
+        results_dir,
+        "ablation_bus.json",
+        {
+            "params": {"width": WIDTH, "repetitions": REPETITIONS},
+            "rows": ablation_rows,
+            "cost_model": {
+                "pure_area_units": pure_cost.area_units,
+                "bus_area_units": bus_cost.area_units,
+            },
+        },
+    )
 
     # the conjecture holds: never slower, clearly faster mid-range
     for r in ablation_rows:

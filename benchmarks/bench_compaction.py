@@ -9,7 +9,8 @@ The bench measures how much merging the output actually needs (raw vs.
 canonical run counts over the error axis) and compares the cycle cost of
 doing it with neighbour-only links vs. a reconfigurable-mesh bus.
 
-Outputs: ``results/compaction.csv``, ``results/compaction.txt``.
+Outputs: ``results/compaction.csv``, ``results/compaction.txt``,
+``results/compaction.json``.
 """
 
 import pytest
@@ -21,7 +22,7 @@ from repro.broadcast.rmesh import ReconfigurableMesh
 from repro.core.vectorized import VectorizedXorEngine
 from repro.workloads.suite import get_row_workload
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 FRACTIONS = (0.01, 0.05, 0.10, 0.20, 0.40)
 WIDTH = 2048
@@ -73,6 +74,14 @@ def test_compaction_regenerate(benchmark, compaction_rows, results_dir):
                 f"({WIDTH} px, {REPETITIONS} reps/point)"
             ),
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "compaction.json",
+        {
+            "params": {"width": WIDTH, "repetitions": REPETITIONS},
+            "rows": compaction_rows,
+        },
     )
 
     # bus compaction is O(log n) — flat; systolic cost tracks the gap

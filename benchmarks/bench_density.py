@@ -6,7 +6,8 @@ and checks (a) the correlation holds at every density and (b) the
 analytic model explains the (slight) variation — density enters only
 through the transition probability ``p_t = 2/(E[R]+E[G])``.
 
-Outputs: ``results/density.csv``, ``results/density.txt``.
+Outputs: ``results/density.csv``, ``results/density.txt``,
+``results/density.json``.
 """
 
 import pytest
@@ -17,7 +18,7 @@ from repro.analysis.report import format_table, to_csv
 from repro.analysis.theory import predicted_iterations
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 WIDTH = 10_000
 ERROR_FRACTION = 0.05
@@ -65,6 +66,18 @@ def test_density_regenerate(benchmark, density_rows, results_dir):
                 f"({WIDTH} px, {REPETITIONS} reps/point)"
             ),
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "density.json",
+        {
+            "params": {
+                "width": WIDTH,
+                "error_fraction": ERROR_FRACTION,
+                "repetitions": REPETITIONS,
+            },
+            "rows": density_rows,
+        },
     )
 
     # (a) the correlation holds at every density

@@ -7,7 +7,8 @@ array count for the three scheduling policies on a defective synthetic
 board, plus the per-row iteration *distribution* (the tail a pipelined
 deployment must budget for).
 
-Outputs: ``results/deployment.csv``, ``results/deployment.txt``.
+Outputs: ``results/deployment.csv``, ``results/deployment.txt``,
+``results/deployment.json``.
 """
 
 import pytest
@@ -17,7 +18,7 @@ from repro.analysis.report import format_table, to_csv
 from repro.core.scheduler import row_costs, scaling_curve, schedule
 from repro.workloads.pcb import PCBLayout, generate_inspection_case
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 ARRAY_COUNTS = (1, 2, 4, 8, 16)
 
@@ -63,6 +64,21 @@ def test_deployment_regenerate(benchmark, jobs, results_dir):
         f"tail ratio {dist.tail_ratio_99:.2f}"
     )
     write_artifact(results_dir, "deployment.txt", rendered)
+    write_json_artifact(
+        results_dir,
+        "deployment.json",
+        {
+            "rows": rows,
+            "row_cost_distribution": {
+                "mean": dist.mean,
+                "p50": dist.p50,
+                "p90": dist.p90,
+                "p99": dist.p99,
+                "max": dist.max,
+                "tail_ratio_99": dist.tail_ratio_99,
+            },
+        },
+    )
 
     # sanity of the published claims about the policies
     by = {(r["policy"], r["arrays"]): r for r in rows}

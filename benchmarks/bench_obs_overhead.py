@@ -14,6 +14,8 @@ thread a tracer unconditionally.  This bench pins both disabled paths:
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload but keeps
 both assertions — CI runs this on every push.
+
+Outputs: ``results/obs_overhead.json``.
 """
 
 import os
@@ -24,6 +26,8 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.rle.image import RLEImage
 from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
+
+from conftest import write_json_artifact
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 ROWS = 16 if SMOKE else 128
@@ -75,7 +79,7 @@ def test_null_span_per_call_cost(benchmark):
     )
 
 
-def test_disabled_tracing_image_diff_overhead(benchmark):
+def test_disabled_tracing_image_diff_overhead(benchmark, results_dir):
     """tracer=NULL_TRACER must run at tracer=None speed on a real diff."""
     image_a, image_b = _image_pair()
     rounds = 3 if SMOKE else 5
@@ -97,6 +101,17 @@ def test_disabled_tracing_image_diff_overhead(benchmark):
     assert ratio < DISABLED_OVERHEAD_RATIO, (
         f"disabled tracing costs {ratio:.3f}x "
         f"(ceiling {DISABLED_OVERHEAD_RATIO}x)"
+    )
+    write_json_artifact(
+        results_dir,
+        "obs_overhead.json",
+        {
+            "params": {"rows": ROWS, "width": WIDTH, "smoke": SMOKE},
+            "tracer_none_seconds": off_s,
+            "null_tracer_seconds": null_s,
+            "overhead_ratio": ratio,
+            "overhead_ratio_ceiling": DISABLED_OVERHEAD_RATIO,
+        },
     )
 
 

@@ -11,7 +11,7 @@ iterations``.  Zero violations across the campaign is the strongest
 empirical support this repo can offer for the conjecture; the slack
 distribution shows how tight the bound runs.
 
-Outputs: ``results/observation.txt``.
+Outputs: ``results/observation.txt``, ``results/observation.json``.
 """
 
 import numpy as np
@@ -22,7 +22,7 @@ from repro.rle.row import RLERow
 from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 TRIALS_RANDOM = 3000
 TRIALS_STRUCTURED = 1000
@@ -88,6 +88,19 @@ def test_observation_soak(benchmark, results_dir):
         "about uncompressed output is essential to the conjecture.",
     ]
     write_artifact(results_dir, "observation.txt", "\n".join(lines))
+    write_json_artifact(
+        results_dir,
+        "observation.json",
+        {
+            "trials": len(slacks),
+            "violations": int(violations),
+            "tight": int(tight),
+            "slack_p1": float(np.quantile(slacks, 0.01)),
+            "slack_p50": float(np.quantile(slacks, 0.5)),
+            "slack_p99": float(np.quantile(slacks, 0.99)),
+            "slack_max": float(slacks.max()),
+        },
+    )
 
     assert violations == 0
     assert tight > 0  # the bound is attained, i.e. not slack everywhere

@@ -9,7 +9,7 @@ recall and — the paper's point — how few systolic iterations a whole
 board costs when reference and scan are highly similar, versus the
 sequential merge's run-count-proportional cost.
 
-Outputs: ``results/pcb.txt``.
+Outputs: ``results/pcb.txt``, ``results/pcb.json``.
 """
 
 import pytest
@@ -19,7 +19,7 @@ from repro.core.pipeline import diff_images
 from repro.inspection.pipeline import InspectionSystem
 from repro.workloads.pcb import PCBLayout, generate_inspection_case
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 LAYOUT = PCBLayout(height=256, width=256)
 N_BOARDS = 8
@@ -74,6 +74,22 @@ def test_bench_inspection_end_to_end(benchmark, cases, results_dir):
         f"systolic advantage: {total_sequential / max(total_systolic, 1):.1f}x",
     ]
     write_artifact(results_dir, "pcb.txt", "\n".join(lines))
+    write_json_artifact(
+        results_dir,
+        "pcb.json",
+        {
+            "params": {
+                "boards": N_BOARDS,
+                "height": LAYOUT.height,
+                "width": LAYOUT.width,
+                "defects_per_board": N_DEFECTS,
+            },
+            "recall": recall,
+            "systolic_iterations": total_systolic,
+            "sequential_iterations": total_sequential,
+            "systolic_advantage": total_sequential / max(total_systolic, 1),
+        },
+    )
 
     # the regime claim: similar images => systolic wins big
     assert recall >= 0.85

@@ -5,15 +5,15 @@ gate-level fidelity in simulation) and writes the cell's gate budget and
 array-level area table — the numbers a fabrication-era design review
 would start from.
 
-Outputs: ``results/rtl.txt`` (+ the generated Verilog at
-``results/systolic_xor_cell.v``).
+Outputs: ``results/rtl.txt``, ``results/rtl.json`` (+ the generated
+Verilog at ``results/systolic_xor_cell.v``).
 """
 
 from repro.core.xor_cell import XorCell
 from repro.systolic.rtl import RTLCell
 from repro.systolic.verilog import emit_cell_module
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 STATES = [
     (((3, 6), (10, 12))),
@@ -67,6 +67,17 @@ def test_rtl_artifacts(benchmark, results_dir):
             f"-> {n_cells * est['total_gates']:>9} gates"
         )
     write_artifact(results_dir, "rtl.txt", "\n".join(lines))
+    write_json_artifact(
+        results_dir,
+        "rtl.json",
+        {
+            "gate_budget": dict(est),
+            "array_gates": {
+                str(runs): (2 * runs + 1) * est["total_gates"]
+                for runs in (64, 256, 1024)
+            },
+        },
+    )
 
     verilog = emit_cell_module()
     (results_dir / "systolic_xor_cell.v").write_text(verilog, encoding="utf-8")

@@ -13,7 +13,8 @@ simulator's own scaling (the paper's repro note: "simple simulation,
 though slow for large images" — the NumPy engine is what makes the
 10 kpx sweeps practical).
 
-Outputs: ``results/scaling.csv``, ``results/scaling.txt``.
+Outputs: ``results/scaling.csv``, ``results/scaling.txt``,
+``results/scaling.json``.
 """
 
 import pytest
@@ -27,7 +28,7 @@ from repro.core.vectorized import VectorizedXorEngine
 from repro.workloads.random_rows import generate_row_pair
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 WIDTHS = (512, 1024, 2048, 4096, 8192, 16384)
 REPETITIONS = 8
@@ -73,6 +74,14 @@ def test_scaling_regenerate(benchmark, scaling_rows, results_dir):
             columns=columns,
             title=f"Scaling to 16 384 px ({REPETITIONS} reps/point)",
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "scaling.json",
+        {
+            "params": {"widths": list(WIDTHS), "repetitions": REPETITIONS},
+            "rows": scaling_rows,
+        },
     )
 
     def series(errors, metric):

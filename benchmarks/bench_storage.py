@@ -6,7 +6,8 @@ schemes the repo implements — run pairs (the hardware's 2×16-bit
 registers), PackBits byte-RLE (the fax/TIFF-era interchange format) and
 the raw bitmap — plus the temporal delta coding of a motion clip.
 
-Outputs: ``results/storage.csv``, ``results/storage.txt``.
+Outputs: ``results/storage.csv``, ``results/storage.txt``,
+``results/storage.json``.
 """
 
 import pytest
@@ -18,7 +19,7 @@ from repro.workloads.motion import generate_sequence
 from repro.workloads.random_rows import generate_base_row
 from repro.workloads.spec import BaseRowSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 DENSITIES = (0.05, 0.10, 0.30, 0.50)
 WIDTH = 8192
@@ -70,6 +71,19 @@ def test_storage_regenerate(benchmark, storage_rows, results_dir):
         f"({seq.stats.compression_ratio:.1f}x)"
     )
     write_artifact(results_dir, "storage.txt", rendered)
+    write_json_artifact(
+        results_dir,
+        "storage.json",
+        {
+            "params": {"width": WIDTH, "repetitions": REPETITIONS},
+            "rows": storage_rows,
+            "temporal_delta": {
+                "raw_runs": seq.stats.raw_runs,
+                "encoded_runs": seq.stats.encoded_runs,
+                "compression_ratio": seq.stats.compression_ratio,
+            },
+        },
+    )
 
     # compressed schemes win at PCB-like densities (<= 30 %)...
     for r in storage_rows:

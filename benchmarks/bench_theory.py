@@ -5,7 +5,8 @@ The derived formula ``E[ΔK] = 1 − 2·p_t`` per error run (see
 no fitted constants.  This bench sweeps the low-error regime and prints
 predicted-vs-measured side by side.
 
-Outputs: ``results/theory.csv``, ``results/theory.txt``.
+Outputs: ``results/theory.csv``, ``results/theory.txt``,
+``results/theory.json``.
 """
 
 import pytest
@@ -16,7 +17,7 @@ from repro.analysis.report import format_table, to_csv
 from repro.analysis.theory import predicted_iterations
 from repro.workloads.spec import BaseRowSpec, ErrorSpec
 
-from conftest import write_artifact
+from conftest import write_artifact, write_json_artifact
 
 FRACTIONS = (0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.10)
 WIDTH = 10_000
@@ -65,6 +66,14 @@ def test_theory_regenerate(benchmark, theory_rows, results_dir):
                 f"({WIDTH} px, {REPETITIONS} reps/point, no fitted constants)"
             ),
         ),
+    )
+    write_json_artifact(
+        results_dir,
+        "theory.json",
+        {
+            "params": {"width": WIDTH, "repetitions": REPETITIONS},
+            "rows": theory_rows,
+        },
     )
     # the zero-parameter model lands within 20% at every low-error point
     for r in theory_rows:

@@ -1,0 +1,198 @@
+"""Benchmark trend gate: working-tree JSON artifacts vs. the committed
+baselines.
+
+Every bench writes a machine-readable ``results/*.json`` artifact (see
+``conftest.write_json_artifact``).  After a fresh ``make bench``, this
+tool diffs each regenerated artifact against the version committed at a
+git ref (``HEAD`` by default) and flags *regressions* — numeric leaves
+that moved in the bad direction by more than the threshold (15 % by
+default).
+
+Direction is inferred from the leaf's key name:
+
+* ``*seconds*``, ``*latency*``, ``*cycles*``, ``*iterations*``,
+  ``*bytes*``, ``*makespan*``, ``*gates*``, ``*overhead*`` — lower is
+  better; an increase beyond the threshold is a regression;
+* ``*per_second*``, ``*speedup*``, ``*hit_rate*``, ``*recall*``,
+  ``*utilization*``, ``*advantage*``, ``*compression_ratio*`` — higher
+  is better; a decrease beyond the threshold is a regression;
+* anything else (counts, parameters, quantile labels) is reported as
+  drift only, never failed on.
+
+Exit status: 0 when no regression is flagged, 1 otherwise — so
+``make bench-trend`` doubles as a local perf gate.  Artifacts present
+only in the working tree (new benches) or only at the baseline ref are
+skipped with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+LOWER_IS_BETTER = (
+    "seconds",
+    "latency",
+    "cycles",
+    "iterations",
+    "bytes",
+    "makespan",
+    "gates",
+    "overhead",
+)
+HIGHER_IS_BETTER = (
+    "per_second",
+    "speedup",
+    "hit_rate",
+    "recall",
+    "utilization",
+    "advantage",
+    "compression_ratio",
+)
+
+
+def _direction(path: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` = which way is *better*; ``None`` =
+    informational only.  The most specific (longest) matching marker
+    wins, so ``rows_per_second`` is throughput, not a bare second."""
+    lowered = path.lower()
+    best: Tuple[int, Optional[str]] = (0, None)
+    for marker in LOWER_IS_BETTER:
+        if marker in lowered and len(marker) > best[0]:
+            best = (len(marker), "lower")
+    for marker in HIGHER_IS_BETTER:
+        if marker in lowered and len(marker) > best[0]:
+            best = (len(marker), "higher")
+    return best[1]
+
+
+def _leaves(node: object, path: str = "$") -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_pointer_ish_path, value)`` for every numeric leaf."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield path, float(node)
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            yield from _leaves(node[key], f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            yield from _leaves(item, f"{path}[{i}]")
+
+
+def _baseline_json(ref: str, name: str) -> Optional[Dict]:
+    """The committed artifact at ``ref``, or ``None`` when absent."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:results/{name}"],
+        cwd=RESULTS_DIR.parent,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_artifact(
+    name: str, baseline: Dict, current: Dict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(regressions, drift_notes)`` for one artifact."""
+    base_leaves = dict(_leaves(baseline))
+    regressions: List[str] = []
+    drift: List[str] = []
+    for path, value in _leaves(current):
+        base = base_leaves.get(path)
+        if base is None:
+            continue
+        if base == 0.0:
+            continue  # relative change undefined; skip
+        change = (value - base) / abs(base)
+        if abs(change) <= threshold:
+            continue
+        direction = _direction(path)
+        line = (
+            f"{name} {path}: {base:g} -> {value:g} "
+            f"({change:+.1%}, threshold {threshold:.0%})"
+        )
+        worse = (direction == "lower" and change > 0) or (
+            direction == "higher" and change < 0
+        )
+        if worse:
+            regressions.append(line)
+        else:
+            drift.append(line)
+    return regressions, drift
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff regenerated results/*.json against committed baselines"
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the baseline artifacts (default HEAD)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative change beyond which a move is flagged (default 0.15)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print benign drift (moves in the good direction or "
+        "on direction-less leaves)",
+    )
+    args = parser.parse_args(argv)
+
+    if not RESULTS_DIR.is_dir():
+        print(f"no {RESULTS_DIR} directory — run `make bench` first")
+        return 1
+    names = sorted(p.name for p in RESULTS_DIR.glob("*.json"))
+    if not names:
+        print("no results/*.json artifacts — run `make bench` first")
+        return 1
+
+    all_regressions: List[str] = []
+    compared = 0
+    for name in names:
+        try:
+            current = json.loads((RESULTS_DIR / name).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"skip {name}: working-tree artifact is not valid JSON ({exc})")
+            continue
+        baseline = _baseline_json(args.baseline_ref, name)
+        if baseline is None:
+            print(f"skip {name}: no baseline at {args.baseline_ref}")
+            continue
+        compared += 1
+        regressions, drift = compare_artifact(
+            name, baseline, current, args.threshold
+        )
+        all_regressions.extend(regressions)
+        if args.verbose:
+            for line in drift:
+                print(f"drift      {line}")
+        for line in regressions:
+            print(f"REGRESSION {line}")
+
+    print(
+        f"compared {compared} artifact(s) against {args.baseline_ref}: "
+        f"{len(all_regressions)} regression(s)"
+    )
+    return 1 if all_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,11 @@ using the per-class :mod:`~repro.analysis.lint.classmodel` pass:
 ``RLE103`` wire-type-builtin
     Payloads crossing the process boundary — ``conn.send(...)`` /
     ``sendall(...)`` arguments and ``encode_*`` return values in the
-    wire modules (``service/shard.py``, ``service/frontend.py``) — must
-    be builtin-typed: no NumPy scalars/arrays (pickle ties workers to a
-    NumPy version and hides dtype drift) and no ad-hoc class instances.
+    wire modules (``service/shard.py``, ``service/frontend.py``, and
+    the observability wire codecs ``obs/context.py`` / ``obs/log.py``)
+    — must be builtin-typed: no NumPy scalars/arrays (pickle ties
+    workers to a NumPy version and hides dtype drift) and no ad-hoc
+    class instances.
 
 ``RLE104`` no-blocking-in-async
     ``async def`` bodies must not call blocking primitives
@@ -55,7 +57,14 @@ __all__ = [
 ]
 
 #: Package-relative modules whose send/encode boundaries RLE103 checks.
-WIRE_MODULES: Tuple[str, ...] = ("service/shard.py", "service/frontend.py")
+#: The obs codecs are here because their encode_* outputs ride the same
+#: pipes: ContextWire in requests, SpanWire/EventWire in replies.
+WIRE_MODULES: Tuple[str, ...] = (
+    "service/shard.py",
+    "service/frontend.py",
+    "obs/context.py",
+    "obs/log.py",
+)
 
 #: Methods whose arguments cross the pipe/socket boundary.
 WIRE_SEND_METHODS = frozenset({"send", "sendall", "send_bytes"})

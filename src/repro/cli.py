@@ -20,8 +20,12 @@ Commands
                ``--workers N`` shards the service over N processes
                routed by row fingerprint, ``--listen HOST:PORT`` serves
                it over TCP, and ``--selftest`` round-trips the clip
-               through a client and gates on byte-identity and merged
-               metrics (see docs/SERVING.md)
+               through a client and gates on byte-identity, merged
+               metrics, health, distributed tracing and structured-log
+               schema (see docs/SERVING.md)
+``top``        poll a running sharded server's ``health``/``stats`` ops
+               and render a one-line-per-sample live fleet view
+               (status, latency quantiles, SLO burn, cache hit rate)
 ``lint``       run ``rlelint``, the domain-aware static analyzer
                (see docs/STATIC_ANALYSIS.md)
 """
@@ -218,6 +222,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --listen: round-trip the clip through a TCP client, "
         "verify byte-identity with a single-process DiffService and "
         "merged-metrics sanity, then exit (the CI smoke mode)",
+    )
+
+    tp = sub.add_parser(
+        "top",
+        help="live fleet stats for a running sharded server "
+        "(health, latency quantiles, SLO burn, cache hit rate)",
+    )
+    tp.add_argument(
+        "address", metavar="HOST:PORT", help="a running `repro serve --listen` server"
+    )
+    tp.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between samples"
+    )
+    tp.add_argument(
+        "--samples",
+        type=int,
+        default=0,
+        help="stop after this many samples (0 = run until interrupted)",
     )
 
     from repro.analysis.lint.cli import configure_parser as configure_lint_parser
@@ -857,11 +879,17 @@ def _cmd_serve_sharded(
                                     or r.stats.items() != l.stats.items()
                                 ):
                                     mismatches += 1
+                    observability_error = _selftest_observability(
+                        client, workers
+                    )
                 if mismatches:
                     print(
                         f"ERROR: {mismatches} row result(s) diverged from the "
                         f"single-process DiffService"
                     )
+                    return 1
+                if observability_error is not None:
+                    print(f"ERROR: {observability_error}")
                     return 1
                 print(
                     f"selftest: {pairs_served} frame pairs round-tripped over "
@@ -901,6 +929,91 @@ def _cmd_serve_sharded(
             f"{min_hit_rate:.1%}"
         )
         return 1
+    return 0
+
+
+def _selftest_observability(client, workers: int) -> Optional[str]:
+    """The selftest's distributed-observability gate, run over the same
+    TCP client that drove the clip: health, one stitched cross-process
+    trace, and schema-valid structured logs.  Returns an error message
+    or ``None``."""
+    from repro.errors import ObservabilityError
+    from repro.obs.schema import validate_chrome_trace, validate_log_record
+
+    health = client.health()
+    if health["status"] != "healthy" or health["workers_alive"] != workers:
+        return (
+            f"health reports {health['status']!r} with "
+            f"{health['workers_alive']:g}/{workers} workers alive"
+        )
+    request_id = client.last_request_id
+    if not request_id:
+        return "diff_rows response carried no request_id"
+    trace = client.trace(request_id)
+    try:
+        validate_chrome_trace(trace)
+    except ObservabilityError as exc:
+        return f"stitched trace failed schema validation: {exc}"
+    lanes = {event["tid"] for event in trace["traceEvents"]}
+    if len(lanes) < 2:
+        return (
+            f"trace for request {request_id} spans {len(lanes)} process "
+            f"lane(s); expected the front-end plus at least one worker"
+        )
+    logs = client.logs()
+    try:
+        for record in logs:
+            validate_log_record(record)
+    except ObservabilityError as exc:
+        return f"structured log failed schema validation: {exc}"
+    if not any(record["request_id"] == request_id for record in logs):
+        return f"no structured log event carries request id {request_id}"
+    print(
+        f"selftest: request {request_id} traced across {len(lanes)} "
+        f"process lanes, {len(logs)} schema-valid log events, "
+        f"p99 {health['latency_p99'] * 1000:.2f} ms"
+    )
+    return None
+
+
+def _cmd_top(address_arg: str, interval: float, samples: int) -> int:
+    import time as _time
+
+    from repro.service import ShardClient
+
+    address = _parse_listen(address_arg)
+    if address is None:
+        print(f"error: expected HOST:PORT, got {address_arg!r}")
+        return 2
+    header = (
+        f"{'status':>9} {'alive':>7} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'slo!':>6} {'req':>8} {'hit%':>6} {'logs':>6} {'traces':>7}"
+    )
+    with ShardClient(address[0], address[1]) as client:
+        print(header)
+        taken = 0
+        try:
+            while True:
+                health = client.health()
+                stats = client.stats()
+                alive = f"{int(health['workers_alive'])}/{int(health['workers'])}"
+                print(
+                    f"{health['status']:>9} {alive:>7} "
+                    f"{stats['latency_p50'] * 1000:>8.2f} "
+                    f"{stats['latency_p99'] * 1000:>8.2f} "
+                    f"{int(stats['slo_breaches']):>6} "
+                    f"{int(stats.get('requests', 0)):>8} "
+                    f"{stats['hit_rate'] * 100:>6.1f} "
+                    f"{int(health['log_records']):>6} "
+                    f"{int(health['traces_stored']):>7}",
+                    flush=True,
+                )
+                taken += 1
+                if samples > 0 and taken >= samples:
+                    break
+                _time.sleep(interval)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -980,6 +1093,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.max_shed,
             args.min_availability,
         )
+    if args.command == "top":
+        return _cmd_top(args.address, args.interval, args.samples)
     if args.command == "lint":
         from repro.analysis.lint.cli import run as run_lint
 

@@ -1,13 +1,19 @@
 """repro.obs — the unified observability layer.
 
-Three pillars, one import:
+Five pillars, one import:
 
 * :mod:`repro.obs.metrics` — a labelled metrics registry (counters,
-  gauges, fixed-bucket histograms) with picklable snapshot/merge and
-  JSON + Prometheus-textfile exporters;
+  gauges, fixed-bucket histograms with quantile estimation) with
+  picklable snapshot/merge and JSON + Prometheus-textfile exporters;
 * :mod:`repro.obs.tracing` — nested span tracing with JSONL and Chrome
-  trace-event (Perfetto) export, plus a no-op null tracer whose
-  disabled path costs one attribute lookup;
+  trace-event (Perfetto) export, a :class:`~repro.obs.tracing.TraceStore`
+  for stitched cross-process request traces, plus a no-op null tracer
+  whose disabled path costs one attribute lookup;
+* :mod:`repro.obs.log` — bounded, rate-limited structured JSONL event
+  logging (``repro.log/v1``) for the serving tier's lifecycle events;
+* :mod:`repro.obs.context` — the :class:`~repro.obs.context.RequestContext`
+  identity a request carries across the sharded tier's process
+  boundaries (deterministically sampled);
 * :mod:`repro.obs.profile` — opt-in per-iteration engine sampling that
   turns Corollary 1.1's empty-prefix front into convergence curves.
 
@@ -16,23 +22,40 @@ layer; see docs/OBSERVABILITY.md for metric names, the span taxonomy
 and exporter formats.
 """
 
+from repro.obs.context import RequestContext, new_request_id
+from repro.obs.log import StructuredLog
 from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
     CounterBag,
     MetricsRegistry,
     MetricsSnapshot,
+    quantile_from_buckets,
     record_image_diff,
 )
 from repro.obs.profile import EngineProfiler, IterationSample
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    TraceStore,
+)
 
 __all__ = [
     "CounterBag",
+    "LATENCY_BUCKETS_S",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "quantile_from_buckets",
     "record_image_diff",
     "EngineProfiler",
     "IterationSample",
+    "RequestContext",
+    "new_request_id",
+    "StructuredLog",
     "Tracer",
+    "TraceStore",
     "Span",
     "SpanRecord",
     "NullTracer",

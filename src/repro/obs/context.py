@@ -1,0 +1,123 @@
+"""Request context: the identity a request carries across processes.
+
+The sharded tier turns one caller-visible request into work on N
+processes — the front-end routes row slices to shard workers over the
+``(kind, seq, payload)`` pipe protocol, and before this module existed
+the request became anonymous the moment it crossed that boundary: a
+worker span, a structured log line or a breaker trip could not be tied
+back to the request that caused it.
+
+:class:`RequestContext` is the fix — a tiny frozen value generated at
+the outermost entry point (:class:`~repro.service.frontend.ShardedServer`
+for TCP requests, :class:`~repro.service.frontend.ShardedDiffService` /
+:class:`~repro.service.DiffService` for in-process callers) and threaded
+through every hop:
+
+* ``request_id`` — 16 hex chars, unique per request, stamped on every
+  span (:mod:`repro.obs.tracing`), log record (:mod:`repro.obs.log`)
+  and wire reply that the request touches;
+* ``parent_id`` — the caller's own trace id when it supplied one (the
+  TCP protocol's ``request_id`` field), so an upstream system can join
+  our spans into its trace;
+* ``sampled`` — whether the fleet should pay for span shipping on this
+  request.  Decided *deterministically* from the request id
+  (:func:`RequestContext.sample`), so every process agrees without
+  coordination and a given id is always either fully traced or not.
+
+The wire form is a builtin-typed tuple (:data:`ContextWire`), matching
+the codec discipline of :mod:`repro.service.shard` — rule RLE103
+applies to this module too.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "ContextWire",
+    "RequestContext",
+    "new_request_id",
+    "encode_context",
+    "decode_context",
+]
+
+#: A context on the wire: ``(request_id, parent_id, sampled)``.
+ContextWire = Tuple[str, Optional[str], bool]
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (64 random bits — collision
+    probability is negligible at any realistic request volume)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """One request's identity, valid across process boundaries."""
+
+    #: Unique id of this request (16 hex chars from :func:`new_request_id`).
+    request_id: str
+    #: The caller's trace id, when it supplied one (``None`` for roots).
+    parent_id: Optional[str] = None
+    #: Whether spans for this request are recorded and shipped.
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ObservabilityError("request_id must be a non-empty string")
+
+    @classmethod
+    def new(
+        cls, parent_id: Optional[str] = None, sample_rate: float = 1.0
+    ) -> "RequestContext":
+        """A fresh context; ``sample_rate`` decides span shipping via
+        :meth:`sample` so the decision is a pure function of the id."""
+        request_id = new_request_id()
+        return cls(
+            request_id=request_id,
+            parent_id=parent_id,
+            sampled=cls.sample(request_id, sample_rate),
+        )
+
+    @staticmethod
+    def sample(request_id: str, rate: float) -> bool:
+        """Deterministic sampling decision for ``request_id``.
+
+        Hashes the first 8 hex chars into [0, 1) and compares against
+        ``rate`` — every process that sees the id reaches the same
+        verdict, so a trace is never half-shipped.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ObservabilityError(
+                f"sample rate must be in [0, 1], got {rate}"
+            )
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        try:
+            bucket = int(request_id[:8], 16)
+        except ValueError:
+            bucket = sum(request_id.encode("utf-8", "replace")) * 2654435761
+        return (bucket % 0x1_0000_0000) / float(0x1_0000_0000) < rate
+
+
+def encode_context(ctx: RequestContext) -> ContextWire:
+    """The builtin-typed wire form (see RLE103 — no class instances,
+    no NumPy, cross the boundary)."""
+    return (
+        str(ctx.request_id),
+        None if ctx.parent_id is None else str(ctx.parent_id),
+        bool(ctx.sampled),
+    )
+
+
+def decode_context(wire: ContextWire) -> RequestContext:
+    request_id, parent_id, sampled = wire
+    return RequestContext(
+        request_id=request_id, parent_id=parent_id, sampled=sampled
+    )

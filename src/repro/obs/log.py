@@ -1,0 +1,271 @@
+"""Structured event logging: bounded, rate-limited, schema-checked JSONL.
+
+Metrics say *how much*, traces say *where the time went* — this module
+answers *what happened, in order*: a request was admitted, completed or
+shed; an engine batch was retried; the breaker changed state; a worker
+died; a rotted cache entry self-healed.  Each event is one JSON object
+(schema ``repro.log/v1``, validated by
+:func:`repro.obs.schema.validate_log_record`), so the log greps, tails
+and joins against traces by ``request_id``.
+
+Design constraints, inherited from the rest of :mod:`repro.obs`:
+
+* **Bounded.**  Records land in a ring buffer (``capacity`` newest are
+  kept) — a serving process can log forever without growing.
+* **Rate-limited.**  A token bucket (``max_per_sec``) sheds log volume
+  under load *before* formatting cost is paid; drops are counted per
+  event name (:meth:`StructuredLog.dropped`) rather than silently
+  swallowed.
+* **Thread-safe.**  Caller threads, the batcher worker and the TCP
+  executor all log into one instance; every mutation runs under the
+  instance lock (rules RLE101/RLE102).
+* **Builtin-typed wire form.**  Shard workers ship recent events back
+  to the front-end inside their replies as :data:`EventWire` tuples —
+  :func:`encode_event` / :func:`decode_event` follow the same RLE103
+  codec discipline as :mod:`repro.service.shard`.
+
+Producers take ``log=None`` and emit only behind an ``is not None``
+check, so the disabled path costs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "LOG_SCHEMA",
+    "LOG_EVENTS",
+    "LOG_LEVELS",
+    "EventWire",
+    "StructuredLog",
+    "encode_event",
+    "decode_event",
+]
+
+#: The document schema tag carried by every record.
+LOG_SCHEMA = "repro.log/v1"
+
+#: The event vocabulary.  Closed on purpose: a typo'd event name is a
+#: wiring bug, and the schema check rejects it.
+LOG_EVENTS: Tuple[str, ...] = (
+    "request_admitted",
+    "request_completed",
+    "request_shed",
+    "retry",
+    "breaker_transition",
+    "worker_death",
+    "cache_self_heal",
+    "deadline_expired",
+)
+
+#: Severity vocabulary (plain strings — no logging-module coupling).
+LOG_LEVELS: Tuple[str, ...] = ("debug", "info", "warning", "error")
+
+#: One event on the wire: ``(ts, event, level, request_id,
+#: sorted (key, value) field pairs)`` — builtin scalars only.
+EventWire = Tuple[
+    float,
+    str,
+    str,
+    Optional[str],
+    Tuple[Tuple[str, object], ...],
+]
+
+#: Scalar types allowed as field values; anything else is stringified
+#: at log time so records stay JSON- and pipe-safe.
+_SCALARS = (bool, int, float, str)
+
+
+def _coerce_field(value: object) -> object:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    return str(value)
+
+
+class StructuredLog:
+    """A bounded, rate-limited structured event log.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest records fall off when full.
+    max_per_sec:
+        Token-bucket admission rate (sustained events/second, with a
+        burst of the same size).  ``None`` disables rate limiting.
+    clock:
+        Wall-clock source for record timestamps and bucket refill;
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        max_per_sec: Optional[float] = 500.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        if max_per_sec is not None and max_per_sec <= 0:
+            raise ObservabilityError(
+                f"max_per_sec must be > 0 (or None to disable), got {max_per_sec}"
+            )
+        self._capacity = capacity
+        self._max_per_sec = max_per_sec
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, object]] = []
+        self._tokens = float(max_per_sec) if max_per_sec is not None else 0.0
+        self._refilled_at = clock()
+        self._dropped: Dict[str, int] = {}
+        self._total = 0
+
+    # -- producing ------------------------------------------------------ #
+    def log(
+        self,
+        event: str,
+        request_id: Optional[str] = None,
+        level: str = "info",
+        **fields: object,
+    ) -> bool:
+        """Record one event; returns ``False`` when rate-limited.
+
+        ``event`` must come from :data:`LOG_EVENTS` and ``level`` from
+        :data:`LOG_LEVELS` — producing an off-vocabulary record raises
+        immediately rather than failing the downstream schema check.
+        """
+        if event not in LOG_EVENTS:
+            raise ObservabilityError(
+                f"unknown log event {event!r}; the repro.log/v1 vocabulary "
+                f"is {LOG_EVENTS}"
+            )
+        if level not in LOG_LEVELS:
+            raise ObservabilityError(
+                f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+            )
+        now = self._clock()
+        with self._lock:
+            if not self._admit(now):
+                self._dropped[event] = self._dropped.get(event, 0) + 1
+                return False
+            self._append(
+                {
+                    "schema": LOG_SCHEMA,
+                    "ts": float(now),
+                    "event": event,
+                    "level": level,
+                    "request_id": request_id,
+                    "fields": {
+                        key: _coerce_field(value)
+                        for key, value in sorted(fields.items())
+                    },
+                }
+            )
+        return True
+
+    def ingest(self, record: Dict[str, object]) -> None:
+        """Append a pre-formed record from another process (a shard
+        worker's shipped events).  Not rate-limited — the producer
+        already paid admission on its side; the ring bound still holds.
+        """
+        with self._lock:
+            self._append(dict(record))
+
+    # -- reading -------------------------------------------------------- #
+    def records(self) -> List[Dict[str, object]]:
+        """A snapshot copy of the buffered records, oldest first."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def drain(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Remove and return up to ``limit`` oldest records (all when
+        ``None``) — how a shard worker ships events with its replies
+        without re-sending history."""
+        with self._lock:
+            take = len(self._records) if limit is None else max(0, limit)
+            taken = self._records[:take]
+            del self._records[:take]
+            return taken
+
+    def dropped(self) -> Dict[str, int]:
+        """Rate-limiter drop counts per event name."""
+        with self._lock:
+            return dict(self._dropped)
+
+    def total_logged(self) -> int:
+        """Records admitted since construction (drops excluded)."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- exporting ------------------------------------------------------ #
+    def to_jsonl(self) -> str:
+        """One JSON object per record, oldest first."""
+        lines = [json.dumps(r, sort_keys=True) for r in self.records()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: object) -> None:
+        with open(path, "w", encoding="utf-8") as fh:  # type: ignore[call-overload]
+            fh.write(self.to_jsonl())
+
+    # -- internals (caller holds the lock) ------------------------------ #
+    def _admit(self, now: float) -> bool:
+        if self._max_per_sec is None:
+            return True
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(
+            float(self._max_per_sec),
+            self._tokens + elapsed * self._max_per_sec,
+        )
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        return True
+
+    def _append(self, record: Dict[str, object]) -> None:
+        self._records.append(record)
+        self._total += 1
+        excess = len(self._records) - self._capacity
+        if excess > 0:
+            del self._records[:excess]
+
+
+# --------------------------------------------------------------------- #
+# Wire codecs (builtin types only — RLE103 checks this module)          #
+# --------------------------------------------------------------------- #
+def encode_event(record: Dict[str, object]) -> EventWire:
+    """A record as a builtin-typed wire tuple for the shard pipe."""
+    fields = record.get("fields") or {}
+    if not isinstance(fields, dict):
+        fields = {}
+    request_id = record.get("request_id")
+    return (
+        float(record.get("ts", 0.0)),  # type: ignore[arg-type]
+        str(record.get("event", "")),
+        str(record.get("level", "info")),
+        None if request_id is None else str(request_id),
+        tuple(
+            (str(key), _coerce_field(value))
+            for key, value in sorted(fields.items())
+        ),
+    )
+
+
+def decode_event(wire: EventWire) -> Dict[str, object]:
+    ts, event, level, request_id, field_items = wire
+    return {
+        "schema": LOG_SCHEMA,
+        "ts": float(ts),
+        "event": str(event),
+        "level": str(level),
+        "request_id": None if request_id is None else str(request_id),
+        "fields": {str(key): value for key, value in field_items},
+    }

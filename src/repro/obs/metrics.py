@@ -46,6 +46,8 @@ from repro.errors import ObservabilityError
 __all__ = [
     "DEFAULT_BUCKETS",
     "ITERATION_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "quantile_from_buckets",
     "CounterBag",
     "Counter",
     "Gauge",
@@ -65,6 +67,53 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 #: terminate in a handful of iterations, Table 1's densest pairings in a
 #: few hundred.
 ITERATION_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Request-latency buckets in seconds, log-spaced from 100µs to 10s —
+#: the ``repro_request_latency_seconds`` families at the sharded
+#: front-end and in each shard worker share these bounds so worker
+#: cells merge into the fleet histogram without resampling.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket distribution.
+
+    Classic Prometheus-style estimation: find the bucket the target
+    rank lands in and interpolate linearly inside it (lower edge 0.0
+    for the first bucket).  Observations in the +inf overflow bucket
+    clamp to the last finite bound — the estimator never invents a
+    value beyond what the bucket layout can resolve.  An empty
+    histogram yields 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    if len(bucket_counts) != len(bounds) + 1:
+        raise ObservabilityError(
+            f"expected {len(bounds) + 1} bucket cells (bounds + overflow), "
+            f"got {len(bucket_counts)}"
+        )
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for i, cell in enumerate(bucket_counts):
+        if cell == 0:
+            continue
+        if cumulative + cell >= target:
+            if i >= len(bounds):  # +inf overflow: clamp to last bound
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            upper = float(bounds[i])
+            fraction = max(0.0, (target - cumulative) / cell)
+            return lower + (upper - lower) * fraction
+        cumulative += cell
+    return float(bounds[-1])
 
 
 class CounterBag:
@@ -177,6 +226,35 @@ class MetricsSnapshot:
                     total += series.value
         return total
 
+    def histogram_quantile(self, name: str, q: float, **labels: str) -> float:
+        """Estimated ``q``-quantile over histogram family ``name``,
+        pooling the cells of every series whose labels include the
+        given subset (see :func:`quantile_from_buckets`).
+
+        This is the merged-fleet view: the front-end folds worker
+        snapshots and asks one question — "what was p99 across all
+        shards?" — without shipping raw observations.  Returns ``0.0``
+        for absent families or when nothing matched.
+        """
+        bounds: Tuple[float, ...] = ()
+        pooled: List[int] = []
+        for family in self.families:
+            if family.name != name or family.kind != "histogram":
+                continue
+            bounds = family.buckets
+            for series in family.series:
+                have = dict(zip(family.labelnames, series.labels))
+                if not all(have.get(k) == v for k, v in labels.items()):
+                    continue
+                if not pooled:
+                    pooled = list(series.bucket_counts)
+                else:
+                    for i, cell in enumerate(series.bucket_counts):
+                        pooled[i] += cell
+        if not bounds or not pooled:
+            return 0.0
+        return quantile_from_buckets(bounds, pooled, q)
+
 
 # --------------------------------------------------------------------- #
 # Live metric instances                                                 #
@@ -286,6 +364,13 @@ class Histogram:
         """Consistent ``(bucket_counts, sum, count)`` triple."""
         with self._lock:
             return tuple(self.bucket_counts), self.sum, self.count
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile of the observed distribution
+        (see :func:`quantile_from_buckets`) — how ``stats()`` turns a
+        latency histogram into p50/p99 numbers."""
+        cells, _, _ = self.snap()
+        return quantile_from_buckets(self.buckets, cells, q)
 
 
 class MetricFamily:

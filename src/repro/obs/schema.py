@@ -23,6 +23,8 @@ __all__ = [
     "validate_chrome_trace",
     "validate_nested",
     "validate_profile_json",
+    "validate_log_record",
+    "validate_log_lines",
 ]
 
 _METRIC_KINDS = ("counter", "gauge", "histogram")
@@ -188,6 +190,77 @@ def validate_nested(doc: Dict, outer: str, inner: str) -> None:
             ):
                 return
     _fail("$.traceEvents", f"no {inner!r} span nested inside a {outer!r} span")
+
+
+# --------------------------------------------------------------------- #
+# Structured log records (StructuredLog / repro.log/v1)                 #
+# --------------------------------------------------------------------- #
+def validate_log_record(record: Dict, path: str = "$") -> None:
+    """Validate one ``repro.log/v1`` structured log record.
+
+    The vocabulary (events, levels) is imported from
+    :mod:`repro.obs.log` so producer and validator cannot drift.
+    """
+    from repro.obs.log import LOG_EVENTS, LOG_LEVELS, LOG_SCHEMA
+
+    _require_keys(
+        record, ("schema", "ts", "event", "level", "request_id", "fields"), path
+    )
+    _require(
+        record["schema"] == LOG_SCHEMA,
+        f"{path}.schema", f"expected {LOG_SCHEMA!r}, got {record['schema']!r}",
+    )
+    _require(
+        _is_number(record["ts"]) and record["ts"] >= 0,
+        f"{path}.ts", "expected non-negative number (unix seconds)",
+    )
+    _require(
+        record["event"] in LOG_EVENTS,
+        f"{path}.event",
+        f"expected one of {LOG_EVENTS}, got {record['event']!r}",
+    )
+    _require(
+        record["level"] in LOG_LEVELS,
+        f"{path}.level",
+        f"expected one of {LOG_LEVELS}, got {record['level']!r}",
+    )
+    request_id = record["request_id"]
+    _require(
+        request_id is None or (isinstance(request_id, str) and request_id),
+        f"{path}.request_id", "expected null or non-empty string",
+    )
+    fields = record["fields"]
+    _require(isinstance(fields, dict), f"{path}.fields", "expected object")
+    for key, value in fields.items():
+        _require(
+            isinstance(key, str) and bool(key),
+            f"{path}.fields", f"field key {key!r} is not a non-empty string",
+        )
+        _require(
+            value is None or isinstance(value, (bool, int, float, str)),
+            f"{path}.fields.{key}",
+            f"expected JSON scalar, got {type(value).__name__}",
+        )
+
+
+def validate_log_lines(text: str) -> int:
+    """Validate a JSONL log document line by line; returns the number
+    of records checked.  Blank lines are ignored (trailing newline)."""
+    import json
+
+    checked = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        path = f"$.line[{i}]"
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            _fail(path, f"not valid JSON: {exc}")
+        _require(isinstance(record, dict), path, "expected object")
+        validate_log_record(record, path)
+        checked += 1
+    return checked
 
 
 # --------------------------------------------------------------------- #

@@ -30,15 +30,21 @@ Span taxonomy (see docs/OBSERVABILITY.md for the full catalogue):
 
 Tracers are single-process, single-threaded objects; worker processes
 measure durations locally and the parent re-records them via
-:meth:`Tracer.record_span`.
+:meth:`Tracer.record_span`.  The sharded tier goes one step further:
+shard workers ship measured spans back inside their replies, the
+front-end re-records them with ``lane=k+1`` (its own spans stay on lane
+0), and :class:`TraceStore` keeps the stitched per-request span sets the
+``{"op": "trace"}`` server op serves — one request, one timeline, N
+processes side by side in Perfetto.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ObservabilityError
 
@@ -46,6 +52,8 @@ __all__ = [
     "SpanRecord",
     "Span",
     "Tracer",
+    "TraceStore",
+    "spans_to_chrome_trace",
     "NullSpan",
     "NullTracer",
     "NULL_TRACER",
@@ -63,6 +71,11 @@ class SpanRecord:
     start: float
     duration: float
     attributes: Dict[str, object] = field(default_factory=dict)
+    #: Rendering lane: 0 = the recording process itself; the sharded
+    #: front-end re-records worker ``k``'s spans with ``lane=k+1`` so
+    #: the Chrome export (``tid = lane + 1``) shows each process on its
+    #: own track of one shared timeline.
+    lane: int = 0
 
     @property
     def end(self) -> float:
@@ -151,13 +164,16 @@ class Tracer:
         return Span(self, span_id, parent_id, name, dict(attributes))
 
     def record_span(
-        self, name: str, duration_s: float, **attributes: object
+        self, name: str, duration_s: float, *, lane: int = 0, **attributes: object
     ) -> SpanRecord:
         """Record an already-measured span (ending now).
 
         Pool workers time their chunks with a local clock; the parent
         re-records the reported durations here so they appear on the
-        main trace timeline.
+        main trace timeline.  Cross-process callers (the sharded
+        front-end) pass ``lane`` to place the span on the originating
+        worker's track — only the duration crosses the wire, so clock
+        skew between processes never distorts the timeline.
         """
         span_id = self._next_id
         self._next_id += 1
@@ -169,6 +185,7 @@ class Tracer:
             start=max(0.0, end - duration_s),
             duration=duration_s,
             attributes=dict(attributes),
+            lane=lane,
         )
         self.spans.append(record)
         return record
@@ -208,23 +225,12 @@ class Tracer:
         """Chrome trace-event JSON (complete events), Perfetto-loadable.
 
         Timestamps and durations are microseconds per the trace-event
-        spec; all spans share one process/thread lane so nesting renders
-        from the intervals themselves.
+        spec.  Single-process spans all carry ``lane=0`` and land on one
+        track (``tid=1``, exactly the pre-sharding layout); spans
+        re-recorded from shard workers render on ``tid = lane + 1`` so N
+        processes share one timeline without overlapping.
         """
-        events = [
-            {
-                "name": r.name,
-                "cat": "repro",
-                "ph": "X",
-                "ts": r.start * 1e6,
-                "dur": r.duration * 1e6,
-                "pid": 1,
-                "tid": 1,
-                "args": dict(r.attributes),
-            }
-            for r in self.spans
-        ]
-        return {"schema": "repro.trace/v1", "traceEvents": events}
+        return spans_to_chrome_trace(self.spans)
 
     def write_chrome_trace(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -234,6 +240,85 @@ class Tracer:
     def write_jsonl(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_jsonl())
+
+
+def spans_to_chrome_trace(spans: Sequence[SpanRecord]) -> Dict:
+    """Render finished spans as a ``repro.trace/v1`` document
+    (shared by :meth:`Tracer.to_chrome_trace` and :class:`TraceStore`)."""
+    events = [
+        {
+            "name": r.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": r.start * 1e6,
+            "dur": r.duration * 1e6,
+            "pid": 1,
+            "tid": r.lane + 1,
+            "args": dict(r.attributes),
+        }
+        for r in spans
+    ]
+    return {"schema": "repro.trace/v1", "traceEvents": events}
+
+
+class TraceStore:
+    """A bounded, thread-safe store of stitched per-request span sets.
+
+    The sharded front-end finishes a request with spans from up to N+1
+    processes already re-recorded onto one timeline; this store indexes
+    those finished sets by request id so the ``{"op": "trace"}`` server
+    op (and tests) can fetch one request's distributed trace after the
+    fact.  Capacity-bounded: the oldest requests are evicted first.
+
+    Mutation and reads run under the instance lock — the TCP server's
+    executor threads and the caller thread share one store (RLE101).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        # insertion-ordered dict doubles as the eviction queue
+        self._traces: Dict[str, List[SpanRecord]] = {}
+
+    def add(self, request_id: str, spans: Sequence[SpanRecord]) -> None:
+        """Append ``spans`` under ``request_id`` (evicting the oldest
+        request if this id is new and the store is full)."""
+        if not request_id:
+            raise ObservabilityError("request_id must be a non-empty string")
+        with self._lock:
+            existing = self._traces.get(request_id)
+            if existing is None:
+                while len(self._traces) >= self._capacity:
+                    self._traces.pop(next(iter(self._traces)))
+                self._traces[request_id] = list(spans)
+            else:
+                existing.extend(spans)
+
+    def get(self, request_id: str) -> List[SpanRecord]:
+        """The stored spans for ``request_id`` (empty when unknown)."""
+        with self._lock:
+            return list(self._traces.get(request_id, ()))
+
+    def request_ids(self) -> List[str]:
+        """Stored request ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def to_chrome_trace(self, request_id: Optional[str] = None) -> Dict:
+        """One request's stitched trace, or every stored span when
+        ``request_id`` is ``None``."""
+        with self._lock:
+            if request_id is None:
+                spans = [s for trace in self._traces.values() for s in trace]
+            else:
+                spans = list(self._traces.get(request_id, ()))
+        return spans_to_chrome_trace(spans)
 
 
 class NullSpan:
@@ -266,7 +351,9 @@ class NullTracer:
     def span(self, name: str, **attributes: object) -> NullSpan:
         return self._NULL_SPAN
 
-    def record_span(self, name: str, duration_s: float, **attributes: object) -> None:
+    def record_span(
+        self, name: str, duration_s: float, *, lane: int = 0, **attributes: object
+    ) -> None:
         return None
 
     def durations(self, *names: str) -> Dict[str, float]:

@@ -40,16 +40,25 @@ import json
 import multiprocessing
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import GeometryError, ReproError, ServiceError
+from repro.errors import (
+    GeometryError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
 from repro.core.options import IMAGE_DEFAULTS, DiffOptions, resolve_options
 from repro.core.pipeline import ImageDiffResult
-from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.context import RequestContext, encode_context
+from repro.obs.log import StructuredLog, decode_event
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import Tracer, TraceStore
 from repro.service.cache import DEFAULT_CACHE_BYTES
 from repro.service.resilience import ResiliencePolicy
 from repro.service.shard import (
@@ -58,6 +67,7 @@ from repro.service.shard import (
     ShardRing,
     decode_error,
     decode_result,
+    decode_span,
     encode_options,
     encode_result,
     worker_main,
@@ -227,6 +237,21 @@ class ShardedDiffService:
         so the effective fleet budget is ``workers * cache_bytes``.
     replicas:
         Virtual nodes per shard on the ring.
+    trace_sample_rate:
+        Fraction of requests whose spans are recorded and shipped back
+        from the workers (decided deterministically per request id by
+        :meth:`~repro.obs.context.RequestContext.sample`, so every
+        process agrees).  1.0 traces everything; 0.0 disables span
+        shipping without touching logs or metrics.
+
+    Distributed observability: every request carries a
+    :class:`~repro.obs.context.RequestContext`; the front-end records
+    its own span (lane 0), re-records worker spans on lanes ``k+1``,
+    stores the stitched set in :attr:`trace_store`, ingests
+    worker-shipped log events into :attr:`log`, and measures end-to-end
+    latency into the ``repro_request_latency_seconds`` family of
+    :attr:`registry` (tier ``frontend``) with SLO-breach accounting
+    against ``policy.slo_seconds``.
     """
 
     def __init__(
@@ -236,6 +261,7 @@ class ShardedDiffService:
         policy: Optional[ResiliencePolicy] = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         replicas: int = DEFAULT_REPLICAS,
+        trace_sample_rate: float = 1.0,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -244,7 +270,30 @@ class ShardedDiffService:
         if policy is None:
             policy = opts.resilience
         self.policy = policy
+        self.trace_sample_rate = trace_sample_rate
         self.ring = ShardRing(workers, replicas)
+        # Front-end observability: its own registry (the workers' merge
+        # separately — see merged_registry), the fleet log, and the
+        # stitched per-request trace store behind {"op": "trace"}.
+        self.registry = MetricsRegistry()
+        self.log = StructuredLog()
+        self.trace_store = TraceStore()
+        self._m_latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "request latency by operation and tier",
+            ("op", "tier"),
+            buckets=LATENCY_BUCKETS_S,
+        )
+        self._m_slo = self.registry.counter(
+            "repro_slo_breaches_total",
+            "requests slower than the policy's slo_seconds budget",
+            ("op",),
+        )
+        self._slo_seconds = (
+            policy.slo_seconds
+            if policy is not None
+            else ResiliencePolicy().slo_seconds
+        )
         ctx = multiprocessing.get_context()
         wire = encode_options(self.options)
         self._workers = [
@@ -272,17 +321,64 @@ class ShardedDiffService:
     def stats(self, timeout: Optional[float] = 10.0) -> Dict[str, float]:
         """Fleet-wide stats: worker counters summed, ``hit_rate``
         recomputed from the summed hit/miss totals (a mean of per-shard
-        rates would weight idle shards equally with hot ones)."""
+        rates would weight idle shards equally with hot ones).
+
+        ``latency_*`` keys are quantiles, not counters — the per-worker
+        values are dropped rather than summed, and the reported
+        ``latency_p50``/``latency_p99`` are the *front-end's* end-to-end
+        view (:meth:`~repro.obs.metrics.Histogram.quantile` over the
+        ``repro_request_latency_seconds`` frontend series).
+        ``slo_breaches`` sums the workers' service-side breaches with
+        the front-end's end-to-end ones.
+        """
         per_worker = self.worker_stats(timeout=timeout)
         totals: Dict[str, float] = {"workers": float(len(per_worker))}
         for stats in per_worker:
             for key, value in stats.items():
-                if key == "hit_rate":
+                if key == "hit_rate" or key.startswith("latency_"):
                     continue
                 totals[key] = totals.get(key, 0.0) + value
         seen = totals.get("hits", 0.0) + totals.get("misses", 0.0)
         totals["hit_rate"] = totals.get("hits", 0.0) / seen if seen else 0.0
+        snap = self.registry.snapshot()
+        totals["latency_p50"] = snap.histogram_quantile(
+            "repro_request_latency_seconds", 0.5, tier="frontend"
+        )
+        totals["latency_p99"] = snap.histogram_quantile(
+            "repro_request_latency_seconds", 0.99, tier="frontend"
+        )
+        totals["slo_breaches"] = totals.get("slo_breaches", 0.0) + (
+            snap.counter_total("repro_slo_breaches_total")
+        )
         return totals
+
+    def health(self) -> Dict[str, Any]:
+        """A cheap liveness/latency probe (the ``{"op": "health"}``
+        server op): worker process liveness plus the front-end's p99
+        and SLO burn.  Does not round-trip the workers — a hung worker
+        shows up as ``alive`` until its process dies; use :meth:`ping`
+        for a synchronous readiness check."""
+        with self._close_lock:
+            closed = self._closed
+        alive = sum(1 for handle in self._workers if handle.alive)
+        snap = self.registry.snapshot()
+        if closed:
+            status = "closed"
+        elif alive == len(self._workers):
+            status = "healthy"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "workers": len(self._workers),
+            "workers_alive": alive,
+            "latency_p99": snap.histogram_quantile(
+                "repro_request_latency_seconds", 0.99, tier="frontend"
+            ),
+            "slo_breaches": snap.counter_total("repro_slo_breaches_total"),
+            "log_records": float(len(self.log)),
+            "traces_stored": float(len(self.trace_store)),
+        }
 
     def worker_snapshots(
         self, timeout: Optional[float] = 10.0
@@ -316,7 +412,10 @@ class ShardedDiffService:
 
     # -- requests ------------------------------------------------------- #
     def diff_rows(
-        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        ctx: Optional[RequestContext] = None,
     ) -> List[XorRunResult]:
         """Scatter the pairs over the shards by content, gather, and
         reassemble in input order.
@@ -324,6 +423,12 @@ class ShardedDiffService:
         All scattered slices are drained even when one fails, so no
         worker is left computing into an abandoned pipe; the first
         failure (in shard order) is then re-raised, typed.
+
+        Every call runs under a :class:`~repro.obs.context.RequestContext`
+        (a fresh one is generated when ``ctx`` is ``None``): the request
+        id rides the pipe to every touched worker, worker spans and log
+        events come back with the replies, and the stitched trace lands
+        in :attr:`trace_store` under that id.
         """
         rows_a, rows_b = list(rows_a), list(rows_b)
         if len(rows_a) != len(rows_b):
@@ -335,27 +440,146 @@ class ShardedDiffService:
                 raise ServiceError("ShardedDiffService is closed")
         if not rows_a:
             return []
+        if ctx is None:
+            ctx = RequestContext.new(sample_rate=self.trace_sample_rate)
+        # A per-request tracer (concurrent requests from the TCP
+        # executor threads must not share one span stack); its spans are
+        # stitched into the store when the request finishes.
+        tracer = Tracer()
+        started = time.perf_counter()
+        self.log.log(
+            "request_admitted",
+            request_id=ctx.request_id,
+            level="debug",
+            op="diff_rows",
+            tier="frontend",
+            rows=len(rows_a),
+        )
+        try:
+            with tracer.span(
+                "sharded_diff_rows", request_id=ctx.request_id, rows=len(rows_a)
+            ):
+                results = self._scatter_gather(rows_a, rows_b, ctx, tracer)
+        except BaseException as exc:
+            self._finish_request(ctx, tracer, started, exc)
+            raise
+        self._finish_request(ctx, tracer, started, None)
+        return results
+
+    def _finish_request(
+        self,
+        ctx: RequestContext,
+        tracer: Tracer,
+        started: float,
+        exc: Optional[BaseException],
+    ) -> None:
+        """Terminal accounting for one front-end request: end-to-end
+        latency, SLO burn, the completion/shed log event, and the
+        stitched trace (sampled requests only)."""
+        elapsed = max(0.0, time.perf_counter() - started)
+        self._m_latency.labels(op="diff_rows", tier="frontend").observe(elapsed)
+        breached = self._slo_seconds is not None and elapsed > self._slo_seconds
+        if breached:
+            self._m_slo.labels(op="diff_rows").inc()
+        if exc is None:
+            self.log.log(
+                "request_completed",
+                request_id=ctx.request_id,
+                level="debug",
+                op="diff_rows",
+                tier="frontend",
+                ok=True,
+                seconds=elapsed,
+                slo_breach=breached,
+            )
+        elif isinstance(exc, ServiceOverloadError):
+            self.log.log(
+                "request_shed",
+                request_id=ctx.request_id,
+                level="warning",
+                op="diff_rows",
+                tier="frontend",
+                seconds=elapsed,
+            )
+        else:
+            self.log.log(
+                "request_completed",
+                request_id=ctx.request_id,
+                level="warning",
+                op="diff_rows",
+                tier="frontend",
+                ok=False,
+                error=type(exc).__name__,
+                seconds=elapsed,
+                slo_breach=breached,
+            )
+        if ctx.sampled and tracer.spans:
+            self.trace_store.add(ctx.request_id, tracer.spans)
+
+    def _scatter_gather(
+        self,
+        rows_a: List[RLERow],
+        rows_b: List[RLERow],
+        ctx: RequestContext,
+        tracer: Tracer,
+    ) -> List[XorRunResult]:
         by_shard: Dict[int, List[int]] = {}
         for index, row_a in enumerate(rows_a):
             by_shard.setdefault(self.ring.shard_for_row(row_a), []).append(index)
+        ctx_wire = encode_context(ctx)
         scattered: List[Tuple[int, List[int], "Future[Any]"]] = []
+        first_error: Optional[BaseException] = None
         for shard, indices in sorted(by_shard.items()):
             payload = (
                 tuple(_encode_row(rows_a[i]) for i in indices),
                 tuple(_encode_row(rows_b[i]) for i in indices),
+                ctx_wire,
             )
-            scattered.append(
-                (shard, indices, self._workers[shard].request("diff_rows", payload))
-            )
-        served: List[Optional[XorRunResult]] = [None] * len(rows_a)
-        first_error: Optional[BaseException] = None
-        for shard, indices, future in scattered:
             try:
-                wires = future.result()
-            except BaseException as exc:
+                future = self._workers[shard].request("diff_rows", payload)
+            except ServiceError as exc:
+                # the worker was already gone at send time (broken pipe
+                # or receiver-marked closed) — same observability as a
+                # death mid-flight; keep scattering so the surviving
+                # shards are still driven and drained
+                if not self._workers[shard].alive:
+                    self.log.log(
+                        "worker_death",
+                        request_id=ctx.request_id,
+                        level="error",
+                        worker=shard,
+                        error=type(exc).__name__,
+                    )
                 if first_error is None:
                     first_error = exc
                 continue
+            scattered.append((shard, indices, future))
+        served: List[Optional[XorRunResult]] = [None] * len(rows_a)
+        for shard, indices, future in scattered:
+            try:
+                wires, spans_wire, events_wire = future.result()
+            except BaseException as exc:
+                if not self._workers[shard].alive:
+                    self.log.log(
+                        "worker_death",
+                        request_id=ctx.request_id,
+                        level="error",
+                        worker=shard,
+                        error=type(exc).__name__,
+                    )
+                if first_error is None:
+                    first_error = exc
+                continue
+            # Stitch: worker log events into the fleet log, worker spans
+            # onto lane shard+1 of this request's timeline (re-recorded
+            # from their durations, so clock skew cannot distort it).
+            for event_wire in events_wire:
+                self.log.ingest(decode_event(event_wire))
+            for span_wire in spans_wire:
+                name, duration_s, attributes = decode_span(span_wire)
+                tracer.record_span(
+                    name, duration_s, lane=shard + 1, **attributes
+                )
             if len(wires) != len(indices):
                 if first_error is None:
                     first_error = ServiceError(
@@ -427,15 +651,31 @@ class ShardedServer:
     Protocol: one JSON object per line in, one per line out.  Requests
     carry an ``op``; responses carry ``ok`` plus either the result
     fields or ``error``/``message`` (the error name matching the typed
-    :mod:`repro.errors` class a local caller would have caught):
+    :mod:`repro.errors` class a local caller would have caught).  A
+    client-supplied ``id`` field is echoed verbatim on *every* response
+    to that request — success or error — so pipelined clients can match
+    replies without counting lines:
 
     ``{"op": "ping"}``
         ``{"ok": true, "workers": N}``
-    ``{"op": "diff_rows", "rows_a": [[pairs, width], ...], "rows_b": ...}``
-        ``{"ok": true, "results": [[pairs, width, iterations, k1, k2,
-        n_cells, stats_items], ...]}``
+    ``{"op": "diff_rows", "rows_a": [[pairs, width], ...], "rows_b": ...,
+    "request_id": "<optional parent trace id>"}``
+        ``{"ok": true, "request_id": "<server-assigned id>",
+        "results": [[pairs, width, iterations, k1, k2, n_cells,
+        stats_items], ...]}`` — the returned ``request_id`` keys the
+        stitched trace behind ``{"op": "trace"}``; a client-supplied
+        ``request_id`` becomes the context's ``parent_id``
     ``{"op": "stats"}``
         ``{"ok": true, "stats": {...}}`` (fleet-wide, counters summed)
+    ``{"op": "health"}``
+        ``{"ok": true, "health": {...}}`` (liveness + p99 + SLO burn)
+    ``{"op": "trace", "request_id": "<id>"}``
+        ``{"ok": true, "trace": {...}}`` — the stitched
+        ``repro.trace/v1`` Chrome document for that request; without
+        ``request_id``, ``{"ok": true, "request_ids": [...]}``
+    ``{"op": "logs"}``
+        ``{"ok": true, "logs": [...]}`` — the front-end's structured
+        log records (``repro.log/v1``), worker events included
     ``{"op": "metrics", "format": "json" | "prometheus"}``
         the merged cross-worker registry through the existing exporters
 
@@ -508,6 +748,14 @@ class ShardedServer:
                 pass
 
     def _dispatch(self, request: Any) -> Dict[str, Any]:
+        response = self._dispatch_inner(request)
+        # every response to an id-bearing request — errors included —
+        # echoes that id, so pipelined clients can match replies
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _dispatch_inner(self, request: Any) -> Dict[str, Any]:
         try:
             if not isinstance(request, dict):
                 raise ServiceError(
@@ -520,13 +768,36 @@ class ShardedServer:
             if op == "diff_rows":
                 rows_a = [_row_from_json(w) for w in request.get("rows_a", ())]
                 rows_b = [_row_from_json(w) for w in request.get("rows_b", ())]
-                results = self.service.diff_rows(rows_a, rows_b)
+                parent = request.get("request_id")
+                ctx = RequestContext.new(
+                    parent_id=str(parent) if parent is not None else None,
+                    sample_rate=self.service.trace_sample_rate,
+                )
+                results = self.service.diff_rows(rows_a, rows_b, ctx=ctx)
                 return {
                     "ok": True,
+                    "request_id": ctx.request_id,
                     "results": [encode_result(r) for r in results],
                 }
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}
+            if op == "health":
+                return {"ok": True, "health": self.service.health()}
+            if op == "trace":
+                request_id = request.get("request_id")
+                if request_id is None:
+                    return {
+                        "ok": True,
+                        "request_ids": self.service.trace_store.request_ids(),
+                    }
+                return {
+                    "ok": True,
+                    "trace": self.service.trace_store.to_chrome_trace(
+                        str(request_id)
+                    ),
+                }
+            if op == "logs":
+                return {"ok": True, "logs": self.service.log.records()}
             if op == "metrics":
                 registry = self.service.merged_registry()
                 if request.get("format") == "prometheus":
@@ -647,11 +918,18 @@ class ShardClient:
     typed errors are re-raised locally via
     :func:`~repro.service.shard.decode_error`, so remote and in-process
     callers handle the same exception classes.
+
+    After a :meth:`diff_rows` (or :meth:`diff_images`) round-trip,
+    :attr:`last_request_id` holds the server-assigned request id — feed
+    it to :meth:`trace` to fetch that request's stitched distributed
+    trace.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
+        #: the server-assigned request id of the most recent diff call
+        self.last_request_id: Optional[str] = None
 
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
@@ -670,15 +948,23 @@ class ShardClient:
         return int(self._roundtrip({"op": "ping"})["workers"])
 
     def diff_rows(
-        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        request_id: Optional[str] = None,
     ) -> List[XorRunResult]:
-        response = self._roundtrip(
-            {
-                "op": "diff_rows",
-                "rows_a": [_encode_row(r) for r in rows_a],
-                "rows_b": [_encode_row(r) for r in rows_b],
-            }
-        )
+        """Diff row pairs; an optional ``request_id`` becomes the
+        server-side context's ``parent_id`` (for callers stitching this
+        call into their own trace)."""
+        request: Dict[str, Any] = {
+            "op": "diff_rows",
+            "rows_a": [_encode_row(r) for r in rows_a],
+            "rows_b": [_encode_row(r) for r in rows_b],
+        }
+        if request_id is not None:
+            request["request_id"] = request_id
+        response = self._roundtrip(request)
+        self.last_request_id = response.get("request_id")
         return [_result_from_json(wire) for wire in response["results"]]
 
     def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> List[XorRunResult]:
@@ -692,6 +978,22 @@ class ShardClient:
 
     def stats(self) -> Dict[str, float]:
         return dict(self._roundtrip({"op": "stats"})["stats"])
+
+    def health(self) -> Dict[str, Any]:
+        """The server's health probe (status, liveness, p99, SLO burn)."""
+        return dict(self._roundtrip({"op": "health"})["health"])
+
+    def trace(self, request_id: Optional[str] = None) -> Any:
+        """One request's stitched ``repro.trace/v1`` Chrome document, or
+        the list of stored request ids when ``request_id`` is ``None``."""
+        if request_id is None:
+            return list(self._roundtrip({"op": "trace"})["request_ids"])
+        return self._roundtrip({"op": "trace", "request_id": request_id})["trace"]
+
+    def logs(self) -> List[Dict[str, Any]]:
+        """The front-end's structured ``repro.log/v1`` records (worker
+        events already stitched in)."""
+        return list(self._roundtrip({"op": "logs"})["logs"])
 
     def metrics_json(self) -> Dict[str, Any]:
         return dict(self._roundtrip({"op": "metrics", "format": "json"})["metrics"])

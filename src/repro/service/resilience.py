@@ -48,11 +48,13 @@ import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeout
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -78,6 +80,8 @@ from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
 from repro.core.options import DiffOptions, IMAGE_DEFAULTS, resolve_options
 from repro.core.pipeline import ImageDiffResult
+from repro.obs.log import StructuredLog
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram
 from repro.service.batcher import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_LATENCY,
@@ -159,8 +163,18 @@ class ResiliencePolicy:
     breaker_half_open_probes: int = 1
     #: Structurally validate every computed / cache-served result.
     validate_results: bool = True
+    #: Latency SLO per request, in seconds; a request finishing (or
+    #: failing) later than this counts as an SLO breach in the
+    #: ``repro_slo_breaches_total`` family and ``stats()``.  ``None``
+    #: disables SLO accounting.
+    slo_seconds: Optional[float] = 0.5
 
     def __post_init__(self) -> None:
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ServiceError(
+                f"slo_seconds must be > 0 (or None to disable), "
+                f"got {self.slo_seconds}"
+            )
         if self.deadline is not None and self.deadline <= 0:
             raise ServiceError(
                 f"deadline must be > 0 seconds (or None), got {self.deadline}"
@@ -433,6 +447,13 @@ class ResilientDiffService:
     clock / sleep / rng:
         Injectable time and jitter sources, so tests drive deadlines,
         backoff and breaker timeouts deterministically.
+    log:
+        An optional :class:`~repro.obs.log.StructuredLog`; when given,
+        the lifecycle events of every request (admitted / completed /
+        shed, retries, breaker transitions, deadline expiries, cache
+        self-heals) land there as ``repro.log/v1`` records.  Shard
+        workers pass their per-process log so the events ship back to
+        the front-end with replies.
     """
 
     def __init__(
@@ -447,6 +468,7 @@ class ResilientDiffService:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
+        log: Optional[StructuredLog] = None,
     ) -> None:
         opts = resolve_options(options, {}, IMAGE_DEFAULTS, "ResilientDiffService")
         if policy is None:
@@ -464,6 +486,12 @@ class ResilientDiffService:
         self.degraded_serves = 0
         self.shed = 0
         self.healed = 0
+        self.slo_breaches = 0
+        self.log = log
+        # Always-on latency distribution (independent of the optional
+        # metrics registry) so stats() can answer latency_p50/p99 and
+        # SLO burn even when no registry was threaded.
+        self._latency_hist = Histogram(LATENCY_BUCKETS_S)
 
         metrics = opts.metrics
         self._m_retries: Any = None
@@ -472,6 +500,8 @@ class ResilientDiffService:
         self._m_outcomes: Any = None
         self._m_transitions: Any = None
         self._m_state: Any = None
+        self._m_latency: Any = None
+        self._m_slo: Any = None
         if metrics is not None:
             self._m_retries = metrics.counter(
                 "repro_resilience_retries_total",
@@ -501,6 +531,17 @@ class ResilientDiffService:
                 "breaker state (0=closed, 1=half_open, 2=open)",
             ).labels()
             self._m_state.set(BREAKER_STATE_VALUES[BREAKER_CLOSED])
+            self._m_latency = metrics.histogram(
+                "repro_request_latency_seconds",
+                "request latency by operation and tier",
+                ("op", "tier"),
+                buckets=LATENCY_BUCKETS_S,
+            )
+            self._m_slo = metrics.counter(
+                "repro_slo_breaches_total",
+                "requests slower than the policy's slo_seconds budget",
+                ("op",),
+            )
 
         self.breaker = CircuitBreaker(
             self.policy, clock=clock, on_transition=self._note_transition
@@ -537,6 +578,9 @@ class ResilientDiffService:
             info["resilience_degraded_serves"] = float(self.degraded_serves)
             info["resilience_shed"] = float(self.shed)
             info["resilience_healed"] = float(self.healed)
+            info["slo_breaches"] = float(self.slo_breaches)
+        info["latency_p50"] = self._latency_hist.quantile(0.5)
+        info["latency_p99"] = self._latency_hist.quantile(0.99)
         info["breaker_state"] = BREAKER_STATE_VALUES[self.breaker.state]
         info["breaker_failure_rate"] = self.breaker.failure_rate
         # transition_count reads len() under the breaker's own lock —
@@ -571,11 +615,23 @@ class ResilientDiffService:
         row_a: RLERow,
         row_b: RLERow,
         deadline: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> XorRunResult:
         """Synchronous row diff under the full policy: breaker
         admission, per-request deadline (``deadline`` overrides
-        ``policy.deadline``), retries and validation.
+        ``policy.deadline``), retries and validation.  ``request_id``
+        stamps the request's log events (see
+        :class:`~repro.obs.context.RequestContext`).
         """
+        with self._observe_request("row_diff", request_id, 1):
+            return self._row_diff_inner(row_a, row_b, deadline)
+
+    def _row_diff_inner(
+        self,
+        row_a: RLERow,
+        row_b: RLERow,
+        deadline: Optional[float],
+    ) -> XorRunResult:
         budget = deadline if deadline is not None else self.policy.deadline
         start = self._clock()
         if not self.breaker.allow():
@@ -616,6 +672,7 @@ class ResilientDiffService:
         image_a: RLEImage,
         image_b: RLEImage,
         deadline: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> ImageDiffResult:
         """Whole-image diff under the full policy.
 
@@ -626,6 +683,15 @@ class ResilientDiffService:
         :class:`~repro.errors.DeadlineExceededError` rather than
         returning late results.
         """
+        with self._observe_request("diff_images", request_id, image_a.height):
+            return self._diff_images_inner(image_a, image_b, deadline)
+
+    def _diff_images_inner(
+        self,
+        image_a: RLEImage,
+        image_b: RLEImage,
+        deadline: Optional[float],
+    ) -> ImageDiffResult:
         budget = deadline if deadline is not None else self.policy.deadline
         start = self._clock()
         if not self.breaker.allow():
@@ -667,6 +733,7 @@ class ResilientDiffService:
         rows_a: Sequence[RLERow],
         rows_b: Sequence[RLERow],
         deadline: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> List[XorRunResult]:
         """Bulk row-pair diff under the full policy.
 
@@ -675,7 +742,18 @@ class ResilientDiffService:
         through this method, so backpressure, breaker admission,
         degraded cache-only serving and validation all apply per slice
         exactly as :meth:`diff_images` applies them per image.
+        ``request_id`` stamps the slice's log events with the
+        originating request's identity.
         """
+        with self._observe_request("diff_rows", request_id, len(rows_a)):
+            return self._diff_rows_inner(rows_a, rows_b, deadline)
+
+    def _diff_rows_inner(
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        deadline: Optional[float],
+    ) -> List[XorRunResult]:
         budget = deadline if deadline is not None else self.policy.deadline
         start = self._clock()
         if not self.breaker.allow():
@@ -987,17 +1065,107 @@ class ResilientDiffService:
         )
 
     # ------------------------------------------------------------------ #
+    # Per-request observation (latency, SLO, lifecycle log events)       #
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _observe_request(
+        self, op: str, request_id: Optional[str], units: int
+    ) -> Iterator[None]:
+        """Wraps one request: admitted/terminal log events, the latency
+        histogram, and SLO-breach accounting, on every exit path."""
+        started = self._clock()
+        if self.log is not None:
+            self.log.log(
+                "request_admitted",
+                request_id=request_id,
+                level="debug",
+                op=op,
+                units=units,
+            )
+        try:
+            yield
+        except BaseException as exc:
+            self._finish_request(op, started, request_id, exc)
+            raise
+        else:
+            self._finish_request(op, started, request_id, None)
+
+    def _finish_request(
+        self,
+        op: str,
+        started: float,
+        request_id: Optional[str],
+        exc: Optional[BaseException],
+    ) -> None:
+        elapsed = max(0.0, self._clock() - started)
+        self._latency_hist.observe(elapsed)
+        if self._m_latency is not None:
+            self._m_latency.labels(op=op, tier="service").observe(elapsed)
+        slo = self.policy.slo_seconds
+        breached = slo is not None and elapsed > slo
+        if breached:
+            with self._lock:
+                self.slo_breaches += 1
+            if self._m_slo is not None:
+                self._m_slo.labels(op=op).inc()
+        if self.log is None:
+            return
+        if exc is None:
+            self.log.log(
+                "request_completed",
+                request_id=request_id,
+                level="debug",
+                op=op,
+                ok=True,
+                seconds=elapsed,
+                slo_breach=breached,
+            )
+        elif isinstance(exc, ServiceOverloadError):
+            self.log.log(
+                "request_shed",
+                request_id=request_id,
+                level="warning",
+                op=op,
+                seconds=elapsed,
+            )
+        elif isinstance(exc, DeadlineExceededError):
+            self.log.log(
+                "deadline_expired",
+                request_id=request_id,
+                level="warning",
+                op=op,
+                seconds=elapsed,
+            )
+        else:
+            self.log.log(
+                "request_completed",
+                request_id=request_id,
+                level="warning",
+                op=op,
+                ok=False,
+                error=type(exc).__name__,
+                seconds=elapsed,
+                slo_breach=breached,
+            )
+
+    # ------------------------------------------------------------------ #
     # Accounting                                                         #
     # ------------------------------------------------------------------ #
     def _count_retry(self) -> None:
         with self._lock:
             self.retries += 1
+            total = self.retries
         if self._m_retries is not None:
             self._m_retries.inc()
+        if self.log is not None:
+            self.log.log("retry", level="warning", total=total)
 
     def _count_healed(self) -> None:
         with self._lock:
             self.healed += 1
+            total = self.healed
+        if self.log is not None:
+            self.log.log("cache_self_heal", level="warning", total=total)
 
     def _count_deadline(self) -> None:
         with self._lock:
@@ -1027,6 +1195,13 @@ class ResilientDiffService:
             ).inc()
         if self._m_state is not None:
             self._m_state.set(BREAKER_STATE_VALUES[to_state])
+        if self.log is not None:
+            self.log.log(
+                "breaker_transition",
+                level="warning",
+                from_state=from_state,
+                to_state=to_state,
+            )
 
 
 def _is_valid(

@@ -31,7 +31,18 @@ Usage::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+import time
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from concurrent.futures import Future
 
@@ -41,6 +52,8 @@ from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
 from repro.core.options import IMAGE_DEFAULTS, DiffOptions, resolve_options
 from repro.core.pipeline import ImageDiffResult
+from repro.obs.context import new_request_id
+from repro.obs.log import StructuredLog
 from repro.service.batcher import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_LATENCY,
@@ -101,6 +114,15 @@ class DiffService:
         of :class:`~repro.service.resilience.ResilientDiffService` plug
         in, *upstream* of the cache so only results that survived the
         wrapper are ever stored.
+    log:
+        An optional :class:`~repro.obs.log.StructuredLog`.  When set,
+        every :meth:`row_diff` / :meth:`diff_rows` request emits
+        ``request_admitted``/``request_completed`` events under a
+        request id (caller-supplied, or generated via
+        :func:`~repro.obs.context.new_request_id`).  Leave unset when
+        wrapping with
+        :class:`~repro.service.resilience.ResilientDiffService` — the
+        wrapper logs the same lifecycle itself.
     """
 
     def __init__(
@@ -111,9 +133,11 @@ class DiffService:
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
         compute: Optional[ComputeFn] = None,
+        log: Optional[StructuredLog] = None,
     ) -> None:
         opts = resolve_options(options, {}, IMAGE_DEFAULTS, "DiffService")
         self.options = opts.without_observability()
+        self.log = log
         self._metrics: "Optional[MetricsRegistry]" = opts.metrics
         self._compute: ComputeFn = (
             compute if compute is not None else compute_row_diffs
@@ -145,14 +169,22 @@ class DiffService:
         """
         return self._batcher.submit(row_a, row_b)
 
-    def row_diff(self, row_a: RLERow, row_b: RLERow) -> XorRunResult:
+    def row_diff(
+        self, row_a: RLERow, row_b: RLERow, request_id: Optional[str] = None
+    ) -> XorRunResult:
         """Synchronous row diff (submit + wait)."""
-        return self.submit_row_diff(row_a, row_b).result()
+        with self._observe("row_diff", request_id, 1):
+            return self.submit_row_diff(row_a, row_b).result()
 
     # ------------------------------------------------------------------ #
     # Image requests                                                     #
     # ------------------------------------------------------------------ #
-    def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> ImageDiffResult:
+    def diff_images(
+        self,
+        image_a: RLEImage,
+        image_b: RLEImage,
+        request_id: Optional[str] = None,
+    ) -> ImageDiffResult:
         """Difference two equal-shape images through the service.
 
         An image is already a batch, so this path skips the request
@@ -169,7 +201,9 @@ class DiffService:
             raise GeometryError(
                 f"image shapes differ: {image_a.shape} vs {image_b.shape}"
             )
-        row_results = self.diff_rows(list(image_a), list(image_b))
+        row_results = self.diff_rows(
+            list(image_a), list(image_b), request_id=request_id
+        )
         return ImageDiffResult(
             image=RLEImage(
                 (
@@ -182,7 +216,10 @@ class DiffService:
         )
 
     def diff_rows(
-        self, rows_a: Sequence[RLERow], rows_b: Sequence[RLERow]
+        self,
+        rows_a: Sequence[RLERow],
+        rows_b: Sequence[RLERow],
+        request_id: Optional[str] = None,
     ) -> List[XorRunResult]:
         """Difference ``len(rows_a)`` row pairs as one bulk request.
 
@@ -196,7 +233,53 @@ class DiffService:
             raise GeometryError(
                 f"row sequences differ in length: {len(rows_a)} vs {len(rows_b)}"
             )
-        return self._serve_bulk(rows_a, rows_b)
+        with self._observe("diff_rows", request_id, len(rows_a)):
+            return self._serve_bulk(rows_a, rows_b)
+
+    @contextmanager
+    def _observe(
+        self, op: str, request_id: Optional[str], units: int
+    ) -> Iterator[None]:
+        """Emit the admitted/completed event pair around one request
+        when a :class:`~repro.obs.log.StructuredLog` is attached (a
+        no-op otherwise — the unlogged path costs one attribute check).
+        """
+        if self.log is None:
+            yield
+            return
+        rid = request_id if request_id is not None else new_request_id()
+        started = time.perf_counter()
+        self.log.log(
+            "request_admitted",
+            request_id=rid,
+            level="debug",
+            op=op,
+            tier="base",
+            units=units,
+        )
+        try:
+            yield
+        except BaseException as exc:
+            self.log.log(
+                "request_completed",
+                request_id=rid,
+                level="warning",
+                op=op,
+                tier="base",
+                ok=False,
+                error=type(exc).__name__,
+                seconds=max(0.0, time.perf_counter() - started),
+            )
+            raise
+        self.log.log(
+            "request_completed",
+            request_id=rid,
+            level="debug",
+            op=op,
+            tier="base",
+            ok=True,
+            seconds=max(0.0, time.perf_counter() - started),
+        )
 
     def _serve_bulk(
         self, rows_a: List[RLERow], rows_b: List[RLERow]

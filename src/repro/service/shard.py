@@ -49,11 +49,14 @@ from repro.systolic.stats import ActivityStats
 
 __all__ = [
     "DEFAULT_REPLICAS",
+    "MAX_SPANS_PER_REPLY",
+    "MAX_EVENTS_PER_REPLY",
     "ShardRing",
     "OptionsWire",
     "RowWire",
     "ResultWire",
     "ErrorWire",
+    "SpanWire",
     "encode_options",
     "decode_options",
     "encode_row",
@@ -62,6 +65,8 @@ __all__ = [
     "decode_result",
     "encode_error",
     "decode_error",
+    "encode_span",
+    "decode_span",
     "worker_main",
 ]
 
@@ -93,6 +98,19 @@ ResultWire = Tuple[
 #: One error on the wire: the :mod:`repro.errors` class name and the
 #: message.  :func:`decode_error` rehydrates it.
 ErrorWire = Tuple[str, str]
+
+#: One measured span on the wire: ``(name, duration_s, sorted
+#: (key, value) attribute pairs)``.  Only the duration crosses — the
+#: front-end re-records it on its own clock
+#: (:meth:`repro.obs.tracing.Tracer.record_span`), so clock skew
+#: between processes never distorts the stitched timeline.
+SpanWire = Tuple[str, float, Tuple[Tuple[str, object], ...]]
+
+#: Per-reply shipping bounds: a pathological request cannot flood the
+#: pipe with observability payload — excess spans/events stay behind
+#: (events ride out with later replies; spans past the cap are dropped).
+MAX_SPANS_PER_REPLY = 32
+MAX_EVENTS_PER_REPLY = 64
 
 
 # --------------------------------------------------------------------- #
@@ -211,6 +229,27 @@ def decode_result(wire: ResultWire) -> XorRunResult:
     )
 
 
+def encode_span(
+    name: str, duration_s: float, attributes: Dict[str, object]
+) -> SpanWire:
+    """One measured span as a builtin-typed wire tuple.  Attribute
+    values are clamped to JSON scalars (stringified otherwise) so the
+    tuple stays pickle-free and trace exports stay schema-valid."""
+    items = []
+    for key, value in sorted(attributes.items()):
+        if value is not None and not isinstance(value, (bool, int, float, str)):
+            value = str(value)
+        items.append((str(key), value))
+    return (str(name), float(duration_s), tuple(items))
+
+
+def decode_span(wire: SpanWire) -> Tuple[str, float, Dict[str, object]]:
+    """``(name, duration_s, attributes)`` ready for
+    :meth:`~repro.obs.tracing.Tracer.record_span`."""
+    name, duration_s, items = wire
+    return (str(name), float(duration_s), {str(k): v for k, v in items})
+
+
 def encode_error(exc: BaseException) -> ErrorWire:
     """``(class_name, message)`` — enough to rehydrate the typed error
     on the other side of the boundary."""
@@ -256,11 +295,18 @@ def worker_main(
     exactly one ``("ok", seq, result)`` or ``("err", seq,
     (name, message))`` reply:
 
-    ``("diff_rows", seq, (rows_a, rows_b))``
-        Rows in :data:`RowWire` form; the reply payload is a tuple of
-        :data:`ResultWire`.  Failures — including backpressure
-        (``ServiceOverloadError``) and breaker trips — come back as
-        typed :data:`ErrorWire` errors.
+    ``("diff_rows", seq, (rows_a, rows_b, ctx))``
+        Rows in :data:`RowWire` form plus the request's
+        :data:`~repro.obs.context.ContextWire` (``None`` from a
+        pre-context peer).  The reply payload is ``(results, spans,
+        events)``: a tuple of :data:`ResultWire`, the worker's measured
+        :data:`SpanWire` spans for this request (empty when the context
+        is unsampled, capped at :data:`MAX_SPANS_PER_REPLY`), and up to
+        :data:`MAX_EVENTS_PER_REPLY` drained structured log events in
+        :data:`~repro.obs.log.EventWire` form.  Failures — including
+        backpressure (``ServiceOverloadError``) and breaker trips —
+        come back as typed :data:`ErrorWire` errors; the events they
+        generate ship with the worker's next successful reply.
     ``("stats", seq, None)``
         The service's ``stats()`` dict (plain floats).
     ``("snapshot", seq, None)``
@@ -272,7 +318,10 @@ def worker_main(
     The worker never raises across the pipe: every exception is encoded
     and the loop continues (except ``close``/EOF, which end it).
     """
+    from repro.obs.context import decode_context
+    from repro.obs.log import StructuredLog, encode_event
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
     from repro.service.resilience import ResilientDiffService
 
     registry = MetricsRegistry()
@@ -282,8 +331,10 @@ def worker_main(
     )
     worker_gauge.labels(worker=str(worker_id)).set(float(worker_id))
     options = decode_options(options_wire).replace(metrics=registry)
+    log = StructuredLog()
+    tracer = Tracer()
     service = ResilientDiffService(
-        options, policy=policy, cache_bytes=cache_bytes
+        options, policy=policy, cache_bytes=cache_bytes, log=log
     )
     try:
         while True:
@@ -298,12 +349,52 @@ def worker_main(
                 break
             try:
                 if kind == "diff_rows":
-                    rows_a_wire, rows_b_wire = payload
-                    results = service.diff_rows(
-                        [decode_row(w) for w in rows_a_wire],
-                        [decode_row(w) for w in rows_b_wire],
+                    if len(payload) == 3:
+                        rows_a_wire, rows_b_wire, ctx_wire = payload
+                    else:  # pre-context peer: rows only
+                        rows_a_wire, rows_b_wire = payload
+                        ctx_wire = None
+                    ctx = decode_context(ctx_wire) if ctx_wire is not None else None
+                    request_id = ctx.request_id if ctx is not None else None
+                    sampled = ctx.sampled if ctx is not None else True
+                    try:
+                        with tracer.span(
+                            "shard_diff_rows",
+                            request_id=request_id,
+                            worker=worker_id,
+                            rows=len(rows_a_wire),
+                        ):
+                            results = service.diff_rows(
+                                [decode_row(w) for w in rows_a_wire],
+                                [decode_row(w) for w in rows_b_wire],
+                                request_id=request_id,
+                            )
+                    except BaseException:
+                        # the typed error crosses as ErrorWire below; the
+                        # failure's spans are dropped (nothing to stitch)
+                        # and its log events ride the next ok reply
+                        del tracer.spans[:]
+                        raise
+                    # request_admitted/request_completed land in `log`
+                    # from the resilience layer's _observe_request
+                    finished = tracer.spans[:MAX_SPANS_PER_REPLY]
+                    del tracer.spans[:]
+                    spans_wire = (
+                        tuple(
+                            encode_span(s.name, s.duration, s.attributes)
+                            for s in finished
+                        )
+                        if sampled
+                        else ()
                     )
-                    reply: Any = tuple(encode_result(r) for r in results)
+                    events_wire = tuple(
+                        encode_event(r) for r in log.drain(MAX_EVENTS_PER_REPLY)
+                    )
+                    reply: Any = (
+                        tuple(encode_result(r) for r in results),
+                        spans_wire,
+                        events_wire,
+                    )
                 elif kind == "stats":
                     reply = service.stats()
                 elif kind == "snapshot":

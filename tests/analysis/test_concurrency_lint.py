@@ -435,6 +435,28 @@ class TestRLE103:
         """
         assert codes(snippet, rel_path="service/frontend.py") == ["RLE103"]
 
+    def test_obs_context_is_a_wire_module(self):
+        snippet = """
+        import numpy as np
+        def encode_context(ctx):
+            return (ctx.request_id, np.bool_(ctx.sampled))
+        """
+        assert codes(snippet, rel_path="obs/context.py") == ["RLE103"]
+
+    def test_obs_log_is_a_wire_module(self):
+        snippet = """
+        def encode_event(record):
+            return (record["ts"], Wrapped(record))
+        """
+        assert codes(snippet, rel_path="obs/log.py") == ["RLE103"]
+
+    def test_obs_codec_builtin_payload_clean(self):
+        snippet = """
+        def encode_event(record):
+            return (record["ts"], str(record["event"]), tuple(record["fields"]))
+        """
+        assert codes(snippet, rel_path="obs/log.py") == []
+
 
 # --------------------------------------------------------------------- #
 # RLE104 no-blocking-in-async                                           #

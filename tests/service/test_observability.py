@@ -1,0 +1,334 @@
+"""Distributed observability under failure.
+
+The happy-path contract (one request id, a stitched multi-lane trace,
+schema-valid structured logs) is asserted first, then held under every
+failure mode the serving tier documents:
+
+- a worker process crashing mid-request still yields a typed error, a
+  ``worker_death`` log event carrying the request id, and a stitched
+  trace whose surviving spans have no orphans;
+- a tripped breaker logs ``breaker_transition`` and stamps every shed
+  request with a ``request_shed`` event;
+- a chaos-injected transient fault logs ``retry`` and the request still
+  completes byte-identical to the fault-free reference;
+- everything the log ever emits round-trips as schema-valid
+  ``repro.log/v1`` JSONL (:func:`repro.obs.schema.validate_log_lines`).
+"""
+
+import pytest
+
+from repro.errors import (
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+)
+from repro.rle.row import RLERow
+from repro.core.options import DiffOptions
+from repro.obs.context import RequestContext
+from repro.obs.log import StructuredLog
+from repro.obs.schema import (
+    validate_chrome_trace,
+    validate_log_lines,
+    validate_log_record,
+)
+from repro.service import (
+    ChaosEngine,
+    ChaosSchedule,
+    DiffService,
+    ResiliencePolicy,
+    ResilientDiffService,
+    ServerThread,
+    ShardClient,
+    ShardedDiffService,
+)
+from tests.service.test_service import FAST, assert_identical
+
+BATCHED = DiffOptions(engine="batched")
+
+ROW_A = RLERow.from_pairs([(0, 4), (8, 2), (20, 5)], width=32)
+ROW_B = RLERow.from_pairs([(2, 4), (21, 3)], width=32)
+
+#: Trips after two failures (window 4, min 2, threshold 0.5); the long
+#: reset keeps it open for the rest of the test.
+TWITCHY = ResiliencePolicy(
+    max_retries=0,
+    breaker_window=4,
+    breaker_min_requests=2,
+    breaker_failure_threshold=0.5,
+    breaker_reset_timeout=60.0,
+    jitter=0.0,
+)
+
+
+def make_row_pairs(n=12, width=64):
+    """``n`` distinct row pairs — enough content variety that the ring
+    routes to both shards of a 2-worker service (asserted per test)."""
+    rows_a = [
+        RLERow.from_pairs([(i % 8, 4), (20 + (i % 5), 3 + (i % 3))], width=width)
+        for i in range(n)
+    ]
+    rows_b = [
+        RLERow.from_pairs([(2 + (i % 6), 5), (40, 1 + (i % 7))], width=width)
+        for i in range(n)
+    ]
+    return rows_a, rows_b
+
+
+def assert_no_orphan_spans(spans):
+    """Every span is a root or parented by a span in the same trace."""
+    span_ids = {s.span_id for s in spans}
+    for span in spans:
+        assert span.parent_id == -1 or span.parent_id in span_ids, span
+
+
+def assert_log_schema_valid(records):
+    assert records, "expected at least one structured log record"
+    for record in records:
+        validate_log_record(record)
+
+
+# --------------------------------------------------------------------- #
+# Happy path: the invariants the failure tests then hold under fire     #
+# --------------------------------------------------------------------- #
+class TestStitchedTrace:
+    def test_one_request_id_spans_every_touched_process(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            assert {svc.ring.shard_for_row(r) for r in rows_a} == {0, 1}
+            ctx = RequestContext.new()
+            svc.diff_rows(rows_a, rows_b, ctx=ctx)
+
+            spans = svc.trace_store.get(ctx.request_id)
+            names = [s.name for s in spans]
+            assert names.count("sharded_diff_rows") == 1
+            assert names.count("shard_diff_rows") == 2
+            # lane 0 = front-end, lanes 1..N = workers
+            assert {s.lane for s in spans} == {0, 1, 2}
+            assert_no_orphan_spans(spans)
+            for span in spans:
+                assert span.attributes["request_id"] == ctx.request_id
+
+            validate_chrome_trace(
+                svc.trace_store.to_chrome_trace(ctx.request_id)
+            )
+
+    def test_worker_log_events_ship_back_with_the_request_id(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            ctx = RequestContext.new()
+            svc.diff_rows(rows_a, rows_b, ctx=ctx)
+
+            records = svc.log.records()
+            assert_log_schema_valid(records)
+            mine = [r for r in records if r["request_id"] == ctx.request_id]
+            kinds = [r["event"] for r in mine]
+            # front-end lifecycle + one admitted/completed per worker,
+            # shipped back inside the shard replies
+            assert kinds.count("request_admitted") >= 3
+            assert kinds.count("request_completed") >= 3
+            frontend_done = [
+                r
+                for r in mine
+                if r["event"] == "request_completed"
+                and r["fields"].get("tier") == "frontend"
+            ]
+            assert len(frontend_done) == 1
+            assert frontend_done[0]["fields"]["ok"] is True
+
+    def test_unsampled_requests_skip_spans_but_keep_logs(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            ctx = RequestContext(request_id="feedfacefeedface", sampled=False)
+            svc.diff_rows(rows_a, rows_b, ctx=ctx)
+            assert svc.trace_store.get(ctx.request_id) == []
+            assert any(
+                r["request_id"] == ctx.request_id for r in svc.log.records()
+            )
+
+
+# --------------------------------------------------------------------- #
+# Worker crash mid-request                                              #
+# --------------------------------------------------------------------- #
+class TestWorkerCrash:
+    def test_dead_worker_logs_worker_death_with_the_request_id(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            svc.ping()
+            assert {svc.ring.shard_for_row(r) for r in rows_a} == {0, 1}
+            handle = svc._workers[0]
+            handle._process.terminate()
+            handle._process.join(timeout=10)
+            assert not handle.alive
+
+            ctx = RequestContext.new()
+            with pytest.raises(ServiceError):
+                svc.diff_rows(rows_a, rows_b, ctx=ctx)
+
+            records = svc.log.records()
+            assert_log_schema_valid(records)
+            deaths = [r for r in records if r["event"] == "worker_death"]
+            assert deaths
+            assert deaths[0]["request_id"] == ctx.request_id
+            assert deaths[0]["level"] == "error"
+            assert deaths[0]["fields"]["worker"] == 0
+            # the failed request still gets terminal accounting
+            done = [
+                r
+                for r in records
+                if r["event"] == "request_completed"
+                and r["request_id"] == ctx.request_id
+                and r["fields"].get("tier") == "frontend"
+            ]
+            assert len(done) == 1
+            assert done[0]["fields"]["ok"] is False
+            assert done[0]["fields"]["error"] == "ServiceError"
+            assert done[0]["level"] == "warning"
+
+    def test_surviving_worker_spans_still_stitch_without_orphans(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            svc.ping()
+            handle = svc._workers[0]
+            handle._process.terminate()
+            handle._process.join(timeout=10)
+
+            ctx = RequestContext.new()
+            with pytest.raises(ServiceError):
+                svc.diff_rows(rows_a, rows_b, ctx=ctx)
+
+            spans = svc.trace_store.get(ctx.request_id)
+            lanes = {s.lane for s in spans}
+            assert 0 in lanes  # the front-end span survives the failure
+            assert 1 not in lanes  # the dead worker shipped nothing
+            assert_no_orphan_spans(spans)
+            validate_chrome_trace(
+                svc.trace_store.to_chrome_trace(ctx.request_id)
+            )
+
+            health = svc.health()
+            assert health["status"] == "degraded"
+            assert health["workers_alive"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Breaker-open shedding                                                 #
+# --------------------------------------------------------------------- #
+class TestBreakerShedEvents:
+    def test_shed_requests_log_breaker_transition_and_request_shed(self):
+        log = StructuredLog()
+        chaos = ChaosEngine(
+            ChaosSchedule(["error"], cycle=True), sleep=lambda _s: None
+        )
+        with ResilientDiffService(
+            BATCHED,
+            policy=TWITCHY,
+            compute=chaos,
+            cache_bytes=0,
+            log=log,
+            sleep=lambda _s: None,
+            **FAST,
+        ) as svc:
+            for _ in range(2):
+                with pytest.raises(ReproError):
+                    svc.row_diff(ROW_A, ROW_B)
+            with pytest.raises(ServiceOverloadError):
+                svc.row_diff(ROW_A, ROW_B, request_id="feedface00000001")
+
+        records = log.records()
+        assert_log_schema_valid(records)
+        transitions = [
+            r for r in records if r["event"] == "breaker_transition"
+        ]
+        assert transitions
+        assert transitions[0]["fields"] == {
+            "from_state": "closed",
+            "to_state": "open",
+        }
+        shed = [r for r in records if r["event"] == "request_shed"]
+        assert shed
+        assert shed[-1]["request_id"] == "feedface00000001"
+        assert shed[-1]["level"] == "warning"
+
+
+# --------------------------------------------------------------------- #
+# Chaos-injected retry                                                  #
+# --------------------------------------------------------------------- #
+class TestRetryEvents:
+    def test_transient_fault_logs_retry_and_still_completes(self):
+        log = StructuredLog()
+        chaos = ChaosEngine(ChaosSchedule(["error"]), sleep=lambda _s: None)
+        policy = ResiliencePolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+        with ResilientDiffService(
+            BATCHED,
+            policy=policy,
+            compute=chaos,
+            cache_bytes=0,
+            log=log,
+            sleep=lambda _s: None,
+            **FAST,
+        ) as svc:
+            result = svc.row_diff(ROW_A, ROW_B, request_id="c0ffee0000000001")
+        with DiffService(BATCHED, cache_bytes=0, **FAST) as single:
+            assert_identical(result, single.row_diff(ROW_A, ROW_B))
+
+        records = log.records()
+        assert_log_schema_valid(records)
+        events = [r["event"] for r in records]
+        assert events.count("retry") == 1
+        done = [
+            r
+            for r in records
+            if r["event"] == "request_completed"
+            and r["request_id"] == "c0ffee0000000001"
+        ]
+        assert len(done) == 1
+        assert done[0]["fields"]["ok"] is True
+        # lifecycle ordering: admitted -> retry -> completed
+        assert events.index("request_admitted") < events.index("retry")
+        assert events.index("retry") < events.index("request_completed")
+
+    def test_log_round_trips_as_schema_valid_jsonl(self, tmp_path):
+        log = StructuredLog()
+        chaos = ChaosEngine(ChaosSchedule(["error"]), sleep=lambda _s: None)
+        policy = ResiliencePolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+        with ResilientDiffService(
+            BATCHED,
+            policy=policy,
+            compute=chaos,
+            cache_bytes=0,
+            log=log,
+            sleep=lambda _s: None,
+            **FAST,
+        ) as svc:
+            svc.row_diff(ROW_A, ROW_B, request_id="c0ffee0000000002")
+
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(path)
+        checked = validate_log_lines(path.read_text(encoding="utf-8"))
+        assert checked == len(log.records()) > 0
+
+
+# --------------------------------------------------------------------- #
+# End-to-end over TCP                                                   #
+# --------------------------------------------------------------------- #
+class TestTcpPropagation:
+    def test_request_id_joins_trace_and_logs_across_the_socket(self):
+        rows_a, rows_b = make_row_pairs()
+        with ShardedDiffService(BATCHED, workers=2) as svc:
+            with ServerThread(svc) as server:
+                with ShardClient(server.host, server.port) as client:
+                    client.diff_rows(
+                        rows_a, rows_b, request_id="upstream-trace-01"
+                    )
+                    rid = client.last_request_id
+                    assert rid
+
+                    trace = client.trace(rid)
+                    validate_chrome_trace(trace)
+                    tids = {e["tid"] for e in trace["traceEvents"]}
+                    assert len(tids) >= 2
+
+                    logs = client.logs()
+                    assert_log_schema_valid(logs)
+                    assert any(r["request_id"] == rid for r in logs)
+                    assert rid in client.trace()
