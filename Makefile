@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke bench-trend obs-smoke service-smoke resilience-smoke serve-smoke coverage examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke bench-trend obs-smoke service-smoke resilience-smoke serve-smoke stream-smoke coverage examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -13,7 +13,8 @@ MYPY_STRICT_FILES = \
 	src/repro/service/batcher.py \
 	src/repro/service/service.py \
 	src/repro/service/shard.py \
-	src/repro/service/resilience.py
+	src/repro/service/resilience.py \
+	src/repro/service/stream.py
 
 install:
 	pip install -e '.[test]'
@@ -94,6 +95,17 @@ serve-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_service.py -q --benchmark-disable \
 		-k "Sharded"
+
+# streaming smoke: 2-worker TCP stream selftest on the motion workload
+# (gates decode byte-identity and that at least one adaptive keyframe
+# rekey occurred), then the streaming benchmark gates in smoke mode
+# (bytes-on-wire advantage >= 1.5x vs per-frame diffs, decode identity)
+stream-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--stream --frames 10 --passes 2 --height 64 --width 64 \
+		--rekey-ratio 0.8 --workers 2 --listen 127.0.0.1:0 --selftest
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_stream.py -q --benchmark-disable
 
 # line coverage over the service layer, gated at 90% (pytest-cov ships
 # in the [test] extra; skipped with a notice when not installed)

@@ -21,6 +21,7 @@ Outputs: ``results/obs_overhead.json``.
 import os
 import time
 
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.rle.image import RLEImage
@@ -85,13 +86,18 @@ def test_disabled_tracing_image_diff_overhead(benchmark, results_dir):
     rounds = 3 if SMOKE else 5
 
     benchmark.pedantic(
-        lambda: diff_images(image_a, image_b, tracer=NULL_TRACER),
+        lambda: diff_images(
+            image_a, image_b, options=DiffOptions(tracer=NULL_TRACER)
+        ),
         rounds=rounds,
         iterations=1,
     )
     off_s = _best_of(lambda: diff_images(image_a, image_b), rounds)
     null_s = _best_of(
-        lambda: diff_images(image_a, image_b, tracer=NULL_TRACER), rounds
+        lambda: diff_images(
+            image_a, image_b, options=DiffOptions(tracer=NULL_TRACER)
+        ),
+        rounds,
     )
     ratio = null_s / off_s if off_s else 1.0
     print(
@@ -120,7 +126,7 @@ def test_enabled_tracing_still_correct():
     result is bit-identical to the untraced run."""
     image_a, image_b = _image_pair()
     tracer = Tracer()
-    traced = diff_images(image_a, image_b, tracer=tracer)
+    traced = diff_images(image_a, image_b, options=DiffOptions(tracer=tracer))
     plain = diff_images(image_a, image_b)
     assert [r.to_pairs() for r in traced.image] == [
         r.to_pairs() for r in plain.image

@@ -62,6 +62,7 @@ __all__ = [
 WIRE_MODULES: Tuple[str, ...] = (
     "service/shard.py",
     "service/frontend.py",
+    "service/stream.py",
     "obs/context.py",
     "obs/log.py",
 )

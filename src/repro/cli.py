@@ -22,7 +22,13 @@ Commands
                it over TCP, and ``--selftest`` round-trips the clip
                through a client and gates on byte-identity, merged
                metrics, health, distributed tracing and structured-log
-               schema (see docs/SERVING.md)
+               schema (see docs/SERVING.md).  ``--stream`` serves the
+               clip as a streaming frame-delta session instead — one
+               key frame plus XOR deltas with adaptive rekeying
+               (``--rekey-ratio``/``--max-chain``), decode-identity
+               checked, composing with ``--workers``/``--listen``/
+               ``--selftest`` for the TCP stream gate
+               (see docs/API.md "Streaming sessions")
 ``top``        poll a running sharded server's ``health``/``stats`` ops
                and render a one-line-per-sample live fleet view
                (status, latency quantiles, SLO burn, cache hit rate)
@@ -222,6 +228,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --listen: round-trip the clip through a TCP client, "
         "verify byte-identity with a single-process DiffService and "
         "merged-metrics sanity, then exit (the CI smoke mode)",
+    )
+    sv.add_argument(
+        "--stream",
+        action="store_true",
+        help="serve the clip as a streaming frame-delta session "
+        "(stream_open / stream_frame / stream_close) instead of "
+        "per-pair diffs; decoded frames are checked byte-identical "
+        "(see docs/API.md 'Streaming sessions')",
+    )
+    sv.add_argument(
+        "--rekey-ratio",
+        type=float,
+        default=None,
+        help="with --stream: rekey when the delta runs accumulated "
+        "since the key frame exceed this multiple of the key frame's "
+        "runs (default: the StreamPolicy default)",
     )
 
     tp = sub.add_parser(
@@ -679,6 +701,8 @@ def _cmd_serve(
     chaos_seed: int = 0,
     max_shed: Optional[int] = None,
     min_availability: Optional[float] = None,
+    stream: bool = False,
+    rekey_ratio: Optional[float] = None,
 ) -> int:
     from repro.errors import ReproError, ServiceOverloadError
     from repro.core.options import DiffOptions, validate_engine
@@ -720,20 +744,79 @@ def _cmd_serve(
     else:
         service = DiffService(options, cache_bytes=cache_bytes)
     total_pixels = served = failed = 0
+    stream_stats = None
     with service:
-        for _ in range(passes):
-            for prev, cur in zip(clip, clip[1:]):
-                try:
-                    total_pixels += service.diff_images(prev, cur).difference_pixels
-                    served += 1
-                except ServiceOverloadError:
-                    failed += 1  # shed by the breaker; already counted in stats
-                except ReproError as exc:
-                    failed += 1
-                    print(f"  pair failed: {type(exc).__name__}: {exc}")
+        if stream:
+            from repro.rle.ops2d import xor_images
+            from repro.service import StreamingDiffService, StreamPolicy
+
+            policy = (
+                StreamPolicy(rekey_ratio=rekey_ratio)
+                if rekey_ratio is not None
+                else None
+            )
+            mismatches = 0
+            with StreamingDiffService(
+                service, policy=policy, metrics=registry
+            ) as streams:
+                sid = streams.open()
+                decoded = None
+                for _ in range(passes):
+                    for frame in clip:
+                        try:
+                            fd = streams.append_frame(sid, frame)
+                        except ServiceOverloadError:
+                            failed += 1
+                            continue
+                        except ReproError as exc:
+                            failed += 1
+                            print(
+                                f"  frame failed: {type(exc).__name__}: {exc}"
+                            )
+                            continue
+                        served += 1
+                        total_pixels += (
+                            0 if fd.frame_index == 0 else fd.delta.pixel_count
+                        )
+                        decoded = (
+                            fd.delta
+                            if decoded is None
+                            else xor_images(decoded, fd.delta)
+                        )
+                        if not decoded.same_pixels(frame):
+                            mismatches += 1
+                stream_stats = streams.close_session(sid)
+            if mismatches:
+                print(
+                    f"ERROR: {mismatches} decoded frame(s) not byte-identical "
+                    f"to the source clip"
+                )
+                return 1
+        else:
+            for _ in range(passes):
+                for prev, cur in zip(clip, clip[1:]):
+                    try:
+                        total_pixels += service.diff_images(prev, cur).difference_pixels
+                        served += 1
+                    except ServiceOverloadError:
+                        failed += 1  # shed by the breaker; already counted in stats
+                    except ReproError as exc:
+                        failed += 1
+                        print(f"  pair failed: {type(exc).__name__}: {exc}")
         stats = service.stats()
-    pairs = passes * max(frames - 1, 0)
-    print(f"served {pairs} frame pairs ({int(stats['requests'])} row requests)")
+    if stream and stream_stats is not None:
+        print(
+            f"stream: {int(stream_stats['frames'])} frames appended, "
+            f"{int(stream_stats['rekeys'])} rekeys, "
+            f"compression {stream_stats['compression_ratio']:.2f}x "
+            f"({int(stream_stats['shipped_runs'])} shipped / "
+            f"{int(stream_stats['raw_runs'])} raw runs); decoded frames "
+            f"byte-identical"
+        )
+        print(f"served {served} frames ({int(stats['requests'])} row requests)")
+    else:
+        pairs = passes * max(frames - 1, 0)
+        print(f"served {pairs} frame pairs ({int(stats['requests'])} row requests)")
     print(f"motion pixels flagged: {total_pixels}")
     print(
         f"cache: {int(stats.get('hits', 0))} hits / "
@@ -808,13 +891,17 @@ def _cmd_serve_sharded(
     workers: int,
     listen: Optional[str],
     selftest: bool,
+    stream: bool = False,
+    rekey_ratio: Optional[float] = None,
 ) -> int:
     from repro.core.options import DiffOptions, validate_engine
+    from repro.rle.ops2d import xor_images
     from repro.service import (
         DiffService,
         ServerThread,
         ShardClient,
         ShardedDiffService,
+        StreamPolicy,
     )
     from repro.workloads.motion import generate_sequence
 
@@ -841,13 +928,43 @@ def _cmd_serve_sharded(
         options, workers=workers, cache_bytes=cache_bytes
     ) as service:
         service.ping()
+        policy = (
+            StreamPolicy(rekey_ratio=rekey_ratio)
+            if rekey_ratio is not None
+            else None
+        )
         total_pixels = pairs_served = 0
+        stream_stats = None
         if address is None:
-            # no TCP: drive the clip straight through the sharded service
-            for _ in range(passes):
-                for prev, cur in zip(clip, clip[1:]):
-                    total_pixels += service.diff_images(prev, cur).difference_pixels
-                    pairs_served += 1
+            if stream:
+                # no TCP: drive the session straight through the
+                # sharded service (routed to one shard by session id)
+                sid = service.stream_open(policy=policy)
+                decoded = None
+                for _ in range(passes):
+                    for frame in clip:
+                        fd = service.stream_frame(sid, frame)
+                        pairs_served += 1
+                        if fd.frame_index > 0:
+                            total_pixels += fd.delta.pixel_count
+                        decoded = (
+                            fd.delta
+                            if decoded is None
+                            else xor_images(decoded, fd.delta)
+                        )
+                        if not decoded.same_pixels(frame):
+                            print(
+                                f"ERROR: decoded frame {fd.frame_index} is "
+                                f"not byte-identical to the source"
+                            )
+                            return 1
+                stream_stats = service.stream_close(sid)
+            else:
+                # no TCP: drive the clip straight through the sharded service
+                for _ in range(passes):
+                    for prev, cur in zip(clip, clip[1:]):
+                        total_pixels += service.diff_images(prev, cur).difference_pixels
+                        pairs_served += 1
         else:
             with ServerThread(service, host=address[0], port=address[1]) as server:
                 print(f"listening on {server.host}:{server.port}")
@@ -866,35 +983,76 @@ def _cmd_serve_sharded(
                     if client.ping() != workers:
                         print("ERROR: ping did not reach every worker")
                         return 1
-                    for _ in range(passes):
-                        for prev, cur in zip(clip, clip[1:]):
-                            remote = client.diff_rows(list(prev), list(cur))
-                            local = reference.diff_images(prev, cur)
-                            pairs_served += 1
-                            total_pixels += local.difference_pixels
-                            for r, l in zip(remote, local.row_results):
-                                if (
-                                    r.result.to_pairs() != l.result.to_pairs()
-                                    or r.iterations != l.iterations
-                                    or r.stats.items() != l.stats.items()
-                                ):
+                    if stream:
+                        sid = client.stream_open(
+                            rekey_ratio=rekey_ratio,
+                        )
+                        decoded = None
+                        for _ in range(passes):
+                            for frame in clip:
+                                fd = client.stream_frame(sid, frame)
+                                pairs_served += 1
+                                if fd.frame_index > 0:
+                                    total_pixels += fd.delta.pixel_count
+                                decoded = (
+                                    fd.delta
+                                    if decoded is None
+                                    else xor_images(decoded, fd.delta)
+                                )
+                                if not decoded.same_pixels(frame):
                                     mismatches += 1
+                        stream_stats = client.stream_close(sid)
+                    else:
+                        for _ in range(passes):
+                            for prev, cur in zip(clip, clip[1:]):
+                                remote = client.diff_rows(list(prev), list(cur))
+                                local = reference.diff_images(prev, cur)
+                                pairs_served += 1
+                                total_pixels += local.difference_pixels
+                                for r, l in zip(remote, local.row_results):
+                                    if (
+                                        r.result.to_pairs() != l.result.to_pairs()
+                                        or r.iterations != l.iterations
+                                        or r.stats.items() != l.stats.items()
+                                    ):
+                                        mismatches += 1
                     observability_error = _selftest_observability(
                         client, workers
                     )
                 if mismatches:
                     print(
-                        f"ERROR: {mismatches} row result(s) diverged from the "
-                        f"single-process DiffService"
+                        f"ERROR: {mismatches} "
+                        + (
+                            "decoded frame(s) not byte-identical to the "
+                            "source clip"
+                            if stream
+                            else "row result(s) diverged from the "
+                            "single-process DiffService"
+                        )
                     )
                     return 1
                 if observability_error is not None:
                     print(f"ERROR: {observability_error}")
                     return 1
-                print(
-                    f"selftest: {pairs_served} frame pairs round-tripped over "
-                    f"TCP, byte-identical to the single-process service"
-                )
+                if stream:
+                    if stream_stats is None or stream_stats.get("rekeys", 0) < 1:
+                        print(
+                            "ERROR: no adaptive keyframe rekey occurred on "
+                            "the motion workload"
+                        )
+                        return 1
+                    print(
+                        f"selftest: {pairs_served} frames streamed over TCP, "
+                        f"decoded byte-identical, "
+                        f"{int(stream_stats['rekeys'])} rekeys, compression "
+                        f"{stream_stats['compression_ratio']:.2f}x"
+                    )
+                else:
+                    print(
+                        f"selftest: {pairs_served} frame pairs round-tripped "
+                        f"over TCP, byte-identical to the single-process "
+                        f"service"
+                    )
         stats = service.stats()
         merged = service.merged_snapshot()
         per_worker = service.worker_snapshots()
@@ -911,7 +1069,24 @@ def _cmd_serve_sharded(
             f"stats report {stats['requests']:g}"
         )
         return 1
-    print(f"served {pairs_served} frame pairs ({int(stats['requests'])} row requests)")
+    if stream:
+        print(
+            f"served {pairs_served} frames ({int(stats['requests'])} row "
+            f"requests)"
+        )
+        if stream_stats is not None:
+            print(
+                f"stream: {int(stream_stats['frames'])} frames appended, "
+                f"{int(stream_stats['rekeys'])} rekeys, compression "
+                f"{stream_stats['compression_ratio']:.2f}x "
+                f"({int(stream_stats['shipped_runs'])} shipped / "
+                f"{int(stream_stats['raw_runs'])} raw runs)"
+            )
+    else:
+        print(
+            f"served {pairs_served} frame pairs ({int(stats['requests'])} "
+            f"row requests)"
+        )
     print(f"motion pixels flagged: {total_pixels}")
     print(
         f"cache (all shards): {int(stats.get('hits', 0))} hits / "
@@ -1072,6 +1247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.workers,
                 args.listen,
                 args.selftest,
+                args.stream,
+                args.rekey_ratio,
             )
         if args.listen is not None or args.selftest:
             print("error: --listen/--selftest require --workers N (N >= 1)")
@@ -1092,6 +1269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.chaos_seed,
             args.max_shed,
             args.min_availability,
+            args.stream,
+            args.rekey_ratio,
         )
     if args.command == "top":
         return _cmd_top(args.address, args.interval, args.samples)

@@ -114,9 +114,10 @@ def row_diff(
     Pass ``options`` (a :class:`DiffOptions`) to configure the run; with
     no options the historical defaults apply (reference ``"systolic"``
     engine, per-row sizing).  The individual keyword arguments are the
-    deprecated pre-``DiffOptions`` spellings — still honoured, still
-    overriding the matching ``options`` field, but new code should build
-    a :class:`DiffOptions` (see ``docs/API.md``).
+    *removed* pre-1.1 spellings — kept in the signature purely so a
+    stale call site raises a typed
+    :class:`~repro.errors.OptionsError` naming the replacement instead
+    of an opaque ``TypeError`` (see ``docs/API.md`` and CHANGELOG.md).
 
     Returns a :class:`~repro.core.machine.XorRunResult` whatever the
     engine, so callers can swap engines without touching downstream
@@ -181,8 +182,9 @@ def image_diff(
     carries per-row iteration counts — the quantity the paper reports).
 
     Configuration comes in one :class:`DiffOptions` bundle; the
-    individual keyword arguments are the deprecated spellings kept
-    working by the shim.  ``options.tracer``, ``options.metrics`` and
+    individual keyword arguments are the removed pre-1.1 spellings and
+    raise a typed :class:`~repro.errors.OptionsError` when passed.
+    ``options.tracer``, ``options.metrics`` and
     ``options.probe`` hook the run into the :mod:`repro.obs`
     observability layer; all default to ``None``, which costs the hot
     path nothing.

@@ -12,11 +12,13 @@ points without rewriting their keyword soup.
 :class:`DiffOptions` is the fix: a frozen, validated bundle of every
 knob the differencing stack understands, accepted uniformly by
 ``row_diff``, ``diff_images``, ``parallel_diff_images`` and the
-:class:`repro.service.DiffService` request layer.  The old keyword
-arguments keep working through :func:`resolve_options` (the deprecation
-shim — see ``docs/API.md`` for the policy); explicit keywords take
-precedence over fields of a passed ``options`` object so call sites can
-migrate incrementally.
+:class:`repro.service.DiffService` request layer.  The pre-1.1 keyword
+spellings went through a full deprecation cycle (``DeprecationWarning``
+since the options landed) and are now a **hard error**:
+:func:`resolve_options` raises a typed
+:class:`~repro.errors.OptionsError` naming the offending keywords and
+the replacement, so a stale call site fails loudly at the boundary
+instead of silently drifting (see ``docs/API.md`` and CHANGELOG.md).
 
 Engine names are validated *here*, at construction / coercion time, so
 an unknown engine raises :class:`~repro.errors.UnknownEngineError` at
@@ -26,7 +28,6 @@ an engine loop.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -40,7 +41,7 @@ from typing import (
     get_args,
 )
 
-from repro.errors import CapacityError, UnknownEngineError
+from repro.errors import CapacityError, OptionsError, UnknownEngineError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -175,39 +176,34 @@ def resolve_options(
     defaults: DiffOptions,
     caller: str,
 ) -> DiffOptions:
-    """The deprecation shim: coerce ``(options, legacy kwargs)`` to one
-    validated :class:`DiffOptions`.
+    """Coerce ``(options, legacy kwargs)`` to one validated
+    :class:`DiffOptions`.
 
-    ``options`` may be a :class:`DiffOptions`, ``None`` (use
-    ``defaults``) or — for callers that used to pass the engine in this
-    position — a bare engine name string.  ``legacy`` maps keyword names
-    to values; ``None`` marks keywords the caller did not pass (every
-    legacy keyword's no-op value).  Passed legacy keywords emit a
-    :class:`DeprecationWarning` and override the corresponding
-    ``options``/``defaults`` field, so call sites can migrate one
-    keyword at a time (see ``docs/API.md``).
+    ``options`` must be a :class:`DiffOptions` or ``None`` (use
+    ``defaults``).  The entry points keep their pre-1.1 keyword
+    parameters (``legacy`` maps keyword names to values; ``None`` marks
+    keywords the caller did not pass) purely so stale call sites fail
+    with an actionable message: any passed legacy keyword — or a bare
+    engine name string in the ``options`` position — raises a typed
+    :class:`~repro.errors.OptionsError`.  The deprecation cycle is
+    documented in ``docs/API.md``; the break is noted in CHANGELOG.md.
     """
     given = {k: v for k, v in legacy.items() if v is not None}
     positional_engine = isinstance(options, str)
     if positional_engine:
-        if "engine" in given:
-            raise UnknownEngineError(
-                f"{caller}: engine given both positionally ({options!r}) "
-                f"and as a keyword ({given['engine']!r})"
-            )
-        given["engine"] = options
+        given.setdefault("engine", options)
         options = None
     base = defaults if options is None else options
     if not given:
         return base
     if positional_engine and len(given) == 1:
-        what = "passing the engine as a bare string is"
+        what = "passing the engine as a bare string was removed"
     else:
-        what = f"keyword argument(s) {', '.join(sorted(given))} are"
-    warnings.warn(
-        f"{caller}: {what} deprecated; pass options=DiffOptions(...) "
-        f"instead (see docs/API.md)",
-        DeprecationWarning,
-        stacklevel=3,
+        what = (
+            f"keyword argument(s) {', '.join(sorted(given))} were removed"
+        )
+    raise OptionsError(
+        f"{caller}: {what} in 1.1 after a deprecation cycle; pass "
+        f"options=DiffOptions(...) instead (see docs/API.md and "
+        f"CHANGELOG.md)"
     )
-    return replace(base, **given)

@@ -166,8 +166,9 @@ def parallel_diff_images(
 
     Accepts the same :class:`~repro.core.options.DiffOptions` as
     :func:`~repro.core.pipeline.diff_images` (the individual keyword
-    arguments are the deprecated spellings, kept working by the shim),
-    plus the two pool-only knobs ``workers`` and ``chunk_rows``.
+    arguments are the removed pre-1.1 spellings and raise a typed
+    :class:`~repro.errors.OptionsError` when passed), plus the two
+    pool-only knobs ``workers`` and ``chunk_rows``.
 
     Parameters
     ----------

@@ -91,10 +91,12 @@ def diff_images(
     """Difference two equal-shape images.
 
     Configuration comes as one :class:`~repro.core.options.DiffOptions`
-    (``options=``); the individual keyword arguments are the deprecated
-    pre-``DiffOptions`` spellings, kept working by the shim and
-    overriding the matching ``options`` field.  Unknown engine names are
-    rejected here, at the API boundary, with
+    (``options=``); the individual keyword arguments are the removed
+    pre-1.1 spellings, kept in the signature purely so a stale call
+    site raises a typed :class:`~repro.errors.OptionsError` naming the
+    replacement instead of an opaque ``TypeError`` (see ``docs/API.md``
+    and CHANGELOG.md).  Unknown engine names are rejected at
+    :class:`DiffOptions` construction with
     :class:`~repro.errors.UnknownEngineError` — never from deep inside
     dispatch.
 

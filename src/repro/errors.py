@@ -41,9 +41,43 @@ class UnknownEngineError(SystolicError):
     """
 
 
+class OptionsError(ReproError):
+    """A pre-1.1 legacy options spelling was used.
+
+    The individual keyword arguments (``engine=``, ``tracer=``, ...)
+    and the bare positional engine string were deprecated when
+    :class:`repro.core.options.DiffOptions` landed and are now a hard
+    error: pass ``options=DiffOptions(...)`` instead (see
+    ``docs/API.md`` and CHANGELOG.md for the migration)."""
+
+
 class ServiceError(ReproError):
     """The :mod:`repro.service` layer was misconfigured or misused
     (non-positive cache budget, submit after close, ...)."""
+
+
+class ProtocolError(ServiceError):
+    """A line-JSON wire request violated the protocol contract:
+    not valid JSON, not an object, an unknown ``op``, or an
+    unsupported protocol version ``v``.
+
+    Raised (and returned typed over the socket) by
+    :class:`repro.service.frontend.ShardedServer` so clients can
+    distinguish "you spoke the protocol wrong" from service-side
+    failures.  See the op-vocabulary table in ``docs/SERVING.md``.
+    """
+
+
+class UnknownSessionError(ServiceError):
+    """A streaming op named a session id this tier does not hold.
+
+    Raised by :class:`repro.service.stream.StreamingDiffService` (and
+    rehydrated across the shard pipe / TCP boundary) when
+    ``stream_frame`` / ``stream_close`` / ``stream_stats`` reference a
+    session that was never opened, was already closed, or was lost with
+    a crashed shard worker.  Clients recover by reopening the session —
+    the ring walk places it on a live shard (see ``docs/SERVING.md``).
+    """
 
 
 class ServiceOverloadError(ServiceError):

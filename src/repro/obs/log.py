@@ -61,6 +61,9 @@ LOG_EVENTS: Tuple[str, ...] = (
     "worker_death",
     "cache_self_heal",
     "deadline_expired",
+    "stream_opened",
+    "stream_rekey",
+    "stream_closed",
 )
 
 #: Severity vocabulary (plain strings — no logging-module coupling).

@@ -9,7 +9,10 @@ paper's Theorem 3 argument) makes random access a prefix XOR.
 
 :class:`DeltaSequence` stores a key frame plus per-frame delta images,
 entirely in RLE, with size accounting so the compression win is
-measurable.
+measurable.  It is also the chain store of the streaming tier
+(:mod:`repro.service.stream`): sessions append one delta per incoming
+frame and periodically :meth:`rekey` so random access and memory stay
+bounded.
 """
 
 from __future__ import annotations
@@ -66,6 +69,11 @@ class DeltaSequence:
             xor_images(a, b) for a, b in zip(frames, frames[1:])
         ]
         self._raw_runs = sum(f.total_runs for f in frames)
+        # The decoded tail frame, cached so append is one XOR instead of
+        # a prefix fold over the whole chain (the streaming tier appends
+        # per incoming frame, so O(t) appends would make a session
+        # quadratic in its own length).
+        self._tail: RLEImage = frames[-1]
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -78,11 +86,14 @@ class DeltaSequence:
     def frame(self, t: int) -> RLEImage:
         """Reconstruct frame ``t`` (prefix-XOR of the deltas).
 
-        O(t) XORs from the key frame; a production store would keep
-        periodic key frames to bound this — see :meth:`rekey`.
+        O(t) XORs from the key frame (the tail frame is served from the
+        append cache in O(1)); a production store keeps periodic key
+        frames to bound this — see :meth:`rekey`.
         """
         if not (0 <= t < len(self)):
             raise IndexError(f"frame {t} out of range [0, {len(self)})")
+        if t == len(self) - 1:
+            return self._tail
         out = self.key
         for delta in self.deltas[:t]:
             out = xor_images(out, delta)
@@ -110,7 +121,18 @@ class DeltaSequence:
 
     def rekey(self, t: int) -> "DeltaSequence":
         """A new sequence whose key frame is frame ``t`` and which keeps
-        only the frames from ``t`` on — the periodic-keyframe operation."""
+        only the frames from ``t`` on — the periodic-keyframe operation.
+
+        ``t`` is validated like :meth:`frame` (negative or past-the-end
+        indices raise ``IndexError`` instead of silently wrapping the
+        way a raw slice would).  ``rekey(0)`` returns an equivalent
+        sequence and ``rekey(len(self) - 1)`` returns a single-frame
+        sequence keyed on the tail; both remain append-safe — the
+        prefix-XOR decode identity of every retained frame is preserved
+        (pinned by the regression tests in ``tests/rle/test_delta.py``).
+        """
+        if not (0 <= t < len(self)):
+            raise IndexError(f"rekey frame {t} out of range [0, {len(self)})")
         frames = list(self)[t:]
         return DeltaSequence(frames)
 
@@ -120,6 +142,25 @@ class DeltaSequence:
             raise GeometryError(
                 f"frame shape {frame.shape} != sequence shape {self.shape}"
             )
-        last = self.frame(len(self) - 1)
-        self.deltas.append(xor_images(last, frame))
+        self.deltas.append(xor_images(self._tail, frame))
+        self._tail = frame
         self._raw_runs += frame.total_runs
+
+    def append_delta(self, delta: RLEImage) -> RLEImage:
+        """Extend the sequence by one *already-computed* delta.
+
+        The streaming tier computes frame deltas through the cached
+        service layer (so keyframe rows stay cache-hot); this appends
+        that result without re-XORing.  Returns the decoded new tail
+        frame (``previous tail XOR delta``), which the caller typically
+        needs anyway for the next diff.
+        """
+        if delta.shape != self.shape:
+            raise GeometryError(
+                f"delta shape {delta.shape} != sequence shape {self.shape}"
+            )
+        tail = xor_images(self._tail, delta)
+        self.deltas.append(delta)
+        self._tail = tail
+        self._raw_runs += tail.total_runs
+        return tail

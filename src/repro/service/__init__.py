@@ -27,20 +27,31 @@ a stream of frames, where most content repeats:
   the worker process loop.
 - :mod:`repro.service.frontend` — the multi-process serving tier:
   :class:`ShardedDiffService` (N resilient workers behind the ring),
-  the asyncio TCP :class:`ShardedServer` (+ :class:`ServerThread`), and
-  the blocking :class:`ShardClient`.
+  the asyncio TCP :class:`ShardedServer` (+ :class:`ServerThread`)
+  speaking the versioned line-JSON protocol
+  (:data:`~repro.service.frontend.PROTOCOL_VERSION`), and the blocking
+  :class:`ShardClient`.
+- :mod:`repro.service.stream` — streaming frame-delta sessions:
+  :class:`StreamingDiffService` keeps per-session
+  :class:`~repro.rle.delta.DeltaSequence` chains against
+  cache-resident key frames and rekeys adaptively by measured diff
+  density (:class:`StreamPolicy`); exposed through the sharded tier as
+  the ``stream_open`` / ``stream_frame`` / ``stream_close`` /
+  ``stream_stats`` ops, routed by session id on the ring.
 
 See ``docs/API.md`` for the service contract, ``docs/RESILIENCE.md``
 for the failure policies and breaker state machine, ``docs/SERVING.md``
-for the sharded tier (routing, worker protocol, failure semantics), and
-``docs/OBSERVABILITY.md`` for the ``repro_cache_*`` /
-``repro_service_*`` / ``repro_resilience_*`` metric families.
+for the sharded tier (routing, worker protocol, op vocabulary, failure
+semantics), and ``docs/OBSERVABILITY.md`` for the ``repro_cache_*`` /
+``repro_service_*`` / ``repro_resilience_*`` / ``repro_stream_*``
+metric families.
 """
 
 from repro.service.batcher import RowDiffBatcher, compute_row_diffs
 from repro.service.cache import DiffCache, row_fingerprint
 from repro.service.chaos import ChaosEngine, ChaosSchedule
 from repro.service.frontend import (
+    PROTOCOL_VERSION,
     ServerThread,
     ShardClient,
     ShardedDiffService,
@@ -54,6 +65,12 @@ from repro.service.resilience import (
 )
 from repro.service.service import DiffService
 from repro.service.shard import ShardRing
+from repro.service.stream import (
+    FrameDelta,
+    StreamingDiffService,
+    StreamPolicy,
+    StreamSession,
+)
 
 __all__ = [
     "DiffService",
@@ -72,4 +89,9 @@ __all__ = [
     "ShardedServer",
     "ServerThread",
     "ShardClient",
+    "PROTOCOL_VERSION",
+    "StreamPolicy",
+    "StreamSession",
+    "StreamingDiffService",
+    "FrameDelta",
 ]

@@ -44,18 +44,22 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from hashlib import blake2b
+
 from repro.errors import (
     GeometryError,
+    ProtocolError,
     ReproError,
     ServiceError,
     ServiceOverloadError,
+    UnknownSessionError,
 )
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.machine import XorRunResult
 from repro.core.options import IMAGE_DEFAULTS, DiffOptions, resolve_options
 from repro.core.pipeline import ImageDiffResult
-from repro.obs.context import RequestContext, encode_context
+from repro.obs.context import RequestContext, encode_context, new_request_id
 from repro.obs.log import StructuredLog, decode_event
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry, MetricsSnapshot
 from repro.obs.tracing import Tracer, TraceStore
@@ -72,13 +76,30 @@ from repro.service.shard import (
     encode_result,
     worker_main,
 )
+from repro.service.stream import (
+    FrameDelta,
+    StreamPolicy,
+    decode_frame_delta,
+    encode_frame_delta,
+    encode_image,
+    encode_stream_policy,
+)
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "ShardedDiffService",
     "ShardedServer",
     "ServerThread",
     "ShardClient",
 ]
+
+#: The line-JSON wire protocol version.  Every response carries
+#: ``"v": PROTOCOL_VERSION``; requests may carry ``"v"`` and a value
+#: other than this one is rejected with a typed
+#: :class:`~repro.errors.ProtocolError` (a missing ``"v"`` is accepted
+#: as the current version, so pre-versioning clients keep working).
+#: See the op-vocabulary table in ``docs/SERVING.md``.
+PROTOCOL_VERSION = 1
 
 
 # --------------------------------------------------------------------- #
@@ -302,6 +323,13 @@ class ShardedDiffService:
         ]
         self._close_lock = threading.Lock()
         self._closed = False
+        # Streaming session placement: session id -> shard index.  A
+        # session sticks to one shard (its key frame stays hot in that
+        # worker's cache); placement walks the ring's preference order
+        # and skips dead workers, so a session lost with its shard
+        # deterministically reopens on the next shard around the ring.
+        self._stream_lock = threading.Lock()
+        self._stream_shards: Dict[str, int] = {}
 
     # -- introspection -------------------------------------------------- #
     @property
@@ -472,21 +500,22 @@ class ShardedDiffService:
         tracer: Tracer,
         started: float,
         exc: Optional[BaseException],
+        op: str = "diff_rows",
     ) -> None:
         """Terminal accounting for one front-end request: end-to-end
         latency, SLO burn, the completion/shed log event, and the
         stitched trace (sampled requests only)."""
         elapsed = max(0.0, time.perf_counter() - started)
-        self._m_latency.labels(op="diff_rows", tier="frontend").observe(elapsed)
+        self._m_latency.labels(op=op, tier="frontend").observe(elapsed)
         breached = self._slo_seconds is not None and elapsed > self._slo_seconds
         if breached:
-            self._m_slo.labels(op="diff_rows").inc()
+            self._m_slo.labels(op=op).inc()
         if exc is None:
             self.log.log(
                 "request_completed",
                 request_id=ctx.request_id,
                 level="debug",
-                op="diff_rows",
+                op=op,
                 tier="frontend",
                 ok=True,
                 seconds=elapsed,
@@ -497,7 +526,7 @@ class ShardedDiffService:
                 "request_shed",
                 request_id=ctx.request_id,
                 level="warning",
-                op="diff_rows",
+                op=op,
                 tier="frontend",
                 seconds=elapsed,
             )
@@ -506,7 +535,7 @@ class ShardedDiffService:
                 "request_completed",
                 request_id=ctx.request_id,
                 level="warning",
-                op="diff_rows",
+                op=op,
                 tier="frontend",
                 ok=False,
                 error=type(exc).__name__,
@@ -602,6 +631,227 @@ class ShardedDiffService:
             )
         return [r for r in served if r is not None]
 
+    # -- streaming sessions --------------------------------------------- #
+    @staticmethod
+    def _session_digest(session_id: str) -> bytes:
+        return blake2b(session_id.encode("utf-8"), digest_size=8).digest()
+
+    def _place_session(self, session_id: str) -> int:
+        """The first *alive* shard in the session's ring-walk preference
+        order — the consistent-hash placement with dead-worker failover."""
+        for shard in self.ring.preference(self._session_digest(session_id)):
+            if self._workers[shard].alive:
+                return shard
+        raise ServiceError("no shard worker is alive to host the session")
+
+    def _session_shard(self, session_id: str) -> int:
+        with self._stream_lock:
+            shard = self._stream_shards.get(session_id)
+        if shard is None:
+            raise UnknownSessionError(
+                f"unknown stream session {session_id!r} — it was never "
+                f"opened on this front-end or was already closed; open a "
+                f"session first"
+            )
+        return shard
+
+    def _session_lost(
+        self, session_id: str, shard: int, exc: BaseException
+    ) -> UnknownSessionError:
+        """Account for a session's shard dying under it: drop the
+        placement, log the death, and build the typed error the caller
+        re-raises.  The client recovers by reopening — placement then
+        walks past the dead shard."""
+        with self._stream_lock:
+            if self._stream_shards.get(session_id) == shard:
+                del self._stream_shards[session_id]
+        self.log.log(
+            "worker_death",
+            request_id=session_id,
+            level="error",
+            worker=shard,
+            error=type(exc).__name__,
+        )
+        return UnknownSessionError(
+            f"stream session {session_id!r} was lost with shard worker "
+            f"{shard} ({type(exc).__name__}); reopen the session — it "
+            f"will remap to a live shard"
+        )
+
+    def stream_open(
+        self,
+        session_id: Optional[str] = None,
+        policy: Optional[StreamPolicy] = None,
+    ) -> str:
+        """Open a streaming session on the shard its id hashes to.
+
+        Routing is by session id on the same consistent-hash ring that
+        routes ``diff_rows`` content, so every frame of the session
+        lands on one worker and its key frame rows stay hot in that
+        worker's cache.  Returns the session id (generated when
+        ``None``); reuse it as the ``request_id`` parent when stitching
+        stream traffic into a wider trace.
+        """
+        with self._close_lock:
+            if self._closed:
+                raise ServiceError("ShardedDiffService is closed")
+        if session_id is None:
+            session_id = new_request_id()
+        shard = self._place_session(session_id)
+        policy_wire = (
+            encode_stream_policy(policy) if policy is not None else None
+        )
+        try:
+            self._workers[shard].call("stream_open", (session_id, policy_wire))
+        except ServiceError as exc:
+            if not self._workers[shard].alive:
+                raise self._session_lost(session_id, shard, exc) from exc
+            raise
+        with self._stream_lock:
+            self._stream_shards[session_id] = shard
+        self.log.log(
+            "stream_opened",
+            request_id=session_id,
+            level="info",
+            tier="frontend",
+            worker=shard,
+        )
+        return session_id
+
+    def stream_frame(
+        self,
+        session_id: str,
+        frame: RLEImage,
+        ctx: Optional[RequestContext] = None,
+    ) -> FrameDelta:
+        """Append one frame to a session; returns its
+        :class:`~repro.service.stream.FrameDelta`.
+
+        Runs under a :class:`~repro.obs.context.RequestContext` whose
+        ``parent_id`` is the session id (generated when ``ctx`` is
+        ``None``), with the same end-to-end latency/SLO accounting,
+        span stitching and log ingestion as :meth:`diff_rows`.  A shard
+        dying mid-session surfaces as a typed
+        :class:`~repro.errors.UnknownSessionError` telling the caller
+        to reopen; breaker sheds arrive as
+        :class:`~repro.errors.ServiceOverloadError`.
+        """
+        with self._close_lock:
+            if self._closed:
+                raise ServiceError("ShardedDiffService is closed")
+        shard = self._session_shard(session_id)
+        if ctx is None:
+            ctx = RequestContext.new(
+                parent_id=session_id, sample_rate=self.trace_sample_rate
+            )
+        tracer = Tracer()
+        started = time.perf_counter()
+        self.log.log(
+            "request_admitted",
+            request_id=ctx.request_id,
+            level="debug",
+            op="stream_frame",
+            tier="frontend",
+            session_id=session_id,
+        )
+        try:
+            with tracer.span(
+                "sharded_stream_frame",
+                request_id=ctx.request_id,
+                session_id=session_id,
+                worker=shard,
+            ):
+                payload = (session_id, encode_image(frame), encode_context(ctx))
+                try:
+                    wire, spans_wire, events_wire = self._workers[shard].call(
+                        "stream_frame", payload
+                    )
+                except ReproError as exc:
+                    if not self._workers[shard].alive:
+                        raise self._session_lost(
+                            session_id, shard, exc
+                        ) from exc
+                    raise
+                for event_wire in events_wire:
+                    self.log.ingest(decode_event(event_wire))
+                for span_wire in spans_wire:
+                    name, duration_s, attributes = decode_span(span_wire)
+                    tracer.record_span(
+                        name, duration_s, lane=shard + 1, **attributes
+                    )
+                delta = decode_frame_delta(wire)
+        except BaseException as exc:
+            self._finish_request(ctx, tracer, started, exc, op="stream_frame")
+            raise
+        self._finish_request(ctx, tracer, started, None, op="stream_frame")
+        return delta
+
+    def stream_close(self, session_id: str) -> Dict[str, float]:
+        """End a session; returns its final stats dict."""
+        shard = self._session_shard(session_id)
+        with self._stream_lock:
+            self._stream_shards.pop(session_id, None)
+        try:
+            stats = self._workers[shard].call("stream_close", session_id)
+        except ReproError as exc:
+            if not self._workers[shard].alive:
+                raise self._session_lost(session_id, shard, exc) from exc
+            raise
+        self.log.log(
+            "stream_closed",
+            request_id=session_id,
+            level="info",
+            tier="frontend",
+            worker=shard,
+            frames=int(stats.get("frames", 0.0)),
+            rekeys=int(stats.get("rekeys", 0.0)),
+        )
+        return dict(stats)
+
+    def stream_stats(
+        self, session_id: Optional[str] = None
+    ) -> Dict[str, float]:
+        """One session's stats, or (with ``None``) the fleet-wide
+        aggregate over every worker's open sessions."""
+        if session_id is not None:
+            shard = self._session_shard(session_id)
+            try:
+                return dict(
+                    self._workers[shard].call("stream_stats", session_id)
+                )
+            except ReproError as exc:
+                if not self._workers[shard].alive:
+                    raise self._session_lost(session_id, shard, exc) from exc
+                raise
+        futures = []
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                futures.append(handle.request("stream_stats", None))
+            except ServiceError:
+                continue
+        totals: Dict[str, float] = {}
+        for future in futures:
+            try:
+                stats = future.result()
+            except ReproError:
+                continue
+            for key, value in stats.items():
+                if key == "compression_ratio":
+                    continue
+                totals[key] = totals.get(key, 0.0) + value
+        shipped = totals.get("shipped_runs", 0.0)
+        totals["compression_ratio"] = (
+            totals.get("raw_runs", 0.0) / shipped if shipped else 1.0
+        )
+        return totals
+
+    def stream_sessions(self) -> List[str]:
+        """The ids of every session this front-end currently routes."""
+        with self._stream_lock:
+            return sorted(self._stream_shards)
+
     def diff_images(self, image_a: RLEImage, image_b: RLEImage) -> ImageDiffResult:
         """Whole-image diff through the shards; same assembly contract
         as :meth:`DiffService.diff_images` (honours ``canonical``)."""
@@ -678,6 +928,16 @@ class ShardedServer:
         log records (``repro.log/v1``), worker events included
     ``{"op": "metrics", "format": "json" | "prometheus"}``
         the merged cross-worker registry through the existing exporters
+    ``{"op": "stream_open"}`` / ``{"op": "stream_frame"}`` /
+    ``{"op": "stream_close"}`` / ``{"op": "stream_stats"}``
+        the streaming session vocabulary (see
+        :mod:`repro.service.stream` and the table in ``docs/SERVING.md``)
+
+    The protocol is versioned: every response carries
+    ``"v": PROTOCOL_VERSION``; a request may declare its version the
+    same way, and an unsupported one — like an unknown ``op`` or a
+    non-JSON line — is rejected with a typed
+    :class:`~repro.errors.ProtocolError` rather than a generic failure.
 
     Dispatch runs in the loop's default executor so a long engine batch
     never blocks other connections' reads.
@@ -731,9 +991,12 @@ class ShardedServer:
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
+                    # unparseable lines never reach _dispatch, so the
+                    # version stamp has to happen here too
                     response = _error_response(
-                        ServiceError(f"request is not valid JSON: {exc}")
+                        ProtocolError(f"request is not valid JSON: {exc}")
                     )
+                    response["v"] = PROTOCOL_VERSION
                 else:
                     response = await loop.run_in_executor(
                         None, self._dispatch, request
@@ -749,8 +1012,10 @@ class ShardedServer:
 
     def _dispatch(self, request: Any) -> Dict[str, Any]:
         response = self._dispatch_inner(request)
-        # every response to an id-bearing request — errors included —
-        # echoes that id, so pipelined clients can match replies
+        # every response — errors included — declares the protocol
+        # version it speaks, and echoes a client-supplied id so
+        # pipelined clients can match replies
+        response["v"] = PROTOCOL_VERSION
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
         return response
@@ -758,8 +1023,14 @@ class ShardedServer:
     def _dispatch_inner(self, request: Any) -> Dict[str, Any]:
         try:
             if not isinstance(request, dict):
-                raise ServiceError(
+                raise ProtocolError(
                     f"request must be a JSON object, got {type(request).__name__}"
+                )
+            version = request.get("v", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r}; this server "
+                    f"speaks v{PROTOCOL_VERSION} (see docs/SERVING.md)"
                 )
             op = request.get("op")
             if op == "ping":
@@ -803,7 +1074,63 @@ class ShardedServer:
                 if request.get("format") == "prometheus":
                     return {"ok": True, "prometheus": registry.to_prometheus_text()}
                 return {"ok": True, "metrics": registry.to_json()}
-            raise ServiceError(f"unknown op {op!r}")
+            if op == "stream_open":
+                session_id = request.get("session_id")
+                policy = None
+                if "rekey_ratio" in request or "max_chain" in request:
+                    defaults = StreamPolicy()
+                    policy = StreamPolicy(
+                        rekey_ratio=float(
+                            request.get("rekey_ratio", defaults.rekey_ratio)
+                        ),
+                        max_chain=int(
+                            request.get("max_chain", defaults.max_chain)
+                        ),
+                    )
+                opened = self.service.stream_open(
+                    session_id=(
+                        str(session_id) if session_id is not None else None
+                    ),
+                    policy=policy,
+                )
+                return {"ok": True, "session_id": opened}
+            if op == "stream_frame":
+                session_id = _required_session_id(request)
+                frame_wire = request.get("frame")
+                if frame_wire is None:
+                    raise ProtocolError('stream_frame requires a "frame" field')
+                ctx = RequestContext.new(
+                    parent_id=session_id,
+                    sample_rate=self.service.trace_sample_rate,
+                )
+                delta = self.service.stream_frame(
+                    session_id, _image_from_json(frame_wire), ctx=ctx
+                )
+                return {
+                    "ok": True,
+                    "session_id": session_id,
+                    "request_id": ctx.request_id,
+                    "delta": encode_frame_delta(delta),
+                }
+            if op == "stream_close":
+                session_id = _required_session_id(request)
+                return {
+                    "ok": True,
+                    "session_id": session_id,
+                    "stats": self.service.stream_close(session_id),
+                }
+            if op == "stream_stats":
+                session_id = request.get("session_id")
+                return {
+                    "ok": True,
+                    "stats": self.service.stream_stats(
+                        str(session_id) if session_id is not None else None
+                    ),
+                }
+            raise ProtocolError(
+                f"unknown op {op!r}; see the op-vocabulary table in "
+                f"docs/SERVING.md"
+            )
         except ReproError as exc:
             return _error_response(exc)
         except Exception as exc:  # nothing untyped crosses the socket
@@ -816,10 +1143,30 @@ def _error_response(exc: ReproError) -> Dict[str, Any]:
     return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
 
 
+def _required_session_id(request: Dict[str, Any]) -> str:
+    session_id = request.get("session_id")
+    if session_id is None:
+        raise ProtocolError(
+            f'op {request.get("op")!r} requires a "session_id" field'
+        )
+    return str(session_id)
+
+
 def _row_from_json(wire: Any) -> RLERow:
     pairs, width = wire
     return RLERow.from_pairs(
         [(int(start), int(length)) for start, length in pairs], width=width
+    )
+
+
+def _image_from_json(wire: Any) -> RLEImage:
+    rows_wire, width = wire
+    return RLEImage.from_row_pairs(
+        [
+            [(int(start), int(length)) for start, length in pairs]
+            for pairs in rows_wire
+        ],
+        width=int(width),
     )
 
 
@@ -932,6 +1279,7 @@ class ShardClient:
         self.last_request_id: Optional[str] = None
 
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request.setdefault("v", PROTOCOL_VERSION)
         self._sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
         line = self._reader.readline()
         if not line:
@@ -975,6 +1323,56 @@ class ShardClient:
                 f"image shapes differ: {image_a.shape} vs {image_b.shape}"
             )
         return self.diff_rows(list(image_a), list(image_b))
+
+    # -- streaming sessions --------------------------------------------- #
+    def stream_open(
+        self,
+        session_id: Optional[str] = None,
+        rekey_ratio: Optional[float] = None,
+        max_chain: Optional[int] = None,
+    ) -> str:
+        """Open a streaming session; returns its id (server-generated
+        when ``session_id`` is ``None``).  ``rekey_ratio``/``max_chain``
+        override the server's default
+        :class:`~repro.service.stream.StreamPolicy`."""
+        request: Dict[str, Any] = {"op": "stream_open"}
+        if session_id is not None:
+            request["session_id"] = session_id
+        if rekey_ratio is not None:
+            request["rekey_ratio"] = rekey_ratio
+        if max_chain is not None:
+            request["max_chain"] = max_chain
+        return str(self._roundtrip(request)["session_id"])
+
+    def stream_frame(self, session_id: str, frame: RLEImage) -> FrameDelta:
+        """Append one frame; returns the
+        :class:`~repro.service.stream.FrameDelta` to apply client-side
+        (XOR the delta onto the previous decoded frame; frame 0's delta
+        *is* the key frame)."""
+        response = self._roundtrip(
+            {
+                "op": "stream_frame",
+                "session_id": session_id,
+                "frame": encode_image(frame),
+            }
+        )
+        self.last_request_id = response.get("request_id")
+        return decode_frame_delta(response["delta"])
+
+    def stream_close(self, session_id: str) -> Dict[str, float]:
+        """End a session; returns its final stats dict."""
+        return dict(
+            self._roundtrip({"op": "stream_close", "session_id": session_id})[
+                "stats"
+            ]
+        )
+
+    def stream_stats(self, session_id: Optional[str] = None) -> Dict[str, float]:
+        """One session's stats, or the fleet aggregate with ``None``."""
+        request: Dict[str, Any] = {"op": "stream_stats"}
+        if session_id is not None:
+            request["session_id"] = session_id
+        return dict(self._roundtrip(request)["stats"])
 
     def stats(self) -> Dict[str, float]:
         return dict(self._roundtrip({"op": "stats"})["stats"])

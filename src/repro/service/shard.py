@@ -160,6 +160,28 @@ class ShardRing:
             index = 0
         return self._points[index][1]
 
+    def preference(self, digest: bytes) -> List[int]:
+        """Every shard, in ring-walk order from ``digest``'s position.
+
+        The first element is :meth:`shard_for_digest`; the rest are the
+        fallbacks a key remaps to if earlier choices are gone — the
+        front-end uses this to place a streaming session on the first
+        *alive* shard, so a session lost with its worker deterministically
+        reopens on the next shard around the ring.
+        """
+        position = int.from_bytes(digest[:8], "big")
+        start = bisect_left(self._keys, position)
+        order: List[int] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in seen:
+                seen.add(shard)
+                order.append(shard)
+                if len(order) == self.n_shards:
+                    break
+        return order
+
     def shard_for_row(self, row: RLERow) -> int:
         """The shard owning ``row``'s content — the routing key is
         :func:`~repro.service.cache.row_fingerprint`, the same digest
@@ -307,6 +329,24 @@ def worker_main(
         backpressure (``ServiceOverloadError``) and breaker trips —
         come back as typed :data:`ErrorWire` errors; the events they
         generate ship with the worker's next successful reply.
+    ``("stream_open", seq, (session_id, policy_wire))``
+        Open a streaming session (see :mod:`repro.service.stream`);
+        ``policy_wire`` is a
+        :data:`~repro.service.stream.StreamPolicyWire` or ``None`` for
+        the worker default.  Replies with the session id.
+    ``("stream_frame", seq, (session_id, image_wire, ctx_wire))``
+        Append one frame (:data:`~repro.service.stream.ImageWire`) to a
+        session.  The reply payload mirrors ``diff_rows``:
+        ``(frame_delta, spans, events)`` with the delta in
+        :data:`~repro.service.stream.FrameDeltaWire` form.  Unknown
+        sessions come back as typed
+        :class:`~repro.errors.UnknownSessionError`; breaker sheds as
+        :class:`~repro.errors.ServiceOverloadError`.
+    ``("stream_close", seq, session_id)``
+        End a session; replies with its final stats dict.
+    ``("stream_stats", seq, session_id_or_None)``
+        One session's stats dict, or the worker's aggregate streaming
+        stats when the payload is ``None``.
     ``("stats", seq, None)``
         The service's ``stats()`` dict (plain floats).
     ``("snapshot", seq, None)``
@@ -323,6 +363,12 @@ def worker_main(
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracing import Tracer
     from repro.service.resilience import ResilientDiffService
+    from repro.service.stream import (
+        StreamingDiffService,
+        decode_image,
+        decode_stream_policy,
+        encode_frame_delta,
+    )
 
     registry = MetricsRegistry()
     worker_gauge = registry.gauge(
@@ -336,6 +382,7 @@ def worker_main(
     service = ResilientDiffService(
         options, policy=policy, cache_bytes=cache_bytes, log=log
     )
+    streams = StreamingDiffService(service, metrics=registry, log=log)
     try:
         while True:
             try:
@@ -344,6 +391,7 @@ def worker_main(
                 break
             kind, seq, payload = message
             if kind == "close":
+                streams.close()
                 service.close()
                 conn.send(("ok", seq, None))
                 break
@@ -395,6 +443,57 @@ def worker_main(
                         spans_wire,
                         events_wire,
                     )
+                elif kind == "stream_open":
+                    session_id, policy_wire = payload
+                    reply = streams.open(
+                        session_id=session_id,
+                        policy=(
+                            decode_stream_policy(policy_wire)
+                            if policy_wire is not None
+                            else None
+                        ),
+                    )
+                elif kind == "stream_frame":
+                    session_id, image_wire, ctx_wire = payload
+                    ctx = decode_context(ctx_wire) if ctx_wire is not None else None
+                    request_id = ctx.request_id if ctx is not None else None
+                    sampled = ctx.sampled if ctx is not None else True
+                    try:
+                        with tracer.span(
+                            "shard_stream_frame",
+                            request_id=request_id,
+                            session_id=session_id,
+                            worker=worker_id,
+                        ):
+                            delta = streams.append_frame(
+                                session_id,
+                                decode_image(image_wire),
+                                request_id=request_id,
+                            )
+                    except BaseException:
+                        del tracer.spans[:]
+                        raise
+                    finished = tracer.spans[:MAX_SPANS_PER_REPLY]
+                    del tracer.spans[:]
+                    spans_wire = (
+                        tuple(
+                            encode_span(s.name, s.duration, s.attributes)
+                            for s in finished
+                        )
+                        if sampled
+                        else ()
+                    )
+                    events_wire = tuple(
+                        encode_event(r) for r in log.drain(MAX_EVENTS_PER_REPLY)
+                    )
+                    reply = (encode_frame_delta(delta), spans_wire, events_wire)
+                elif kind == "stream_close":
+                    reply = streams.close_session(payload)
+                elif kind == "stream_stats":
+                    if payload is None:
+                        reply = streams.stats()
+                    else:
+                        reply = streams.session_stats(payload)
                 elif kind == "stats":
                     reply = service.stats()
                 elif kind == "snapshot":

@@ -27,6 +27,7 @@ from repro.core.invariants import (
     check_theorem_3,
 )
 from repro.core.machine import SystolicXorMachine, default_cell_count
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 from repro.core.vectorized import VectorizedXorEngine
 from tests.conftest import PAPER_ROW_1, PAPER_ROW_2, PAPER_XOR, PAPER_WIDTH
@@ -209,8 +210,10 @@ class TestPipelineDispatch:
         bits_b = rng.random((20, 150)) < 0.3
         image_a = RLEImage.from_array(bits_a)
         image_b = RLEImage.from_array(bits_b)
-        batched = diff_images(image_a, image_b, engine="batched")
-        serial = diff_images(image_a, image_b, engine="vectorized")
+        batched = diff_images(image_a, image_b, options=DiffOptions(engine="batched"))
+        serial = diff_images(
+            image_a, image_b, options=DiffOptions(engine="vectorized")
+        )
         assert batched.image == serial.image
         assert [r.iterations for r in batched.row_results] == [
             r.iterations for r in serial.row_results
@@ -222,13 +225,21 @@ class TestPipelineDispatch:
         image_a = RLEImage.from_array(rng.random((6, 40)) < 0.3)
         image_b = RLEImage.from_array(rng.random((6, 40)) < 0.3)
         default = diff_images(image_a, image_b)
-        explicit = diff_images(image_a, image_b, engine="batched")
+        explicit = diff_images(
+            image_a, image_b, options=DiffOptions(engine="batched")
+        )
         assert default.image == explicit.image
 
     def test_raw_output_mode(self):
         rng = np.random.default_rng(13)
         image_a = RLEImage.from_array(rng.random((8, 60)) < 0.4)
         image_b = RLEImage.from_array(rng.random((8, 60)) < 0.4)
-        raw = diff_images(image_a, image_b, engine="batched", canonical=False)
-        serial = diff_images(image_a, image_b, engine="vectorized", canonical=False)
+        raw = diff_images(
+            image_a, image_b, options=DiffOptions(engine="batched", canonical=False)
+        )
+        serial = diff_images(
+            image_a,
+            image_b,
+            options=DiffOptions(engine="vectorized", canonical=False),
+        )
         assert raw.image == serial.image

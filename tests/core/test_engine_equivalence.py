@@ -14,6 +14,7 @@ from repro.rle.ops import xor_rows
 from repro.rle.row import RLERow
 from repro.core.batched import BatchedXorEngine
 from repro.core.machine import SystolicXorMachine
+from repro.core.options import DiffOptions
 from repro.core.sequential import sequential_xor
 from repro.core.vectorized import VectorizedXorEngine
 
@@ -114,10 +115,10 @@ class TestAllEnginesAgree:
         image_b = RLEImage([b.with_width(width) for _, b in pairs], width=width)
 
         serial = MetricsRegistry()
-        serial_result = diff_images(image_a, image_b, metrics=serial)
+        serial_result = diff_images(image_a, image_b, options=DiffOptions(metrics=serial))
         merged = MetricsRegistry()
         parallel_result = parallel_diff_images(
-            image_a, image_b, workers=2, chunk_rows=5, metrics=merged
+            image_a, image_b, workers=2, chunk_rows=5, options=DiffOptions(metrics=merged)
         )
         assert parallel_result.image == serial_result.image
         assert merged.snapshot() == serial.snapshot()

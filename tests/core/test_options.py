@@ -1,4 +1,4 @@
-"""DiffOptions: validation, cache keys, and the deprecation shim."""
+"""DiffOptions: validation, cache keys, and the removed legacy spellings."""
 
 import warnings
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import (
     CapacityError,
+    OptionsError,
     ReproError,
     SystolicError,
     UnknownEngineError,
@@ -104,31 +105,42 @@ class TestDefaults:
         assert IMAGE_DEFAULTS.engine == "batched"
 
 
-class TestDeprecationShim:
-    def test_legacy_kwargs_warn_and_apply(self, paper_rows):
-        a, b, expected = paper_rows
-        with pytest.warns(DeprecationWarning, match="row_diff.*engine"):
-            result = row_diff(a, b, engine="vectorized")
-        assert result.result.to_pairs() == expected.to_pairs()
+class TestRemovedLegacySpellings:
+    """The pre-1.1 keyword/positional spellings completed their
+    deprecation cycle and are now a typed hard error (see docs/API.md
+    and CHANGELOG.md) — stale call sites must fail loudly and
+    actionably, never silently drift."""
 
-    def test_positional_engine_string_still_works(self, paper_rows):
-        a, b, expected = paper_rows
-        result = row_diff(a, b, "sequential")
-        assert result.result.canonical().to_pairs() == expected.to_pairs()
-        assert result.n_cells == 0
-
-    def test_positional_and_keyword_engine_conflict(self, paper_rows):
+    def test_legacy_kwarg_is_hard_error(self, paper_rows):
         a, b, _ = paper_rows
-        with pytest.raises(UnknownEngineError, match="both"):
-            row_diff(a, b, "sequential", engine="batched")
+        with pytest.raises(OptionsError, match="row_diff.*engine"):
+            row_diff(a, b, engine="vectorized")
 
-    def test_explicit_kwarg_overrides_options_field(self, paper_rows):
+    def test_error_names_every_offending_kwarg(self, paper_rows):
         a, b, _ = paper_rows
-        with pytest.warns(DeprecationWarning):
-            result = row_diff(
+        with pytest.raises(OptionsError, match="engine.*paranoid"):
+            row_diff(a, b, engine="systolic", paranoid=True)
+
+    def test_error_points_at_the_replacement(self, paper_rows):
+        a, b, _ = paper_rows
+        with pytest.raises(OptionsError, match=r"DiffOptions\(.*docs/API\.md"):
+            row_diff(a, b, engine="vectorized")
+
+    def test_bare_engine_string_is_hard_error(self, paper_rows):
+        a, b, _ = paper_rows
+        with pytest.raises(OptionsError, match="bare string"):
+            row_diff(a, b, "sequential")
+
+    def test_kwarg_alongside_options_is_hard_error(self, paper_rows):
+        a, b, _ = paper_rows
+        with pytest.raises(OptionsError):
+            row_diff(
                 a, b, options=DiffOptions(engine="systolic"), engine="sequential"
             )
-        assert result.n_cells == 0  # sequential's marker
+
+    def test_options_error_is_catchable_as_repro_error(self):
+        # catchability contract for callers with broad except clauses
+        assert issubclass(OptionsError, ReproError)
 
     def test_options_object_does_not_warn(self, paper_rows):
         a, b, _ = paper_rows
@@ -136,14 +148,14 @@ class TestDeprecationShim:
             warnings.simplefilter("error", DeprecationWarning)
             row_diff(a, b, options=DiffOptions(engine="batched"))
 
-    def test_diff_images_legacy_kwargs_warn(self):
+    def test_diff_images_legacy_kwargs_hard_error(self):
         image_a, image_b = small_images()
-        with pytest.warns(DeprecationWarning, match="diff_images"):
+        with pytest.raises(OptionsError, match="diff_images"):
             diff_images(image_a, image_b, engine="vectorized")
 
-    def test_parallel_legacy_kwargs_warn(self):
+    def test_parallel_legacy_kwargs_hard_error(self):
         image_a, image_b = small_images()
-        with pytest.warns(DeprecationWarning, match="parallel_diff_images"):
+        with pytest.raises(OptionsError, match="parallel_diff_images"):
             parallel_diff_images(image_a, image_b, workers=1, engine="systolic")
 
 
@@ -153,16 +165,14 @@ class TestBoundaryRejection:
     def test_row_diff(self, paper_rows):
         a, b, _ = paper_rows
         with pytest.raises(UnknownEngineError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                row_diff(a, b, engine="quantum")
+            row_diff(a, b, options=DiffOptions(engine="quantum"))
 
     def test_image_diff_and_pipeline(self):
         image_a, image_b = small_images()
         with pytest.raises(UnknownEngineError):
             image_diff(image_a, image_b, options=DiffOptions(engine="bogus"))
         with pytest.raises(UnknownEngineError):
-            diff_images(image_a, image_b, "bogus")
+            diff_images(image_a, image_b, options=DiffOptions(engine="bogus"))
 
     def test_parallel(self):
         image_a, image_b = small_images()

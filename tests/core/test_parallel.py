@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import GeometryError, SystolicError
 from repro.rle.image import RLEImage
+from repro.core.options import DiffOptions
 from repro.core.parallel import parallel_diff_images
 from repro.core.pipeline import diff_images
 
@@ -23,7 +24,7 @@ def images(seed=0, h=32, w=128):
 class TestEquivalenceWithSerial:
     def test_same_image_and_iterations(self):
         a, b = images(1)
-        serial = diff_images(a, b, engine="vectorized")
+        serial = diff_images(a, b, options=DiffOptions(engine="vectorized"))
         parallel = parallel_diff_images(a, b, workers=2)
         assert parallel.image == serial.image
         assert parallel.total_iterations == serial.total_iterations
@@ -33,27 +34,34 @@ class TestEquivalenceWithSerial:
 
     def test_raw_output_mode(self):
         a, b = images(2)
-        serial = diff_images(a, b, engine="vectorized", canonical=False)
-        parallel = parallel_diff_images(a, b, workers=2, canonical=False)
+        serial = diff_images(
+            a, b, options=DiffOptions(engine="vectorized", canonical=False)
+        )
+        parallel = parallel_diff_images(
+            a, b, workers=2, options=DiffOptions(canonical=False)
+        )
         assert parallel.image == serial.image
 
     def test_odd_chunking(self):
         a, b = images(3, h=17)
         parallel = parallel_diff_images(a, b, workers=2, chunk_rows=5)
-        serial = diff_images(a, b, engine="vectorized")
+        serial = diff_images(a, b, options=DiffOptions(engine="vectorized"))
         assert parallel.image == serial.image
 
     def test_single_worker_short_circuits(self):
         a, b = images(4)
         result = parallel_diff_images(a, b, workers=1)
-        assert result.image == diff_images(a, b, engine="vectorized").image
+        assert (
+            result.image
+            == diff_images(a, b, options=DiffOptions(engine="vectorized")).image
+        )
 
     def test_stats_match_serial(self):
         """Regression: workers used to run with ``collect_stats=False``,
         so the reassembled results carried empty counters and
         ``ImageDiffResult.stats`` silently reported all zeros."""
         a, b = images(7)
-        serial = diff_images(a, b, engine="vectorized")
+        serial = diff_images(a, b, options=DiffOptions(engine="vectorized"))
         parallel = parallel_diff_images(a, b, workers=2)
         assert parallel.stats.as_dict() == serial.stats.as_dict()
         assert parallel.stats.as_dict() != {}  # the counters really fired
@@ -70,9 +78,11 @@ class TestObservability:
 
         a, b = images(8)
         serial_registry = MetricsRegistry()
-        diff_images(a, b, engine="batched", metrics=serial_registry)
+        diff_images(a, b, options=DiffOptions(metrics=serial_registry))
         parallel_registry = MetricsRegistry()
-        parallel_diff_images(a, b, workers=2, metrics=parallel_registry)
+        parallel_diff_images(
+            a, b, workers=2, options=DiffOptions(metrics=parallel_registry)
+        )
         assert parallel_registry.snapshot() == serial_registry.snapshot()
 
     def test_tracer_gets_chunk_spans(self):
@@ -80,7 +90,9 @@ class TestObservability:
 
         a, b = images(9)
         tracer = Tracer()
-        parallel_diff_images(a, b, workers=2, chunk_rows=8, tracer=tracer)
+        parallel_diff_images(
+            a, b, workers=2, chunk_rows=8, options=DiffOptions(tracer=tracer)
+        )
         by_name = {}
         for span in tracer.spans:
             by_name.setdefault(span.name, []).append(span)
@@ -100,9 +112,11 @@ class TestObservability:
         a, b = images(10)
         registry = MetricsRegistry()
         tracer = Tracer()
-        parallel_diff_images(a, b, workers=1, metrics=registry, tracer=tracer)
+        parallel_diff_images(
+            a, b, workers=1, options=DiffOptions(metrics=registry, tracer=tracer)
+        )
         serial_registry = MetricsRegistry()
-        diff_images(a, b, engine="batched", metrics=serial_registry)
+        diff_images(a, b, options=DiffOptions(metrics=serial_registry))
         assert registry.snapshot() == serial_registry.snapshot()
         assert {s.name for s in tracer.spans} >= {"image_diff", "row_batch", "step"}
 
@@ -111,7 +125,7 @@ class TestObservability:
         ``CounterBag.items()`` → ``ActivityStats.from_items`` without
         loss, including utilization derivation."""
         a, b = images(11)
-        serial = diff_images(a, b, engine="batched")
+        serial = diff_images(a, b, options=DiffOptions(engine="batched"))
         parallel = parallel_diff_images(a, b, workers=2)
         for par_row, ser_row in zip(parallel.row_results, serial.row_results):
             assert par_row.stats == ser_row.stats
@@ -155,11 +169,16 @@ class TestOptionsPassThrough:
         assert all(r.n_cells == 48 for r in parallel.row_results)
 
     def test_unknown_engine_rejected_at_boundary(self):
-        from repro.errors import UnknownEngineError
+        from repro.errors import OptionsError, UnknownEngineError
 
         a, b = images(14, h=4)
         with pytest.raises(UnknownEngineError):
-            parallel_diff_images(a, b, workers=2, options="warp")
+            parallel_diff_images(
+                a, b, workers=2, options=DiffOptions(engine="warp")
+            )
+        # the pre-1.1 bare-string spelling is a typed hard error now
+        with pytest.raises(OptionsError):
+            parallel_diff_images(a, b, workers=2, options="vectorized")
 
     def test_probe_samples_replayed_from_workers(self):
         from repro.core.options import DiffOptions

@@ -7,6 +7,7 @@ from repro.errors import GeometryError, ReproError, SystolicError
 from repro.rle.image import RLEImage
 from repro.rle.row import RLERow
 from repro.core.api import image_diff, row_diff
+from repro.core.options import DiffOptions
 from repro.core.pipeline import diff_images
 
 
@@ -31,24 +32,32 @@ class TestRowDiff:
 
     @pytest.mark.parametrize("engine", ["systolic", "vectorized", "sequential"])
     def test_engines_agree_on_pixels(self, engine):
-        result = row_diff(self.a, self.b, engine=engine)
+        result = row_diff(self.a, self.b, options=DiffOptions(engine=engine))
         assert (result.result.to_bits(200) == self.expected).all()
 
     def test_unknown_engine(self):
         with pytest.raises(ReproError):
-            row_diff(self.a, self.b, engine="quantum")  # type: ignore[arg-type]
+            row_diff(
+                self.a,
+                self.b,
+                options=DiffOptions(engine="quantum"),  # type: ignore[arg-type]
+            )
 
     def test_trace_flag(self):
-        result = row_diff(self.a, self.b, record_trace=True)
+        result = row_diff(
+            self.a, self.b, options=DiffOptions(engine="systolic", record_trace=True)
+        )
         assert result.trace is not None
 
     def test_sequential_result_shape(self):
-        result = row_diff(self.a, self.b, engine="sequential")
+        result = row_diff(self.a, self.b, options=DiffOptions(engine="sequential"))
         assert result.n_cells == 0
         assert result.k1 == self.a.run_count
 
     def test_paranoid_flag(self):
-        result = row_diff(self.a, self.b, paranoid=True)
+        result = row_diff(
+            self.a, self.b, options=DiffOptions(engine="systolic", paranoid=True)
+        )
         assert (result.result.to_bits(200) == self.expected).all()
 
 
@@ -56,7 +65,7 @@ class TestImageDiff:
     @pytest.mark.parametrize("engine", ["systolic", "vectorized", "sequential"])
     def test_engines_agree(self, engine):
         a, b = random_images(2)
-        out = image_diff(a, b, engine=engine)
+        out = image_diff(a, b, options=DiffOptions(engine=engine))
         assert (out.image.to_array() == (a.to_array() ^ b.to_array())).all()
 
     def test_shape_mismatch(self):
@@ -67,11 +76,11 @@ class TestImageDiff:
     def test_unknown_engine(self):
         a, b = random_images(4)
         with pytest.raises(SystolicError):
-            diff_images(a, b, engine="bogus")
+            diff_images(a, b, options=DiffOptions(engine="bogus"))
 
     def test_canonical_output(self):
         a, b = random_images(5)
-        out = image_diff(a, b, canonical=True)
+        out = image_diff(a, b, options=DiffOptions(canonical=True))
         assert out.image.is_canonical()
 
     def test_raw_output_preserves_fragments(self):
@@ -79,9 +88,13 @@ class TestImageDiff:
         # so the raw output keeps both fragments; canonical merges them
         a = RLEImage.from_row_pairs([[(0, 2)]], width=8)
         b = RLEImage.from_row_pairs([[(2, 2)]], width=8)
-        raw = diff_images(a, b, engine="systolic", canonical=False)
+        raw = diff_images(
+            a, b, options=DiffOptions(engine="systolic", canonical=False)
+        )
         assert raw.image[0].to_pairs() == [(0, 2), (2, 2)]
-        merged = diff_images(a, b, engine="systolic", canonical=True)
+        merged = diff_images(
+            a, b, options=DiffOptions(engine="systolic", canonical=True)
+        )
         assert merged.image[0].to_pairs() == [(0, 4)]
 
     def test_row_results_align_with_rows(self):
@@ -103,7 +116,7 @@ class TestImageDiff:
 
     def test_stats_merged(self):
         a, b = random_images(7)
-        out = image_diff(a, b, engine="systolic")
+        out = image_diff(a, b, options=DiffOptions(engine="systolic"))
         merged = out.stats
         assert merged.get("busy_cells") == sum(
             r.stats.get("busy_cells") for r in out.row_results
@@ -116,5 +129,7 @@ class TestImageDiff:
 
     def test_fixed_n_cells_reused(self):
         a, b = random_images(9)
-        out = diff_images(a, b, engine="systolic", n_cells=128)
+        out = diff_images(
+            a, b, options=DiffOptions(engine="systolic", n_cells=128)
+        )
         assert all(r.n_cells == 128 for r in out.row_results)

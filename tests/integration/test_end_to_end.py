@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import image_diff
+from repro.core.options import DiffOptions
 from repro.core.machine import SystolicXorMachine
 from repro.core.parallel import parallel_diff_images
 from repro.core.scheduler import row_costs, schedule
@@ -71,7 +72,9 @@ class TestPCBScenario:
 
     def test_parallel_diff_agrees_with_serial(self, pair):
         reference, scan = pair
-        serial = image_diff(reference, scan, engine="vectorized")
+        serial = image_diff(
+            reference, scan, options=DiffOptions(engine="vectorized")
+        )
         parallel = parallel_diff_images(reference, scan, workers=2)
         assert parallel.image == serial.image
 
@@ -110,7 +113,7 @@ class TestMotionScenario:
 
         frames = generate_sequence(64, 64, n_frames=3, seed=22)
         seq = DeltaSequence(frames)
-        diff = image_diff(frames[1], frames[2], engine="systolic")
+        diff = image_diff(frames[1], frames[2], options=DiffOptions(engine="systolic"))
         assert diff.image.same_pixels(seq.delta(1))
 
 
@@ -157,7 +160,7 @@ class TestCrossEngineOnApplications:
         a, b = get_image_workload(name).make()
         oracle = a.to_array() ^ b.to_array()
         for engine in ("vectorized", "sequential"):
-            out = image_diff(a, b, engine=engine)
+            out = image_diff(a, b, options=DiffOptions(engine=engine))
             assert (out.image.to_array() == oracle).all(), (name, engine)
         # the cell machine is slow; spot-check the busiest row
         diffs = np.abs(

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.errors import ObservabilityError
+from repro.core.options import DiffOptions
 from repro.obs.schema import validate_chrome_trace, validate_nested
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
@@ -150,7 +151,9 @@ class TestEngineWiring:
 
         a, b = self._images(np_rng)
         tracer = Tracer()
-        result = diff_images(a, b, engine="batched", tracer=tracer)
+        result = diff_images(
+            a, b, options=DiffOptions(engine="batched", tracer=tracer)
+        )
         doc = tracer.to_chrome_trace()
         validate_chrome_trace(
             doc, required_names=("image_diff", "row_batch", "step")
@@ -167,7 +170,9 @@ class TestEngineWiring:
 
         a, b = self._images(np_rng)
         tracer = Tracer()
-        result = diff_images(a, b, engine="vectorized", tracer=tracer)
+        result = diff_images(
+            a, b, options=DiffOptions(engine="vectorized", tracer=tracer)
+        )
         doc = tracer.to_chrome_trace()
         validate_nested(doc, "image_diff", "row")
         rows = [s for s in tracer.spans if s.name == "row"]
@@ -182,8 +187,13 @@ class TestEngineWiring:
         a = RLERow.from_pairs([(0, 2), (5, 3)], width=12)
         b = RLERow.from_pairs([(1, 2), (8, 2)], width=12)
         tracer = Tracer()
-        result = row_diff(a, b, engine="vectorized", tracer=tracer)
-        assert result.result == row_diff(a, b, engine="vectorized").result
+        result = row_diff(
+            a, b, options=DiffOptions(engine="vectorized", tracer=tracer)
+        )
+        assert (
+            result.result
+            == row_diff(a, b, options=DiffOptions(engine="vectorized")).result
+        )
         span = next(s for s in tracer.spans if s.name == "row_diff")
         assert span.attributes["iterations"] == result.iterations
         assert span.attributes["k1"] == a.run_count
@@ -192,7 +202,7 @@ class TestEngineWiring:
         from repro.core.pipeline import diff_images
 
         a, b = self._images(np_rng)
-        traced = diff_images(a, b, tracer=Tracer())
+        traced = diff_images(a, b, options=DiffOptions(tracer=Tracer()))
         plain = diff_images(a, b)
         assert traced.image == plain.image
         assert [r.iterations for r in traced.row_results] == [

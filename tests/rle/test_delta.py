@@ -95,3 +95,83 @@ class TestCompression:
         assert len(rekeyed) == 3
         for t in range(3):
             assert rekeyed.frame(t).same_pixels(frames[3 + t])
+
+
+class TestRekeyEdgeCases:
+    """Regression pins for the streaming tier's chain maintenance:
+    rekeying at the boundaries must be no-op-safe and a rekeyed
+    sequence must stay append-safe (the adaptive-keyframe path rekeys
+    on the tail and keeps appending to the result)."""
+
+    def test_rekey_at_zero_is_equivalent(self):
+        frames = random_frames(10, n=5)
+        seq = DeltaSequence(frames)
+        rekeyed = seq.rekey(0)
+        assert len(rekeyed) == len(seq)
+        for t, frame in enumerate(frames):
+            assert rekeyed.frame(t).same_pixels(frame), t
+
+    def test_rekey_at_tail_single_frame(self):
+        frames = random_frames(11, n=5)
+        seq = DeltaSequence(frames)
+        rekeyed = seq.rekey(len(seq) - 1)
+        assert len(rekeyed) == 1
+        assert rekeyed.frame(0).same_pixels(frames[-1])
+        assert rekeyed.stats.delta_runs == 0
+
+    @pytest.mark.parametrize("t", [-1, -5, 5, 100])
+    def test_rekey_out_of_range(self, t):
+        seq = DeltaSequence(random_frames(12, n=5))
+        with pytest.raises(IndexError):
+            seq.rekey(t)
+
+    def test_append_after_rekey_preserves_decode_identity(self):
+        """The adaptive-keyframe sequence of the streaming tier: build,
+        rekey on the tail, keep appending — every retained frame must
+        still decode by prefix XOR, byte-for-pixel."""
+        frames = random_frames(13, n=8)
+        seq = DeltaSequence(frames[:5])
+        seq = seq.rekey(4)  # single-frame sequence keyed on frames[4]
+        for frame in frames[5:]:
+            seq.append(frame)
+        expected = frames[4:]
+        assert len(seq) == len(expected)
+        for t, frame in enumerate(expected):
+            assert seq.frame(t).same_pixels(frame), t
+        # and a mid-chain rekey of the extended sequence still decodes
+        again = seq.rekey(2)
+        for t, frame in enumerate(expected[2:]):
+            assert again.frame(t).same_pixels(frame), t
+
+    def test_append_after_rekey_zero(self):
+        frames = random_frames(14, n=6)
+        seq = DeltaSequence(frames[:4]).rekey(0)
+        for frame in frames[4:]:
+            seq.append(frame)
+        for t, frame in enumerate(frames):
+            assert seq.frame(t).same_pixels(frame), t
+
+
+class TestAppendDelta:
+    """``append_delta`` — the streaming tier's O(1) chain extension
+    from a service-computed diff."""
+
+    def test_matches_append(self):
+        from repro.rle.ops2d import xor_images
+
+        frames = random_frames(15, n=6)
+        by_frame = DeltaSequence(frames[:2])
+        by_delta = DeltaSequence(frames[:2])
+        for prev, cur in zip(frames[1:], frames[2:]):
+            by_frame.append(cur)
+            tail = by_delta.append_delta(xor_images(prev, cur))
+            assert tail.same_pixels(cur)
+        assert len(by_frame) == len(by_delta) == len(frames)
+        for t, frame in enumerate(frames):
+            assert by_delta.frame(t).same_pixels(frame), t
+        assert by_frame.stats.raw_runs == by_delta.stats.raw_runs
+
+    def test_shape_mismatch(self):
+        seq = DeltaSequence(random_frames(16, n=2))
+        with pytest.raises(GeometryError):
+            seq.append_delta(RLEImage.blank(1, 1))

@@ -164,11 +164,13 @@ class TestServiceBehaviour:
             assert first is not second  # recomputed, not served
             assert_identical(first, second)
 
-    def test_bare_engine_string_accepted(self, paper_rows):
-        a, b, expected = paper_rows
-        with DiffService("systolic", **FAST) as service:
-            result = service.row_diff(a, b)
-        assert result.result.to_pairs() == expected.to_pairs()
+    def test_bare_engine_string_rejected(self, paper_rows):
+        # the pre-1.1 bare-string spelling is a typed hard error now
+        from repro.errors import OptionsError
+
+        a, b, _ = paper_rows
+        with pytest.raises(OptionsError, match="bare string"):
+            DiffService("systolic", **FAST)
 
     def test_metrics_flow_through(self, paper_rows):
         a, b, _ = paper_rows

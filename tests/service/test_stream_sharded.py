@@ -1,0 +1,289 @@
+"""Streaming sessions through the sharded tier: ring routing, TCP
+round-trips, the versioned wire protocol, and worker-crash recovery.
+
+A session lives on exactly one shard — the front-end routes every
+``stream_*`` op by session id on the consistent-hash ring, walking the
+ring past dead workers at placement time.  When a session's worker dies
+mid-stream the mapping is dropped and the caller gets a typed
+:class:`~repro.errors.UnknownSessionError` telling it to reopen; the
+reopened session lands on a live shard (see docs/SERVING.md).
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    UnknownSessionError,
+)
+from repro.core.options import DiffOptions
+from repro.rle.ops2d import xor_images
+from repro.service import (
+    PROTOCOL_VERSION,
+    ServerThread,
+    ShardClient,
+    ShardedDiffService,
+    ShardRing,
+)
+from repro.workloads.motion import generate_sequence
+
+BATCHED = DiffOptions(engine="batched")
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_sequence(height=32, width=32, n_frames=8, seed=11)
+
+
+@pytest.fixture()
+def sharded():
+    with ShardedDiffService(BATCHED, workers=2) as service:
+        service.ping()
+        yield service
+
+
+def decode_stream(deltas):
+    frames = []
+    for fd in deltas:
+        frames.append(
+            fd.delta if not frames else xor_images(frames[-1], fd.delta)
+        )
+    return frames
+
+
+class TestRingPreference:
+    def test_preference_is_a_permutation(self):
+        ring = ShardRing(4)
+        for key in (b"alpha", b"beta", b"gamma", b"\x00\x01"):
+            pref = ring.preference(key)
+            assert sorted(pref) == [0, 1, 2, 3]
+
+    def test_preference_head_is_primary(self):
+        ring = ShardRing(4)
+        for key in (b"alpha", b"beta", b"gamma"):
+            assert ring.preference(key)[0] == ring.shard_for_digest(key)
+
+
+class TestSessionRouting:
+    def test_sessions_pin_to_ring_preference(self, sharded):
+        for name in ("cam-0", "cam-1", "cam-2", "cam-3"):
+            sid = sharded.stream_open(session_id=name)
+            shard = sharded._stream_shards[sid]
+            digest = sharded._session_digest(sid)
+            assert shard == sharded.ring.preference(digest)[0]
+
+    def test_frames_stay_on_one_shard(self, sharded, clip):
+        sid = sharded.stream_open()
+        for frame in clip[:4]:
+            sharded.stream_frame(sid, frame)
+        shard = sharded._stream_shards[sid]
+        # only the hosting worker holds the session
+        hosting = sharded._workers[shard].call("stream_stats", None)
+        assert hosting["frames"] == 4.0
+        other = sharded._workers[1 - shard].call("stream_stats", None)
+        assert other.get("frames", 0.0) == 0.0
+
+    def test_stream_sessions_lists_open_ids(self, sharded):
+        a = sharded.stream_open()
+        b = sharded.stream_open()
+        assert set(sharded.stream_sessions()) >= {a, b}
+
+    def test_close_returns_stats_and_forgets(self, sharded, clip):
+        sid = sharded.stream_open()
+        for frame in clip[:3]:
+            sharded.stream_frame(sid, frame)
+        stats = sharded.stream_close(sid)
+        assert stats["frames"] == 3.0
+        with pytest.raises(UnknownSessionError):
+            sharded.stream_frame(sid, clip[3])
+
+
+class TestShardedStreamIdentity:
+    def test_decode_identity_through_shards(self, sharded, clip):
+        sid = sharded.stream_open(policy=None)
+        deltas = [sharded.stream_frame(sid, frame) for frame in clip]
+        for t, (got, want) in enumerate(zip(decode_stream(deltas), clip)):
+            assert got.same_pixels(want), f"frame {t}"
+
+    def test_aggregate_stats_across_workers(self, sharded, clip):
+        a = sharded.stream_open()
+        b = sharded.stream_open()
+        for frame in clip[:3]:
+            sharded.stream_frame(a, frame)
+        for frame in clip[:2]:
+            sharded.stream_frame(b, frame)
+        totals = sharded.stream_stats()
+        assert totals["frames"] == 5.0
+        assert totals["sessions_open"] == 2.0
+        per_session = sharded.stream_stats(a)
+        assert per_session["frames"] == 3.0
+
+
+class TestWorkerCrashMidSession:
+    def test_crash_gives_typed_error_and_reopen_remaps(self, clip):
+        with ShardedDiffService(BATCHED, workers=2) as service:
+            service.ping()
+            sid = service.stream_open(session_id="cam-crash")
+            service.stream_frame(sid, clip[0])
+            shard = service._stream_shards[sid]
+
+            # the hosting worker dies mid-session
+            handle = service._workers[shard]
+            handle._process.terminate()
+            handle._process.join(timeout=5.0)
+
+            with pytest.raises(UnknownSessionError, match="reopen"):
+                service.stream_frame(sid, clip[1])
+            # the mapping is gone — a second call is the same typed error
+            with pytest.raises(UnknownSessionError):
+                service.stream_frame(sid, clip[1])
+
+            # reopening remaps onto the surviving shard and streams on
+            reopened = service.stream_open(session_id="cam-crash")
+            assert service._stream_shards[reopened] == 1 - shard
+            deltas = [service.stream_frame(reopened, f) for f in clip[:4]]
+            for got, want in zip(decode_stream(deltas), clip):
+                assert got.same_pixels(want)
+
+    def test_open_skips_dead_workers(self, clip):
+        with ShardedDiffService(BATCHED, workers=2) as service:
+            service.ping()
+            dead = 0
+            service._workers[dead]._process.terminate()
+            service._workers[dead]._process.join(timeout=5.0)
+            # every new session must land on the live shard
+            for name in ("a", "b", "c", "d"):
+                sid = service.stream_open(session_id=name)
+                assert service._stream_shards[sid] == 1
+                service.stream_frame(sid, clip[0])
+
+    def test_all_workers_dead_is_service_error(self):
+        with ShardedDiffService(BATCHED, workers=2) as service:
+            service.ping()
+            for handle in service._workers:
+                handle._process.terminate()
+                handle._process.join(timeout=5.0)
+            with pytest.raises(ServiceError, match="alive"):
+                service.stream_open()
+
+
+class TestTCPStreaming:
+    @pytest.fixture()
+    def server(self, sharded):
+        with ServerThread(sharded) as srv:
+            yield srv
+
+    @pytest.fixture()
+    def client(self, server):
+        with ShardClient(server.host, server.port) as cli:
+            yield cli
+
+    def test_round_trip_identity_over_tcp(self, client, clip):
+        sid = client.stream_open(rekey_ratio=0.8)
+        deltas = [client.stream_frame(sid, frame) for frame in clip]
+        for t, (got, want) in enumerate(zip(decode_stream(deltas), clip)):
+            assert got.same_pixels(want), f"frame {t}"
+        stats = client.stream_close(sid)
+        assert stats["frames"] == float(len(clip))
+
+    def test_stream_frame_sets_request_id(self, client, clip):
+        sid = client.stream_open()
+        client.stream_frame(sid, clip[0])
+        assert client.last_request_id
+
+    def test_stream_stats_over_tcp(self, client, clip):
+        sid = client.stream_open()
+        client.stream_frame(sid, clip[0])
+        assert client.stream_stats(sid)["frames"] == 1.0
+        assert client.stream_stats()["sessions_open"] >= 1.0
+
+    def test_unknown_session_is_typed_across_the_socket(self, client, clip):
+        with pytest.raises(UnknownSessionError):
+            client.stream_frame("never-opened", clip[0])
+
+    def test_duplicate_open_is_typed_across_the_socket(self, client):
+        client.stream_open(session_id="dup")
+        with pytest.raises(ServiceError):
+            client.stream_open(session_id="dup")
+
+
+class TestWireProtocolVersioning:
+    """Satellite contract: every response carries ``"v"``; unsupported
+    versions, unknown ops and malformed requests are typed
+    ``ProtocolError`` responses, never closed connections."""
+
+    @pytest.fixture()
+    def server(self, sharded):
+        with ServerThread(sharded) as srv:
+            yield srv
+
+    @staticmethod
+    def raw_roundtrip(server, payload: bytes):
+        with socket.create_connection(
+            (server.host, server.port), timeout=30.0
+        ) as sock:
+            sock.sendall(payload + b"\n")
+            reader = sock.makefile("rb")
+            return json.loads(reader.readline())
+
+    def test_every_response_declares_version(self, server):
+        response = self.raw_roundtrip(server, json.dumps({"op": "ping"}).encode())
+        assert response["v"] == PROTOCOL_VERSION
+        assert response["ok"] is True
+
+    def test_missing_version_accepted_as_current(self, server):
+        # pre-versioning clients sent no "v" — treated as v1
+        response = self.raw_roundtrip(server, b'{"op": "ping"}')
+        assert response["ok"] is True
+
+    def test_unsupported_version_rejected(self, server):
+        response = self.raw_roundtrip(
+            server, json.dumps({"op": "ping", "v": 99}).encode()
+        )
+        assert response["ok"] is False
+        assert response["error"] == "ProtocolError"
+        assert "version" in response["message"]
+        assert response["v"] == PROTOCOL_VERSION
+
+    def test_unknown_op_names_the_vocabulary_table(self, server):
+        response = self.raw_roundtrip(
+            server, json.dumps({"op": "frobnicate"}).encode()
+        )
+        assert response["error"] == "ProtocolError"
+        assert "docs/SERVING.md" in response["message"]
+
+    def test_non_object_request_rejected(self, server):
+        response = self.raw_roundtrip(server, b'[1, 2, 3]')
+        assert response["error"] == "ProtocolError"
+
+    def test_invalid_json_rejected(self, server):
+        response = self.raw_roundtrip(server, b"{not json")
+        assert response["error"] == "ProtocolError"
+        assert response["v"] == PROTOCOL_VERSION
+
+    def test_stream_frame_requires_session_id(self, server):
+        response = self.raw_roundtrip(
+            server, json.dumps({"op": "stream_frame"}).encode()
+        )
+        assert response["error"] == "ProtocolError"
+        assert "session_id" in response["message"]
+
+    def test_stream_frame_requires_frame(self, server):
+        response = self.raw_roundtrip(
+            server,
+            json.dumps({"op": "stream_frame", "session_id": "x"}).encode(),
+        )
+        assert response["error"] == "ProtocolError"
+        assert "frame" in response["message"]
+
+    def test_id_echo(self, server):
+        response = self.raw_roundtrip(
+            server, json.dumps({"op": "ping", "id": 42}).encode()
+        )
+        assert response["id"] == 42
+
+    def test_protocol_error_is_catchable_as_service_error(self):
+        assert issubclass(ProtocolError, ServiceError)
