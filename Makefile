@@ -1,6 +1,6 @@
 # Convenience targets — everything is plain pytest underneath.
 
-.PHONY: install test lint bench bench-smoke bench-trend obs-smoke service-smoke resilience-smoke serve-smoke stream-smoke coverage examples artifacts fuzz clean
+.PHONY: install test lint bench bench-smoke bench-trend obs-smoke service-smoke resilience-smoke serve-smoke stream-smoke cache-smoke figures coverage examples artifacts fuzz clean
 
 # mypy strict seed set — expand alongside docs/STATIC_ANALYSIS.md
 MYPY_STRICT_FILES = \
@@ -14,7 +14,8 @@ MYPY_STRICT_FILES = \
 	src/repro/service/service.py \
 	src/repro/service/shard.py \
 	src/repro/service/resilience.py \
-	src/repro/service/stream.py
+	src/repro/service/stream.py \
+	src/repro/service/store.py
 
 install:
 	pip install -e '.[test]'
@@ -106,6 +107,38 @@ stream-smoke:
 		--rekey-ratio 0.8 --workers 2 --listen 127.0.0.1:0 --selftest
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_stream.py -q --benchmark-disable
+
+# persistent-cache smoke: populate a cache dir, restart as a fresh OS
+# process, and gate on serving the identical clip entirely from disk —
+# single-process and 2-worker sharded (per-worker store partitions) —
+# then the warm-restart bench gates in smoke mode (cold/warm process
+# byte-identity + warmth, no timing).  See docs/API.md "Persistent
+# cache".
+CACHE_SMOKE_DIR := .cache-smoke
+cache-smoke:
+	rm -rf $(CACHE_SMOKE_DIR)
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 6 --passes 2 --height 48 --width 48 \
+		--cache-dir $(CACHE_SMOKE_DIR)/single
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 6 --passes 2 --height 48 --width 48 \
+		--cache-dir $(CACHE_SMOKE_DIR)/single --min-hit-rate 0.99
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 6 --passes 2 --height 48 --width 48 --workers 2 \
+		--cache-dir $(CACHE_SMOKE_DIR)/sharded
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro serve \
+		--frames 6 --passes 2 --height 48 --width 48 --workers 2 \
+		--cache-dir $(CACHE_SMOKE_DIR)/sharded --min-hit-rate 0.99
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_service.py -q --benchmark-disable \
+		-k "Persistent"
+	rm -rf $(CACHE_SMOKE_DIR)
+
+# regenerate results/FIGURES.md (every figure/table in one document)
+# from the committed machine-readable artifacts — no benchmarks run;
+# also fails on unregistered orphan files in results/
+figures:
+	python benchmarks/figures.py
 
 # line coverage over the service layer, gated at 90% (pytest-cov ships
 # in the [test] extra; skipped with a notice when not installed)

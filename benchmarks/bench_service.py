@@ -351,6 +351,260 @@ class TestShardedThroughput:
             )
 
 
+# --------------------------------------------------------------------- #
+# The persistent tier (see docs/API.md, "Persistent cache")              #
+# --------------------------------------------------------------------- #
+#: Acceptance floor: a process that restarts over a populated
+#: ``--cache-dir`` must serve the clip this much faster than the cold
+#: process that populated it.  Conservative on purpose — warm serving
+#: skips every engine computation, so healthy runs land far above it.
+PERSISTENT_SPEEDUP_FLOOR = 1.5
+
+#: The persistent bench runs the *systolic* engine — the paper's
+#: cell-level simulation, the expensive computation this cache exists
+#: to make restart-durable.  The vectorized engines recompute a dense
+#: row faster than any per-row disk probe; persisting their results is
+#: a capacity play (RAM budget), not a latency one, and a restart bench
+#: over them would measure nothing but file I/O.
+PERSISTENT_ENGINE = "systolic"
+
+#: Unique dense row pairs (the sharded bench's generator): every row is
+#: first-touch, which is exactly what a restart replays — content the
+#: previous process computed but this one has not.
+PERSISTENT_ROWS = 128 if SMOKE else 512
+PERSISTENT_WIDTH = 512
+PERSISTENT_CHUNK = 128
+
+
+def _persistent_child_main(argv):
+    """One measured process life: serve the workload over ``cache_dir``.
+
+    Run as a real subprocess so "restart" means an OS process boundary,
+    not a reopened object.  Timing is in-child (interpreter startup,
+    import and workload-generation cost excluded).  Prints one JSON
+    line: the serve time, the total time (close/flush included),
+    cache/disk stats, and a digest over every field of every row result
+    — the cold/warm identity check.
+    """
+    import hashlib
+    import json
+
+    cache_dir, n_rows, width, seed = (
+        argv[0], int(argv[1]), int(argv[2]), int(argv[3])
+    )
+    rows_a, rows_b = make_unique_pairs(n_rows, width, seed)
+    chunks = [
+        (rows_a[i : i + PERSISTENT_CHUNK], rows_b[i : i + PERSISTENT_CHUNK])
+        for i in range(0, n_rows, PERSISTENT_CHUNK)
+    ]
+    options = DiffOptions(engine=PERSISTENT_ENGINE, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    service = DiffService(options, max_latency=0.0)
+    results = []
+    for chunk_a, chunk_b in chunks:
+        results.extend(service.diff_rows(chunk_a, chunk_b))
+    serve_seconds = time.perf_counter() - t0
+    stats = service.stats()
+    service.close()  # flush: makes the *next* process warm
+    total_seconds = time.perf_counter() - t0
+
+    digest = hashlib.blake2b(digest_size=16)
+    for r in results:
+        digest.update(
+            repr(
+                (
+                    r.result.to_pairs(), r.result.width, r.iterations,
+                    r.k1, r.k2, r.n_cells, r.stats.items(),
+                )
+            ).encode()
+        )
+    print(
+        json.dumps(
+            {
+                "digest": digest.hexdigest(),
+                "serve_seconds": serve_seconds,
+                "total_seconds": total_seconds,
+                "row_requests": stats["requests"],
+                "stats": stats,
+            }
+        )
+    )
+    return 0
+
+
+def _spawn_persistent_child(cache_dir, n_rows, width, seed):
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable, __file__, "--persistent-child",
+            cache_dir, str(n_rows), str(width), str(seed),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"persistent bench child failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_persistent_bench(
+    n_rows=PERSISTENT_ROWS, width=PERSISTENT_WIDTH, seed=SEED
+):
+    """Cold process vs warm-restarted process over one ``cache_dir``.
+
+    Two child processes serve the identical workload: the first over an
+    empty store (computes everything, flushes on close), the second
+    over what the first left behind.  Returns the results payload.
+    Raises AssertionError if the two processes' results are not
+    byte-identical — a warm restart must never change an answer.
+    """
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-persistent-bench-")
+    try:
+        cold = _spawn_persistent_child(cache_dir, n_rows, width, seed)
+        warm = _spawn_persistent_child(cache_dir, n_rows, width, seed)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    assert warm["digest"] == cold["digest"], (
+        "warm-restarted process served different bytes than the cold one"
+    )
+    assert warm["stats"]["disk_warm_entries"] > 0, "second process opened cold"
+    speedup = (
+        cold["serve_seconds"] / warm["serve_seconds"]
+        if warm["serve_seconds"]
+        else 0.0
+    )
+    return {
+        "workload": {
+            "engine": PERSISTENT_ENGINE,
+            "rows": n_rows,
+            "width": width,
+            "chunk": PERSISTENT_CHUNK,
+            "row_requests": cold["row_requests"],
+            "seed": seed,
+        },
+        "cold": {
+            "serve_seconds": cold["serve_seconds"],
+            "total_seconds": cold["total_seconds"],
+            "hit_rate": cold["stats"]["hit_rate"],
+            "disk_writes": cold["stats"]["disk_writes"],
+        },
+        "warm": {
+            "serve_seconds": warm["serve_seconds"],
+            "total_seconds": warm["total_seconds"],
+            "hit_rate": warm["stats"]["hit_rate"],
+            "disk_warm_entries": warm["stats"]["disk_warm_entries"],
+            "disk_hits": warm["stats"]["disk_hits"],
+            "disk_quarantined": warm["stats"]["disk_quarantined"],
+        },
+        "throughput": {
+            "cold_rows_per_second": cold["row_requests"] / cold["serve_seconds"],
+            "warm_rows_per_second": warm["row_requests"] / warm["serve_seconds"],
+            "warm_restart_speedup": speedup,
+        },
+        "speedup_floor": PERSISTENT_SPEEDUP_FLOOR,
+        "results_identical": True,
+    }
+
+
+class TestPersistentGates:
+    """Correctness gates for warm restart — run in smoke mode too."""
+
+    def test_cold_vs_warm_process_identity_and_warmth(self):
+        payload = run_persistent_bench()
+        assert payload["results_identical"]
+        # the second process never computed: every request served from
+        # RAM after one disk promotion per unique row pair
+        assert payload["warm"]["hit_rate"] >= HIT_RATE_FLOOR
+        assert payload["warm"]["disk_hits"] > 0
+        assert payload["warm"]["disk_quarantined"] == 0
+        # cold run's flush persisted the working set it had
+        assert payload["warm"]["disk_warm_entries"] > 0
+
+
+@pytest.mark.skipif(SMOKE, reason="timing skipped in smoke mode")
+class TestPersistentThroughput:
+    def test_persistent_artifact(self, results_dir):
+        payload = run_persistent_bench()
+        write_json_artifact(results_dir, "persistent.json", payload)
+        through = payload["throughput"]
+        lines = [
+            "Persistent cache: cold process vs warm restart",
+            f"  {payload['workload']['rows']} unique row pairs x "
+            f"{payload['workload']['width']} px, "
+            f"{payload['workload']['engine']} engine, "
+            f"{payload['workload']['chunk']} pairs/request",
+            f"  row requests        : {int(payload['workload']['row_requests'])}",
+            f"  cold process        : {through['cold_rows_per_second']:,.0f} rows/s "
+            f"({payload['cold']['serve_seconds']:.3f}s)",
+            f"  warm restart        : {through['warm_rows_per_second']:,.0f} rows/s "
+            f"({payload['warm']['serve_seconds']:.3f}s)",
+            f"  restart speedup     : {through['warm_restart_speedup']:.2f}x "
+            f"(floor {PERSISTENT_SPEEDUP_FLOOR}x)",
+            f"  warm hit rate       : {payload['warm']['hit_rate']:.1%}",
+        ]
+        write_artifact(results_dir, "persistent.txt", "\n".join(lines))
+        assert through["warm_restart_speedup"] >= PERSISTENT_SPEEDUP_FLOOR, (
+            f"warm restart {through['warm_restart_speedup']:.2f}x below "
+            f"the {PERSISTENT_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def _persistent_main(argv=None):
+    """``python benchmarks/bench_service.py --persistent``: the
+    acceptance entry point — run the cold/warm restart bench directly,
+    write ``results/persistent.json``, and gate on the speedup floor."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--persistent", action="store_true", required=True)
+    parser.add_argument(
+        "--min-speedup", type=float, default=PERSISTENT_SPEEDUP_FLOOR
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_persistent_bench()
+    results = Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "persistent.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    through = payload["throughput"]
+    print(
+        f"cold process : {through['cold_rows_per_second']:,.0f} rows/s "
+        f"({payload['cold']['serve_seconds']:.3f}s)"
+    )
+    print(
+        f"warm restart : {through['warm_rows_per_second']:,.0f} rows/s "
+        f"({payload['warm']['serve_seconds']:.3f}s, "
+        f"{int(payload['warm']['disk_warm_entries'])} entries warm, "
+        f"hit rate {payload['warm']['hit_rate']:.1%})"
+    )
+    print(f"speedup      : {through['warm_restart_speedup']:.2f}x")
+    print("results byte-identical across the restart")
+    if through["warm_restart_speedup"] < args.min_speedup:
+        print(
+            f"ERROR: warm-restart speedup "
+            f"{through['warm_restart_speedup']:.2f}x below the "
+            f"{args.min_speedup}x floor"
+        )
+        return 1
+    return 0
+
+
 def _sharded_main(argv=None):
     """``python benchmarks/bench_service.py --sharded --workers 4``: the
     acceptance entry point — run the multi-process bench directly,
@@ -412,4 +666,10 @@ def _sharded_main(argv=None):
 if __name__ == "__main__":
     import sys
 
-    sys.exit(_sharded_main())
+    if "--persistent-child" in sys.argv:
+        child_args = sys.argv[sys.argv.index("--persistent-child") + 1 :]
+        sys.exit(_persistent_child_main(child_args))
+    elif "--persistent" in sys.argv:
+        sys.exit(_persistent_main())
+    else:
+        sys.exit(_sharded_main())

@@ -58,11 +58,16 @@ __all__ = [
 
 #: Package-relative modules whose send/encode boundaries RLE103 checks.
 #: The obs codecs are here because their encode_* outputs ride the same
-#: pipes: ContextWire in requests, SpanWire/EventWire in replies.
+#: pipes: ContextWire in requests, SpanWire/EventWire in replies.  The
+#: persistent store is here because its encode_* blobs cross the same
+#: kind of boundary, just in time instead of space: bytes written by one
+#: process version are decoded by another, so they must stay
+#: builtin-typed for the same version-skew reasons.
 WIRE_MODULES: Tuple[str, ...] = (
     "service/shard.py",
     "service/frontend.py",
     "service/stream.py",
+    "service/store.py",
     "obs/context.py",
     "obs/log.py",
 )

@@ -164,6 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if the final cache hit rate is below this fraction",
     )
     sv.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist the cache to this directory (disk tier under the "
+        "RAM LRU: warm restarts, corruption quarantine; with --workers "
+        "the directory is partitioned per worker)",
+    )
+    sv.add_argument(
+        "--disk-mb",
+        type=float,
+        default=None,
+        help="with --cache-dir: on-disk byte budget in MiB "
+        "(default: 256)",
+    )
+    sv.add_argument(
         "--resilient",
         action="store_true",
         help="serve through ResilientDiffService (deadlines, retries, breaker)",
@@ -703,6 +719,8 @@ def _cmd_serve(
     min_availability: Optional[float] = None,
     stream: bool = False,
     rekey_ratio: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    disk_mb: Optional[float] = None,
 ) -> int:
     from repro.errors import ReproError, ServiceOverloadError
     from repro.core.options import DiffOptions, validate_engine
@@ -719,12 +737,20 @@ def _cmd_serve(
     resilient = resilient or deadline is not None or chaos_rate > 0
     clip = generate_sequence(height=height, width=width, n_frames=frames, seed=seed)
     registry = MetricsRegistry()
-    options = DiffOptions(engine=validate_engine(engine), metrics=registry)
+    options = DiffOptions(
+        engine=validate_engine(engine),
+        metrics=registry,
+        cache_dir=cache_dir,
+        disk_budget=(
+            int(disk_mb * 1024 * 1024) if disk_mb is not None else None
+        ),
+    )
     cache_bytes = int(cache_mb * 1024 * 1024)
     print(
         f"clip: {frames} frames of {height}x{width}, {passes} pass(es), "
         f"engine {engine}, cache "
         + (f"{cache_mb:g} MiB" if cache_bytes > 0 else "disabled")
+        + (f", persisted to {cache_dir}" if cache_dir is not None else "")
         + (", resilient" if resilient else "")
         + (f", chaos rate {chaos_rate:g} (seed {chaos_seed})" if chaos_rate else "")
     )
@@ -826,6 +852,15 @@ def _cmd_serve(
         f"{int(stats.get('bytes', 0))} bytes, "
         f"{int(stats.get('evictions', 0))} evictions"
     )
+    if cache_dir is not None:
+        print(
+            f"disk tier: {int(stats.get('disk_warm_entries', 0))} entries "
+            f"warm at open, {int(stats.get('disk_hits', 0))} hits / "
+            f"{int(stats.get('disk_misses', 0))} misses, "
+            f"{int(stats.get('disk_entries', 0))} entries, "
+            f"{int(stats.get('disk_bytes', 0))} bytes, "
+            f"{int(stats.get('disk_quarantined', 0))} quarantined"
+        )
     print(
         f"batching: {int(stats['batches'])} engine batches "
         f"({stats['requests'] / stats['batches']:.1f} requests/batch)"
@@ -893,6 +928,8 @@ def _cmd_serve_sharded(
     selftest: bool,
     stream: bool = False,
     rekey_ratio: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    disk_mb: Optional[float] = None,
 ) -> int:
     from repro.core.options import DiffOptions, validate_engine
     from repro.rle.ops2d import xor_images
@@ -916,12 +953,23 @@ def _cmd_serve_sharded(
         return 2
 
     clip = generate_sequence(height=height, width=width, n_frames=frames, seed=seed)
-    options = DiffOptions(engine=validate_engine(engine))
+    options = DiffOptions(
+        engine=validate_engine(engine),
+        cache_dir=cache_dir,
+        disk_budget=(
+            int(disk_mb * 1024 * 1024) if disk_mb is not None else None
+        ),
+    )
     cache_bytes = int(cache_mb * 1024 * 1024)
     print(
         f"clip: {frames} frames of {height}x{width}, {passes} pass(es), "
         f"engine {engine}, cache "
         + (f"{cache_mb:g} MiB/worker" if cache_bytes > 0 else "disabled")
+        + (
+            f", persisted to {cache_dir} (per-worker partitions)"
+            if cache_dir is not None
+            else ""
+        )
         + f", {workers} shard worker(s)"
     )
     with ShardedDiffService(
@@ -1249,6 +1297,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.selftest,
                 args.stream,
                 args.rekey_ratio,
+                args.cache_dir,
+                args.disk_mb,
             )
         if args.listen is not None or args.selftest:
             print("error: --listen/--selftest require --workers N (N >= 1)")
@@ -1271,6 +1321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.min_availability,
             args.stream,
             args.rekey_ratio,
+            args.cache_dir,
+            args.disk_mb,
         )
     if args.command == "top":
         return _cmd_top(args.address, args.interval, args.samples)

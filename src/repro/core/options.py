@@ -124,6 +124,17 @@ class DiffOptions:
     #: construction; like the observability handles it never changes a
     #: computed result, so it is excluded from :meth:`cache_key`.
     resilience: "Optional[ResiliencePolicy]" = None
+    #: Directory of the persistent disk tier under the service cache
+    #: (:class:`repro.service.store.RowStore`), or ``None`` for RAM-only
+    #: caching.  Deployment plumbing, not semantics: where a result is
+    #: *stored* never changes its bytes, so it is excluded from
+    #: :meth:`cache_key` (entries written under one directory are valid
+    #: under any other).
+    cache_dir: Optional[str] = None
+    #: On-disk byte budget for the persistent tier, or ``None`` for the
+    #: store default (:data:`repro.service.store.DEFAULT_DISK_BUDGET`).
+    #: Only read when ``cache_dir`` is set.
+    disk_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -131,6 +142,11 @@ class DiffOptions:
             raise CapacityError(
                 f"n_cells must be >= 1 (or None for per-row sizing), "
                 f"got {self.n_cells}"
+            )
+        if self.disk_budget is not None and self.disk_budget < 1:
+            raise OptionsError(
+                f"disk_budget must be >= 1 (or None for the store "
+                f"default), got {self.disk_budget}"
             )
 
     # ------------------------------------------------------------------ #

@@ -60,6 +60,8 @@ LOG_EVENTS: Tuple[str, ...] = (
     "breaker_transition",
     "worker_death",
     "cache_self_heal",
+    "cache_warm",
+    "cache_quarantine",
     "deadline_expired",
     "stream_opened",
     "stream_rekey",

@@ -13,6 +13,11 @@ a stream of frames, where most content repeats:
   coalesces concurrent submissions into single
   :class:`~repro.core.batched.BatchedXorEngine` batches, with
   :class:`~repro.errors.ServiceOverloadError` backpressure.
+- :mod:`repro.service.store` — the persistent tier under the LRU:
+  :class:`RowStore`, a content-addressed directory of
+  packbits-compressed, checksummed entry files with an append-only LRU
+  index, single-writer locking and corruption quarantine; selected via
+  ``DiffOptions(cache_dir=...)`` and survives process restarts.
 - :mod:`repro.service.service` — the :class:`DiffService` facade tying
   the two together.
 - :mod:`repro.service.resilience` — :class:`ResilientDiffService`:
@@ -65,6 +70,7 @@ from repro.service.resilience import (
 )
 from repro.service.service import DiffService
 from repro.service.shard import ShardRing
+from repro.service.store import DEFAULT_DISK_BUDGET, RowStore
 from repro.service.stream import (
     FrameDelta,
     StreamingDiffService,
@@ -75,6 +81,8 @@ from repro.service.stream import (
 __all__ = [
     "DiffService",
     "DiffCache",
+    "RowStore",
+    "DEFAULT_DISK_BUDGET",
     "RowDiffBatcher",
     "compute_row_diffs",
     "row_fingerprint",

@@ -26,8 +26,21 @@ eviction/collision counts mirror into an optional
 :class:`~repro.obs.metrics.MetricsRegistry` under the ``repro_cache_*``
 families (see ``docs/OBSERVABILITY.md``).
 
+Since PR 10 the cache is optionally *two-tier*: give it a
+:class:`~repro.service.store.RowStore` and it becomes read-through /
+write-behind over disk.  A RAM miss probes the store (a valid disk
+entry is promoted back into RAM and served as a hit), entries evicted
+under the RAM byte budget are demoted to disk instead of discarded, and
+:meth:`DiffCache.flush` demotes everything still resident — the service
+calls it on close so a restarted process warms up from where the last
+one left off.  The disk tier has its own corruption story (checksums,
+quarantine — see :mod:`repro.service.store`); this class only ever sees
+entries that already validated.
+
 All operations are thread-safe — the batcher's worker thread and any
-number of submitting threads share one cache.
+number of submitting threads share one cache.  Disk probes and demotion
+writes happen *outside* the RAM lock, so slow IO never blocks
+concurrent RAM hits.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from hashlib import blake2b
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.rle.row import RLERow
@@ -46,6 +59,7 @@ from repro.core.options import DiffOptions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
+    from repro.service.store import RowStore
 
 __all__ = ["row_fingerprint", "DiffCache", "CacheKey"]
 
@@ -135,6 +149,14 @@ class DiffCache:
         only costs hit rate, never correctness.
     name:
         The ``cache`` label value used in the metric families.
+    store:
+        Optional :class:`~repro.service.store.RowStore` disk tier.
+        When given, RAM misses probe it (read-through with promotion),
+        RAM evictions demote into it (write-behind), and
+        :meth:`invalidate` reaches through so a self-healed entry
+        cannot be re-promoted.  The store is *used*, not owned — the
+        caller (normally :class:`~repro.service.service.DiffService`)
+        decides when to :meth:`flush` and close it.
     """
 
     def __init__(
@@ -143,11 +165,13 @@ class DiffCache:
         metrics: "Optional[MetricsRegistry]" = None,
         fingerprint: Optional[Callable[[RLERow], bytes]] = None,
         name: str = "row-diff",
+        store: "Optional[RowStore]" = None,
     ) -> None:
         if max_bytes < 1:
             raise ServiceError(f"cache max_bytes must be >= 1, got {max_bytes}")
         self.max_bytes = max_bytes
         self.name = name
+        self._store = store
         self._fingerprint = fingerprint if fingerprint is not None else row_fingerprint
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, _CacheEntry]" = OrderedDict()
@@ -209,23 +233,41 @@ class DiffCache:
         inputs = _verbatim(row_a, row_b)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is not None:
+                if entry.inputs != inputs:
+                    self.collisions += 1
+                    self.misses += 1
+                    if self._metrics is not None:
+                        self._m_collisions.inc()
+                        self._m_misses.inc()
+                    return None
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self._metrics is not None:
+                    self._m_hits.inc()
+                return entry.result
+            if self._store is None:
                 self.misses += 1
                 if self._metrics is not None:
                     self._m_misses.inc()
                 return None
-            if entry.inputs != inputs:
-                self.collisions += 1
+        # RAM miss with a disk tier: probe outside the lock (slow IO
+        # must not serialize concurrent RAM hits).  The store validates
+        # checksum, key and verbatim inputs itself — anything it
+        # returns is promotable as-is.
+        promoted = self._store.get(key, inputs)
+        if promoted is None:
+            with self._lock:
                 self.misses += 1
                 if self._metrics is not None:
-                    self._m_collisions.inc()
                     self._m_misses.inc()
-                return None
-            self._entries.move_to_end(key)
+            return None
+        self.put(key, row_a, row_b, promoted)
+        with self._lock:
             self.hits += 1
             if self._metrics is not None:
                 self._m_hits.inc()
-            return entry.result
+        return promoted
 
     def lookup(
         self, row_a: RLERow, row_b: RLERow, options: DiffOptions
@@ -238,9 +280,15 @@ class DiffCache:
     ) -> None:
         """Store ``result`` under ``key``, evicting LRU entries past the
         byte budget.  Idempotent: re-storing an existing key refreshes
-        its recency and replaces the entry."""
+        its recency and replaces the entry.
+
+        With a disk tier attached, entries leaving RAM under byte
+        pressure — including an entry too large to ever fit — are
+        demoted to the store (write-behind) after the lock is released,
+        so an eviction costs disk IO but never discards work."""
         inputs = _verbatim(row_a, row_b)
         nbytes = _entry_nbytes(inputs, result)
+        demoted: "List[Tuple[CacheKey, _Inputs, XorRunResult]]" = []
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -250,17 +298,22 @@ class DiffCache:
                 self.evictions += 1
                 if self._metrics is not None:
                     self._m_evictions.inc()
+                demoted.append((key, inputs, result))
                 self._sync_gauges()
-                return
-            self._entries[key] = _CacheEntry(inputs, result, nbytes)
-            self._bytes += nbytes
-            while self._bytes > self.max_bytes:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
-                self.evictions += 1
-                if self._metrics is not None:
-                    self._m_evictions.inc()
-            self._sync_gauges()
+            else:
+                self._entries[key] = _CacheEntry(inputs, result, nbytes)
+                self._bytes += nbytes
+                while self._bytes > self.max_bytes:
+                    evicted_key, evicted = self._entries.popitem(last=False)
+                    self._bytes -= evicted.nbytes
+                    self.evictions += 1
+                    if self._metrics is not None:
+                        self._m_evictions.inc()
+                    demoted.append((evicted_key, evicted.inputs, evicted.result))
+                self._sync_gauges()
+        if self._store is not None:
+            for d_key, d_inputs, d_result in demoted:
+                self._store.put(d_key, d_inputs, d_result)
 
     def store(
         self, row_a: RLERow, row_b: RLERow, options: DiffOptions, result: XorRunResult
@@ -297,12 +350,14 @@ class DiffCache:
             return self.hits / seen if seen else 0.0
 
     def info(self) -> Dict[str, float]:
-        """Counters and budget as one plain dict (for logs and the CLI)."""
+        """Counters and budget as one plain dict (for logs and the CLI).
+        With a disk tier attached its ``disk_*`` counters are merged in
+        (see :meth:`RowStore.info <repro.service.store.RowStore.info>`)."""
         with self._lock:
             # hit_rate recomputed inline: the property takes the same
             # non-reentrant lock.
             seen = self.hits + self.misses
-            return {
+            out = {
                 "entries": float(len(self._entries)),
                 "bytes": float(self._bytes),
                 "max_bytes": float(self.max_bytes),
@@ -312,6 +367,9 @@ class DiffCache:
                 "collisions": float(self.collisions),
                 "hit_rate": self.hits / seen if seen else 0.0,
             }
+        if self._store is not None:
+            out.update(self._store.info())
+        return out
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop the entry stored under ``key``, if any.
@@ -325,21 +383,61 @@ class DiffCache:
         """
         with self._lock:
             entry = self._entries.pop(key, None)
-            if entry is None:
-                return False
-            self._bytes -= entry.nbytes
-            self.evictions += 1
-            if self._metrics is not None:
-                self._m_evictions.inc()
-            self._sync_gauges()
-            return True
+            removed = False
+            if entry is not None:
+                removed = True
+                self._bytes -= entry.nbytes
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._m_evictions.inc()
+                self._sync_gauges()
+        # Reach through to the disk tier outside the lock: a corrupt
+        # result must not be re-promoted on the next miss (the
+        # resilience suite proves heal-once semantics through both
+        # tiers).
+        if self._store is not None:
+            removed = self._store.invalidate(key) or removed
+        return removed
 
     def clear(self) -> None:
-        """Drop every entry (counters are lifetime totals and remain)."""
+        """Drop every RAM entry (counters are lifetime totals and
+        remain).  The disk tier is untouched — ``clear`` sheds memory,
+        it does not forget; use :meth:`invalidate` to purge a key from
+        both tiers."""
         with self._lock:
             self._entries.clear()
             self._bytes = 0
             self._sync_gauges()
+
+    @property
+    def row_store(self) -> "Optional[RowStore]":
+        """The attached disk tier, if any (``store`` is already taken by
+        the write-through convenience method)."""
+        return self._store
+
+    def flush(self) -> int:
+        """Demote every RAM-resident entry to the disk tier.
+
+        Returns how many entries the store accepted.  A no-op (``0``)
+        without a store or with a read-only one.  Called by
+        :meth:`DiffService.close <repro.service.service.DiffService.close>`
+        so a clean shutdown persists the working set — that is what
+        makes the next process's restart *warm*.  Entries are written
+        in LRU→MRU order so the disk tier's own LRU ranks the hottest
+        content as most recently used.
+        """
+        if self._store is None:
+            return 0
+        with self._lock:
+            snapshot = [
+                (key, entry.inputs, entry.result)
+                for key, entry in self._entries.items()
+            ]
+        flushed = 0
+        for key, inputs, result in snapshot:
+            if self._store.put(key, inputs, result):
+                flushed += 1
+        return flushed
 
     def _sync_gauges(self) -> None:
         # caller holds the lock

@@ -43,6 +43,7 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -66,12 +67,15 @@ from repro.service.cache import DiffCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
+    from repro.service.store import RowStore
 
 __all__ = [
     "FAULT_KINDS",
+    "DISK_FAULT_FLAVOURS",
     "ChaosSchedule",
     "ChaosEngine",
     "corrupt_cached_result",
+    "corrupt_disk_entry",
 ]
 
 #: The injectable fault vocabulary, in schedule-plan order.
@@ -312,3 +316,80 @@ def corrupt_cached_result(
             return False
         entry.result = _corrupt_result(entry.result, flavour)
         return True
+
+
+#: The disk-fault vocabulary for :func:`corrupt_disk_entry`, each
+#: exercising a different validation layer of the persistent store.
+DISK_FAULT_FLAVOURS: Tuple[str, ...] = ("bitflip", "truncate", "unlink", "stale")
+
+
+def corrupt_disk_entry(
+    store: "RowStore",
+    row_a: RLERow,
+    row_b: RLERow,
+    options: DiffOptions,
+    flavour: str = "bitflip",
+) -> bool:
+    """Damage the persistent entry for ``(row_a, row_b, options)``.
+
+    The disk-rot scenario: an entry file goes bad *between* processes —
+    a flipped bit on a dying disk, a truncated write, an operator
+    ``rm``, or a file whose payload no longer matches its address.
+    Each flavour exercises a distinct validation layer of
+    :meth:`~repro.service.store.RowStore.get`:
+
+    ``bitflip``
+        Flip one payload bit in place — caught by the BLAKE2b payload
+        checksum (quarantined).
+    ``truncate``
+        Cut the file in half — caught by the header/length validation
+        (quarantined).
+    ``unlink``
+        Remove the file — a *plain* miss (nothing to quarantine; the
+        index self-corrects).
+    ``stale``
+        Re-encode the entry under a mutated input fingerprint and write
+        it back to the original address — internally consistent
+        (checksum passes!) but the stored key disagrees with the
+        requested one, the stale-fingerprint case (quarantined).
+
+    Returns whether an entry file was found.  Test tooling only —
+    assumes the same default fingerprint the store's callers use and
+    reaches around the store's locking on purpose (rot does not take
+    locks).
+    """
+    from repro.service.cache import row_fingerprint
+    from repro.service.store import decode_entry, encode_entry, entry_digest
+
+    if flavour not in DISK_FAULT_FLAVOURS:
+        raise ServiceError(
+            f"unknown disk fault flavour {flavour!r}; choose from "
+            f"{', '.join(DISK_FAULT_FLAVOURS)}"
+        )
+    key = (
+        row_fingerprint(row_a),
+        row_fingerprint(row_b),
+        options.cache_key(),
+    )
+    digest_hex = entry_digest(key).hex()
+    path = os.path.join(store.directory, "objects", digest_hex[:2], digest_hex)
+    if not os.path.exists(path):
+        return False
+    if flavour == "unlink":
+        os.unlink(path)
+        return True
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    if flavour == "bitflip":
+        # flip a bit safely inside the payload (past the 40-byte header)
+        blob[min(len(blob) - 1, max(40, len(blob) // 2))] ^= 0x01
+    elif flavour == "truncate":
+        blob = blob[: len(blob) // 2]
+    else:  # stale: valid checksum, wrong content for this address
+        stored_key, inputs, result = decode_entry(bytes(blob))
+        fp_a, fp_b, opts_key = stored_key
+        mutated = (bytes([fp_a[0] ^ 0xFF]) + fp_a[1:], fp_b, opts_key)
+        blob = bytearray(encode_entry(mutated, inputs, result))
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    return True

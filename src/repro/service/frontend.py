@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing
+import os
 import socket
 import threading
 import time
@@ -316,11 +317,26 @@ class ShardedDiffService:
             else ResiliencePolicy().slo_seconds
         )
         ctx = multiprocessing.get_context()
-        wire = encode_options(self.options)
-        self._workers = [
-            _WorkerHandle(i, wire, policy, cache_bytes, ctx)
-            for i in range(workers)
-        ]
+        # Partition the persistent tier per worker: the ring already
+        # gives each shard a disjoint content slice, so sharing one
+        # store directory would only serialize the workers on its
+        # single-writer lock.  `<cache_dir>/worker-<i>` keeps every
+        # worker a writer of its own slice, and a restarted fleet with
+        # the same worker count re-opens the same partitions warm.
+        self._workers = []
+        for i in range(workers):
+            worker_opts = self.options
+            if worker_opts.cache_dir is not None:
+                worker_opts = worker_opts.replace(
+                    cache_dir=os.path.join(
+                        worker_opts.cache_dir, f"worker-{i}"
+                    )
+                )
+            self._workers.append(
+                _WorkerHandle(
+                    i, encode_options(worker_opts), policy, cache_bytes, ctx
+                )
+            )
         self._close_lock = threading.Lock()
         self._closed = False
         # Streaming session placement: session id -> shard index.  A

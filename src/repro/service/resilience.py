@@ -553,6 +553,10 @@ class ResilientDiffService:
             max_latency=max_latency,
             max_pending=max_pending,
             compute=self._guarded_compute,
+            # The wrapper logs the request lifecycle itself, so the
+            # inner service's `log` stays unset — but the disk tier's
+            # cache_warm/cache_quarantine events should still land.
+            store_log=log,
         )
 
     # ------------------------------------------------------------------ #

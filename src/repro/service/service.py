@@ -63,6 +63,7 @@ from repro.service.batcher import (
     compute_row_diffs,
 )
 from repro.service.cache import DEFAULT_CACHE_BYTES, CacheKey, DiffCache
+from repro.service.store import DEFAULT_DISK_BUDGET, RowStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -123,6 +124,21 @@ class DiffService:
         wrapping with
         :class:`~repro.service.resilience.ResilientDiffService` — the
         wrapper logs the same lifecycle itself.
+    store_log:
+        An optional :class:`~repro.obs.log.StructuredLog` for the disk
+        tier's ``cache_warm`` / ``cache_quarantine`` events only
+        (``log`` is used when this is unset).  Exists so a wrapping
+        :class:`~repro.service.resilience.ResilientDiffService` can
+        route store events to its log without double-emitting the
+        request lifecycle.
+
+    When ``options.cache_dir`` is set (and caching is enabled), the
+    service opens a :class:`~repro.service.store.RowStore` there and
+    attaches it to the cache as a persistent tier: read-through on
+    miss, write-behind on eviction, and a full :meth:`DiffCache.flush
+    <repro.service.cache.DiffCache.flush>` on :meth:`close` so the next
+    process restarts warm.  The store is owned by the service and
+    closed (releasing its single-writer lock) with it.
     """
 
     def __init__(
@@ -134,6 +150,7 @@ class DiffService:
         max_pending: int = DEFAULT_MAX_PENDING,
         compute: Optional[ComputeFn] = None,
         log: Optional[StructuredLog] = None,
+        store_log: Optional[StructuredLog] = None,
     ) -> None:
         opts = resolve_options(options, {}, IMAGE_DEFAULTS, "DiffService")
         self.options = opts.without_observability()
@@ -142,8 +159,22 @@ class DiffService:
         self._compute: ComputeFn = (
             compute if compute is not None else compute_row_diffs
         )
+        self.store: Optional[RowStore] = None
+        if opts.cache_dir is not None and cache_bytes > 0:
+            self.store = RowStore(
+                opts.cache_dir,
+                max_bytes=(
+                    opts.disk_budget
+                    if opts.disk_budget is not None
+                    else DEFAULT_DISK_BUDGET
+                ),
+                metrics=opts.metrics,
+                log=store_log if store_log is not None else log,
+            )
         self.cache: Optional[DiffCache] = (
-            DiffCache(max_bytes=cache_bytes, metrics=opts.metrics)
+            DiffCache(
+                max_bytes=cache_bytes, metrics=opts.metrics, store=self.store
+            )
             if cache_bytes > 0
             else None
         )
@@ -356,10 +387,15 @@ class DiffService:
         return info
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Drain pending requests and stop the worker thread.
-        Idempotent; further submissions raise
+        """Drain pending requests, stop the worker thread, and — with a
+        persistent tier — flush the RAM working set to disk and release
+        the store's writer lock.  Idempotent; further submissions raise
         :class:`~repro.errors.ServiceError`."""
         self._batcher.close(timeout=timeout)
+        if self.store is not None:
+            if self.cache is not None:
+                self.cache.flush()
+            self.store.close()
 
     def __enter__(self) -> "DiffService":
         return self

@@ -75,10 +75,17 @@ __all__ = [
 #: few percent while the ring stays tiny (N*64 points).
 DEFAULT_REPLICAS = 64
 
-#: Semantic options in wire form: ``(engine, n_cells, canonical,
-#: paranoid, record_trace)``.  Observability handles never cross the
-#: boundary — each worker owns a private registry.
-OptionsWire = Tuple[str, Optional[int], bool, bool, bool]
+#: Semantic options plus cache-placement plumbing in wire form:
+#: ``(engine, n_cells, canonical, paranoid, record_trace, cache_dir,
+#: disk_budget)``.  Observability handles never cross the boundary —
+#: each worker owns a private registry.  ``cache_dir``/``disk_budget``
+#: ride along so each worker can open its own persistent tier (the
+#: front-end partitions the directory per worker — see
+#: :class:`repro.service.frontend.ShardedDiffService`); a 5-tuple from
+#: a pre-1.2 peer decodes with both unset.
+OptionsWire = Tuple[
+    str, Optional[int], bool, bool, bool, Optional[str], Optional[int]
+]
 
 #: One row on the wire: its run pairs and declared width.
 RowWire = Tuple[Tuple[Tuple[int, int], ...], Optional[int]]
@@ -201,11 +208,26 @@ def encode_options(options: DiffOptions) -> OptionsWire:
         options.canonical,
         options.paranoid,
         options.record_trace,
+        options.cache_dir,
+        options.disk_budget,
     )
 
 
 def decode_options(wire: OptionsWire) -> DiffOptions:
-    engine, n_cells, canonical, paranoid, record_trace = wire
+    if len(wire) == 5:  # pre-1.2 peer: no persistent-cache fields
+        engine, n_cells, canonical, paranoid, record_trace = wire  # type: ignore[misc]
+        cache_dir: Optional[str] = None
+        disk_budget: Optional[int] = None
+    else:
+        (
+            engine,
+            n_cells,
+            canonical,
+            paranoid,
+            record_trace,
+            cache_dir,
+            disk_budget,
+        ) = wire
     return DiffOptions(
         # The wire carries the engine as a plain string; re-validate it
         # into the EngineName literal on the way back in (a skewed or
@@ -215,6 +237,8 @@ def decode_options(wire: OptionsWire) -> DiffOptions:
         canonical=canonical,
         paranoid=paranoid,
         record_trace=record_trace,
+        cache_dir=cache_dir,
+        disk_budget=disk_budget,
     )
 
 

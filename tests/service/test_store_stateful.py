@@ -1,0 +1,156 @@
+"""Stateful fuzz of the two-tier cache (RAM LRU over the disk store).
+
+A :class:`~hypothesis.stateful.RuleBasedStateMachine` drives a real
+:class:`~repro.service.cache.DiffCache` backed by a real on-disk
+:class:`~repro.service.store.RowStore` through arbitrary interleavings
+of lookups, stores, invalidations, RAM clears and full process-style
+restarts (flush + close + reopen over the same directory), checking an
+oracle after every step:
+
+- any hit, from either tier, is byte-identical to the fault-free
+  result for that pair — the tiers may lose entries, never alter them;
+- an invalidated key misses until it is stored again — invalidation
+  reaches through the RAM tier into the disk tier;
+- a *live* key (stored, never invalidated, no interleaving RAM clear)
+  always hits: the RAM budget is small enough to force evictions, so
+  this proves eviction demotes to disk rather than dropping;
+- a clean restart (``flush()`` then reopen) preserves every live key —
+  the warm-restart contract;
+- both byte budgets hold after every rule.
+
+The RAM budget is sized to ~2 entries and the disk budget to the whole
+vocabulary, so demotion and promotion fire constantly under the
+machine's churn.
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.rle.row import RLERow
+from repro.core.api import row_diff
+from repro.core.options import DiffOptions
+from repro.service.cache import DiffCache
+from repro.service.store import RowStore
+
+OPTS = DiffOptions(engine="batched")
+
+#: The request vocabulary: a small fixed pair set with precomputed
+#: expected results, so verification is exact and cheap.
+PAIRS = [
+    (
+        RLERow.from_pairs([(0, 3), (8 + i, 2), (20, 1)], width=32),
+        RLERow.from_pairs([(1, 3), (9 + i, 2)], width=32),
+    )
+    for i in range(6)
+]
+EXPECTED = [row_diff(a, b, options=OPTS) for a, b in PAIRS]
+
+
+def _one_entry_bytes() -> int:
+    probe = DiffCache()
+    probe.store(*PAIRS[0], OPTS, EXPECTED[0])
+    return probe.total_bytes
+
+
+RAM_BUDGET = 2 * _one_entry_bytes() + 1
+DISK_BUDGET = 64 * 1024  # holds the whole vocabulary with room to spare
+
+
+class TwoTierLifecycle(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.dir = tempfile.mkdtemp(prefix="repro-store-fuzz-")
+        self._open()
+        self.live: set = set()  # stored, must hit
+        self.weak: set = set()  # stored, may have been lost to clear()
+        self.restarts = 0
+
+    def _open(self) -> None:
+        self.store = RowStore(self.dir, max_bytes=DISK_BUDGET)
+        self.cache = DiffCache(max_bytes=RAM_BUDGET, store=self.store)
+
+    # -- rules --------------------------------------------------------- #
+    @rule(i=st.integers(0, len(PAIRS) - 1))
+    def store_pair(self, i):
+        self.cache.store(*PAIRS[i], OPTS, EXPECTED[i])
+        self.live.add(i)
+        self.weak.discard(i)
+
+    @rule(i=st.integers(0, len(PAIRS) - 1))
+    def lookup(self, i):
+        got = self.cache.lookup(*PAIRS[i], OPTS)
+        if i in self.live:
+            assert got is not None, (
+                f"live pair {i} missed (restarts={self.restarts}); "
+                f"eviction dropped an entry instead of demoting it"
+            )
+        if got is not None:
+            assert i in self.live or i in self.weak, f"pair {i} served after invalidate"
+            want = EXPECTED[i]
+            assert got.result.to_pairs() == want.result.to_pairs()
+            assert got.result.width == want.result.width
+            assert got.iterations == want.iterations
+            assert got.k1 == want.k1 and got.k2 == want.k2
+            assert got.stats.items() == want.stats.items()
+
+    @rule(i=st.integers(0, len(PAIRS) - 1))
+    def invalidate(self, i):
+        key = self.cache.key_for(*PAIRS[i], OPTS)
+        self.cache.invalidate(key)
+        self.live.discard(i)
+        self.weak.discard(i)
+        assert self.cache.lookup(*PAIRS[i], OPTS) is None
+
+    @rule()
+    def clear_ram(self):
+        # drops the RAM tier without demoting: still-RAM-only entries
+        # may be lost, already-demoted ones must survive — so live
+        # degrades to weak (hits stay byte-identical either way)
+        self.cache.clear()
+        self.weak |= self.live
+        self.live.clear()
+
+    @rule()
+    def restart(self):
+        # the clean-shutdown path DiffService.close() takes: flush the
+        # working set, release the writer lock, reopen cold
+        self.cache.flush()
+        self.store.close()
+        self._open()
+        self.restarts += 1
+        for i in sorted(self.live):
+            assert self.cache.lookup(*PAIRS[i], OPTS) is not None, (
+                f"live pair {i} lost across restart {self.restarts}"
+            )
+
+    # -- invariants ---------------------------------------------------- #
+    @invariant()
+    def budgets_hold(self):
+        assert self.cache.total_bytes <= RAM_BUDGET
+        assert self.store.total_bytes <= DISK_BUDGET
+
+    @invariant()
+    def counters_are_sane(self):
+        info = self.cache.info()
+        assert info["hits"] >= 0 and info["misses"] >= 0
+        assert info["disk_hits"] + info["disk_misses"] >= 0
+        assert info["disk_entries"] == len(self.store)
+
+    def teardown(self):
+        self.store.close()
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+TwoTierLifecycle.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestTwoTierLifecycle = TwoTierLifecycle.TestCase
